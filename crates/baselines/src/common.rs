@@ -1,0 +1,77 @@
+//! Shared result types for the comparator engines.
+
+use std::time::Duration;
+
+/// Outcome of running a baseline engine on one workload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BaselineOutcome {
+    /// Engine name for reporting (e.g. `"Souffle-like (CPU)"`).
+    pub engine: String,
+    /// Wall-clock time of the run, if it completed.
+    pub elapsed: Option<Duration>,
+    /// Number of derived tuples, if the run completed.
+    pub tuples: Option<usize>,
+    /// Peak memory use in bytes observed by the engine's own accounting.
+    pub peak_bytes: usize,
+    /// Whether the run aborted with an out-of-memory condition — the `OOM`
+    /// rows of the paper's Tables 2 and 3.
+    pub out_of_memory: bool,
+}
+
+impl BaselineOutcome {
+    /// A completed run.
+    pub fn completed(engine: &str, elapsed: Duration, tuples: usize, peak_bytes: usize) -> Self {
+        BaselineOutcome {
+            engine: engine.to_string(),
+            elapsed: Some(elapsed),
+            tuples: Some(tuples),
+            peak_bytes,
+            out_of_memory: false,
+        }
+    }
+
+    /// An out-of-memory abort.
+    pub fn oom(engine: &str, peak_bytes: usize) -> Self {
+        BaselineOutcome {
+            engine: engine.to_string(),
+            elapsed: None,
+            tuples: None,
+            peak_bytes,
+            out_of_memory: true,
+        }
+    }
+
+    /// Seconds, or `None` when the run did not complete.
+    pub fn seconds(&self) -> Option<f64> {
+        self.elapsed.map(|d| d.as_secs_f64())
+    }
+
+    /// Cell text for the result tables: seconds to two decimals, or `OOM`.
+    pub fn cell(&self) -> String {
+        match self.seconds() {
+            Some(s) => format!("{s:.3}"),
+            None => "OOM".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completed_outcome_reports_seconds_and_cell() {
+        let o = BaselineOutcome::completed("x", Duration::from_millis(1500), 10, 64);
+        assert_eq!(o.seconds(), Some(1.5));
+        assert_eq!(o.cell(), "1.500");
+        assert!(!o.out_of_memory);
+    }
+
+    #[test]
+    fn oom_outcome_renders_oom_cell() {
+        let o = BaselineOutcome::oom("x", 1024);
+        assert_eq!(o.cell(), "OOM");
+        assert_eq!(o.seconds(), None);
+        assert!(o.out_of_memory);
+    }
+}

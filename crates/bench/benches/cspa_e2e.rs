@@ -1,0 +1,36 @@
+//! End-to-end CSPA (Table 4's workload) on httpd-shaped synthetic input,
+//! GPUlog vs the Soufflé-like strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpulog::EngineConfig;
+use gpulog_baselines::souffle_like;
+use gpulog_datasets::cspa::httpd_like;
+use gpulog_device::{profile::DeviceProfile, Device};
+use gpulog_queries::cspa;
+use std::time::Duration;
+
+fn bench_cspa(c: &mut Criterion) {
+    let input = httpd_like(1.0 / 2000.0);
+    c.bench_function("cspa_gpulog_httpd", |b| {
+        b.iter(|| {
+            let device = Device::new(DeviceProfile::nvidia_h100());
+            cspa::run(&device, &input, EngineConfig::default())
+                .unwrap()
+                .sizes
+                .value_alias
+        })
+    });
+    c.bench_function("cspa_souffle_like_httpd", |b| {
+        b.iter(|| souffle_like::cspa(&input, 8).1.value_alias)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench_cspa
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmark: HISA construction (sort + dedup + hash index) vs tuple
+//! count and key width — the data-structure cost behind the "Indexing"
+//! phases of Figure 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpulog_device::{profile::DeviceProfile, Device};
+use gpulog_hisa::{Hisa, IndexSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn random_tuples(rows: usize, arity: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..rows * arity).map(|_| rng.gen_range(0..50_000)).collect()
+}
+
+fn bench_hisa_build(c: &mut Criterion) {
+    let device = Device::new(DeviceProfile::nvidia_h100());
+    let mut group = c.benchmark_group("hisa_build");
+    for rows in [1_000usize, 10_000, 50_000] {
+        let data = random_tuples(rows, 2, rows as u64);
+        group.bench_with_input(BenchmarkId::new("arity2_key1", rows), &rows, |b, _| {
+            b.iter(|| Hisa::build(&device, IndexSpec::new(2, vec![0]), &data).unwrap())
+        });
+    }
+    let data3 = random_tuples(20_000, 3, 3);
+    group.bench_function("arity3_key2", |b| {
+        b.iter(|| Hisa::build(&device, IndexSpec::new(3, vec![0, 1]), &data3).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_hisa_merge(c: &mut Criterion) {
+    let device = Device::new(DeviceProfile::nvidia_h100());
+    let full_data = random_tuples(50_000, 2, 1);
+    let delta_data: Vec<u32> = random_tuples(5_000, 2, 2)
+        .iter()
+        .map(|v| v + 100_000)
+        .collect();
+    c.bench_function("hisa_merge_full_50k_delta_5k", |b| {
+        b.iter(|| {
+            let mut full = Hisa::build(&device, IndexSpec::new(2, vec![0]), &full_data).unwrap();
+            let delta = Hisa::build(&device, IndexSpec::new(2, vec![0]), &delta_data).unwrap();
+            full.merge_from(&delta).unwrap();
+            full.len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    targets = bench_hisa_build, bench_hisa_merge
+}
+criterion_main!(benches);

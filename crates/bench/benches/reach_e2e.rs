@@ -1,0 +1,42 @@
+//! End-to-end REACH (Table 2's workload) on representative topology classes,
+//! GPUlog vs the Soufflé-like and cuDF-like strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpulog::EngineConfig;
+use gpulog_baselines::{cudf_like, souffle_like};
+use gpulog_datasets::PaperDataset;
+use gpulog_device::{profile::DeviceProfile, Device};
+use gpulog_queries::reach;
+use std::time::Duration;
+
+fn bench_reach(c: &mut Criterion) {
+    let scale = 0.15;
+    for dataset in [PaperDataset::Gnutella31, PaperDataset::FeBody] {
+        let graph = dataset.generate(scale);
+        let name = dataset.paper_name();
+        c.bench_function(&format!("reach_gpulog_{name}"), |b| {
+            b.iter(|| {
+                let device = Device::new(DeviceProfile::nvidia_h100());
+                reach::run(&device, &graph, EngineConfig::default())
+                    .unwrap()
+                    .reach_size
+            })
+        });
+        c.bench_function(&format!("reach_souffle_like_{name}"), |b| {
+            b.iter(|| souffle_like::reach(&graph, 8).tuples)
+        });
+        c.bench_function(&format!("reach_cudf_like_{name}"), |b| {
+            b.iter(|| cudf_like::reach(&graph, usize::MAX).tuples)
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench_reach
+}
+criterion_main!(benches);

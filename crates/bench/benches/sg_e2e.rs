@@ -1,0 +1,33 @@
+//! End-to-end Same Generation (Table 3's workload), GPUlog vs the
+//! Soufflé-like strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpulog::EngineConfig;
+use gpulog_baselines::souffle_like;
+use gpulog_datasets::PaperDataset;
+use gpulog_device::{profile::DeviceProfile, Device};
+use gpulog_queries::sg;
+use std::time::Duration;
+
+fn bench_sg(c: &mut Criterion) {
+    let graph = PaperDataset::EgoFacebook.generate(0.15);
+    c.bench_function("sg_gpulog_ego-Facebook", |b| {
+        b.iter(|| {
+            let device = Device::new(DeviceProfile::nvidia_h100());
+            sg::run(&device, &graph, EngineConfig::default()).unwrap().sg_size
+        })
+    });
+    c.bench_function("sg_souffle_like_ego-Facebook", |b| {
+        b.iter(|| souffle_like::sg(&graph, 8).tuples)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench_sg
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmark: the Thrust-style sort and merge primitives (Table 6's
+//! operations), at several input sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpulog_device::thrust::merge::merge_path_merge;
+use gpulog_device::thrust::sort::lexicographic_sort_indices;
+use gpulog_device::{profile::DeviceProfile, Device};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn bench_sort(c: &mut Criterion) {
+    let device = Device::new(DeviceProfile::nvidia_a100());
+    let mut group = c.benchmark_group("lexicographic_sort");
+    for rows in [10_000usize, 100_000] {
+        let mut rng = SmallRng::seed_from_u64(rows as u64);
+        let data: Vec<u32> = (0..rows * 2).map(|_| rng.gen()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| lexicographic_sort_indices(&device, &data, 2, &[0, 1]).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let device = Device::new(DeviceProfile::nvidia_a100());
+    let mut group = c.benchmark_group("merge_path");
+    for rows in [10_000usize, 100_000] {
+        let a: Vec<u32> = (0..rows as u32).map(|i| i * 2).collect();
+        let b_side: Vec<u32> = (0..rows as u32).map(|i| i * 2 + 1).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |bch, _| {
+            bch.iter(|| merge_path_merge(&device, &a, &b_side, |x, y| x.cmp(y)).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    targets = bench_sort, bench_merge
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure 6 — Running-time breakdown of the CSPA query into the phases
+//! Deduplication, Indexing Delta, Indexing Full, Merge Delta/Full, and Join.
+
+use gpulog::{EngineConfig, Phase};
+use gpulog_bench::{banner, gpulog_device, scale_from_env, TextTable};
+use gpulog_datasets::cspa::{httpd_like, linux_like, postgres_like};
+use gpulog_queries::cspa;
+
+fn main() {
+    let scale = scale_from_env();
+    banner("Figure 6: CSPA phase breakdown (percent of run time)", scale);
+    let cspa_scale = scale / 400.0;
+
+    let mut table = TextTable::new([
+        "Dataset",
+        "Deduplication %",
+        "Indexing Delta %",
+        "Indexing Full %",
+        "Merge Delta/Full %",
+        "Join %",
+        "Other %",
+    ]);
+
+    for (name, input) in [
+        ("Httpd", httpd_like(cspa_scale)),
+        ("Linux", linux_like(cspa_scale)),
+        ("PostgreSQL", postgres_like(cspa_scale)),
+    ] {
+        let device = gpulog_device(scale);
+        let result = cspa::run(&device, &input, EngineConfig::default()).expect("cspa run");
+        let s = &result.stats;
+        table.row([
+            name.to_string(),
+            format!("{:.1}", s.phase_percent(Phase::Deduplication)),
+            format!("{:.1}", s.phase_percent(Phase::IndexDelta)),
+            format!("{:.1}", s.phase_percent(Phase::IndexFull)),
+            format!("{:.1}", s.phase_percent(Phase::Merge)),
+            format!("{:.1}", s.phase_percent(Phase::Join)),
+            format!("{:.1}", s.phase_percent(Phase::Other)),
+        ]);
+
+        // Also print the stacked-bar view for a closer visual match with the
+        // paper's figure.
+        let mut bar = String::new();
+        for phase in Phase::all() {
+            let blocks = (s.phase_percent(phase) / 2.0).round() as usize;
+            let ch = match phase {
+                Phase::Deduplication => 'D',
+                Phase::IndexDelta => 'd',
+                Phase::IndexFull => 'F',
+                Phase::Merge => 'M',
+                Phase::Join => 'J',
+                Phase::Other => '.',
+            };
+            bar.extend(std::iter::repeat(ch).take(blocks));
+        }
+        println!("{name:>12} |{bar}|");
+    }
+    println!();
+    println!("{}", table.render());
+    println!("Legend: D=Deduplication d=Indexing Delta F=Indexing Full M=Merge J=Join");
+    println!("Expected shape (paper Figure 6): Join and Merge dominate (roughly 40%");
+    println!("each on the real GPU), with indexing and deduplication sharing the rest.");
+}

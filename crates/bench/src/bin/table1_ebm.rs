@@ -1,0 +1,60 @@
+//! Table 1 — Comparing runtime and memory usage of REACH with and without
+//! eager buffer management.
+//!
+//! Columns match the paper: dataset, total iterations, tail iterations,
+//! query time with EBM disabled ("Normal") and enabled ("Eager"), and peak
+//! device memory for both configurations.
+
+use gpulog::{EbmConfig, EngineConfig};
+use gpulog_bench::{banner, gpulog_device, scale_from_env, TextTable};
+use gpulog_datasets::PaperDataset;
+use gpulog_queries::reach;
+
+fn main() {
+    let scale = scale_from_env();
+    banner("Table 1: REACH with vs. without eager buffer management", scale);
+    let mut table = TextTable::new([
+        "Dataset",
+        "Iter total",
+        "Iter tail",
+        "Time Normal (s)",
+        "Time Eager (s)",
+        "Mem Normal (MB)",
+        "Mem Eager (MB)",
+    ]);
+
+    for dataset in PaperDataset::table1() {
+        let graph = dataset.generate(scale);
+
+        let mut normal_cfg = EngineConfig::default();
+        normal_cfg.ebm = EbmConfig::disabled();
+        let normal_device = gpulog_device(scale);
+        let normal = reach::run(&normal_device, &graph, normal_cfg).expect("normal run");
+
+        let mut eager_cfg = EngineConfig::default();
+        eager_cfg.ebm = EbmConfig::with_growth_factor(8.0);
+        let eager_device = gpulog_device(scale);
+        let eager = reach::run(&eager_device, &graph, eager_cfg).expect("eager run");
+
+        let tail = eager.stats.tail_iterations(eager.reach_size, 0.01);
+        // The paper reports modeled-device-comparable query time; on the
+        // simulated device the wall clock and the modeled time move
+        // together, and the allocation-overhead component is what EBM
+        // removes, so the modeled time is the faithful column here.
+        let normal_time = normal.stats.modeled_seconds();
+        let eager_time = eager.stats.modeled_seconds();
+        table.row([
+            dataset.paper_name().to_string(),
+            format!("{}", eager.stats.iterations),
+            if tail == 0 { "/".to_string() } else { format!("{tail}") },
+            format!("{normal_time:.4}"),
+            format!("{eager_time:.4}"),
+            format!("{:.2}", normal.stats.peak_device_bytes as f64 / 1e6),
+            format!("{:.2}", eager.stats.peak_device_bytes as f64 / 1e6),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Expected shape (paper Table 1): Eager is faster on every dataset,");
+    println!("with the largest gains on long-tail road/mesh graphs, at the cost");
+    println!("of a ~1.3-1.4x larger memory footprint.");
+}

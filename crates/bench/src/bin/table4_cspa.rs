@@ -1,0 +1,67 @@
+//! Table 4 — Context-Sensitive Program Analysis (CSPA): input/output
+//! relation sizes and GPUlog vs Soufflé-like execution time with speedups.
+
+use gpulog::EngineConfig;
+use gpulog_baselines::souffle_like;
+use gpulog_bench::{banner, gpulog_device, scale_from_env, speedup, TextTable};
+use gpulog_datasets::cspa::{httpd_like, linux_like, postgres_like};
+use gpulog_queries::cspa;
+
+fn main() {
+    let scale = scale_from_env();
+    banner("Table 4: CSPA — GPUlog vs Souffle-like", scale);
+    // The paper's CSPA inputs are fixed-size Graspan extractions; the
+    // synthetic stand-ins scale them down by a constant factor adjusted by
+    // GPULOG_SCALE.
+    let cspa_scale = scale / 400.0;
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+    let inputs = [
+        ("Httpd", httpd_like(cspa_scale)),
+        ("Linux", linux_like(cspa_scale)),
+        ("PostgreSQL", postgres_like(cspa_scale)),
+    ];
+
+    let mut table = TextTable::new([
+        "Dataset",
+        "Assign",
+        "Dereference",
+        "ValueFlow",
+        "ValueAlias",
+        "MemAlias",
+        "GPUlog H100 (s, modeled)",
+        "GPUlog (s, host wall)",
+        "Souffle-like (s)",
+        "Speedup",
+    ]);
+
+    for (name, input) in &inputs {
+        let device = gpulog_device(scale);
+        let gpulog_result = cspa::run(&device, input, EngineConfig::default()).expect("gpulog cspa");
+        let (souffle_outcome, souffle_sizes) = souffle_like::cspa(input, workers);
+        // Cross-check: both engines must derive the same relation sizes, as
+        // the paper notes "All relation sizes match that of Souffle's".
+        let agree = gpulog_result.sizes.value_flow == souffle_sizes.value_flow
+            && gpulog_result.sizes.value_alias == souffle_sizes.value_alias
+            && gpulog_result.sizes.memory_alias == souffle_sizes.memory_alias;
+        table.row([
+            format!("{name}{}", if agree { "" } else { " (MISMATCH!)" }),
+            format!("{:.2e}", input.assign_len() as f64),
+            format!("{:.2e}", input.dereference_len() as f64),
+            format!("{:.2e}", gpulog_result.sizes.value_flow as f64),
+            format!("{:.2e}", gpulog_result.sizes.value_alias as f64),
+            format!("{:.2e}", gpulog_result.sizes.memory_alias as f64),
+            format!("{:.4}", gpulog_result.stats.modeled_seconds()),
+            format!("{:.3}", gpulog_result.stats.wall_seconds),
+            souffle_outcome.cell(),
+            match souffle_outcome.seconds() {
+                Some(s) => speedup(s, gpulog_result.stats.modeled_seconds()),
+                None => "-".to_string(),
+            },
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Expected shape (paper Table 4): output sizes match Souffle exactly;");
+    println!("GPUlog wins on every dataset (the paper reports 34-45x on real GPUs;");
+    println!("on the simulated device the ratio is smaller but the ordering holds).");
+}

@@ -1,0 +1,83 @@
+//! Table 5 — GPUlog running times across GPU vendors and models (NVIDIA
+//! H100 / A100, AMD MI250 / MI50), using the analytic cost model to convert
+//! the recorded device work into per-profile modeled time.
+
+use gpulog::{EbmConfig, EngineConfig};
+use gpulog_bench::{banner, scale_from_env, TextTable};
+use gpulog_datasets::cspa::{httpd_like, linux_like, postgres_like};
+use gpulog_datasets::PaperDataset;
+use gpulog_device::{CostModel, Device, DeviceProfile};
+use gpulog_queries::{cspa, sg};
+
+/// Runs a workload once on a reference device and reports the modeled time
+/// under each profile. The AMD profiles model the HIP backend, which lacks
+/// the pooled allocator (EBM off), matching the paper's Section 6.6 setup.
+fn modeled_times(run: impl Fn(&Device, EngineConfig) -> gpulog_device::CounterSnapshot) -> Vec<f64> {
+    let mut out = Vec::new();
+    for profile in DeviceProfile::paper_gpus() {
+        let is_amd = profile.name.starts_with("AMD");
+        let device = Device::new(profile.clone());
+        let mut cfg = EngineConfig::default();
+        if is_amd {
+            cfg.ebm = EbmConfig::disabled();
+        }
+        let work = run(&device, cfg);
+        out.push(CostModel::new(profile).estimate(&work).total_sec());
+    }
+    out
+}
+
+fn main() {
+    let scale = scale_from_env();
+    banner("Table 5: GPUlog across GPU models (modeled device time)", scale);
+    let cspa_scale = scale / 400.0;
+
+    let mut table = TextTable::new([
+        "Query", "Dataset", "H100 (s)", "A100 (s)", "MI250 (s)", "MI50 (s)",
+    ]);
+
+    for dataset in [
+        PaperDataset::FeBody,
+        PaperDataset::LocBrightkite,
+        PaperDataset::FeSphere,
+    ] {
+        let graph = dataset.generate(scale);
+        let times = modeled_times(|device, cfg| {
+            let before = device.metrics().snapshot();
+            sg::run(device, &graph, cfg).expect("sg run");
+            device.metrics().snapshot().since(&before)
+        });
+        table.row([
+            "SG".to_string(),
+            dataset.paper_name().to_string(),
+            format!("{:.4}", times[0]),
+            format!("{:.4}", times[1]),
+            format!("{:.4}", times[2]),
+            format!("{:.4}", times[3]),
+        ]);
+    }
+
+    for (name, input) in [
+        ("httpd", httpd_like(cspa_scale)),
+        ("linux", linux_like(cspa_scale)),
+        ("postgres", postgres_like(cspa_scale)),
+    ] {
+        let times = modeled_times(|device, cfg| {
+            let before = device.metrics().snapshot();
+            cspa::run(device, &input, cfg).expect("cspa run");
+            device.metrics().snapshot().since(&before)
+        });
+        table.row([
+            "CSPA".to_string(),
+            name.to_string(),
+            format!("{:.4}", times[0]),
+            format!("{:.4}", times[1]),
+            format!("{:.4}", times[2]),
+            format!("{:.4}", times[3]),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Expected shape (paper Table 5): H100 < A100 < MI250 < MI50 on every");
+    println!("row, with the MI250 roughly half the A100's speed (single-chiplet use");
+    println!("plus no pooled allocator) and the MI50 roughly half the MI250's.");
+}

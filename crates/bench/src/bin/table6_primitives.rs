@@ -1,0 +1,93 @@
+//! Table 6 — The most time-consuming primitive operations (sort, merge, and
+//! buffer allocation/initialization) compared between a GPU (modeled A100)
+//! and a CPU (modeled EPYC Zen 3), over randomly generated 2-arity tuples.
+//!
+//! The paper runs 100 repetitions per size on real hardware; here each size
+//! is executed once on the simulated device and the recorded work is
+//! converted to modeled time under both profiles (and multiplied by the
+//! repetition count), which preserves the GPU-vs-CPU ratios the paper
+//! derives from memory bandwidth.
+
+use gpulog_bench::{banner, scale_from_env, TextTable};
+use gpulog_device::thrust::merge::merge_path_merge;
+use gpulog_device::thrust::sort::lexicographic_sort_indices;
+use gpulog_device::{CostModel, Device, DeviceProfile};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const REPETITIONS: f64 = 100.0;
+
+fn random_tuples(rows: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..rows * 2).map(|_| rng.gen_range(0..1_000_000)).collect()
+}
+
+fn main() {
+    let scale = scale_from_env();
+    banner("Table 6: sort / merge / allocation — GPU (A100) vs CPU (Zen 3)", scale);
+    // The paper sweeps 1e6 .. 5e8 tuples; the simulated sweep uses the same
+    // geometric shape scaled down so the largest size stays laptop-friendly.
+    let sizes: Vec<usize> = [1_000_000usize, 10_000_000, 50_000_000, 100_000_000, 500_000_000]
+        .iter()
+        .map(|&n| ((n as f64 * scale / 100.0) as usize).max(10_000))
+        .collect();
+
+    let gpu_model = CostModel::new(DeviceProfile::nvidia_a100());
+    let cpu_model = CostModel::new(DeviceProfile::amd_epyc_7543p());
+
+    let mut table = TextTable::new([
+        "# Tuples",
+        "Sort A100 (s)",
+        "Sort Zen3 (s)",
+        "Merge A100 (s)",
+        "Merge Zen3 (s)",
+        "Alloc A100 (s)",
+        "Alloc Zen3 (s)",
+    ]);
+
+    for &rows in &sizes {
+        let device = Device::new(DeviceProfile::nvidia_a100());
+        let data = random_tuples(rows, rows as u64);
+
+        // Sort.
+        let before = device.metrics().snapshot();
+        let sorted = lexicographic_sort_indices(&device, &data, 2, &[0, 1]);
+        let sort_work = device.metrics().snapshot().since(&before);
+
+        // Merge two sorted halves.
+        let half = sorted.len() / 2;
+        let (a, b) = sorted.split_at(half);
+        let mut a = a.to_vec();
+        let mut b = b.to_vec();
+        let key = |i: &u32| {
+            let r = *i as usize * 2;
+            (data[r], data[r + 1])
+        };
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        let before = device.metrics().snapshot();
+        let merged = merge_path_merge(&device, &a, &b, |x, y| key(x).cmp(&key(y)));
+        let merge_work = device.metrics().snapshot().since(&before);
+        assert_eq!(merged.len(), sorted.len());
+
+        // Buffer allocation + initialization.
+        let before = device.metrics().snapshot();
+        let buf = device.buffer_filled(rows * 2, 0u32).expect("allocation");
+        let alloc_work = device.metrics().snapshot().since(&before);
+        drop(buf);
+
+        table.row([
+            format!("{rows}"),
+            format!("{:.4}", gpu_model.estimate(&sort_work).total_sec() * REPETITIONS),
+            format!("{:.4}", cpu_model.estimate(&sort_work).total_sec() * REPETITIONS),
+            format!("{:.4}", gpu_model.estimate(&merge_work).total_sec() * REPETITIONS),
+            format!("{:.4}", cpu_model.estimate(&merge_work).total_sec() * REPETITIONS),
+            format!("{:.4}", gpu_model.estimate(&alloc_work).total_sec() * REPETITIONS),
+            format!("{:.4}", cpu_model.estimate(&alloc_work).total_sec() * REPETITIONS),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Expected shape (paper Table 6): the GPU column is roughly 10-20x");
+    println!("faster than the CPU column for sort and merge at every size, with");
+    println!("the gap tracking the memory-bandwidth ratio of the two devices.");
+}

@@ -1,0 +1,451 @@
+//! Program validation and stratification.
+//!
+//! Before planning, a program is checked for the usual Datalog
+//! well-formedness conditions (declared relations, consistent arities, safe
+//! rules) and its rules are grouped into *strata*: strongly connected
+//! components of the relation dependency graph, evaluated in topological
+//! order. Within a stratum the engine runs the semi-naive fixpoint loop;
+//! across strata evaluation is a simple sequence, which is how Soufflé (and
+//! GPUlog) schedule multi-relation programs such as CSPA.
+
+use crate::ast::{Program, Rule, Term};
+use crate::error::{EngineError, EngineResult};
+use std::collections::{HashMap, HashSet};
+
+/// A validated program plus its evaluation order.
+#[derive(Debug, Clone)]
+pub struct StratifiedProgram {
+    /// Relation names in declaration order (the engine's relation ids are
+    /// indices into this list).
+    pub relation_names: Vec<String>,
+    /// Arity per relation (parallel to `relation_names`).
+    pub arities: Vec<usize>,
+    /// Relations flagged `.input`.
+    pub inputs: Vec<bool>,
+    /// Relations flagged `.output`.
+    pub outputs: Vec<bool>,
+    /// Strata in evaluation order; each stratum lists rule indices into the
+    /// original program and whether the stratum is recursive.
+    pub strata: Vec<Stratum>,
+}
+
+/// One evaluation stratum.
+#[derive(Debug, Clone)]
+pub struct Stratum {
+    /// Relations (ids) whose rules belong to this stratum.
+    pub relations: Vec<usize>,
+    /// Indices of the program's rules evaluated in this stratum.
+    pub rule_indices: Vec<usize>,
+    /// Whether any rule in the stratum depends on a relation defined in the
+    /// same stratum (i.e. the stratum needs a fixpoint loop).
+    pub recursive: bool,
+}
+
+impl StratifiedProgram {
+    /// Id of a relation by name.
+    pub fn relation_id(&self, name: &str) -> Option<usize> {
+        self.relation_names.iter().position(|n| n == name)
+    }
+}
+
+/// Validates `program` and computes its strata.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Validation`] when a rule references an undeclared
+/// relation, uses a relation at the wrong arity, derives into an `.input`
+/// relation's arity inconsistently, or is unsafe (a head variable or
+/// constraint variable not bound by any body atom).
+pub fn stratify(program: &Program) -> EngineResult<StratifiedProgram> {
+    // Duplicate declarations.
+    let mut seen = HashSet::new();
+    for decl in &program.relations {
+        if !seen.insert(decl.name.clone()) {
+            return Err(EngineError::Validation {
+                message: format!("relation {} declared more than once", decl.name),
+            });
+        }
+        if decl.arity == 0 {
+            return Err(EngineError::Validation {
+                message: format!("relation {} must have at least one column", decl.name),
+            });
+        }
+    }
+    let relation_names: Vec<String> = program.relations.iter().map(|r| r.name.clone()).collect();
+    let arities: Vec<usize> = program.relations.iter().map(|r| r.arity).collect();
+    let id_of: HashMap<&str, usize> = relation_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+
+    for rule in &program.rules {
+        validate_rule(rule, &id_of, &arities)?;
+    }
+
+    // Dependency graph: edge head -> body (head depends on body relation).
+    let n = relation_names.len();
+    let mut deps: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    for rule in &program.rules {
+        let head = id_of[rule.head.relation.as_str()];
+        for atom in &rule.body {
+            deps[head].insert(id_of[atom.relation.as_str()]);
+        }
+    }
+
+    let sccs = tarjan_sccs(n, &deps);
+    // `tarjan_sccs` emits components in reverse topological order of the
+    // dependency graph (dependencies before dependents), which is exactly
+    // the evaluation order we need.
+    let mut component_of = vec![0usize; n];
+    for (ci, comp) in sccs.iter().enumerate() {
+        for &r in comp {
+            component_of[r] = ci;
+        }
+    }
+
+    let mut strata = Vec::new();
+    for (ci, comp) in sccs.iter().enumerate() {
+        let comp_set: HashSet<usize> = comp.iter().copied().collect();
+        let mut rule_indices = Vec::new();
+        let mut recursive = false;
+        for (ri, rule) in program.rules.iter().enumerate() {
+            let head = id_of[rule.head.relation.as_str()];
+            if component_of[head] != ci {
+                continue;
+            }
+            rule_indices.push(ri);
+            if rule
+                .body
+                .iter()
+                .any(|a| comp_set.contains(&id_of[a.relation.as_str()]))
+            {
+                recursive = true;
+            }
+        }
+        // A single-relation component with a self-loop is recursive even if
+        // detected above; a component with no rules (pure input relation)
+        // still becomes a (trivial) stratum so initialization is uniform.
+        strata.push(Stratum {
+            relations: comp.clone(),
+            rule_indices,
+            recursive,
+        });
+    }
+
+    Ok(StratifiedProgram {
+        relation_names,
+        arities,
+        inputs: program.relations.iter().map(|r| r.is_input).collect(),
+        outputs: program.relations.iter().map(|r| r.is_output).collect(),
+        strata,
+    })
+}
+
+fn validate_rule(
+    rule: &Rule,
+    id_of: &HashMap<&str, usize>,
+    arities: &[usize],
+) -> EngineResult<()> {
+    let check_atom = |atom: &crate::ast::Atom| -> EngineResult<()> {
+        match id_of.get(atom.relation.as_str()) {
+            None => Err(EngineError::Validation {
+                message: format!("rule `{rule}` uses undeclared relation {}", atom.relation),
+            }),
+            Some(&id) if arities[id] != atom.terms.len() => Err(EngineError::Validation {
+                message: format!(
+                    "rule `{rule}`: relation {} has arity {} but is used with {} arguments",
+                    atom.relation,
+                    arities[id],
+                    atom.terms.len()
+                ),
+            }),
+            Some(_) => Ok(()),
+        }
+    };
+    check_atom(&rule.head)?;
+    for atom in &rule.body {
+        check_atom(atom)?;
+    }
+    // Safety: every head variable and every constraint variable must appear
+    // in at least one (positive) body atom. Rules with an empty body must be
+    // ground facts.
+    let bound: HashSet<&str> = rule.body.iter().flat_map(|a| a.variables()).collect();
+    for term in &rule.head.terms {
+        if let Term::Var(v) = term {
+            if !bound.contains(v.as_str()) {
+                return Err(EngineError::Validation {
+                    message: format!("rule `{rule}` is unsafe: head variable {v} is not bound"),
+                });
+            }
+        }
+    }
+    for c in &rule.constraints {
+        for term in [&c.left, &c.right] {
+            if let Term::Var(v) = term {
+                if !bound.contains(v.as_str()) {
+                    return Err(EngineError::Validation {
+                        message: format!(
+                            "rule `{rule}` is unsafe: constraint variable {v} is not bound"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative).
+///
+/// Components are returned in reverse topological order of the condensation
+/// with respect to `deps` (where `deps[v]` lists the nodes `v` depends on):
+/// every component appears after the components it depends on.
+fn tarjan_sccs(n: usize, deps: &[HashSet<usize>]) -> Vec<Vec<usize>> {
+    #[derive(Clone)]
+    struct NodeState {
+        index: Option<usize>,
+        lowlink: usize,
+        on_stack: bool,
+    }
+    let mut state = vec![
+        NodeState {
+            index: None,
+            lowlink: 0,
+            on_stack: false,
+        };
+        n
+    ];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    let adjacency: Vec<Vec<usize>> = deps
+        .iter()
+        .map(|s| {
+            let mut v: Vec<usize> = s.iter().copied().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+
+    for start in 0..n {
+        if state[start].index.is_some() {
+            continue;
+        }
+        // Explicit DFS stack of (node, next neighbour position).
+        let mut call_stack: Vec<(usize, usize)> = vec![(start, 0)];
+        state[start].index = Some(next_index);
+        state[start].lowlink = next_index;
+        state[start].on_stack = true;
+        stack.push(start);
+        next_index += 1;
+        while let Some(&mut (v, ref mut ni)) = call_stack.last_mut() {
+            if *ni < adjacency[v].len() {
+                let w = adjacency[v][*ni];
+                *ni += 1;
+                if state[w].index.is_none() {
+                    state[w].index = Some(next_index);
+                    state[w].lowlink = next_index;
+                    state[w].on_stack = true;
+                    stack.push(w);
+                    next_index += 1;
+                    call_stack.push((w, 0));
+                } else if state[w].on_stack {
+                    state[v].lowlink = state[v].lowlink.min(state[w].index.unwrap());
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    let child_low = state[v].lowlink;
+                    state[parent].lowlink = state[parent].lowlink.min(child_low);
+                }
+                if state[v].lowlink == state[v].index.unwrap() {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        state[w].on_stack = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CmpOp, ProgramBuilder, Term};
+    use crate::parser::parse_program;
+
+    fn reach() -> Program {
+        parse_program(
+            r"
+            .decl Edge(x: number, y: number)
+            .input Edge
+            .decl Reach(x: number, y: number)
+            .output Reach
+            Reach(x, y) :- Edge(x, y).
+            Reach(x, y) :- Edge(x, z), Reach(z, y).
+        ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reach_produces_edge_stratum_then_recursive_reach_stratum() {
+        let s = stratify(&reach()).unwrap();
+        assert_eq!(s.relation_names, vec!["Edge", "Reach"]);
+        // Edge has no rules; Reach is recursive.
+        let reach_stratum = s
+            .strata
+            .iter()
+            .find(|st| st.relations.contains(&s.relation_id("Reach").unwrap()))
+            .unwrap();
+        assert!(reach_stratum.recursive);
+        assert_eq!(reach_stratum.rule_indices.len(), 2);
+        // Edge's stratum must come before Reach's.
+        let edge_pos = s
+            .strata
+            .iter()
+            .position(|st| st.relations.contains(&s.relation_id("Edge").unwrap()))
+            .unwrap();
+        let reach_pos = s
+            .strata
+            .iter()
+            .position(|st| st.relations.contains(&s.relation_id("Reach").unwrap()))
+            .unwrap();
+        assert!(edge_pos < reach_pos);
+    }
+
+    #[test]
+    fn mutually_recursive_relations_share_a_stratum() {
+        let p = parse_program(
+            r"
+            .decl E(x: number, y: number)
+            .decl A(x: number, y: number)
+            .decl B(x: number, y: number)
+            .input E
+            .output A
+            A(x, y) :- E(x, y).
+            A(x, y) :- B(x, z), E(z, y).
+            B(x, y) :- A(x, z), E(z, y).
+        ",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        let a = s.relation_id("A").unwrap();
+        let b = s.relation_id("B").unwrap();
+        let shared = s
+            .strata
+            .iter()
+            .find(|st| st.relations.contains(&a))
+            .unwrap();
+        assert!(shared.relations.contains(&b));
+        assert!(shared.recursive);
+        assert_eq!(shared.rule_indices.len(), 3);
+    }
+
+    #[test]
+    fn non_recursive_program_has_no_recursive_strata() {
+        let p = parse_program(
+            r"
+            .decl E(x: number, y: number)
+            .decl TwoHop(x: number, y: number)
+            .input E
+            .output TwoHop
+            TwoHop(x, y) :- E(x, z), E(z, y).
+        ",
+        )
+        .unwrap();
+        let s = stratify(&p).unwrap();
+        assert!(s.strata.iter().all(|st| !st.recursive));
+    }
+
+    #[test]
+    fn undeclared_relation_is_rejected() {
+        let p = ProgramBuilder::new()
+            .output_relation("R", 1)
+            .rule("R", vec![Term::var("x")])
+            .body("Missing", vec![Term::var("x")])
+            .end_rule()
+            .build();
+        assert!(matches!(
+            stratify(&p),
+            Err(EngineError::Validation { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let p = ProgramBuilder::new()
+            .input_relation("E", 2)
+            .output_relation("R", 1)
+            .rule("R", vec![Term::var("x")])
+            .body("E", vec![Term::var("x")])
+            .end_rule()
+            .build();
+        let err = stratify(&p).unwrap_err();
+        assert!(err.to_string().contains("arity"));
+    }
+
+    #[test]
+    fn unsafe_head_variable_is_rejected() {
+        let p = ProgramBuilder::new()
+            .input_relation("E", 2)
+            .output_relation("R", 2)
+            .rule("R", vec![Term::var("x"), Term::var("w")])
+            .body("E", vec![Term::var("x"), Term::var("y")])
+            .end_rule()
+            .build();
+        let err = stratify(&p).unwrap_err();
+        assert!(err.to_string().contains("unsafe"));
+    }
+
+    #[test]
+    fn unsafe_constraint_variable_is_rejected() {
+        let p = ProgramBuilder::new()
+            .input_relation("E", 2)
+            .output_relation("R", 2)
+            .rule("R", vec![Term::var("x"), Term::var("y")])
+            .body("E", vec![Term::var("x"), Term::var("y")])
+            .constraint(Term::var("z"), CmpOp::Ne, Term::var("x"))
+            .end_rule()
+            .build();
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn duplicate_declaration_is_rejected() {
+        let p = ProgramBuilder::new()
+            .input_relation("E", 2)
+            .input_relation("E", 2)
+            .build();
+        assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn tarjan_handles_chains_cycles_and_self_loops() {
+        // 0 -> 1 -> 2, 2 -> 1 (cycle {1,2}), 3 self-loop, 4 isolated.
+        let mut deps: Vec<HashSet<usize>> = vec![HashSet::new(); 5];
+        deps[0].insert(1);
+        deps[1].insert(2);
+        deps[2].insert(1);
+        deps[3].insert(3);
+        let comps = tarjan_sccs(5, &deps);
+        assert!(comps.contains(&vec![1, 2]));
+        assert!(comps.contains(&vec![0]));
+        assert!(comps.contains(&vec![3]));
+        assert!(comps.contains(&vec![4]));
+        // {1,2} must appear before {0} (0 depends on the cycle).
+        let pos_cycle = comps.iter().position(|c| c == &vec![1, 2]).unwrap();
+        let pos_zero = comps.iter().position(|c| c == &vec![0]).unwrap();
+        assert!(pos_cycle < pos_zero);
+    }
+}

@@ -1,0 +1,426 @@
+//! Abstract syntax for Datalog programs.
+//!
+//! A [`Program`] is a set of relation declarations plus Horn-clause rules.
+//! Programs can be written in Soufflé-style text and parsed with
+//! [`crate::parser::parse_program`], or assembled programmatically with
+//! [`ProgramBuilder`]; either way they are compiled by
+//! [`crate::planner`] into the relational-algebra plans the engine executes.
+
+use std::fmt;
+
+/// A term appearing in an atom or constraint: a named variable or a
+/// 32-bit constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A logic variable, e.g. `x`.
+    Var(String),
+    /// An integer constant.
+    Const(u32),
+}
+
+impl Term {
+    /// Convenience constructor for a variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// The variable name, if this term is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A predicate applied to terms, e.g. `Edge(x, y)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Argument terms; the length is the relation's arity.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Atom {
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
+    }
+
+    /// Iterates over the variable names used by this atom.
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        self.terms.iter().filter_map(Term::as_var)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Comparison operators usable in rule-body constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison on two concrete values.
+    pub fn eval(self, left: u32, right: u32) -> bool {
+        match self {
+            CmpOp::Eq => left == right,
+            CmpOp::Ne => left != right,
+            CmpOp::Lt => left < right,
+            CmpOp::Le => left <= right,
+            CmpOp::Gt => left > right,
+            CmpOp::Ge => left >= right,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A comparison constraint in a rule body, e.g. `x != y`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// Left operand.
+    pub left: Term,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: Term,
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// A Horn clause: `head :- body atoms, constraints.`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The derived atom.
+    pub head: Atom,
+    /// Positive body atoms, in source order.
+    pub body: Vec<Atom>,
+    /// Comparison constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        let mut first = true;
+        for atom in &self.body {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{atom}")?;
+            first = false;
+        }
+        for c in &self.constraints {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A relation declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationDecl {
+    /// Relation name.
+    pub name: String,
+    /// Number of columns.
+    pub arity: usize,
+    /// Whether facts are loaded from the extensional database.
+    pub is_input: bool,
+    /// Whether the relation is part of the program's output.
+    pub is_output: bool,
+}
+
+/// A complete Datalog program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Declared relations.
+    pub relations: Vec<RelationDecl>,
+    /// Rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Looks up a relation declaration by name.
+    pub fn relation(&self, name: &str) -> Option<&RelationDecl> {
+        self.relations.iter().find(|r| r.name == name)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.relations {
+            writeln!(
+                f,
+                ".decl {}({})",
+                r.name,
+                (0..r.arity)
+                    .map(|i| format!("c{i}: number"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )?;
+            if r.is_input {
+                writeln!(f, ".input {}", r.name)?;
+            }
+            if r.is_output {
+                writeln!(f, ".output {}", r.name)?;
+            }
+        }
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for assembling [`Program`]s in code.
+///
+/// # Examples
+///
+/// ```
+/// use gpulog::ast::{ProgramBuilder, Term};
+///
+/// let program = ProgramBuilder::new()
+///     .input_relation("Edge", 2)
+///     .output_relation("Reach", 2)
+///     .rule("Reach", vec![Term::var("x"), Term::var("y")])
+///     .body("Edge", vec![Term::var("x"), Term::var("y")])
+///     .end_rule()
+///     .rule("Reach", vec![Term::var("x"), Term::var("y")])
+///     .body("Edge", vec![Term::var("x"), Term::var("z")])
+///     .body("Reach", vec![Term::var("z"), Term::var("y")])
+///     .end_rule()
+///     .build();
+/// assert_eq!(program.rules.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+    current_rule: Option<Rule>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an extensional (input) relation.
+    pub fn input_relation(mut self, name: impl Into<String>, arity: usize) -> Self {
+        self.program.relations.push(RelationDecl {
+            name: name.into(),
+            arity,
+            is_input: true,
+            is_output: false,
+        });
+        self
+    }
+
+    /// Declares an intensional relation that is part of the output.
+    pub fn output_relation(mut self, name: impl Into<String>, arity: usize) -> Self {
+        self.program.relations.push(RelationDecl {
+            name: name.into(),
+            arity,
+            is_input: false,
+            is_output: true,
+        });
+        self
+    }
+
+    /// Declares an intermediate (neither input nor output) relation.
+    pub fn relation(mut self, name: impl Into<String>, arity: usize) -> Self {
+        self.program.relations.push(RelationDecl {
+            name: name.into(),
+            arity,
+            is_input: false,
+            is_output: false,
+        });
+        self
+    }
+
+    /// Starts a rule with the given head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rule is already open (finish it with
+    /// [`ProgramBuilder::end_rule`] first).
+    pub fn rule(mut self, head_relation: impl Into<String>, head_terms: Vec<Term>) -> Self {
+        assert!(self.current_rule.is_none(), "finish the previous rule first");
+        self.current_rule = Some(Rule {
+            head: Atom::new(head_relation, head_terms),
+            body: Vec::new(),
+            constraints: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds a body atom to the open rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rule is open.
+    pub fn body(mut self, relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        self.current_rule
+            .as_mut()
+            .expect("no open rule")
+            .body
+            .push(Atom::new(relation, terms));
+        self
+    }
+
+    /// Adds a comparison constraint to the open rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rule is open.
+    pub fn constraint(mut self, left: Term, op: CmpOp, right: Term) -> Self {
+        self.current_rule
+            .as_mut()
+            .expect("no open rule")
+            .constraints
+            .push(Constraint { left, op, right });
+        self
+    }
+
+    /// Closes the open rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rule is open.
+    pub fn end_rule(mut self) -> Self {
+        let rule = self.current_rule.take().expect("no open rule");
+        self.program.rules.push(rule);
+        self
+    }
+
+    /// Finishes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rule is still open.
+    pub fn build(self) -> Program {
+        assert!(self.current_rule.is_none(), "a rule is still open");
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_reach_program() {
+        let program = ProgramBuilder::new()
+            .input_relation("Edge", 2)
+            .output_relation("Reach", 2)
+            .rule("Reach", vec![Term::var("x"), Term::var("y")])
+            .body("Edge", vec![Term::var("x"), Term::var("y")])
+            .end_rule()
+            .rule("Reach", vec![Term::var("x"), Term::var("y")])
+            .body("Edge", vec![Term::var("x"), Term::var("z")])
+            .body("Reach", vec![Term::var("z"), Term::var("y")])
+            .end_rule()
+            .build();
+        assert_eq!(program.relations.len(), 2);
+        assert_eq!(program.rules.len(), 2);
+        assert!(program.relation("Edge").unwrap().is_input);
+        assert!(program.relation("Reach").unwrap().is_output);
+        assert!(program.relation("Missing").is_none());
+    }
+
+    #[test]
+    fn display_round_trip_is_parseable_shape() {
+        let program = ProgramBuilder::new()
+            .input_relation("Edge", 2)
+            .output_relation("SG", 2)
+            .rule("SG", vec![Term::var("x"), Term::var("y")])
+            .body("Edge", vec![Term::var("p"), Term::var("x")])
+            .body("Edge", vec![Term::var("p"), Term::var("y")])
+            .constraint(Term::var("x"), CmpOp::Ne, Term::var("y"))
+            .end_rule()
+            .build();
+        let text = program.to_string();
+        assert!(text.contains("SG(x, y) :- Edge(p, x), Edge(p, y), x != y."));
+        assert!(text.contains(".decl Edge"));
+    }
+
+    #[test]
+    fn cmp_op_eval_covers_all_operators() {
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(CmpOp::Ne.eval(3, 4));
+        assert!(CmpOp::Lt.eval(3, 4));
+        assert!(CmpOp::Le.eval(4, 4));
+        assert!(CmpOp::Gt.eval(5, 4));
+        assert!(CmpOp::Ge.eval(4, 4));
+        assert!(!CmpOp::Lt.eval(4, 4));
+    }
+
+    #[test]
+    fn atom_variables_skips_constants() {
+        let atom = Atom::new("R", vec![Term::var("a"), Term::Const(3), Term::var("b")]);
+        let vars: Vec<&str> = atom.variables().collect();
+        assert_eq!(vars, vec!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no open rule")]
+    fn body_without_rule_panics() {
+        let _ = ProgramBuilder::new().body("Edge", vec![]);
+    }
+}

@@ -1,0 +1,732 @@
+//! The semi-naïve fixpoint engine (paper Sections 2 and 5, Figure 3).
+//!
+//! Evaluation proceeds stratum by stratum. Within a recursive stratum the
+//! engine runs the classic semi-naïve loop: evaluate every delta-version
+//! rule plan, deduplicate the resulting `new` tuples and subtract `full`
+//! (populating the next `delta`), merge `delta` into `full`, and repeat
+//! until every delta is empty. Each phase is timed into the buckets the
+//! paper's Figure 6 reports, and memory behaviour follows the configured
+//! eager-buffer-management policy.
+
+use crate::ast::Program;
+use crate::ebm::EbmConfig;
+use crate::error::{EngineError, EngineResult};
+use crate::planner::{compile, CompiledProgram, RulePlan, VersionSel};
+use crate::ra::nway::{fused_rule_join, FusedLevel, NwayStrategy};
+use crate::ra::{difference, hash_join, project_rows};
+use crate::ra::project::{filter_rows, scan_select};
+use crate::relation::RelationStorage;
+use crate::stats::{IterationRecord, Phase, RunStats};
+use gpulog_device::Device;
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// HISA hash-table load factor (the paper runs 0.8).
+    pub load_factor: f64,
+    /// Eager buffer management policy.
+    pub ebm: EbmConfig,
+    /// n-way join strategy.
+    pub nway: NwayStrategy,
+    /// Safety limit on fixpoint iterations per stratum.
+    pub max_iterations: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            load_factor: gpulog_hisa::DEFAULT_LOAD_FACTOR,
+            ebm: EbmConfig::default(),
+            nway: NwayStrategy::TemporarilyMaterialized,
+            max_iterations: 1_000_000,
+        }
+    }
+}
+
+/// The GPUlog Datalog engine.
+///
+/// # Examples
+///
+/// ```
+/// use gpulog::{GpulogEngine, EngineConfig};
+/// use gpulog_device::{Device, profile::DeviceProfile};
+///
+/// # fn main() -> Result<(), gpulog::EngineError> {
+/// let device = Device::new(DeviceProfile::default());
+/// let source = r"
+///     .decl Edge(x: number, y: number)
+///     .input Edge
+///     .decl Reach(x: number, y: number)
+///     .output Reach
+///     Reach(x, y) :- Edge(x, y).
+///     Reach(x, y) :- Edge(x, z), Reach(z, y).
+/// ";
+/// let mut engine = GpulogEngine::from_source(&device, source, EngineConfig::default())?;
+/// engine.add_facts("Edge", [[0, 1], [1, 2], [2, 3]])?;
+/// let stats = engine.run()?;
+/// assert_eq!(engine.relation_size("Reach"), Some(6));
+/// assert!(stats.iterations >= 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GpulogEngine {
+    device: Device,
+    compiled: CompiledProgram,
+    relations: Vec<RelationStorage>,
+    pending_facts: Vec<Vec<u32>>,
+    config: EngineConfig,
+    has_run: bool,
+}
+
+impl GpulogEngine {
+    /// Builds an engine from an already-constructed [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors for ill-formed programs and device errors
+    /// if the empty relation storage cannot be allocated.
+    pub fn new(device: &Device, program: &Program, config: EngineConfig) -> EngineResult<Self> {
+        let compiled = compile(program)?;
+        Self::from_compiled(device, compiled, config)
+    }
+
+    /// Builds an engine from Soufflé-style source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors, validation errors, or device errors.
+    pub fn from_source(device: &Device, source: &str, config: EngineConfig) -> EngineResult<Self> {
+        let program = crate::parser::parse_program(source)?;
+        Self::new(device, &program, config)
+    }
+
+    /// Builds an engine from a pre-compiled program.
+    ///
+    /// # Errors
+    ///
+    /// Returns device errors if the empty relation storage cannot be
+    /// allocated.
+    pub fn from_compiled(
+        device: &Device,
+        compiled: CompiledProgram,
+        config: EngineConfig,
+    ) -> EngineResult<Self> {
+        let mut relations = Vec::with_capacity(compiled.relation_names.len());
+        for (name, &arity) in compiled
+            .relation_names
+            .iter()
+            .zip(compiled.arities.iter())
+        {
+            relations.push(RelationStorage::new(device, name, arity, config.load_factor)?);
+        }
+        let pending_facts = vec![Vec::new(); compiled.relation_names.len()];
+        Ok(GpulogEngine {
+            device: device.clone(),
+            compiled,
+            relations,
+            pending_facts,
+            config,
+            has_run: false,
+        })
+    }
+
+    /// The device this engine runs on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The compiled program (plans, strata, relation metadata).
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Adds extensional facts to an input relation. Must be called before
+    /// [`GpulogEngine::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadFacts`] for unknown relations, wrong
+    /// arities, or facts added after the engine has run.
+    pub fn add_facts<I, T>(&mut self, relation: &str, tuples: I) -> EngineResult<()>
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u32]>,
+    {
+        if self.has_run {
+            return Err(EngineError::BadFacts {
+                relation: relation.to_string(),
+                message: "facts cannot be added after the engine has run".into(),
+            });
+        }
+        let id = self.compiled.relation_id(relation).ok_or_else(|| EngineError::BadFacts {
+            relation: relation.to_string(),
+            message: "unknown relation".into(),
+        })?;
+        let arity = self.compiled.arities[id];
+        let buffer = &mut self.pending_facts[id];
+        for tuple in tuples {
+            let tuple = tuple.as_ref();
+            if tuple.len() != arity {
+                return Err(EngineError::BadFacts {
+                    relation: relation.to_string(),
+                    message: format!("expected arity {arity}, got {}", tuple.len()),
+                });
+            }
+            buffer.extend_from_slice(tuple);
+        }
+        Ok(())
+    }
+
+    /// Adds extensional facts from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadFacts`] for unknown relations or buffers
+    /// whose length is not a multiple of the arity.
+    pub fn add_facts_flat(&mut self, relation: &str, flat: &[u32]) -> EngineResult<()> {
+        let id = self.compiled.relation_id(relation).ok_or_else(|| EngineError::BadFacts {
+            relation: relation.to_string(),
+            message: "unknown relation".into(),
+        })?;
+        let arity = self.compiled.arities[id];
+        if flat.len() % arity != 0 {
+            return Err(EngineError::BadFacts {
+                relation: relation.to_string(),
+                message: format!("buffer length {} is not a multiple of arity {arity}", flat.len()),
+            });
+        }
+        if self.has_run {
+            return Err(EngineError::BadFacts {
+                relation: relation.to_string(),
+                message: "facts cannot be added after the engine has run".into(),
+            });
+        }
+        self.pending_facts[id].extend_from_slice(flat);
+        Ok(())
+    }
+
+    /// Number of tuples in a relation's full version.
+    pub fn relation_size(&self, relation: &str) -> Option<usize> {
+        self.compiled
+            .relation_id(relation)
+            .map(|id| self.relations[id].len())
+    }
+
+    /// All tuples of a relation, in declared column order.
+    pub fn relation_tuples(&self, relation: &str) -> Option<Vec<Vec<u32>>> {
+        self.compiled
+            .relation_id(relation)
+            .map(|id| self.relations[id].tuples())
+    }
+
+    /// Whether a relation contains a tuple.
+    pub fn contains(&self, relation: &str, tuple: &[u32]) -> bool {
+        self.compiled
+            .relation_id(relation)
+            .map(|id| self.relations[id].contains(tuple))
+            .unwrap_or(false)
+    }
+
+    /// Runs the program to fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns device errors (including out-of-memory, which reproduces the
+    /// paper's OOM rows) and [`EngineError::IterationLimit`] if a stratum
+    /// does not converge within the configured bound.
+    pub fn run(&mut self) -> EngineResult<RunStats> {
+        let wall_start = Instant::now();
+        let counters_before = self.device.metrics().snapshot();
+        let mut stats = RunStats::default();
+
+        // Load the extensional database (program facts + added facts).
+        let t = Instant::now();
+        let mut fact_buffers: Vec<Vec<u32>> = std::mem::take(&mut self.pending_facts);
+        for (rel, tuple) in &self.compiled.facts {
+            fact_buffers[*rel].extend_from_slice(tuple);
+        }
+        for (rel, buffer) in fact_buffers.iter().enumerate() {
+            if !buffer.is_empty() || self.compiled.inputs[rel] {
+                self.relations[rel].load_full(buffer)?;
+            }
+        }
+        self.pending_facts = vec![Vec::new(); self.relations.len()];
+        stats.add_phase(Phase::Other, t.elapsed());
+
+        let strata = self.compiled.strata.clone();
+        for (stratum_idx, stratum) in strata.iter().enumerate() {
+            // Non-recursive rules: evaluate once over full versions.
+            for plan in &stratum.non_recursive {
+                self.eval_plan(plan, &mut stats)?;
+            }
+            let (nr_new, nr_delta) = self.populate_and_merge(&stratum.relations, &mut stats)?;
+
+            if stratum.is_recursive && !stratum.recursive.is_empty() {
+                // Seed the deltas with everything currently in full.
+                let t = Instant::now();
+                let mut seeded = 0usize;
+                for &rel in &stratum.relations {
+                    let flat = self.relations[rel].full.tuples_flat().to_vec();
+                    seeded += self.relations[rel].len();
+                    self.relations[rel].set_delta(&flat)?;
+                }
+                stats.add_phase(Phase::IndexDelta, t.elapsed());
+                if seeded == 0 {
+                    // Nothing to iterate over; the stratum is already at
+                    // fixpoint.
+                    for &rel in &stratum.relations {
+                        self.relations[rel].clear_delta()?;
+                    }
+                    continue;
+                }
+                // The paper counts the initial (non-recursive) evaluation as
+                // iteration 1 (see Figure 1), so record it that way.
+                stats.iteration_records.push(IterationRecord {
+                    stratum: stratum_idx,
+                    iteration: 1,
+                    new_tuples: nr_new,
+                    delta_tuples: nr_delta.max(seeded),
+                });
+                stats.iterations += 1;
+
+                let mut iteration = 1usize;
+                loop {
+                    iteration += 1;
+                    if iteration > self.config.max_iterations {
+                        return Err(EngineError::IterationLimit {
+                            limit: self.config.max_iterations,
+                        });
+                    }
+                    for plan in &stratum.recursive {
+                        self.eval_plan(plan, &mut stats)?;
+                    }
+                    let (new_count, delta_count) =
+                        self.populate_and_merge(&stratum.relations, &mut stats)?;
+                    stats.iteration_records.push(IterationRecord {
+                        stratum: stratum_idx,
+                        iteration,
+                        new_tuples: new_count,
+                        delta_tuples: delta_count,
+                    });
+                    stats.iterations += 1;
+                    if delta_count == 0 {
+                        break;
+                    }
+                }
+                // Clear deltas so later strata see a clean state.
+                for &rel in &stratum.relations {
+                    self.relations[rel].clear_delta()?;
+                }
+            }
+        }
+
+        // Finalize statistics.
+        stats.wall_seconds = wall_start.elapsed().as_secs_f64();
+        let counters_after = self.device.metrics().snapshot();
+        stats.modeled = self
+            .device
+            .cost_model()
+            .estimate(&counters_after.since(&counters_before));
+        stats.peak_device_bytes = self.device.metrics().peak_bytes_in_use();
+        stats.allocations = counters_after.allocations - counters_before.allocations;
+        stats.pool_reuses = counters_after.pool_reuses - counters_before.pool_reuses;
+        for (rel, storage) in self.relations.iter().enumerate() {
+            stats
+                .relation_sizes
+                .insert(self.compiled.relation_names[rel].clone(), storage.len());
+        }
+        self.has_run = true;
+        Ok(stats)
+    }
+
+    /// Deduplicates each relation's `new` buffer against its full version,
+    /// installs the result as the next delta, and merges it into full.
+    /// Returns `(total raw new tuples, total delta tuples)`.
+    fn populate_and_merge(
+        &mut self,
+        relations: &[usize],
+        stats: &mut RunStats,
+    ) -> EngineResult<(usize, usize)> {
+        let mut total_new = 0usize;
+        let mut total_delta = 0usize;
+        for &rel in relations {
+            let arity = self.relations[rel].arity;
+            let new = self.relations[rel].take_new(&self.config.ebm);
+            total_new += new.len() / arity;
+
+            let t = Instant::now();
+            let delta = {
+                let full = self.relations[rel].full.canonical();
+                difference(&self.device, &new, arity, full)
+            };
+            stats.add_phase(Phase::Deduplication, t.elapsed());
+            total_delta += delta.len() / arity;
+
+            let t = Instant::now();
+            self.relations[rel].set_delta(&delta)?;
+            stats.add_phase(Phase::IndexDelta, t.elapsed());
+
+            let t = Instant::now();
+            let ebm = self.config.ebm;
+            self.relations[rel].merge_delta_into_full(&ebm)?;
+            stats.add_phase(Phase::Merge, t.elapsed());
+        }
+        Ok((total_new, total_delta))
+    }
+
+    /// Evaluates one rule plan, appending derived head tuples to the head
+    /// relation's `new` buffer.
+    fn eval_plan(&mut self, plan: &RulePlan, stats: &mut RunStats) -> EngineResult<()> {
+        if plan.trivially_empty {
+            return Ok(());
+        }
+        // Scan step.
+        let t = Instant::now();
+        let scan_rel = &self.relations[plan.scan.relation];
+        let (source, source_is_delta) = match plan.scan.version {
+            VersionSel::Full => (&scan_rel.full, false),
+            VersionSel::Delta => (&scan_rel.delta, true),
+        };
+        if source.is_empty() {
+            return Ok(());
+        }
+        let arity = scan_rel.arity;
+        let mut intermediate = scan_select(
+            &self.device,
+            source.tuples_flat(),
+            arity,
+            &plan.scan.const_filters,
+            &plan.scan.eq_filters,
+            &plan.scan.keep_cols,
+        );
+        let mut inter_arity = plan.scan.keep_cols.len();
+        let _ = source_is_delta;
+        if !plan.filters[0].is_empty() {
+            intermediate = filter_rows(&self.device, &intermediate, inter_arity, &plan.filters[0]);
+        }
+        stats.add_phase(Phase::Join, t.elapsed());
+
+        let head_tuples = match self.config.nway {
+            NwayStrategy::TemporarilyMaterialized => {
+                for (k, join) in plan.joins.iter().enumerate() {
+                    if intermediate.is_empty() {
+                        break;
+                    }
+                    // Build or fetch the inner index.
+                    let t = Instant::now();
+                    let index_phase = match join.version {
+                        VersionSel::Full => Phase::IndexFull,
+                        VersionSel::Delta => Phase::IndexDelta,
+                    };
+                    {
+                        let storage = &mut self.relations[join.relation];
+                        let version = match join.version {
+                            VersionSel::Full => &mut storage.full,
+                            VersionSel::Delta => &mut storage.delta,
+                        };
+                        version.index_on(&self.device, &join.inner_key_cols)?;
+                    }
+                    stats.add_phase(index_phase, t.elapsed());
+
+                    let t = Instant::now();
+                    let storage = &self.relations[join.relation];
+                    let version = match join.version {
+                        VersionSel::Full => &storage.full,
+                        VersionSel::Delta => &storage.delta,
+                    };
+                    let inner = version
+                        .existing_index(&join.inner_key_cols)
+                        .expect("index built above");
+                    intermediate = hash_join(
+                        &self.device,
+                        &intermediate,
+                        inter_arity,
+                        &join.outer_key_cols,
+                        inner,
+                        &join.inner_const_filters,
+                        &join.inner_eq_filters,
+                        &join.emit,
+                    );
+                    inter_arity = join.emit.len();
+                    if !plan.filters[k + 1].is_empty() {
+                        intermediate =
+                            filter_rows(&self.device, &intermediate, inter_arity, &plan.filters[k + 1]);
+                    }
+                    stats.add_phase(Phase::Join, t.elapsed());
+                }
+                if intermediate.is_empty() {
+                    return Ok(());
+                }
+                let t = Instant::now();
+                let head = project_rows(&self.device, &intermediate, inter_arity, &plan.head_proj);
+                stats.add_phase(Phase::Join, t.elapsed());
+                head
+            }
+            NwayStrategy::FusedNestedLoop => {
+                // Pre-build every level's index, then run the fused kernel.
+                let t = Instant::now();
+                for join in &plan.joins {
+                    let storage = &mut self.relations[join.relation];
+                    let version = match join.version {
+                        VersionSel::Full => &mut storage.full,
+                        VersionSel::Delta => &mut storage.delta,
+                    };
+                    version.index_on(&self.device, &join.inner_key_cols)?;
+                }
+                stats.add_phase(Phase::IndexFull, t.elapsed());
+
+                let t = Instant::now();
+                let levels: Vec<FusedLevel<'_>> = plan
+                    .joins
+                    .iter()
+                    .enumerate()
+                    .map(|(k, join)| {
+                        let storage = &self.relations[join.relation];
+                        let version = match join.version {
+                            VersionSel::Full => &storage.full,
+                            VersionSel::Delta => &storage.delta,
+                        };
+                        FusedLevel {
+                            step: join,
+                            inner: version
+                                .existing_index(&join.inner_key_cols)
+                                .expect("index built above"),
+                            filters: &plan.filters[k + 1],
+                        }
+                    })
+                    .collect();
+                let head = fused_rule_join(
+                    &self.device,
+                    &intermediate,
+                    inter_arity,
+                    &levels,
+                    &plan.head_proj,
+                );
+                stats.add_phase(Phase::Join, t.elapsed());
+                head
+            }
+        };
+
+        if !head_tuples.is_empty() {
+            self.relations[plan.head].push_new(&head_tuples);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpulog_device::profile::DeviceProfile;
+
+    fn device() -> Device {
+        Device::with_workers(DeviceProfile::nvidia_h100(), 4)
+    }
+
+    const REACH: &str = r"
+        .decl Edge(x: number, y: number)
+        .input Edge
+        .decl Reach(x: number, y: number)
+        .output Reach
+        Reach(x, y) :- Edge(x, y).
+        Reach(x, y) :- Edge(x, z), Reach(z, y).
+    ";
+
+    const SG: &str = r"
+        .decl Edge(x: number, y: number)
+        .input Edge
+        .decl SG(x: number, y: number)
+        .output SG
+        SG(x, y) :- Edge(p, x), Edge(p, y), x != y.
+        SG(x, y) :- Edge(a, x), SG(a, b), Edge(b, y), x != y.
+    ";
+
+    /// The 9-node example graph from the paper's Figure 1.
+    fn figure1_edges() -> Vec<[u32; 2]> {
+        vec![
+            [0, 1],
+            [0, 2],
+            [1, 3],
+            [1, 4],
+            [2, 4],
+            [2, 5],
+            [3, 6],
+            [4, 7],
+            [4, 8],
+            [5, 8],
+        ]
+    }
+
+    #[test]
+    fn reach_on_a_chain_computes_transitive_closure() {
+        let d = device();
+        let mut e = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
+        e.add_facts("Edge", [[0u32, 1], [1, 2], [2, 3], [3, 4]]).unwrap();
+        let stats = e.run().unwrap();
+        // Chain of 5 nodes: 4 + 3 + 2 + 1 = 10 reachable pairs.
+        assert_eq!(e.relation_size("Reach"), Some(10));
+        assert!(e.contains("Reach", &[0, 4]));
+        assert!(!e.contains("Reach", &[4, 0]));
+        assert!(stats.iterations >= 3);
+        assert!(stats.relation_sizes["Reach"] == 10);
+    }
+
+    #[test]
+    fn reach_handles_cycles_without_diverging() {
+        let d = device();
+        let mut e = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
+        e.add_facts("Edge", [[0u32, 1], [1, 2], [2, 0]]).unwrap();
+        e.run().unwrap();
+        // Every node reaches every node (including itself through the cycle).
+        assert_eq!(e.relation_size("Reach"), Some(9));
+    }
+
+    #[test]
+    fn sg_on_figure1_graph_matches_the_paper() {
+        let d = device();
+        let mut e = GpulogEngine::from_source(&d, SG, EngineConfig::default()).unwrap();
+        e.add_facts("Edge", figure1_edges()).unwrap();
+        let stats = e.run().unwrap();
+        // Figure 1's final SG (full) relation has 14 tuples.
+        assert_eq!(e.relation_size("SG"), Some(14));
+        for pair in [
+            [1u32, 2],
+            [2, 1],
+            [3, 4],
+            [3, 5],
+            [4, 3],
+            [4, 5],
+            [5, 3],
+            [5, 4],
+            [6, 7],
+            [6, 8],
+            [7, 6],
+            [7, 8],
+            [8, 6],
+            [8, 7],
+        ] {
+            assert!(e.contains("SG", &pair), "missing SG({}, {})", pair[0], pair[1]);
+        }
+        // Figure 1 shows the query converging after iteration 3 (the third
+        // iteration produces an empty delta).
+        assert_eq!(stats.iterations, 3);
+    }
+
+    #[test]
+    fn fused_and_materialized_strategies_agree() {
+        let d = device();
+        let mut mat = GpulogEngine::from_source(&d, SG, EngineConfig::default()).unwrap();
+        mat.add_facts("Edge", figure1_edges()).unwrap();
+        mat.run().unwrap();
+        let mut cfg = EngineConfig::default();
+        cfg.nway = NwayStrategy::FusedNestedLoop;
+        let mut fused = GpulogEngine::from_source(&d, SG, cfg).unwrap();
+        fused.add_facts("Edge", figure1_edges()).unwrap();
+        fused.run().unwrap();
+        let mut a = mat.relation_tuples("SG").unwrap();
+        let mut b = fused.relation_tuples("SG").unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ebm_on_and_off_produce_identical_results() {
+        let d = device();
+        let mut on = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
+        on.add_facts("Edge", figure1_edges()).unwrap();
+        on.run().unwrap();
+        let mut cfg = EngineConfig::default();
+        cfg.ebm = EbmConfig::disabled();
+        let mut off = GpulogEngine::from_source(&d, REACH, cfg).unwrap();
+        off.add_facts("Edge", figure1_edges()).unwrap();
+        off.run().unwrap();
+        assert_eq!(on.relation_size("Reach"), off.relation_size("Reach"));
+    }
+
+    #[test]
+    fn ground_facts_and_constants_evaluate() {
+        let d = device();
+        let src = r"
+            .decl E(x: number, y: number)
+            .decl R(x: number)
+            .output R
+            E(1, 2).
+            E(2, 3).
+            E(3, 3).
+            R(x) :- E(x, 3).
+        ";
+        let mut e = GpulogEngine::from_source(&d, src, EngineConfig::default()).unwrap();
+        e.run().unwrap();
+        let mut tuples = e.relation_tuples("R").unwrap();
+        tuples.sort();
+        assert_eq!(tuples, vec![vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn bad_facts_are_rejected_with_helpful_errors() {
+        let d = device();
+        let mut e = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
+        assert!(matches!(
+            e.add_facts("Nope", [[1u32, 2]]),
+            Err(EngineError::BadFacts { .. })
+        ));
+        assert!(e.add_facts("Edge", [[1u32, 2, 3]]).is_err());
+        assert!(e.add_facts_flat("Edge", &[1, 2, 3]).is_err());
+        e.add_facts_flat("Edge", &[1, 2]).unwrap();
+        e.run().unwrap();
+        assert!(e.add_facts("Edge", [[5u32, 6]]).is_err());
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output_and_converges_immediately() {
+        let d = device();
+        let mut e = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
+        let stats = e.run().unwrap();
+        assert_eq!(e.relation_size("Reach"), Some(0));
+        assert!(stats.iterations <= 1);
+    }
+
+    #[test]
+    fn oom_on_a_tiny_device_is_reported_not_panicked() {
+        let d = Device::with_workers(DeviceProfile::tiny_test_device(48 * 1024), 2);
+        let mut e = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
+        // A complete graph on 40 nodes explodes well past 48 KiB of VRAM.
+        let mut edges = Vec::new();
+        for a in 0..40u32 {
+            for b in 0..40u32 {
+                if a != b {
+                    edges.push([a, b]);
+                }
+            }
+        }
+        e.add_facts("Edge", edges).unwrap();
+        match e.run() {
+            Err(EngineError::Device(err)) => {
+                assert!(matches!(err, gpulog_device::DeviceError::OutOfMemory { .. }));
+            }
+            other => panic!("expected an out-of-memory error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_stats_capture_phases_and_memory() {
+        let d = device();
+        let mut e = GpulogEngine::from_source(&d, SG, EngineConfig::default()).unwrap();
+        e.add_facts("Edge", figure1_edges()).unwrap();
+        let stats = e.run().unwrap();
+        assert!(stats.wall_seconds > 0.0);
+        assert!(stats.modeled_seconds() > 0.0);
+        assert!(stats.peak_device_bytes > 0);
+        assert!(stats.phase(Phase::Join) > 0.0);
+        assert!(stats.phase(Phase::Merge) > 0.0);
+        assert!(stats.phase(Phase::Deduplication) > 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for the GPUlog engine.
+
+use gpulog_device::DeviceError;
+use std::fmt;
+
+/// Errors produced while parsing, planning, or evaluating a Datalog program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The Datalog source text could not be parsed.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// The program is structurally invalid (unknown relation, arity
+    /// mismatch, unsafe rule, ...).
+    Validation {
+        /// Description of the problem.
+        message: String,
+    },
+    /// Facts were supplied for a relation that does not exist or with the
+    /// wrong arity.
+    BadFacts {
+        /// Relation the facts were destined for.
+        relation: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The simulated device ran out of memory or rejected an operation.
+    Device(DeviceError),
+    /// Evaluation exceeded the configured iteration budget.
+    IterationLimit {
+        /// The configured limit that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            EngineError::Validation { message } => write!(f, "invalid program: {message}"),
+            EngineError::BadFacts { relation, message } => {
+                write!(f, "bad facts for relation {relation}: {message}")
+            }
+            EngineError::Device(err) => write!(f, "device error: {err}"),
+            EngineError::IterationLimit { limit } => {
+                write!(f, "fixpoint not reached within {limit} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Device(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for EngineError {
+    fn from(err: DeviceError) -> Self {
+        EngineError::Device(err)
+    }
+}
+
+/// Result alias used throughout the engine.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_each_variant() {
+        let parse = EngineError::Parse {
+            line: 3,
+            message: "unexpected token".into(),
+        };
+        assert!(parse.to_string().contains("line 3"));
+        let validation = EngineError::Validation {
+            message: "unknown relation Foo".into(),
+        };
+        assert!(validation.to_string().contains("Foo"));
+        let limit = EngineError::IterationLimit { limit: 10 };
+        assert!(limit.to_string().contains("10"));
+    }
+
+    #[test]
+    fn device_error_converts_and_exposes_source() {
+        let err: EngineError = DeviceError::OutOfMemory {
+            requested: 1,
+            in_use: 2,
+            capacity: 3,
+        }
+        .into();
+        assert!(matches!(err, EngineError::Device(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<EngineError>();
+    }
+}

@@ -1,0 +1,79 @@
+//! # GPUlog: a data-parallel Datalog engine over the Hash-Indexed Sorted Array
+//!
+//! This crate is the core of the reproduction of *"Optimizing Datalog for
+//! the GPU"* (ASPLOS 2025). It implements a complete Datalog engine — a
+//! Soufflé-style front end, a rule planner, and a semi-naïve fixpoint
+//! evaluator — whose relational-algebra kernels run on the simulated GPU
+//! substrate of [`gpulog_device`] and store relations in the HISA data
+//! structure of [`gpulog_hisa`].
+//!
+//! The three engine-level contributions of the paper are all here:
+//!
+//! * **HISA-backed iterated relational algebra** — joins enter the inner
+//!   relation through a hash table and scan a sorted index array
+//!   ([`ra::join`]).
+//! * **Temporarily-materialized n-way joins** — rule bodies are decomposed
+//!   into chains of binary joins materialized into temporaries; the fused
+//!   nested-loop alternative is provided for ablation ([`ra::nway`]).
+//! * **Eager buffer management** — merge buffers are retained across
+//!   iterations and over-allocated by a tunable factor ([`ebm`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gpulog::Gpulog;
+//! use gpulog_device::{Device, profile::DeviceProfile};
+//!
+//! # fn main() -> Result<(), gpulog::EngineError> {
+//! let device = Device::new(DeviceProfile::nvidia_h100());
+//! let mut reach = Gpulog::from_source(&device, r"
+//!     .decl Edge(x: number, y: number)
+//!     .input Edge
+//!     .decl Reach(x: number, y: number)
+//!     .output Reach
+//!     Reach(x, y) :- Edge(x, y).
+//!     Reach(x, y) :- Edge(x, z), Reach(z, y).
+//! ")?;
+//! reach.add_facts("Edge", [[0, 1], [1, 2], [2, 3]])?;
+//! let stats = reach.run()?;
+//! assert_eq!(reach.len("Reach"), Some(6));
+//! println!("fixpoint in {} iterations", stats.iterations);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod ast;
+pub mod ebm;
+pub mod engine;
+pub mod error;
+pub mod parser;
+pub mod planner;
+pub mod program;
+pub mod ra;
+pub mod relation;
+pub mod stats;
+
+pub use ast::{Atom, CmpOp, Constraint, Program, ProgramBuilder, RelationDecl, Rule, Term};
+pub use ebm::EbmConfig;
+pub use engine::{EngineConfig, GpulogEngine};
+pub use error::{EngineError, EngineResult};
+pub use parser::parse_program;
+pub use planner::{compile, CompiledProgram};
+pub use program::Gpulog;
+pub use ra::NwayStrategy;
+pub use stats::{IterationRecord, Phase, RunStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_api_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<GpulogEngine>();
+        assert_send::<Gpulog>();
+        assert_send::<RunStats>();
+        assert_send::<EngineConfig>();
+    }
+}

@@ -1,0 +1,639 @@
+//! A Soufflé-style text front end for Datalog programs.
+//!
+//! The accepted syntax is the subset of Soufflé that the paper's benchmark
+//! programs (REACH, SG, CSPA) use:
+//!
+//! ```text
+//! .decl Edge(x: number, y: number)
+//! .input Edge
+//! .decl Reach(x: number, y: number)
+//! .output Reach
+//! Reach(x, y) :- Edge(x, y).
+//! Reach(x, y) :- Edge(x, z), Reach(z, y).
+//! SG(x, y)    :- Edge(p, x), Edge(p, y), x != y.
+//! ```
+//!
+//! Comments start with `//` and run to the end of the line. The column
+//! types in declarations are parsed and ignored (all values are 32-bit
+//! numbers). `_` is accepted as an anonymous variable.
+
+use crate::ast::{Atom, CmpOp, Constraint, Program, RelationDecl, Rule, Term};
+use crate::error::{EngineError, EngineResult};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Number(u32),
+    Directive(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Turnstile,
+    Cmp(CmpOp),
+    Underscore,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    token: Token,
+    line: usize,
+}
+
+fn tokenize(source: &str) -> EngineResult<Vec<Spanned>> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                    }
+                } else {
+                    return Err(EngineError::Parse {
+                        line,
+                        message: "unexpected '/'".into(),
+                    });
+                }
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Spanned { token: Token::LParen, line });
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Spanned { token: Token::RParen, line });
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Spanned { token: Token::Comma, line });
+            }
+            '.' => {
+                chars.next();
+                // `.decl` / `.input` / `.output` directives vs. end-of-rule dot.
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphabetic() {
+                        word.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if word.is_empty() {
+                    tokens.push(Spanned { token: Token::Dot, line });
+                } else {
+                    tokens.push(Spanned {
+                        token: Token::Directive(word),
+                        line,
+                    });
+                }
+            }
+            ':' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    tokens.push(Spanned {
+                        token: Token::Turnstile,
+                        line,
+                    });
+                } else {
+                    // A bare ':' appears in declarations (name: type); skip it.
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Spanned {
+                        token: Token::Cmp(CmpOp::Ne),
+                        line,
+                    });
+                } else {
+                    return Err(EngineError::Parse {
+                        line,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '=' => {
+                chars.next();
+                tokens.push(Spanned {
+                    token: Token::Cmp(CmpOp::Eq),
+                    line,
+                });
+            }
+            '<' => {
+                chars.next();
+                let op = if chars.peek() == Some(&'=') {
+                    chars.next();
+                    CmpOp::Le
+                } else {
+                    CmpOp::Lt
+                };
+                tokens.push(Spanned { token: Token::Cmp(op), line });
+            }
+            '>' => {
+                chars.next();
+                let op = if chars.peek() == Some(&'=') {
+                    chars.next();
+                    CmpOp::Ge
+                } else {
+                    CmpOp::Gt
+                };
+                tokens.push(Spanned { token: Token::Cmp(op), line });
+            }
+            '_' => {
+                chars.next();
+                // Allow identifiers starting with '_' (still anonymous if lone).
+                let mut word = String::from("_");
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        word.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if word == "_" {
+                    tokens.push(Spanned {
+                        token: Token::Underscore,
+                        line,
+                    });
+                } else {
+                    tokens.push(Spanned {
+                        token: Token::Ident(word),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut value = 0u64;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        value = value * 10 + u64::from(c as u8 - b'0');
+                        if value > u64::from(u32::MAX) {
+                            return Err(EngineError::Parse {
+                                line,
+                                message: "integer literal exceeds 32 bits".into(),
+                            });
+                        }
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Spanned {
+                    token: Token::Number(value as u32),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                        // Allow dotted relation names like `def_used.for_address`.
+                        word.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                // A trailing dot belongs to the rule terminator, not the name.
+                while word.ends_with('.') {
+                    word.pop();
+                    tokens.push(Spanned {
+                        token: Token::Ident(word.clone()),
+                        line,
+                    });
+                    tokens.push(Spanned { token: Token::Dot, line });
+                    word.clear();
+                    break;
+                }
+                if !word.is_empty() {
+                    tokens.push(Spanned {
+                        token: Token::Ident(word),
+                        line,
+                    });
+                }
+            }
+            other => {
+                return Err(EngineError::Parse {
+                    line,
+                    message: format!("unexpected character '{other}'"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    anon_counter: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> EngineError {
+        EngineError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> EngineResult<()> {
+        match self.next() {
+            Some(t) if &t == expected => Ok(()),
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> EngineResult<String> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(name),
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn parse_term(&mut self) -> EngineResult<Term> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(Term::Var(name)),
+            Some(Token::Number(n)) => Ok(Term::Const(n)),
+            Some(Token::Underscore) => {
+                self.anon_counter += 1;
+                Ok(Term::Var(format!("_anon{}", self.anon_counter)))
+            }
+            other => Err(self.error(format!("expected a term, found {other:?}"))),
+        }
+    }
+
+    fn parse_atom(&mut self, name: String) -> EngineResult<Atom> {
+        self.expect(&Token::LParen, "'('")?;
+        let mut terms = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                terms.push(self.parse_term()?);
+                match self.peek() {
+                    Some(Token::Comma) => {
+                        self.next();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(&Token::RParen, "')'")?;
+        Ok(Atom::new(name, terms))
+    }
+
+    fn parse_decl(&mut self, program: &mut Program) -> EngineResult<()> {
+        let name = self.expect_ident("relation name")?;
+        self.expect(&Token::LParen, "'('")?;
+        let mut arity = 0;
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                // column name, optional ": type" (the ':' is dropped by the lexer).
+                let _col = self.expect_ident("column name")?;
+                if let Some(Token::Ident(_ty)) = self.peek() {
+                    self.next();
+                }
+                arity += 1;
+                match self.peek() {
+                    Some(Token::Comma) => {
+                        self.next();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(&Token::RParen, "')'")?;
+        program.relations.push(RelationDecl {
+            name,
+            arity,
+            is_input: false,
+            is_output: false,
+        });
+        Ok(())
+    }
+
+    fn parse_rule_or_fact(&mut self, head_name: String, program: &mut Program) -> EngineResult<()> {
+        let head = self.parse_atom(head_name)?;
+        match self.next() {
+            Some(Token::Dot) => {
+                // A ground fact written inline: treat it as a rule with an
+                // empty body only if all terms are constants.
+                if head.terms.iter().all(|t| matches!(t, Term::Const(_))) {
+                    program.rules.push(Rule {
+                        head,
+                        body: Vec::new(),
+                        constraints: Vec::new(),
+                    });
+                    Ok(())
+                } else {
+                    Err(self.error("a fact must use constant arguments"))
+                }
+            }
+            Some(Token::Turnstile) => {
+                let mut body = Vec::new();
+                let mut constraints = Vec::new();
+                loop {
+                    match self.next() {
+                        Some(Token::Ident(name)) => {
+                            if self.peek() == Some(&Token::LParen) {
+                                body.push(self.parse_atom(name)?);
+                            } else {
+                                // Constraint with a variable left operand.
+                                let op = match self.next() {
+                                    Some(Token::Cmp(op)) => op,
+                                    other => {
+                                        return Err(self.error(format!(
+                                            "expected comparison operator, found {other:?}"
+                                        )))
+                                    }
+                                };
+                                let right = self.parse_term()?;
+                                constraints.push(Constraint {
+                                    left: Term::Var(name),
+                                    op,
+                                    right,
+                                });
+                            }
+                        }
+                        Some(Token::Number(n)) => {
+                            let op = match self.next() {
+                                Some(Token::Cmp(op)) => op,
+                                other => {
+                                    return Err(self.error(format!(
+                                        "expected comparison operator, found {other:?}"
+                                    )))
+                                }
+                            };
+                            let right = self.parse_term()?;
+                            constraints.push(Constraint {
+                                left: Term::Const(n),
+                                op,
+                                right,
+                            });
+                        }
+                        other => {
+                            return Err(self.error(format!(
+                                "expected a body atom or constraint, found {other:?}"
+                            )))
+                        }
+                    }
+                    match self.next() {
+                        Some(Token::Comma) => continue,
+                        Some(Token::Dot) => break,
+                        other => {
+                            return Err(self
+                                .error(format!("expected ',' or '.', found {other:?}")))
+                        }
+                    }
+                }
+                program.rules.push(Rule {
+                    head,
+                    body,
+                    constraints,
+                });
+                Ok(())
+            }
+            other => Err(self.error(format!("expected ':-' or '.', found {other:?}"))),
+        }
+    }
+}
+
+/// Parses a Datalog program from Soufflé-style source text.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Parse`] describing the first syntax error, with
+/// its line number.
+pub fn parse_program(source: &str) -> EngineResult<Program> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        anon_counter: 0,
+    };
+    let mut program = Program::default();
+    while let Some(token) = parser.peek().cloned() {
+        match token {
+            Token::Directive(word) => {
+                parser.next();
+                match word.as_str() {
+                    "decl" => parser.parse_decl(&mut program)?,
+                    "input" => {
+                        let name = parser.expect_ident("relation name")?;
+                        mark_relation(&mut program, &name, true, false, parser.line())?;
+                    }
+                    "output" => {
+                        let name = parser.expect_ident("relation name")?;
+                        mark_relation(&mut program, &name, false, true, parser.line())?;
+                    }
+                    other => {
+                        return Err(EngineError::Parse {
+                            line: parser.line(),
+                            message: format!("unknown directive .{other}"),
+                        })
+                    }
+                }
+            }
+            Token::Ident(name) => {
+                parser.next();
+                parser.parse_rule_or_fact(name, &mut program)?;
+            }
+            other => {
+                return Err(EngineError::Parse {
+                    line: parser.line(),
+                    message: format!("unexpected token {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(program)
+}
+
+fn mark_relation(
+    program: &mut Program,
+    name: &str,
+    input: bool,
+    output: bool,
+    line: usize,
+) -> EngineResult<()> {
+    match program.relations.iter_mut().find(|r| r.name == name) {
+        Some(decl) => {
+            decl.is_input |= input;
+            decl.is_output |= output;
+            Ok(())
+        }
+        None => Err(EngineError::Parse {
+            line,
+            message: format!(".input/.output for undeclared relation {name}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REACH: &str = r"
+        .decl Edge(x: number, y: number)
+        .input Edge
+        .decl Reach(x: number, y: number)
+        .output Reach
+        Reach(x, y) :- Edge(x, y).
+        Reach(x, y) :- Edge(x, z), Reach(z, y).
+    ";
+
+    #[test]
+    fn parses_reach_program() {
+        let p = parse_program(REACH).unwrap();
+        assert_eq!(p.relations.len(), 2);
+        assert_eq!(p.rules.len(), 2);
+        assert!(p.relation("Edge").unwrap().is_input);
+        assert!(p.relation("Reach").unwrap().is_output);
+        assert_eq!(p.rules[1].body.len(), 2);
+        assert_eq!(p.rules[1].body[1].relation, "Reach");
+    }
+
+    #[test]
+    fn parses_constraints_and_wildcards() {
+        let src = r"
+            .decl Edge(x: number, y: number)
+            .decl SG(x: number, y: number)
+            .input Edge
+            .output SG
+            SG(x, y) :- Edge(p, x), Edge(p, y), x != y.
+            SG(x, y) :- Edge(a, x), SG(a, b), Edge(b, y), x != y.
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.rules[0].constraints.len(), 1);
+        assert_eq!(p.rules[0].constraints[0].op, CmpOp::Ne);
+        assert_eq!(p.rules[1].body.len(), 3);
+    }
+
+    #[test]
+    fn parses_wildcard_as_fresh_variables() {
+        let src = r"
+            .decl A(x: number, y: number, z: number)
+            .decl B(x: number)
+            .input A
+            .output B
+            B(x) :- A(x, _, _).
+        ";
+        let p = parse_program(src).unwrap();
+        let vars: Vec<String> = p.rules[0].body[0]
+            .variables()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(vars.len(), 3);
+        assert_ne!(vars[1], vars[2], "wildcards must be distinct variables");
+    }
+
+    #[test]
+    fn parses_constants_and_ground_facts() {
+        let src = r"
+            .decl E(x: number, y: number)
+            .decl R(x: number)
+            .output R
+            E(1, 2).
+            E(2, 3).
+            R(x) :- E(x, 3).
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert!(p.rules[0].body.is_empty());
+        assert_eq!(p.rules[2].body[0].terms[1], Term::Const(3));
+    }
+
+    #[test]
+    fn parses_comments_and_comparison_operators() {
+        let src = r"
+            // the extensional graph
+            .decl E(x: number, y: number)
+            .decl Small(x: number, y: number)
+            .input E
+            .output Small
+            Small(x, y) :- E(x, y), x < y, y <= 100, x >= 1, 0 < x.
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules[0].constraints.len(), 4);
+    }
+
+    #[test]
+    fn reports_unknown_directive_with_line() {
+        let err = parse_program(".bogus Edge").unwrap_err();
+        match err {
+            EngineError::Parse { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("bogus"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_input_for_undeclared_relation() {
+        let err = parse_program(".input Edge").unwrap_err();
+        assert!(matches!(err, EngineError::Parse { .. }));
+    }
+
+    #[test]
+    fn reports_missing_rule_terminator() {
+        let src = ".decl E(x: number)\nE(1)";
+        // `E(1)` without '.' is a truncated fact.
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn parses_dotted_relation_names() {
+        let src = r"
+            .decl def_used.for_address(ea: number, reg: number, n: number)
+            .decl out(ea: number)
+            .input def_used.for_address
+            .output out
+            out(ea) :- def_used.for_address(ea, _, _).
+        ";
+        let p = parse_program(src).unwrap();
+        assert!(p.relation("def_used.for_address").is_some());
+        assert_eq!(p.rules[0].body[0].relation, "def_used.for_address");
+    }
+
+    #[test]
+    fn non_ground_fact_is_rejected() {
+        let src = ".decl E(x: number, y: number)\nE(x, 2).";
+        assert!(parse_program(src).is_err());
+    }
+}

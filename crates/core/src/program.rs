@@ -1,0 +1,165 @@
+//! A small convenience facade over the engine for the common
+//! "parse, load facts, run, read results" workflow used by the examples.
+
+use crate::ast::Program;
+use crate::engine::{EngineConfig, GpulogEngine};
+use crate::error::EngineResult;
+use crate::stats::RunStats;
+use gpulog_device::Device;
+
+/// A loaded Datalog program bound to a device, ready to accept facts and run.
+///
+/// [`Gpulog`] is a thin wrapper over [`GpulogEngine`] that applies the
+/// default configuration; drop down to the engine when you need to control
+/// eager buffer management, the join strategy, or the hash-table load
+/// factor.
+///
+/// # Examples
+///
+/// ```
+/// use gpulog::Gpulog;
+/// use gpulog_device::{Device, profile::DeviceProfile};
+///
+/// # fn main() -> Result<(), gpulog::EngineError> {
+/// let device = Device::new(DeviceProfile::default());
+/// let mut datalog = Gpulog::from_source(
+///     &device,
+///     r"
+///     .decl Edge(x: number, y: number)
+///     .input Edge
+///     .decl Reach(x: number, y: number)
+///     .output Reach
+///     Reach(x, y) :- Edge(x, y).
+///     Reach(x, y) :- Edge(x, z), Reach(z, y).
+/// ",
+/// )?;
+/// datalog.add_facts("Edge", [[0, 1], [1, 2]])?;
+/// datalog.run()?;
+/// assert!(datalog.contains("Reach", &[0, 2]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Gpulog {
+    engine: GpulogEngine,
+}
+
+impl Gpulog {
+    /// Parses Soufflé-style source and binds it to `device` with the default
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse, validation, or device errors.
+    pub fn from_source(device: &Device, source: &str) -> EngineResult<Self> {
+        Ok(Gpulog {
+            engine: GpulogEngine::from_source(device, source, EngineConfig::default())?,
+        })
+    }
+
+    /// Binds an already-built [`Program`] to `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation or device errors.
+    pub fn from_program(device: &Device, program: &Program) -> EngineResult<Self> {
+        Ok(Gpulog {
+            engine: GpulogEngine::new(device, program, EngineConfig::default())?,
+        })
+    }
+
+    /// Adds extensional facts (see [`GpulogEngine::add_facts`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::EngineError::BadFacts`] for unknown relations or
+    /// arity mismatches.
+    pub fn add_facts<I, T>(&mut self, relation: &str, tuples: I) -> EngineResult<()>
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u32]>,
+    {
+        self.engine.add_facts(relation, tuples)
+    }
+
+    /// Runs the program to fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns device errors or an iteration-limit error.
+    pub fn run(&mut self) -> EngineResult<RunStats> {
+        self.engine.run()
+    }
+
+    /// Number of tuples in a relation.
+    pub fn len(&self, relation: &str) -> Option<usize> {
+        self.engine.relation_size(relation)
+    }
+
+    /// All tuples of a relation in declared column order.
+    pub fn tuples(&self, relation: &str) -> Option<Vec<Vec<u32>>> {
+        self.engine.relation_tuples(relation)
+    }
+
+    /// Whether a relation contains a tuple.
+    pub fn contains(&self, relation: &str, tuple: &[u32]) -> bool {
+        self.engine.contains(relation, tuple)
+    }
+
+    /// Access to the underlying engine.
+    pub fn engine(&self) -> &GpulogEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine.
+    pub fn engine_mut(&mut self) -> &mut GpulogEngine {
+        &mut self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpulog_device::profile::DeviceProfile;
+
+    #[test]
+    fn facade_round_trip() {
+        let device = Device::with_workers(DeviceProfile::default(), 4);
+        let mut dl = Gpulog::from_source(
+            &device,
+            r"
+            .decl Edge(x: number, y: number)
+            .input Edge
+            .decl Reach(x: number, y: number)
+            .output Reach
+            Reach(x, y) :- Edge(x, y).
+            Reach(x, y) :- Edge(x, z), Reach(z, y).
+        ",
+        )
+        .unwrap();
+        dl.add_facts("Edge", [[0u32, 1], [1, 2], [2, 3]]).unwrap();
+        let stats = dl.run().unwrap();
+        assert_eq!(dl.len("Reach"), Some(6));
+        assert!(dl.contains("Reach", &[0, 3]));
+        assert_eq!(dl.tuples("Reach").unwrap().len(), 6);
+        assert!(stats.iterations > 0);
+        assert!(dl.engine().relation_size("Edge").is_some());
+    }
+
+    #[test]
+    fn from_program_uses_the_builder_path() {
+        use crate::ast::{ProgramBuilder, Term};
+        let device = Device::with_workers(DeviceProfile::default(), 2);
+        let program = ProgramBuilder::new()
+            .input_relation("E", 2)
+            .output_relation("Sym", 2)
+            .rule("Sym", vec![Term::var("y"), Term::var("x")])
+            .body("E", vec![Term::var("x"), Term::var("y")])
+            .end_rule()
+            .build();
+        let mut dl = Gpulog::from_program(&device, &program).unwrap();
+        dl.add_facts("E", [[1u32, 2]]).unwrap();
+        dl.run().unwrap();
+        assert!(dl.contains("Sym", &[2, 1]));
+    }
+}

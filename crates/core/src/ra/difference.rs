@@ -1,0 +1,130 @@
+//! Deduplication and set difference — the "Populating Delta" phase.
+//!
+//! GPUlog keeps delta population as a distinct phase (paper Section 5.1):
+//! the freshly derived `new` tuples are deduplicated and then the tuples
+//! already present in `full` are removed, yielding the next iteration's
+//! delta. Keeping this separate from the merge avoids rescanning the
+//! (large) full relation, which is the fused strategy GPUJoin uses.
+
+use gpulog_device::thrust::scan::exclusive_scan_offsets;
+use gpulog_device::thrust::sort::lexicographic_sort_indices;
+use gpulog_device::thrust::transform::adjacent_unique_flags;
+use gpulog_device::Device;
+use gpulog_hisa::Hisa;
+
+/// Sorts and deduplicates a row-major tuple buffer, returning the distinct
+/// rows in lexicographic order.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `arity`.
+pub fn deduplicate_rows(device: &Device, data: &[u32], arity: usize) -> Vec<u32> {
+    assert!(arity > 0, "arity must be positive");
+    assert_eq!(data.len() % arity, 0, "ragged row buffer");
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let order: Vec<usize> = (0..arity).collect();
+    let sorted = lexicographic_sort_indices(device, data, arity, &order);
+    let flags = adjacent_unique_flags(device, data, arity, &sorted);
+    let value_counts: Vec<usize> = flags.iter().map(|&f| usize::from(f) * arity).collect();
+    let offsets = exclusive_scan_offsets(device, &value_counts);
+    let total = *offsets.last().unwrap_or(&0);
+    let mut out = vec![0u32; total];
+    device
+        .executor()
+        .scatter_by_offsets(&mut out, &offsets, |p, slots| {
+            if slots.is_empty() {
+                return;
+            }
+            let row = sorted[p] as usize;
+            slots.copy_from_slice(&data[row * arity..(row + 1) * arity]);
+        });
+    device.metrics().add_bytes_written((total * 4) as u64);
+    out
+}
+
+/// Computes `deduplicate(data) \ existing`: the distinct rows of `data` that
+/// are not already present in the `existing` relation. This is exactly the
+/// delta-population step of semi-naïve evaluation.
+///
+/// `existing` may be indexed on any key; membership is tested with a range
+/// query followed by a full-tuple comparison.
+///
+/// # Panics
+///
+/// Panics if arities disagree.
+pub fn difference(device: &Device, data: &[u32], arity: usize, existing: &Hisa) -> Vec<u32> {
+    assert_eq!(existing.arity(), arity, "arity mismatch in set difference");
+    let candidates = deduplicate_rows(device, data, arity);
+    if candidates.is_empty() {
+        return candidates;
+    }
+    let rows = candidates.len() / arity;
+    device.metrics().add_kernel_launch();
+    device
+        .metrics()
+        .add_bytes_read((candidates.len() * 4) as u64);
+    let keep: Vec<usize> = device.executor().map_collect(rows, |r| {
+        let row = &candidates[r * arity..(r + 1) * arity];
+        usize::from(!existing.contains(row))
+    });
+    let value_counts: Vec<usize> = keep.iter().map(|&k| k * arity).collect();
+    let offsets = exclusive_scan_offsets(device, &value_counts);
+    let total = *offsets.last().unwrap_or(&0);
+    let mut out = vec![0u32; total];
+    device
+        .executor()
+        .scatter_by_offsets(&mut out, &offsets, |r, slots| {
+            if !slots.is_empty() {
+                slots.copy_from_slice(&candidates[r * arity..(r + 1) * arity]);
+            }
+        });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpulog_device::profile::DeviceProfile;
+    use gpulog_hisa::IndexSpec;
+
+    fn device() -> Device {
+        Device::with_workers(DeviceProfile::nvidia_h100(), 4)
+    }
+
+    #[test]
+    fn deduplicate_removes_duplicates_and_sorts() {
+        let d = device();
+        let data = [3u32, 4, 1, 2, 3, 4, 1, 2, 1, 2];
+        assert_eq!(deduplicate_rows(&d, &data, 2), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deduplicate_of_empty_is_empty() {
+        assert!(deduplicate_rows(&device(), &[], 2).is_empty());
+    }
+
+    #[test]
+    fn difference_removes_existing_tuples() {
+        let d = device();
+        let full = Hisa::build(&d, IndexSpec::new(2, vec![0]), &[1, 2, 3, 4]).unwrap();
+        let new = [1u32, 2, 5, 6, 3, 4, 5, 6, 7, 8];
+        let delta = difference(&d, &new, 2, &full);
+        assert_eq!(delta, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn difference_with_nothing_new_is_empty() {
+        let d = device();
+        let full = Hisa::build(&d, IndexSpec::new(2, vec![0]), &[1, 2]).unwrap();
+        assert!(difference(&d, &[1, 2, 1, 2], 2, &full).is_empty());
+    }
+
+    #[test]
+    fn difference_against_empty_relation_keeps_everything_deduplicated() {
+        let d = device();
+        let full = Hisa::build(&d, IndexSpec::new(2, vec![0]), &[]).unwrap();
+        assert_eq!(difference(&d, &[9, 9, 9, 9, 1, 1], 2, &full), vec![1, 1, 9, 9]);
+    }
+}

@@ -1,0 +1,265 @@
+//! The binary hash-join kernel (paper Algorithm 3 and Figure 4).
+//!
+//! The outer relation is a dense row-major buffer iterated in parallel; each
+//! simulated thread hashes its outer tuple's key columns, enters the inner
+//! HISA through its hash table, and linearly scans the sorted index array
+//! for matching tuples. Output is materialized with the standard GPU
+//! two-pass scheme: a counting pass, an exclusive scan to compute offsets,
+//! and a writing pass into a single dense output buffer.
+
+use crate::planner::EmitSource;
+use gpulog_device::thrust::scan::exclusive_scan_offsets;
+use gpulog_device::Device;
+use gpulog_hisa::Hisa;
+
+/// Computes the join of a dense outer buffer with an indexed inner HISA.
+///
+/// * `outer` is row-major with `outer_arity` columns.
+/// * `outer_key_cols` selects the outer columns forming the join key; it is
+///   matched positionally against the inner HISA's key columns, so the HISA
+///   must have been built with an [`gpulog_hisa::IndexSpec`] whose key has
+///   the same length (an empty key degenerates to a cross product).
+/// * `inner_const_filters` / `inner_eq_filters` express constant arguments
+///   and repeated variables of the inner atom, in the inner relation's
+///   *original* column order.
+/// * `emit` describes each output column as either an outer column or an
+///   inner (original-order) column.
+///
+/// Returns the output buffer, row-major with `emit.len()` columns.
+///
+/// # Panics
+///
+/// Panics if the key arities of `outer_key_cols` and the inner HISA differ,
+/// or if any referenced column is out of range.
+pub fn hash_join(
+    device: &Device,
+    outer: &[u32],
+    outer_arity: usize,
+    outer_key_cols: &[usize],
+    inner: &Hisa,
+    inner_const_filters: &[(usize, u32)],
+    inner_eq_filters: &[(usize, usize)],
+    emit: &[EmitSource],
+) -> Vec<u32> {
+    assert!(
+        outer_key_cols.is_empty() || outer_key_cols.len() == inner.spec().key_arity(),
+        "outer and inner join-key arities must match"
+    );
+    if outer_arity > 0 {
+        assert_eq!(outer.len() % outer_arity, 0, "ragged outer buffer");
+    }
+    let outer_rows = if outer_arity == 0 {
+        0
+    } else {
+        outer.len() / outer_arity
+    };
+    let emit_arity = emit.len();
+    let inner_arity = inner.arity();
+
+    // Original column -> position within the HISA's reordered row.
+    let mut orig_to_reordered = vec![0usize; inner_arity];
+    for (pos, &orig) in inner.spec().permutation().iter().enumerate() {
+        orig_to_reordered[orig] = pos;
+    }
+
+    let passes_inner_filters = |row: &[u32]| -> bool {
+        inner_const_filters
+            .iter()
+            .all(|&(col, val)| row[orig_to_reordered[col]] == val)
+            && inner_eq_filters
+                .iter()
+                .all(|&(a, b)| row[orig_to_reordered[a]] == row[orig_to_reordered[b]])
+    };
+
+    let matches_of = |outer_row: &[u32]| -> Vec<u32> {
+        if outer_key_cols.is_empty() {
+            // Cross product: every inner row is a candidate.
+            (0..inner.len() as u32).collect()
+        } else {
+            let key: Vec<u32> = outer_key_cols.iter().map(|&c| outer_row[c]).collect();
+            inner.range_query(&key).collect()
+        }
+    };
+
+    // Pass 1: count matches per outer tuple.
+    let metrics = device.metrics();
+    metrics.add_kernel_launch();
+    metrics.add_bytes_read((outer.len() * 4) as u64);
+    let mut counts = vec![0usize; outer_rows];
+    device.executor().fill(&mut counts, |i| {
+        let outer_row = &outer[i * outer_arity..(i + 1) * outer_arity];
+        matches_of(outer_row)
+            .into_iter()
+            .filter(|&r| passes_inner_filters(inner.row_reordered(r as usize)))
+            .count()
+    });
+
+    // Exclusive scan over per-row output value counts (rows * emit arity).
+    let value_counts: Vec<usize> = counts.iter().map(|c| c * emit_arity).collect();
+    let offsets = exclusive_scan_offsets(device, &value_counts);
+    let total_values = *offsets.last().unwrap_or(&0);
+
+    // Pass 2: materialize.
+    metrics.add_kernel_launch();
+    metrics.add_bytes_read((outer.len() * 4) as u64);
+    metrics.add_bytes_written((total_values * 4) as u64);
+    metrics.add_ops(total_values as u64);
+    let mut output = vec![0u32; total_values];
+    device
+        .executor()
+        .scatter_by_offsets(&mut output, &offsets, |i, out_slice| {
+            let outer_row = &outer[i * outer_arity..(i + 1) * outer_arity];
+            let mut cursor = 0usize;
+            for inner_row_id in matches_of(outer_row) {
+                let inner_row = inner.row_reordered(inner_row_id as usize);
+                if !passes_inner_filters(inner_row) {
+                    continue;
+                }
+                for src in emit {
+                    out_slice[cursor] = match *src {
+                        EmitSource::Outer(col) => outer_row[col],
+                        EmitSource::Inner(col) => inner_row[orig_to_reordered[col]],
+                    };
+                    cursor += 1;
+                }
+            }
+            debug_assert_eq!(cursor, out_slice.len());
+        });
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpulog_device::profile::DeviceProfile;
+    use gpulog_hisa::IndexSpec;
+
+    fn device() -> Device {
+        Device::with_workers(DeviceProfile::nvidia_h100(), 4)
+    }
+
+    fn rows(buffer: &[u32], arity: usize) -> Vec<Vec<u32>> {
+        let mut out: Vec<Vec<u32>> = buffer.chunks_exact(arity).map(|c| c.to_vec()).collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn figure4_style_join_on_two_columns() {
+        // Foobar(c, d) :- Foo(a, b, c), Bar(a, b, d): join on (a, b).
+        let d = device();
+        let foo = [2u32, 3, 5, 1, 2, 1, 5, 2, 4, 2, 3, 2, 1, 2, 5, 5, 2, 6];
+        let bar_tuples = [1u32, 2, 2, 1, 2, 5, 2, 3, 1, 5, 2, 0, 5, 2, 9];
+        let bar = Hisa::build(&d, IndexSpec::new(3, vec![0, 1]), &bar_tuples).unwrap();
+        let emit = [EmitSource::Outer(2), EmitSource::Inner(2)];
+        let out = hash_join(&d, &foo, 3, &[0, 1], &bar, &[], &[], &emit);
+        let got = rows(&out, 2);
+        // Foo(2,3,5) x Bar(2,3,1) -> (5,1); Foo(2,3,2) x Bar(2,3,1) -> (2,1)
+        // Foo(1,2,1) x Bar(1,2,2) -> (1,2); x Bar(1,2,5) -> (1,5)
+        // Foo(1,2,5) x Bar(1,2,2) -> (5,2); x Bar(1,2,5) -> (5,5)
+        // Foo(5,2,4) x Bar(5,2,0) -> (4,0); x Bar(5,2,9) -> (4,9)
+        // Foo(5,2,6) x Bar(5,2,0) -> (6,0); x Bar(5,2,9) -> (6,9)
+        let mut expected = vec![
+            vec![5, 1],
+            vec![2, 1],
+            vec![1, 2],
+            vec![1, 5],
+            vec![5, 2],
+            vec![5, 5],
+            vec![4, 0],
+            vec![4, 9],
+            vec![6, 0],
+            vec![6, 9],
+        ];
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn join_matches_nested_loop_reference_on_random_data() {
+        let d = device();
+        let n_outer = 300usize;
+        let n_inner = 200usize;
+        let outer: Vec<u32> = (0..n_outer * 2)
+            .map(|i| (i as u32).wrapping_mul(2654435761) % 17)
+            .collect();
+        let inner_tuples: Vec<u32> = (0..n_inner * 2)
+            .map(|i| (i as u32).wrapping_mul(40503) % 17)
+            .collect();
+        let inner = Hisa::build(&d, IndexSpec::new(2, vec![0]), &inner_tuples).unwrap();
+        let emit = [
+            EmitSource::Outer(0),
+            EmitSource::Outer(1),
+            EmitSource::Inner(1),
+        ];
+        let got = rows(&hash_join(&d, &outer, 2, &[1], &inner, &[], &[], &emit), 3);
+        // Reference: dedup inner first (HISA deduplicates), then nested loop.
+        let mut inner_set: Vec<Vec<u32>> = inner_tuples.chunks_exact(2).map(|c| c.to_vec()).collect();
+        inner_set.sort();
+        inner_set.dedup();
+        let mut expected = Vec::new();
+        for o in outer.chunks_exact(2) {
+            for i in &inner_set {
+                if o[1] == i[0] {
+                    expected.push(vec![o[0], o[1], i[1]]);
+                }
+            }
+        }
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn inner_filters_restrict_matches() {
+        let d = device();
+        let outer = [1u32, 1, 2, 2];
+        let inner_tuples = [1u32, 5, 5, 1, 7, 7, 2, 9, 9, 2, 3, 9];
+        let inner = Hisa::build(&d, IndexSpec::new(3, vec![0]), &inner_tuples).unwrap();
+        let emit = [EmitSource::Outer(0), EmitSource::Inner(1), EmitSource::Inner(2)];
+        // Require inner col1 == inner col2 (repeated variable).
+        let eq = [(1usize, 2usize)];
+        let got = rows(&hash_join(&d, &outer, 2, &[0], &inner, &[], &eq, &emit), 3);
+        assert_eq!(got, vec![vec![1, 5, 5], vec![1, 7, 7], vec![2, 9, 9]]);
+        // Require inner col2 == 9 (constant argument).
+        let cf = [(2usize, 9u32)];
+        let got = rows(&hash_join(&d, &outer, 2, &[0], &inner, &cf, &[], &emit), 3);
+        assert_eq!(got, vec![vec![2, 3, 9], vec![2, 9, 9]]);
+    }
+
+    #[test]
+    fn empty_key_degenerates_to_cross_product() {
+        let d = device();
+        let outer = [1u32, 2];
+        let inner_tuples = [10u32, 20, 30];
+        let inner = Hisa::build(&d, IndexSpec::full_key(1), &inner_tuples).unwrap();
+        let emit = [EmitSource::Outer(0), EmitSource::Inner(0)];
+        let got = rows(&hash_join(&d, &outer, 1, &[], &inner, &[], &[], &emit), 2);
+        assert_eq!(
+            got,
+            vec![vec![1, 10], vec![1, 20], vec![1, 30], vec![2, 10], vec![2, 20], vec![2, 30]]
+        );
+    }
+
+    #[test]
+    fn join_with_empty_outer_or_inner_is_empty() {
+        let d = device();
+        let inner = Hisa::build(&d, IndexSpec::new(2, vec![0]), &[1, 2]).unwrap();
+        let emit = [EmitSource::Outer(0), EmitSource::Inner(1)];
+        assert!(hash_join(&d, &[], 2, &[0], &inner, &[], &[], &emit).is_empty());
+        let empty_inner = Hisa::build(&d, IndexSpec::new(2, vec![0]), &[]).unwrap();
+        assert!(hash_join(&d, &[5, 5], 2, &[0], &empty_inner, &[], &[], &emit).is_empty());
+    }
+
+    #[test]
+    fn join_keyed_on_non_leading_inner_column() {
+        let d = device();
+        // Inner Edge(from, to) indexed on `to`; join outer value against `to`
+        // and emit `from`.
+        let outer = [7u32];
+        let inner_tuples = [1u32, 7, 2, 7, 3, 8];
+        let inner = Hisa::build(&d, IndexSpec::new(2, vec![1]), &inner_tuples).unwrap();
+        let emit = [EmitSource::Inner(0), EmitSource::Outer(0)];
+        let got = rows(&hash_join(&d, &outer, 1, &[0], &inner, &[], &[], &emit), 2);
+        assert_eq!(got, vec![vec![1, 7], vec![2, 7]]);
+    }
+}

@@ -1,0 +1,17 @@
+//! Relational-algebra kernels over HISA relations.
+//!
+//! These are the compute kernels of the paper's Figure 3 pipeline: hash
+//! joins driven by HISA range queries ([`join`]), projections and filters
+//! ([`project`]), deduplication and set difference for delta population
+//! ([`mod@difference`]), and the fused n-way join used as the ablation
+//! baseline for temporarily-materialized joins ([`nway`]).
+
+pub mod difference;
+pub mod join;
+pub mod nway;
+pub mod project;
+
+pub use difference::{deduplicate_rows, difference};
+pub use join::hash_join;
+pub use nway::{fused_rule_join, NwayStrategy};
+pub use project::{filter_rows, project_rows};

@@ -1,0 +1,385 @@
+//! Runtime storage for one relation: the full / delta / new triple of
+//! semi-naïve evaluation (paper Section 2 and Figure 3), each version backed
+//! by HISA indices built on demand for the join keys the plans require.
+
+use crate::ebm::EbmConfig;
+use crate::error::EngineResult;
+use gpulog_device::Device;
+use gpulog_hisa::{Hisa, IndexSpec};
+use std::collections::HashMap;
+
+/// One version (full or delta) of a relation, with its indices.
+#[derive(Debug)]
+pub struct RelationVersion {
+    arity: usize,
+    /// Canonical index over all columns in original order. Because the full
+    /// key's permutation is the identity, its data array holds tuples in the
+    /// relation's declared column order, which makes it the authoritative
+    /// tuple store for this version.
+    canonical: Hisa,
+    /// Secondary indices keyed by specific column sets, built lazily.
+    by_key: HashMap<Vec<usize>, Hisa>,
+    load_factor: f64,
+}
+
+impl RelationVersion {
+    fn empty(device: &Device, arity: usize, load_factor: f64) -> EngineResult<Self> {
+        Ok(RelationVersion {
+            arity,
+            canonical: Hisa::build_with_load_factor(
+                device,
+                IndexSpec::full_key(arity),
+                &[],
+                load_factor,
+            )?,
+            by_key: HashMap::new(),
+            load_factor,
+        })
+    }
+
+    fn from_tuples(
+        device: &Device,
+        arity: usize,
+        tuples: &[u32],
+        load_factor: f64,
+    ) -> EngineResult<Self> {
+        Ok(RelationVersion {
+            arity,
+            canonical: Hisa::build_with_load_factor(
+                device,
+                IndexSpec::full_key(arity),
+                tuples,
+                load_factor,
+            )?,
+            by_key: HashMap::new(),
+            load_factor,
+        })
+    }
+
+    /// Number of tuples in this version.
+    pub fn len(&self) -> usize {
+        self.canonical.len()
+    }
+
+    /// Whether the version holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.canonical.is_empty()
+    }
+
+    /// The canonical (all-columns) index.
+    pub fn canonical(&self) -> &Hisa {
+        &self.canonical
+    }
+
+    /// Dense row-major tuples in declared column order.
+    pub fn tuples_flat(&self) -> &[u32] {
+        self.canonical.data()
+    }
+
+    /// Returns the HISA indexed on `key_cols`, building it if necessary.
+    /// An empty key set returns the canonical index (used by cross products).
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if building the index exhausts device memory.
+    pub fn index_on(&mut self, device: &Device, key_cols: &[usize]) -> EngineResult<&Hisa> {
+        if key_cols.is_empty() || key_cols.len() == self.arity {
+            // The canonical index covers full-key lookups and plain scans.
+            if key_cols.is_empty() || key_cols == (0..self.arity).collect::<Vec<_>>() {
+                return Ok(&self.canonical);
+            }
+        }
+        if !self.by_key.contains_key(key_cols) {
+            let spec = IndexSpec::new(self.arity, key_cols.to_vec());
+            let hisa = Hisa::build_with_load_factor(
+                device,
+                spec,
+                self.canonical.data(),
+                self.load_factor,
+            )?;
+            self.by_key.insert(key_cols.to_vec(), hisa);
+        }
+        Ok(&self.by_key[key_cols])
+    }
+
+    /// Returns an already-built index on `key_cols` without building one.
+    /// An empty or identity key returns the canonical index.
+    pub fn existing_index(&self, key_cols: &[usize]) -> Option<&Hisa> {
+        if key_cols.is_empty() || key_cols == (0..self.arity).collect::<Vec<_>>() {
+            return Some(&self.canonical);
+        }
+        self.by_key.get(key_cols)
+    }
+
+    /// Device bytes attributable to this version (canonical plus secondary
+    /// indices).
+    pub fn device_bytes(&self) -> usize {
+        self.canonical.device_bytes() + self.by_key.values().map(Hisa::device_bytes).sum::<usize>()
+    }
+
+    /// Drops all secondary indices (they will be rebuilt lazily).
+    pub fn clear_secondary_indices(&mut self) {
+        self.by_key.clear();
+    }
+}
+
+/// Storage for one relation across the semi-naïve loop.
+#[derive(Debug)]
+pub struct RelationStorage {
+    /// Relation name (for reporting).
+    pub name: String,
+    /// Number of columns.
+    pub arity: usize,
+    /// The accumulated `full` version.
+    pub full: RelationVersion,
+    /// The previous iteration's `delta` version.
+    pub delta: RelationVersion,
+    /// Raw tuples derived in the current iteration (`new`), accumulated
+    /// across rule plans before deduplication.
+    pub new_tuples: Vec<u32>,
+    device: Device,
+    load_factor: f64,
+}
+
+impl RelationStorage {
+    /// Creates empty storage for a relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if even the empty indices cannot be allocated.
+    pub fn new(device: &Device, name: &str, arity: usize, load_factor: f64) -> EngineResult<Self> {
+        Ok(RelationStorage {
+            name: name.to_string(),
+            arity,
+            full: RelationVersion::empty(device, arity, load_factor)?,
+            delta: RelationVersion::empty(device, arity, load_factor)?,
+            new_tuples: Vec::new(),
+            device: device.clone(),
+            load_factor,
+        })
+    }
+
+    /// Number of tuples in the full relation.
+    pub fn len(&self) -> usize {
+        self.full.len()
+    }
+
+    /// Whether the full relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.full.is_empty()
+    }
+
+    /// All tuples of the full relation, one `Vec` per tuple, in declared
+    /// column order.
+    pub fn tuples(&self) -> Vec<Vec<u32>> {
+        self.full
+            .tuples_flat()
+            .chunks_exact(self.arity)
+            .map(|c| c.to_vec())
+            .collect()
+    }
+
+    /// Whether the full relation contains `tuple`.
+    pub fn contains(&self, tuple: &[u32]) -> bool {
+        self.full.canonical().contains(tuple)
+    }
+
+    /// Appends raw derived tuples to the `new` buffer.
+    pub fn push_new(&mut self, tuples: &[u32]) {
+        debug_assert_eq!(tuples.len() % self.arity, 0, "ragged new-tuple buffer");
+        self.new_tuples.extend_from_slice(tuples);
+    }
+
+    /// Replaces the full relation's contents with `tuples` (used when
+    /// loading extensional facts).
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the relation does not fit.
+    pub fn load_full(&mut self, tuples: &[u32]) -> EngineResult<()> {
+        self.full = RelationVersion::from_tuples(&self.device, self.arity, tuples, self.load_factor)?;
+        Ok(())
+    }
+
+    /// Replaces the delta version with the given (already deduplicated and
+    /// full-disjoint) tuples.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the delta does not fit.
+    pub fn set_delta(&mut self, tuples: &[u32]) -> EngineResult<()> {
+        self.delta = RelationVersion::from_tuples(&self.device, self.arity, tuples, self.load_factor)?;
+        Ok(())
+    }
+
+    /// Resets delta to empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the empty index cannot be allocated.
+    pub fn clear_delta(&mut self) -> EngineResult<()> {
+        self.delta = RelationVersion::empty(&self.device, self.arity, self.load_factor)?;
+        Ok(())
+    }
+
+    /// Merges the current delta into full, honouring the eager-buffer-
+    /// management policy: with EBM on, the canonical full buffer reserves
+    /// `k x |delta|` rows of slack before the merge; with EBM off, slack is
+    /// trimmed after every merge (exact-size allocation behaviour).
+    ///
+    /// Secondary full indices are merged in place with the same delta so the
+    /// next iteration's joins see a consistent full relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the merged relation does not fit.
+    pub fn merge_delta_into_full(&mut self, ebm: &EbmConfig) -> EngineResult<()> {
+        let delta_rows = self.delta.len();
+        if delta_rows == 0 {
+            return Ok(());
+        }
+        let reserve = ebm.reserve_rows(delta_rows);
+        if reserve > 0 {
+            self.full.canonical.reserve_additional_rows(reserve)?;
+        }
+        self.full.canonical.merge_from(self.delta.canonical())?;
+        // Keep secondary indices consistent: merge the delta (re-indexed on
+        // each secondary key) into every existing secondary index.
+        let keys: Vec<Vec<usize>> = self.full.by_key.keys().cloned().collect();
+        for key in keys {
+            let delta_indexed = Hisa::build_with_load_factor(
+                &self.device,
+                IndexSpec::new(self.arity, key.clone()),
+                self.delta.tuples_flat(),
+                self.load_factor,
+            )?;
+            let target = self.full.by_key.get_mut(&key).expect("index exists");
+            if reserve > 0 {
+                target.reserve_additional_rows(reserve)?;
+            }
+            target.merge_from(&delta_indexed)?;
+        }
+        if !ebm.enabled {
+            self.full.canonical.shrink_to_fit();
+            for idx in self.full.by_key.values_mut() {
+                idx.shrink_to_fit();
+            }
+        }
+        Ok(())
+    }
+
+    /// Takes (and clears) the accumulated new-tuple buffer. With EBM
+    /// disabled the buffer's capacity is also released, modelling the
+    /// allocate/free-every-iteration discipline.
+    pub fn take_new(&mut self, ebm: &EbmConfig) -> Vec<u32> {
+        if ebm.enabled {
+            let mut out = Vec::with_capacity(self.new_tuples.len());
+            std::mem::swap(&mut out, &mut self.new_tuples);
+            out
+        } else {
+            std::mem::take(&mut self.new_tuples)
+        }
+    }
+
+    /// Device bytes attributable to this relation (full + delta versions).
+    pub fn device_bytes(&self) -> usize {
+        self.full.device_bytes() + self.delta.device_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpulog_device::profile::DeviceProfile;
+    use gpulog_hisa::DEFAULT_LOAD_FACTOR;
+
+    fn device() -> Device {
+        Device::with_workers(DeviceProfile::nvidia_h100(), 4)
+    }
+
+    fn storage(d: &Device) -> RelationStorage {
+        RelationStorage::new(d, "Edge", 2, DEFAULT_LOAD_FACTOR).unwrap()
+    }
+
+    #[test]
+    fn load_full_and_query() {
+        let d = device();
+        let mut s = storage(&d);
+        s.load_full(&[1, 2, 3, 4, 1, 2]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&[3, 4]));
+        assert!(!s.contains(&[4, 3]));
+        assert_eq!(s.tuples().len(), 2);
+    }
+
+    #[test]
+    fn index_on_builds_and_caches_secondary_indices() {
+        let d = device();
+        let mut s = storage(&d);
+        s.load_full(&[1, 2, 3, 2, 5, 6]).unwrap();
+        let hits = s.full.index_on(&d, &[1]).unwrap().range_query(&[2]).count();
+        assert_eq!(hits, 2);
+        // Second call hits the cache (no new index).
+        let bytes_before = s.full.device_bytes();
+        let _ = s.full.index_on(&d, &[1]).unwrap();
+        assert_eq!(s.full.device_bytes(), bytes_before);
+        // Canonical key returns the canonical index without building.
+        let _ = s.full.index_on(&d, &[0, 1]).unwrap();
+        assert_eq!(s.full.device_bytes(), bytes_before);
+    }
+
+    #[test]
+    fn merge_moves_delta_into_full_and_keeps_indices_consistent() {
+        let d = device();
+        let mut s = storage(&d);
+        s.load_full(&[1, 2]).unwrap();
+        // Materialize a secondary index before merging.
+        assert_eq!(s.full.index_on(&d, &[1]).unwrap().range_query(&[2]).count(), 1);
+        s.set_delta(&[3, 2, 4, 5]).unwrap();
+        s.merge_delta_into_full(&EbmConfig::default()).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(&[3, 2]));
+        // The secondary index must see the merged tuples too.
+        assert_eq!(s.full.index_on(&d, &[1]).unwrap().range_query(&[2]).count(), 2);
+    }
+
+    #[test]
+    fn merge_with_ebm_disabled_trims_capacity() {
+        let d = device();
+        let mut s = storage(&d);
+        s.load_full(&[1, 2]).unwrap();
+        s.set_delta(&[3, 4]).unwrap();
+        s.merge_delta_into_full(&EbmConfig::disabled()).unwrap();
+        assert_eq!(s.len(), 2);
+        let d2 = device();
+        let mut s2 = storage(&d2);
+        s2.load_full(&[1, 2]).unwrap();
+        s2.set_delta(&[3, 4]).unwrap();
+        s2.merge_delta_into_full(&EbmConfig::with_growth_factor(16.0))
+            .unwrap();
+        assert_eq!(s2.len(), 2);
+        // The EBM run holds at least as much device memory as the trimmed run.
+        assert!(d2.tracker().in_use() >= d.tracker().in_use());
+    }
+
+    #[test]
+    fn push_and_take_new_round_trips() {
+        let d = device();
+        let mut s = storage(&d);
+        s.push_new(&[1, 2]);
+        s.push_new(&[3, 4]);
+        let taken = s.take_new(&EbmConfig::default());
+        assert_eq!(taken, vec![1, 2, 3, 4]);
+        assert!(s.take_new(&EbmConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn clear_delta_empties_the_delta_version() {
+        let d = device();
+        let mut s = storage(&d);
+        s.set_delta(&[1, 2]).unwrap();
+        assert_eq!(s.delta.len(), 1);
+        s.clear_delta().unwrap();
+        assert!(s.delta.is_empty());
+    }
+}

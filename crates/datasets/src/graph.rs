@@ -1,0 +1,152 @@
+//! Edge-list graphs: the input format of the REACH and SG experiments.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// A directed graph stored as an edge list over dense `u32` node ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeList {
+    /// Descriptive name (dataset name for reporting).
+    pub name: String,
+    /// Directed edges `(from, to)`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl EdgeList {
+    /// Creates a named edge list.
+    pub fn new(name: impl Into<String>, edges: Vec<(u32, u32)>) -> Self {
+        EdgeList {
+            name: name.into(),
+            edges,
+        }
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Number of distinct nodes mentioned by any edge.
+    pub fn node_count(&self) -> usize {
+        let mut nodes = HashSet::new();
+        for &(a, b) in &self.edges {
+            nodes.insert(a);
+            nodes.insert(b);
+        }
+        nodes.len()
+    }
+
+    /// Largest node id plus one (0 for an empty graph).
+    pub fn id_bound(&self) -> u32 {
+        self.edges
+            .iter()
+            .map(|&(a, b)| a.max(b) + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Removes duplicate edges and self-loops, preserving first occurrence
+    /// order.
+    pub fn dedup(&mut self) {
+        let mut seen = HashSet::with_capacity(self.edges.len());
+        self.edges.retain(|&(a, b)| a != b && seen.insert((a, b)));
+    }
+
+    /// The edges as a flat row-major `u32` buffer, ready for
+    /// `GpulogEngine::add_facts_flat`.
+    pub fn to_flat(&self) -> Vec<u32> {
+        let mut flat = Vec::with_capacity(self.edges.len() * 2);
+        for &(a, b) in &self.edges {
+            flat.push(a);
+            flat.push(b);
+        }
+        flat
+    }
+
+    /// Serializes to a whitespace-separated edge-list text (SNAP format).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for &(a, b) in &self.edges {
+            let _ = writeln!(out, "{a}\t{b}");
+        }
+        out
+    }
+
+    /// Parses a whitespace-separated edge list (SNAP format). Lines starting
+    /// with `#` or `%` are comments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn from_text(name: impl Into<String>, text: &str) -> Result<Self, String> {
+        let mut edges = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let parse = |s: Option<&str>| -> Result<u32, String> {
+                s.ok_or_else(|| format!("line {}: missing field", lineno + 1))?
+                    .parse::<u32>()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))
+            };
+            let a = parse(parts.next())?;
+            let b = parse(parts.next())?;
+            edges.push((a, b));
+        }
+        Ok(EdgeList::new(name, edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let g = EdgeList::new("g", vec![(0, 1), (1, 2), (5, 1)]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.id_bound(), 6);
+        assert_eq!(g.to_flat(), vec![0, 1, 1, 2, 5, 1]);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_and_self_loops() {
+        let mut g = EdgeList::new("g", vec![(1, 2), (2, 2), (1, 2), (3, 1)]);
+        g.dedup();
+        assert_eq!(g.edges, vec![(1, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let g = EdgeList::new("g", vec![(7, 8), (9, 10)]);
+        let text = g.to_text();
+        let parsed = EdgeList::from_text("g", &text).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn from_text_skips_comments_and_reports_errors() {
+        let parsed = EdgeList::from_text("g", "# comment\n1 2\n% other\n3\t4\n").unwrap();
+        assert_eq!(parsed.edges, vec![(1, 2), (3, 4)]);
+        assert!(EdgeList::from_text("g", "1 banana").is_err());
+        assert!(EdgeList::from_text("g", "1").is_err());
+    }
+
+    #[test]
+    fn empty_graph_behaves() {
+        let g = EdgeList::default();
+        assert!(g.is_empty());
+        assert_eq!(g.id_bound(), 0);
+        assert_eq!(g.node_count(), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # `gpulog-datasets`: workloads for the GPUlog evaluation
+//!
+//! The paper evaluates on SNAP / SuiteSparse / road-network graphs and on
+//! Graspan-extracted CSPA inputs; none of those are redistributable here, so
+//! this crate generates synthetic stand-ins per topology class (see
+//! DESIGN.md for the substitution argument) plus the named, scaled dataset
+//! registry the benchmark harness uses to label its tables with the paper's
+//! dataset names.
+//!
+//! ```
+//! use gpulog_datasets::{PaperDataset, generators};
+//!
+//! let dblp_like = PaperDataset::ComDblp.generate(0.25);
+//! assert!(dblp_like.len() > 100);
+//! let tree = generators::binary_tree(5);
+//! assert_eq!(tree.node_count(), 31);
+//! ```
+
+pub mod cspa;
+pub mod generators;
+pub mod graph;
+pub mod named;
+
+pub use cspa::{CspaInput, CspaShape};
+pub use graph::EdgeList;
+pub use named::{example_graph, PaperDataset};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_example_runs() {
+        let g = PaperDataset::ComDblp.generate(0.25);
+        assert!(g.len() > 100);
+    }
+
+    #[test]
+    fn cspa_presets_are_exported() {
+        let input = cspa::httpd_like(1.0 / 1000.0);
+        assert!(input.assign_len() > 0);
+    }
+}

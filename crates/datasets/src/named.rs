@@ -1,0 +1,179 @@
+//! Named, scaled stand-ins for the datasets the paper evaluates on.
+//!
+//! Each [`PaperDataset`] names one of the graphs in Tables 1–3 and maps it
+//! to the synthetic generator whose topology class it belongs to. The
+//! `scale` argument multiplies the default (laptop-sized) node counts, so
+//! the harness can sweep sizes without changing dataset identity. The
+//! generated graphs are *not* the originals — see DESIGN.md for the
+//! substitution rationale — but they preserve the iteration-count and
+//! fan-out behaviour that differentiates the datasets in the paper.
+
+use crate::generators::{layered_dag, mesh_graph, power_law_graph, random_graph, road_network};
+use crate::graph::EdgeList;
+use serde::{Deserialize, Serialize};
+
+/// The graphs named in the paper's Tables 1, 2, and 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaperDataset {
+    /// `usroads` — US road network (Table 1): extreme iteration counts,
+    /// every iteration tiny.
+    UsRoads,
+    /// `vsp_finan` — financial optimization mesh (Tables 1–2): long tail.
+    VspFinan,
+    /// `fe_ocean` — finite-element ocean mesh (Tables 1–2).
+    FeOcean,
+    /// `com-dblp` — DBLP collaboration network (Tables 1–2): few, fat
+    /// iterations.
+    ComDblp,
+    /// `Gnutella31` — P2P overlay snapshot (Tables 1–2).
+    Gnutella31,
+    /// `fe_body` — finite-element body mesh (Tables 2–3).
+    FeBody,
+    /// `SF.cedge` — San Francisco road segments (Tables 2–3).
+    SfCedge,
+    /// `loc-Brightkite` — location-based social network (Table 3).
+    LocBrightkite,
+    /// `fe_sphere` — finite-element sphere mesh (Table 3).
+    FeSphere,
+    /// `CA-HepTH` — arXiv collaboration network (Table 3).
+    CaHepTh,
+    /// `ego-Facebook` — Facebook ego networks (Table 3).
+    EgoFacebook,
+}
+
+impl PaperDataset {
+    /// The paper's name for this dataset.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            PaperDataset::UsRoads => "usroads",
+            PaperDataset::VspFinan => "vsp_finan",
+            PaperDataset::FeOcean => "fe_ocean",
+            PaperDataset::ComDblp => "com-dblp",
+            PaperDataset::Gnutella31 => "Gnutella31",
+            PaperDataset::FeBody => "fe_body",
+            PaperDataset::SfCedge => "SF.cedge",
+            PaperDataset::LocBrightkite => "loc-Brightkite",
+            PaperDataset::FeSphere => "fe_sphere",
+            PaperDataset::CaHepTh => "CA-HepTH",
+            PaperDataset::EgoFacebook => "ego-Facebook",
+        }
+    }
+
+    /// The datasets of Table 1 (eager buffer management), in table order.
+    pub fn table1() -> Vec<PaperDataset> {
+        vec![
+            PaperDataset::UsRoads,
+            PaperDataset::VspFinan,
+            PaperDataset::FeOcean,
+            PaperDataset::ComDblp,
+            PaperDataset::Gnutella31,
+        ]
+    }
+
+    /// The datasets of Table 2 (REACH comparison), in table order.
+    pub fn table2() -> Vec<PaperDataset> {
+        vec![
+            PaperDataset::ComDblp,
+            PaperDataset::FeOcean,
+            PaperDataset::VspFinan,
+            PaperDataset::Gnutella31,
+            PaperDataset::FeBody,
+            PaperDataset::SfCedge,
+        ]
+    }
+
+    /// The datasets of Table 3 (SG comparison), in table order.
+    pub fn table3() -> Vec<PaperDataset> {
+        vec![
+            PaperDataset::FeBody,
+            PaperDataset::LocBrightkite,
+            PaperDataset::FeSphere,
+            PaperDataset::SfCedge,
+            PaperDataset::CaHepTh,
+            PaperDataset::EgoFacebook,
+        ]
+    }
+
+    /// Generates the scaled stand-in graph. `scale = 1.0` is the default
+    /// laptop-sized instantiation; larger scales grow node counts linearly.
+    pub fn generate(&self, scale: f64) -> EdgeList {
+        let s = |n: u32| ((n as f64 * scale).round() as u32).max(8);
+        // Two-dimensional generators (meshes, layered DAGs) scale each side
+        // by sqrt(scale) so the edge count — the quantity the paper's tables
+        // are organized around — grows linearly with `scale`.
+        let s2 = |n: u32| ((n as f64 * scale.sqrt()).round() as u32).max(4);
+        let mut g = match self {
+            // Road networks: long chains, shortcut every few nodes.
+            PaperDataset::UsRoads => road_network(s(700), 9, 11),
+            PaperDataset::SfCedge => road_network(s(450), 7, 12),
+            // Finite-element meshes.
+            PaperDataset::VspFinan => mesh_graph(s2(42), s2(42), 13),
+            PaperDataset::FeOcean => mesh_graph(s2(36), s2(36), 14),
+            PaperDataset::FeBody => mesh_graph(s2(26), s2(26), 15),
+            PaperDataset::FeSphere => mesh_graph(s2(30), s2(30), 16),
+            // Social / collaboration networks.
+            PaperDataset::ComDblp => power_law_graph(s(1600), 4, 17),
+            PaperDataset::LocBrightkite => power_law_graph(s(900), 3, 18),
+            PaperDataset::CaHepTh => power_law_graph(s(700), 3, 19),
+            PaperDataset::EgoFacebook => power_law_graph(s(350), 4, 20),
+            // P2P overlay.
+            PaperDataset::Gnutella31 => layered_dag(s2(24), s2(60), 2, 21),
+        };
+        g.name = format!("{} (synthetic, scale {scale})", self.paper_name());
+        g
+    }
+}
+
+/// A small random graph for smoke tests and examples.
+pub fn example_graph() -> EdgeList {
+    random_graph(64, 256, 0xE0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_table_dataset_generates_a_non_trivial_graph() {
+        for ds in PaperDataset::table1()
+            .into_iter()
+            .chain(PaperDataset::table2())
+            .chain(PaperDataset::table3())
+        {
+            let g = ds.generate(0.25);
+            assert!(g.len() > 20, "{} too small", ds.paper_name());
+            assert!(g.name.contains(ds.paper_name()));
+        }
+    }
+
+    #[test]
+    fn scale_grows_the_graph() {
+        let small = PaperDataset::FeBody.generate(0.5);
+        let large = PaperDataset::FeBody.generate(1.5);
+        assert!(large.len() > small.len() * 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(
+            PaperDataset::ComDblp.generate(0.3),
+            PaperDataset::ComDblp.generate(0.3)
+        );
+    }
+
+    #[test]
+    fn road_datasets_are_roads_and_social_datasets_are_skewed() {
+        let road = PaperDataset::UsRoads.generate(0.5);
+        // Road stand-ins are near-linear: edges ~ 2x nodes.
+        let ratio = road.len() as f64 / road.node_count() as f64;
+        assert!(ratio < 3.0, "road edge/node ratio {ratio}");
+        let social = PaperDataset::ComDblp.generate(0.5);
+        let ratio = social.len() as f64 / social.node_count() as f64;
+        assert!(ratio > 3.0, "social edge/node ratio {ratio}");
+    }
+
+    #[test]
+    fn example_graph_is_small() {
+        assert!(example_graph().node_count() <= 64);
+    }
+}

@@ -1,0 +1,114 @@
+//! Atomic helpers mirroring the CUDA intrinsics HISA construction relies on.
+//!
+//! The paper's hash-table construction (Algorithm 2) uses `atomicCAS` both
+//! to claim hash slots and to keep the *smallest* sorted-index position per
+//! key. These helpers wrap the equivalent `std::sync::atomic` loops so the
+//! data-structure code reads like the paper's pseudo-code.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Sentinel marking an empty hash-table key slot.
+pub const EMPTY_KEY: u64 = u64::MAX;
+/// Sentinel marking an unwritten hash-table value slot.
+pub const EMPTY_VALUE: u32 = u32::MAX;
+
+/// Attempts to claim `slot` for `key`.
+///
+/// Returns `Ok(())` when the slot already held `key` or was empty and is now
+/// claimed; returns `Err(existing)` when the slot is owned by a different
+/// key (the caller should continue linear probing).
+pub fn claim_key_slot(slot: &AtomicU64, key: u64) -> Result<(), u64> {
+    match slot.compare_exchange(EMPTY_KEY, key, Ordering::AcqRel, Ordering::Acquire) {
+        Ok(_) => Ok(()),
+        Err(existing) if existing == key => Ok(()),
+        Err(existing) => Err(existing),
+    }
+}
+
+/// Atomically lowers `slot` to `value` if `value` is smaller than the value
+/// currently stored (CUDA's `atomicMin` on a 32-bit cell). Returns the value
+/// observed before the update.
+pub fn atomic_min_u32(slot: &AtomicU32, value: u32) -> u32 {
+    let mut current = slot.load(Ordering::Acquire);
+    while value < current {
+        match slot.compare_exchange_weak(current, value, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(prev) => return prev,
+            Err(observed) => current = observed,
+        }
+    }
+    current
+}
+
+/// Atomically raises `slot` to `value` if `value` is larger than the value
+/// currently stored. Returns the value observed before the update.
+pub fn atomic_max_u32(slot: &AtomicU32, value: u32) -> u32 {
+    let mut current = slot.load(Ordering::Acquire);
+    while value > current {
+        match slot.compare_exchange_weak(current, value, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(prev) => return prev,
+            Err(observed) => current = observed,
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn claim_empty_slot_succeeds() {
+        let slot = AtomicU64::new(EMPTY_KEY);
+        assert!(claim_key_slot(&slot, 42).is_ok());
+        assert_eq!(slot.load(Ordering::Relaxed), 42);
+    }
+
+    #[test]
+    fn claim_same_key_twice_succeeds() {
+        let slot = AtomicU64::new(EMPTY_KEY);
+        claim_key_slot(&slot, 7).unwrap();
+        assert!(claim_key_slot(&slot, 7).is_ok());
+    }
+
+    #[test]
+    fn claim_conflicting_key_reports_owner() {
+        let slot = AtomicU64::new(EMPTY_KEY);
+        claim_key_slot(&slot, 7).unwrap();
+        assert_eq!(claim_key_slot(&slot, 9), Err(7));
+    }
+
+    #[test]
+    fn atomic_min_keeps_smallest() {
+        let slot = AtomicU32::new(EMPTY_VALUE);
+        atomic_min_u32(&slot, 10);
+        atomic_min_u32(&slot, 25);
+        atomic_min_u32(&slot, 3);
+        assert_eq!(slot.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn atomic_max_keeps_largest() {
+        let slot = AtomicU32::new(0);
+        atomic_max_u32(&slot, 10);
+        atomic_max_u32(&slot, 4);
+        assert_eq!(slot.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn atomic_min_under_contention_finds_global_minimum() {
+        let slot = AtomicU32::new(EMPTY_VALUE);
+        crossbeam::thread::scope(|s| {
+            for t in 0..8u32 {
+                let slot = &slot;
+                s.spawn(move |_| {
+                    for i in 0..1000u32 {
+                        atomic_min_u32(slot, t * 1000 + i + 1);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(slot.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Dense device buffers with tracked allocation.
+//!
+//! A [`DeviceBuffer`] is the simulated analog of a `cudaMalloc`'d region:
+//! a densely packed, contiguously stored array whose allocation and release
+//! are charged against the device's memory capacity. The engine's relation
+//! data arrays, sorted index arrays, and join outputs all live in these
+//! buffers, so the peak-usage numbers the harness reports (Table 1, OOM
+//! behaviour of Tables 2-3) follow directly from buffer lifetimes.
+
+use crate::device::Device;
+use crate::error::DeviceResult;
+
+/// Marker trait for element types that may live in device buffers.
+///
+/// Every `Copy + Send + Sync + 'static` type qualifies; the alias exists so
+/// signatures read in device vocabulary.
+pub trait DeviceValue: Copy + Send + Sync + 'static {}
+impl<T: Copy + Send + Sync + 'static> DeviceValue for T {}
+
+/// A dense, allocation-tracked array on the simulated device.
+///
+/// # Examples
+///
+/// ```
+/// use gpulog_device::{Device, profile::DeviceProfile};
+///
+/// # fn main() -> Result<(), gpulog_device::DeviceError> {
+/// let device = Device::new(DeviceProfile::default());
+/// let buf = device.buffer_from_slice(&[1u32, 2, 3])?;
+/// assert_eq!(buf.as_slice(), &[1, 2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DeviceBuffer<T: DeviceValue> {
+    data: Vec<T>,
+    device: Device,
+    accounted_bytes: usize,
+}
+
+impl<T: DeviceValue> DeviceBuffer<T> {
+    pub(crate) fn from_vec(device: Device, data: Vec<T>) -> DeviceResult<Self> {
+        let bytes = data.capacity() * std::mem::size_of::<T>();
+        device.tracker().allocate(bytes, false)?;
+        Ok(DeviceBuffer {
+            data,
+            device,
+            accounted_bytes: bytes,
+        })
+    }
+
+    pub(crate) fn from_recycled_vec(device: Device, data: Vec<T>) -> DeviceResult<Self> {
+        let bytes = data.capacity() * std::mem::size_of::<T>();
+        device.tracker().allocate(bytes, true)?;
+        Ok(DeviceBuffer {
+            data,
+            device,
+            accounted_bytes: bytes,
+        })
+    }
+
+    /// Number of elements stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of elements the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Bytes charged against the device for this buffer.
+    pub fn accounted_bytes(&self) -> usize {
+        self.accounted_bytes
+    }
+
+    /// Read-only view of the contents.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the contents.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Copies the contents back to the host.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.data.clone()
+    }
+
+    /// The device this buffer lives on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Grows the buffer's reserved capacity to at least `capacity` elements,
+    /// charging the increase against the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DeviceError::OutOfMemory`] if the extra capacity does
+    /// not fit on the device; the buffer is left unchanged in that case.
+    pub fn reserve_total(&mut self, capacity: usize) -> DeviceResult<()> {
+        if capacity <= self.data.capacity() {
+            return Ok(());
+        }
+        let new_bytes = capacity * std::mem::size_of::<T>();
+        let extra = new_bytes - self.accounted_bytes;
+        self.device.tracker().allocate(extra, false)?;
+        self.data.reserve_exact(capacity - self.data.len());
+        // `reserve_exact` may round up; account what was actually obtained.
+        let actual_bytes = self.data.capacity() * std::mem::size_of::<T>();
+        if actual_bytes > new_bytes {
+            if self
+                .device
+                .tracker()
+                .allocate(actual_bytes - new_bytes, false)
+                .is_err()
+            {
+                // Rounding pushed us over capacity; treat the rounded-up
+                // remainder as unaccounted slack rather than failing the
+                // whole reservation.
+                self.accounted_bytes = new_bytes;
+                return Ok(());
+            }
+            self.accounted_bytes = actual_bytes;
+        } else {
+            self.accounted_bytes = new_bytes;
+        }
+        Ok(())
+    }
+
+    /// Appends `items`, growing (and accounting) capacity as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DeviceError::OutOfMemory`] if growth exceeds device
+    /// capacity.
+    pub fn extend_from_slice(&mut self, items: &[T]) -> DeviceResult<()> {
+        let needed = self.data.len() + items.len();
+        if needed > self.data.capacity() {
+            // Grow geometrically like the real allocator would, so repeated
+            // appends stay amortized.
+            let target = needed.max(self.data.capacity() * 2);
+            self.reserve_total(target)?;
+        }
+        self.data.extend_from_slice(items);
+        self.device
+            .metrics()
+            .add_bytes_written((items.len() * std::mem::size_of::<T>()) as u64);
+        Ok(())
+    }
+
+    /// Shortens the buffer to `len` elements (capacity is retained).
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Removes all elements (capacity is retained).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Releases unused capacity back to the device (the behaviour of a
+    /// non-pooled allocator that frees and reallocates exact-size buffers
+    /// every iteration — what eager buffer management avoids).
+    pub fn shrink_to_fit(&mut self) {
+        self.data.shrink_to_fit();
+        let new_bytes = self.data.capacity() * std::mem::size_of::<T>();
+        if new_bytes < self.accounted_bytes {
+            self.device.tracker().free(self.accounted_bytes - new_bytes);
+            self.accounted_bytes = new_bytes;
+        }
+    }
+
+    /// Consumes the buffer and returns the backing vector, releasing the
+    /// device accounting for it.
+    pub fn into_vec(mut self) -> Vec<T> {
+        self.device.tracker().free(self.accounted_bytes);
+        self.accounted_bytes = 0;
+        std::mem::take(&mut self.data)
+    }
+}
+
+impl<T: DeviceValue> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        if self.accounted_bytes > 0 {
+            self.device.tracker().free(self.accounted_bytes);
+        }
+    }
+}
+
+impl<T: DeviceValue + PartialEq> PartialEq for DeviceBuffer<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DeviceProfile;
+
+    fn small_device() -> Device {
+        Device::new(DeviceProfile::tiny_test_device(4096))
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let d = small_device();
+        let buf = d.buffer_from_slice(&[5u32, 6, 7]).unwrap();
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.to_vec(), vec![5, 6, 7]);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_device_memory() {
+        let d = small_device();
+        {
+            let _buf = d.buffer_from_slice(&vec![0u32; 512]).unwrap();
+            assert!(d.tracker().in_use() >= 2048);
+        }
+        assert_eq!(d.tracker().in_use(), 0);
+    }
+
+    #[test]
+    fn oversized_allocation_is_oom() {
+        let d = small_device();
+        let err = d.buffer_from_slice(&vec![0u32; 4096]).unwrap_err();
+        assert!(matches!(err, crate::DeviceError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn extend_grows_and_accounts() {
+        let d = small_device();
+        let mut buf = d.buffer_from_slice(&[1u32, 2]).unwrap();
+        buf.extend_from_slice(&[3, 4, 5]).unwrap();
+        assert_eq!(buf.to_vec(), vec![1, 2, 3, 4, 5]);
+        assert!(buf.accounted_bytes() >= 5 * 4);
+    }
+
+    #[test]
+    fn reserve_total_is_idempotent_for_smaller_requests() {
+        let d = small_device();
+        let mut buf = d.buffer_from_slice(&[1u32, 2, 3, 4]).unwrap();
+        let before = buf.accounted_bytes();
+        buf.reserve_total(2).unwrap();
+        assert_eq!(buf.accounted_bytes(), before);
+    }
+
+    #[test]
+    fn into_vec_releases_accounting() {
+        let d = small_device();
+        let buf = d.buffer_from_slice(&[9u32; 16]).unwrap();
+        let v = buf.into_vec();
+        assert_eq!(v.len(), 16);
+        assert_eq!(d.tracker().in_use(), 0);
+    }
+
+    #[test]
+    fn shrink_to_fit_returns_slack_to_the_device() {
+        let d = small_device();
+        let mut buf = d.buffer_from_slice(&[1u32, 2]).unwrap();
+        buf.reserve_total(256).unwrap();
+        let before = d.tracker().in_use();
+        buf.shrink_to_fit();
+        assert!(d.tracker().in_use() < before);
+        assert_eq!(buf.to_vec(), vec![1, 2]);
+    }
+
+    #[test]
+    fn truncate_and_clear_keep_capacity() {
+        let d = small_device();
+        let mut buf = d.buffer_from_slice(&[1u32, 2, 3, 4]).unwrap();
+        let cap = buf.capacity();
+        buf.truncate(2);
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap);
+    }
+}

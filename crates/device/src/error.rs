@@ -1,0 +1,85 @@
+//! Error types for the simulated device.
+
+use std::fmt;
+
+/// Errors raised by device-memory and kernel-launch operations.
+///
+/// The simulated device mirrors the failure modes that matter to the paper's
+/// evaluation: running out of device memory (the `OOM` rows of Tables 2 and
+/// 3) and malformed launches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An allocation request exceeded the device's remaining VRAM.
+    OutOfMemory {
+        /// Bytes requested by the failed allocation.
+        requested: usize,
+        /// Bytes currently in use on the device.
+        in_use: usize,
+        /// The device's memory capacity in bytes.
+        capacity: usize,
+    },
+    /// A kernel or primitive was invoked with inconsistent buffer sizes.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        what: String,
+    },
+    /// A launch configuration was invalid (zero-sized grid or block).
+    InvalidLaunch {
+        /// Human-readable description of the invalid configuration.
+        what: String,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} bytes with {in_use} in use of {capacity} capacity"
+            ),
+            DeviceError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
+            DeviceError::InvalidLaunch { what } => write!(f, "invalid launch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Convenient result alias used throughout the device crate.
+pub type DeviceResult<T> = Result<T, DeviceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_memory_mentions_sizes() {
+        let err = DeviceError::OutOfMemory {
+            requested: 128,
+            in_use: 64,
+            capacity: 100,
+        };
+        let text = err.to_string();
+        assert!(text.contains("128"));
+        assert!(text.contains("64"));
+        assert!(text.contains("100"));
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = DeviceError::ShapeMismatch {
+            what: "keys and values differ".into(),
+        };
+        assert!(err.to_string().contains("keys and values differ"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<DeviceError>();
+    }
+}

@@ -1,0 +1,357 @@
+//! The data-parallel executor standing in for the CUDA thread grid.
+//!
+//! CUDA launches a grid of thread blocks whose threads process tuples in
+//! stride units (paper Section 5.1). The simulated device keeps the same
+//! programming model — a kernel is a function of the element index — but
+//! maps it onto a fixed set of worker threads, each of which owns a
+//! contiguous partition of the index space (the cache-friendly CPU analog
+//! of coalesced strided access). Kernels that scatter variable-length
+//! output use [`Executor::scatter_by_offsets`], which mirrors the two-pass
+//! count/scan/write pattern GPU joins use.
+
+use std::ops::Range;
+
+/// A simulated kernel-launch configuration.
+///
+/// Only the total worker count matters for the simulation; block and warp
+/// sizes are carried so that divergence accounting and reporting can speak
+/// the paper's vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of worker threads (the simulated grid width).
+    pub workers: usize,
+    /// Simulated threads per block.
+    pub block_size: usize,
+    /// Simulated warp width.
+    pub warp_size: usize,
+}
+
+impl Default for LaunchConfig {
+    fn default() -> Self {
+        LaunchConfig {
+            workers: Executor::default_worker_count(),
+            block_size: 256,
+            warp_size: 32,
+        }
+    }
+}
+
+/// Data-parallel executor over a fixed worker pool.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new(Self::default_worker_count())
+    }
+}
+
+impl Executor {
+    /// Creates an executor with `workers` worker threads (minimum 1).
+    pub fn new(workers: usize) -> Self {
+        Executor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The number of workers available on the host.
+    pub fn default_worker_count() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+
+    /// Number of worker threads this executor uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Splits `n` items into at most `workers` contiguous, non-empty ranges.
+    pub fn partitions(&self, n: usize) -> Vec<Range<usize>> {
+        partition_ranges(n, self.workers)
+    }
+
+    /// Runs `f(worker_id, range)` for each partition, in parallel.
+    pub fn for_each_partition<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        let parts = self.partitions(n);
+        if parts.is_empty() {
+            return;
+        }
+        if parts.len() == 1 {
+            f(0, parts.into_iter().next().expect("one partition"));
+            return;
+        }
+        crossbeam::thread::scope(|scope| {
+            for (worker_id, range) in parts.into_iter().enumerate() {
+                let f = &f;
+                scope.spawn(move |_| f(worker_id, range));
+            }
+        })
+        .expect("device worker thread panicked");
+    }
+
+    /// Runs `f(i)` for every index in `0..n`, in parallel.
+    pub fn for_each_index<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.for_each_partition(n, |_, range| {
+            for i in range {
+                f(i);
+            }
+        });
+    }
+
+    /// Fills `out[i] = f(i)` for every slot, in parallel.
+    pub fn fill<T, F>(&self, out: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let n = out.len();
+        if n == 0 {
+            return;
+        }
+        let parts = self.partitions(n);
+        let mut slices: Vec<(Range<usize>, &mut [T])> = Vec::with_capacity(parts.len());
+        let mut rest = out;
+        let mut consumed = 0;
+        for range in parts {
+            let take = range.end - consumed;
+            let (head, tail) = rest.split_at_mut(take);
+            slices.push((range.clone(), head));
+            rest = tail;
+            consumed = range.end;
+        }
+        if slices.len() == 1 {
+            let (range, slice) = slices.pop().expect("one slice");
+            for (slot, i) in slice.iter_mut().zip(range) {
+                *slot = f(i);
+            }
+            return;
+        }
+        crossbeam::thread::scope(|scope| {
+            for (range, slice) in slices {
+                let f = &f;
+                scope.spawn(move |_| {
+                    for (slot, i) in slice.iter_mut().zip(range) {
+                        *slot = f(i);
+                    }
+                });
+            }
+        })
+        .expect("device worker thread panicked");
+    }
+
+    /// Computes `vec![f(0), f(1), ..., f(n-1)]` in parallel.
+    pub fn map_collect<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send + Default + Clone,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = vec![T::default(); n];
+        self.fill(&mut out, f);
+        out
+    }
+
+    /// Two-pass scatter: item `i` owns the output slots
+    /// `offsets[i]..offsets[i + 1]`, and `f(i, slot_slice)` fills them.
+    ///
+    /// `offsets` must be a non-decreasing sequence of length `n + 1` with
+    /// `offsets[n] == out.len()`; this is exactly the result of an exclusive
+    /// scan over per-item output counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is not monotonic or does not cover `out` exactly.
+    pub fn scatter_by_offsets<T, F>(&self, out: &mut [T], offsets: &[usize], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let n = offsets.len().saturating_sub(1);
+        assert!(
+            !offsets.is_empty() && offsets[n] == out.len(),
+            "offsets must cover the output exactly (last offset {} vs output length {})",
+            offsets.last().copied().unwrap_or(0),
+            out.len()
+        );
+        if n == 0 {
+            return;
+        }
+        let parts = self.partitions(n);
+        // Pre-split the output into one contiguous slice per partition.
+        let mut jobs: Vec<(Range<usize>, &mut [T])> = Vec::with_capacity(parts.len());
+        let mut rest = out;
+        let mut cursor = 0usize;
+        for range in parts {
+            let begin = offsets[range.start];
+            let end = offsets[range.end];
+            assert!(begin >= cursor && end >= begin, "offsets must be non-decreasing");
+            let (_, tail) = rest.split_at_mut(begin - cursor);
+            let (mine, tail) = tail.split_at_mut(end - begin);
+            jobs.push((range, mine));
+            rest = tail;
+            cursor = end;
+        }
+        let run_job = |job: (Range<usize>, &mut [T])| {
+            let (range, slice) = job;
+            let base = offsets[range.start];
+            for i in range {
+                let lo = offsets[i] - base;
+                let hi = offsets[i + 1] - base;
+                f(i, &mut slice[lo..hi]);
+            }
+        };
+        if jobs.len() == 1 {
+            run_job(jobs.pop().expect("one job"));
+            return;
+        }
+        crossbeam::thread::scope(|scope| {
+            for job in jobs {
+                let run_job = &run_job;
+                scope.spawn(move |_| run_job(job));
+            }
+        })
+        .expect("device worker thread panicked");
+    }
+}
+
+/// Splits `0..n` into at most `workers` contiguous non-empty ranges.
+pub fn partition_ranges(n: usize, workers: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(n);
+    let base = n / workers;
+    let extra = n % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn partition_ranges_cover_everything_without_overlap() {
+        for n in [0usize, 1, 2, 7, 16, 1000, 1001] {
+            for w in [1usize, 2, 3, 8, 64] {
+                let parts = partition_ranges(n, w);
+                let mut covered = 0;
+                let mut cursor = 0;
+                for r in &parts {
+                    assert_eq!(r.start, cursor);
+                    assert!(!r.is_empty());
+                    covered += r.len();
+                    cursor = r.end;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_index_touches_every_index_exactly_once() {
+        let ex = Executor::new(8);
+        let n = 10_000;
+        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        ex.for_each_index(n, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn fill_computes_every_slot() {
+        let ex = Executor::new(5);
+        let mut out = vec![0u64; 1234];
+        ex.fill(&mut out, |i| (i as u64) * 3 + 1);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn fill_on_single_worker_matches_parallel() {
+        let mut a = vec![0u32; 777];
+        let mut b = vec![0u32; 777];
+        Executor::new(1).fill(&mut a, |i| i as u32 * 7);
+        Executor::new(13).fill(&mut b, |i| i as u32 * 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_collect_equals_sequential_map() {
+        let ex = Executor::new(4);
+        let got = ex.map_collect(100, |i| i * i);
+        let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scatter_by_offsets_writes_disjoint_variable_length_ranges() {
+        let ex = Executor::new(4);
+        // item i produces i % 3 outputs, each equal to i.
+        let n = 500;
+        let counts: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + counts[i];
+        }
+        let mut out = vec![usize::MAX; offsets[n]];
+        ex.scatter_by_offsets(&mut out, &offsets, |i, slots| {
+            for s in slots.iter_mut() {
+                *s = i;
+            }
+        });
+        for i in 0..n {
+            for j in offsets[i]..offsets[i + 1] {
+                assert_eq!(out[j], i);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_with_zero_items_is_a_no_op() {
+        let ex = Executor::new(4);
+        let mut out: Vec<u32> = Vec::new();
+        ex.scatter_by_offsets(&mut out, &[0usize], |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must cover the output exactly")]
+    fn scatter_panics_on_mismatched_offsets() {
+        let ex = Executor::new(2);
+        let mut out = vec![0u32; 5];
+        ex.scatter_by_offsets(&mut out, &[0, 2, 3], |_, _| {});
+    }
+
+    #[test]
+    fn empty_work_is_a_no_op() {
+        let ex = Executor::new(4);
+        ex.for_each_index(0, |_| panic!("must not be called"));
+        let mut out: Vec<u32> = Vec::new();
+        ex.fill(&mut out, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn default_launch_config_is_sane() {
+        let cfg = LaunchConfig::default();
+        assert!(cfg.workers >= 1);
+        assert_eq!(cfg.warp_size, 32);
+        assert_eq!(cfg.block_size, 256);
+    }
+}

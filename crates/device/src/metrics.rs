@@ -1,0 +1,242 @@
+//! Execution metrics recorded by the simulated device.
+//!
+//! Every primitive and kernel launch reports the work it performed — bytes
+//! read and written, simple operations executed, atomic operations issued,
+//! kernel launches, and allocator events. The counters are the raw input to
+//! the analytic cost model ([`crate::cost`]) and to the phase-breakdown
+//! figure of the paper (Figure 6), and they also expose the memory-footprint
+//! numbers reported in Table 1.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// A snapshot of the device counters at a point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Bytes read from device memory by kernels and primitives.
+    pub bytes_read: u64,
+    /// Bytes written to device memory by kernels and primitives.
+    pub bytes_written: u64,
+    /// Simple arithmetic/comparison operations executed.
+    pub ops: u64,
+    /// Atomic read-modify-write operations (CAS, atomic-min) executed.
+    pub atomic_ops: u64,
+    /// Number of kernel launches issued.
+    pub kernel_launches: u64,
+    /// Number of allocations served by the pool.
+    pub allocations: u64,
+    /// Number of allocations satisfied by reusing a pooled buffer.
+    pub pool_reuses: u64,
+    /// Bytes obtained from fresh (non-pooled) allocations.
+    pub bytes_allocated: u64,
+    /// Bytes currently allocated on the device.
+    pub bytes_in_use: u64,
+    /// High-water mark of bytes allocated on the device.
+    pub peak_bytes_in_use: u64,
+}
+
+impl CounterSnapshot {
+    /// Total bytes moved (read + written).
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Difference of two snapshots (`self` taken after `earlier`).
+    ///
+    /// Monotonic counters are subtracted; gauges (`bytes_in_use`,
+    /// `peak_bytes_in_use`) keep the later value.
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            ops: self.ops - earlier.ops,
+            atomic_ops: self.atomic_ops - earlier.atomic_ops,
+            kernel_launches: self.kernel_launches - earlier.kernel_launches,
+            allocations: self.allocations - earlier.allocations,
+            pool_reuses: self.pool_reuses - earlier.pool_reuses,
+            bytes_allocated: self.bytes_allocated - earlier.bytes_allocated,
+            bytes_in_use: self.bytes_in_use,
+            peak_bytes_in_use: self.peak_bytes_in_use,
+        }
+    }
+}
+
+/// Thread-safe metric counters shared by all components of a device.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    ops: AtomicU64,
+    atomic_ops: AtomicU64,
+    kernel_launches: AtomicU64,
+    allocations: AtomicU64,
+    pool_reuses: AtomicU64,
+    bytes_allocated: AtomicU64,
+    bytes_in_use: AtomicUsize,
+    peak_bytes_in_use: AtomicUsize,
+    phase_times: Mutex<HashMap<String, Duration>>,
+}
+
+impl Metrics {
+    /// Creates a zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` bytes read from device memory.
+    pub fn add_bytes_read(&self, n: u64) {
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` bytes written to device memory.
+    pub fn add_bytes_written(&self, n: u64) {
+        self.bytes_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` simple operations.
+    pub fn add_ops(&self, n: u64) {
+        self.ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` atomic read-modify-write operations.
+    pub fn add_atomic_ops(&self, n: u64) {
+        self.atomic_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a kernel launch.
+    pub fn add_kernel_launch(&self) {
+        self.kernel_launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an allocation of `bytes`, returning the new in-use total.
+    pub fn record_alloc(&self, bytes: usize, reused: bool) -> usize {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        if reused {
+            self.pool_reuses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.bytes_allocated.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+        let now = self.bytes_in_use.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_bytes_in_use.fetch_max(now, Ordering::Relaxed);
+        now
+    }
+
+    /// Records that `bytes` were released back to the device.
+    pub fn record_free(&self, bytes: usize) {
+        self.bytes_in_use.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Bytes currently allocated.
+    pub fn bytes_in_use(&self) -> usize {
+        self.bytes_in_use.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak_bytes_in_use(&self) -> usize {
+        self.peak_bytes_in_use.load(Ordering::Relaxed)
+    }
+
+    /// Adds `elapsed` wall time to the named phase bucket (e.g. `"join"`,
+    /// `"merge"`, `"dedup"`). Phase buckets feed Figure 6.
+    pub fn add_phase_time(&self, phase: &str, elapsed: Duration) {
+        let mut phases = self.phase_times.lock();
+        *phases.entry(phase.to_string()).or_default() += elapsed;
+    }
+
+    /// Returns the accumulated wall time per phase.
+    pub fn phase_times(&self) -> HashMap<String, Duration> {
+        self.phase_times.lock().clone()
+    }
+
+    /// Clears the per-phase timers (counter totals are left untouched).
+    pub fn reset_phase_times(&self) {
+        self.phase_times.lock().clear();
+    }
+
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            ops: self.ops.load(Ordering::Relaxed),
+            atomic_ops: self.atomic_ops.load(Ordering::Relaxed),
+            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+            pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
+            bytes_allocated: self.bytes_allocated.load(Ordering::Relaxed),
+            bytes_in_use: self.bytes_in_use.load(Ordering::Relaxed) as u64,
+            peak_bytes_in_use: self.peak_bytes_in_use.load(Ordering::Relaxed) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.add_bytes_read(10);
+        m.add_bytes_read(5);
+        m.add_bytes_written(7);
+        m.add_ops(3);
+        m.add_atomic_ops(2);
+        m.add_kernel_launch();
+        let s = m.snapshot();
+        assert_eq!(s.bytes_read, 15);
+        assert_eq!(s.bytes_written, 7);
+        assert_eq!(s.bytes_moved(), 22);
+        assert_eq!(s.ops, 3);
+        assert_eq!(s.atomic_ops, 2);
+        assert_eq!(s.kernel_launches, 1);
+    }
+
+    #[test]
+    fn alloc_free_tracks_peak() {
+        let m = Metrics::new();
+        m.record_alloc(100, false);
+        m.record_alloc(50, true);
+        assert_eq!(m.bytes_in_use(), 150);
+        assert_eq!(m.peak_bytes_in_use(), 150);
+        m.record_free(100);
+        assert_eq!(m.bytes_in_use(), 50);
+        assert_eq!(m.peak_bytes_in_use(), 150);
+        let s = m.snapshot();
+        assert_eq!(s.allocations, 2);
+        assert_eq!(s.pool_reuses, 1);
+    }
+
+    #[test]
+    fn snapshot_since_subtracts_monotonic_counters() {
+        let m = Metrics::new();
+        m.add_bytes_read(10);
+        let before = m.snapshot();
+        m.add_bytes_read(25);
+        m.add_kernel_launch();
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.bytes_read, 25);
+        assert_eq!(delta.kernel_launches, 1);
+    }
+
+    #[test]
+    fn phase_times_accumulate_and_reset() {
+        let m = Metrics::new();
+        m.add_phase_time("join", Duration::from_millis(5));
+        m.add_phase_time("join", Duration::from_millis(7));
+        m.add_phase_time("merge", Duration::from_millis(3));
+        let phases = m.phase_times();
+        assert_eq!(phases["join"], Duration::from_millis(12));
+        assert_eq!(phases["merge"], Duration::from_millis(3));
+        m.reset_phase_times();
+        assert!(m.phase_times().is_empty());
+    }
+
+    #[test]
+    fn metrics_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Metrics>();
+    }
+}

@@ -1,0 +1,195 @@
+//! Merge-path parallel merge (Green, McColl, Bader — "GPU Merge Path").
+//!
+//! The paper merges the sorted index arrays of two HISAs (full and delta)
+//! with Thrust's merge-path implementation. Merge path splits the combined
+//! output evenly across workers by binary-searching the cross diagonals of
+//! the (|A|, |B|) merge grid, so every worker produces an equal slice of the
+//! result without communicating.
+
+use crate::device::Device;
+use std::cmp::Ordering;
+
+/// Finds the (a_idx, b_idx) split point on diagonal `diag`, i.e. the number
+/// of elements each input contributes to the first `diag` output elements.
+fn merge_path_partition<T, F>(a: &[T], b: &[T], diag: usize, compare: &F) -> (usize, usize)
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let mut lo = diag.saturating_sub(b.len());
+    let mut hi = diag.min(a.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        // a[mid] vs b[diag - mid - 1]: if a[mid] is strictly greater, the
+        // split point is to the left; ties favour taking from `a` first so
+        // the merge is stable (elements of `a` precede equal elements of `b`).
+        if compare(&a[mid], &b[diag - mid - 1]) == Ordering::Greater {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    (lo, diag - lo)
+}
+
+/// Merges two sorted sequences into one sorted output, in parallel, stably
+/// (ties keep all elements of `a` before elements of `b`).
+///
+/// The inputs must each be sorted according to `compare`; the output is their
+/// stable merge.
+pub fn merge_path_merge<T, F>(device: &Device, a: &[T], b: &[T], compare: F) -> Vec<T>
+where
+    T: Copy + Send + Sync + Default,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let total = a.len() + b.len();
+    let elem = std::mem::size_of::<T>() as u64;
+    device.metrics().add_kernel_launch();
+    device.metrics().add_bytes_read(total as u64 * elem);
+    device.metrics().add_bytes_written(total as u64 * elem);
+    device
+        .metrics()
+        .add_ops(total as u64 + (total.max(2) as f64).log2().ceil() as u64);
+    if total == 0 {
+        return Vec::new();
+    }
+    let executor = device.executor();
+    let parts = executor.partitions(total);
+    // Compute the merge-path split for the start of every partition.
+    let splits: Vec<(usize, usize)> = parts
+        .iter()
+        .map(|r| merge_path_partition(a, b, r.start, &compare))
+        .collect();
+    let mut out = vec![T::default(); total];
+    {
+        let parts_ref = &parts;
+        let splits_ref = &splits;
+        let compare_ref = &compare;
+        // Each partition owns out[r.start..r.end]; fill() gives disjoint slices.
+        let mut slices: Vec<&mut [T]> = Vec::with_capacity(parts.len());
+        let mut rest: &mut [T] = out.as_mut_slice();
+        for r in parts_ref {
+            let (head, tail) = rest.split_at_mut(r.len());
+            slices.push(head);
+            rest = tail;
+        }
+        let run = |p: usize, slice: &mut [T]| {
+            let range = parts_ref[p].clone();
+            let (mut ai, mut bi) = splits_ref[p];
+            for slot in slice.iter_mut() {
+                let take_a = if ai >= a.len() {
+                    false
+                } else if bi >= b.len() {
+                    true
+                } else {
+                    compare_ref(&b[bi], &a[ai]) != Ordering::Less
+                };
+                if take_a {
+                    *slot = a[ai];
+                    ai += 1;
+                } else {
+                    *slot = b[bi];
+                    bi += 1;
+                }
+            }
+            let _ = range;
+        };
+        if slices.len() == 1 {
+            run(0, slices.pop().expect("one slice"));
+        } else {
+            crossbeam::thread::scope(|scope| {
+                for (p, slice) in slices.into_iter().enumerate() {
+                    let run = &run;
+                    scope.spawn(move |_| run(p, slice));
+                }
+            })
+            .expect("merge worker panicked");
+        }
+    }
+    out
+}
+
+/// Merges two sorted `u32` index arrays whose order is defined indirectly by
+/// a key function (e.g. the lexicographic tuple behind each index).
+pub fn merge_sorted_indices_by_key<K, F>(
+    device: &Device,
+    a: &[u32],
+    b: &[u32],
+    key: F,
+) -> Vec<u32>
+where
+    K: Ord,
+    F: Fn(u32) -> K + Sync,
+{
+    merge_path_merge(device, a, b, |x, y| key(*x).cmp(&key(*y)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DeviceProfile;
+
+    fn device() -> Device {
+        Device::with_workers(DeviceProfile::nvidia_h100(), 4)
+    }
+
+    #[test]
+    fn merges_empty_inputs() {
+        let d = device();
+        let out: Vec<u32> = merge_path_merge(&d, &[], &[], |a, b| a.cmp(b));
+        assert!(out.is_empty());
+        assert_eq!(merge_path_merge(&d, &[1u32, 2], &[], |a, b| a.cmp(b)), vec![1, 2]);
+        assert_eq!(merge_path_merge(&d, &[], &[3u32], |a, b| a.cmp(b)), vec![3]);
+    }
+
+    #[test]
+    fn merge_matches_std_merge_on_random_inputs() {
+        let d = device();
+        for (na, nb) in [(1usize, 1usize), (10, 3), (100, 100), (1000, 777), (1, 1000)] {
+            let mut a: Vec<u32> = (0..na as u32).map(|i| (i * 37) % 523).collect();
+            let mut b: Vec<u32> = (0..nb as u32).map(|i| (i * 91) % 523).collect();
+            a.sort();
+            b.sort();
+            let got = merge_path_merge(&d, &a, &b, |x, y| x.cmp(y));
+            let mut expected = a.clone();
+            expected.extend_from_slice(&b);
+            expected.sort();
+            assert_eq!(got, expected, "na={na} nb={nb}");
+        }
+    }
+
+    #[test]
+    fn merge_is_stable_with_a_before_b() {
+        let d = device();
+        // Tag elements with their source; equal keys must keep a's first.
+        let a: Vec<(u32, u32)> = vec![(1, 0), (2, 0), (2, 0), (5, 0)];
+        let b: Vec<(u32, u32)> = vec![(2, 1), (5, 1)];
+        let out = merge_path_merge(&d, &a, &b, |x, y| x.0.cmp(&y.0));
+        assert_eq!(
+            out,
+            vec![(1, 0), (2, 0), (2, 0), (2, 1), (5, 0), (5, 1)]
+        );
+    }
+
+    #[test]
+    fn merge_sorted_indices_by_key_uses_indirect_order() {
+        let d = device();
+        let data = vec![10u32, 30, 50, 20, 40];
+        // a holds indices {0, 1, 2} sorted by data, b holds {3, 4}.
+        let a = vec![0u32, 1, 2];
+        let b = vec![3u32, 4];
+        let merged = merge_sorted_indices_by_key(&d, &a, &b, |i| data[i as usize]);
+        let values: Vec<u32> = merged.iter().map(|&i| data[i as usize]).collect();
+        assert_eq!(values, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn single_worker_and_many_workers_agree() {
+        let d1 = Device::with_workers(DeviceProfile::nvidia_h100(), 1);
+        let d8 = Device::with_workers(DeviceProfile::nvidia_h100(), 8);
+        let a: Vec<u32> = (0..500).map(|i| i * 2).collect();
+        let b: Vec<u32> = (0..500).map(|i| i * 2 + 1).collect();
+        let m1 = merge_path_merge(&d1, &a, &b, |x, y| x.cmp(y));
+        let m8 = merge_path_merge(&d8, &a, &b, |x, y| x.cmp(y));
+        assert_eq!(m1, m8);
+    }
+}

@@ -1,0 +1,310 @@
+//! Parallel stable sorts.
+//!
+//! HISA builds its sorted index array with a sequence of *stable* sorts, one
+//! per tuple column, from the least-significant (rightmost) column to the
+//! most-significant (paper Algorithm 1) — a radix sort whose digits are
+//! whole columns. [`lexicographic_sort_indices`] implements exactly that on
+//! top of the generic [`stable_sort_by`] primitive.
+
+use crate::device::Device;
+use std::cmp::Ordering;
+
+/// Parallel, stable, comparison-based sort.
+///
+/// Items are split into one run per worker, each run is sorted with the
+/// standard library's stable sort, and runs are then merged pairwise (each
+/// merge handled by one worker) until a single run remains — the classic
+/// parallel merge-sort schedule.
+pub fn stable_sort_by<T, F>(device: &Device, items: &mut Vec<T>, compare: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return;
+    }
+    let elem = std::mem::size_of::<T>() as u64;
+    device.metrics().add_kernel_launch();
+    let executor = device.executor();
+    let parts = executor.partitions(n);
+
+    // Sort each partition independently.
+    {
+        let mut jobs: Vec<&mut [T]> = Vec::with_capacity(parts.len());
+        let mut rest: &mut [T] = items.as_mut_slice();
+        for range in &parts {
+            let (head, tail) = rest.split_at_mut(range.len());
+            jobs.push(head);
+            rest = tail;
+        }
+        if jobs.len() == 1 {
+            jobs.pop().expect("one job").sort_by(&compare);
+        } else {
+            crossbeam::thread::scope(|scope| {
+                for job in jobs {
+                    let compare = &compare;
+                    scope.spawn(move |_| job.sort_by(compare));
+                }
+            })
+            .expect("sort worker panicked");
+        }
+    }
+    let passes = (parts.len().max(2) as f64).log2().ceil() as u64 + 1;
+    device
+        .metrics()
+        .add_bytes_read(n as u64 * elem * passes);
+    device
+        .metrics()
+        .add_bytes_written(n as u64 * elem * passes);
+    device
+        .metrics()
+        .add_ops(n as u64 * (n.max(2) as f64).log2().ceil() as u64);
+
+    // Merge runs pairwise until one remains.
+    let mut run_bounds: Vec<usize> = parts.iter().map(|r| r.start).collect();
+    run_bounds.push(n);
+    let mut source = items.clone();
+    let mut target: Vec<T> = Vec::with_capacity(n);
+    // SAFETY-free approach: use a second owned buffer and swap.
+    target.extend_from_slice(&source);
+    while run_bounds.len() > 2 {
+        let mut new_bounds = Vec::with_capacity(run_bounds.len() / 2 + 2);
+        let pair_count = (run_bounds.len() - 1) / 2;
+        // Describe each merge job: (a_range, b_range, out_start).
+        let mut jobs = Vec::with_capacity(pair_count + 1);
+        let mut i = 0;
+        while i + 2 < run_bounds.len() {
+            jobs.push((run_bounds[i]..run_bounds[i + 1], run_bounds[i + 1]..run_bounds[i + 2]));
+            i += 2;
+        }
+        let leftover = if i + 1 < run_bounds.len() {
+            Some(run_bounds[i]..run_bounds[i + 1])
+        } else {
+            None
+        };
+        // Split the target buffer into one output slice per job.
+        {
+            let mut out_slices: Vec<&mut [T]> = Vec::with_capacity(jobs.len());
+            let mut rest: &mut [T] = target.as_mut_slice();
+            let mut cursor = 0usize;
+            for (a, b) in &jobs {
+                let start = a.start;
+                let len = (a.end - a.start) + (b.end - b.start);
+                let (_, tail) = rest.split_at_mut(start - cursor);
+                let (mine, tail) = tail.split_at_mut(len);
+                out_slices.push(mine);
+                rest = tail;
+                cursor = start + len;
+            }
+            let source_ref = &source;
+            let compare = &compare;
+            let merge_job = |a: std::ops::Range<usize>, b: std::ops::Range<usize>, out: &mut [T]| {
+                let (mut ai, mut bi, mut oi) = (a.start, b.start, 0usize);
+                while ai < a.end && bi < b.end {
+                    if compare(&source_ref[bi], &source_ref[ai]) == Ordering::Less {
+                        out[oi] = source_ref[bi];
+                        bi += 1;
+                    } else {
+                        out[oi] = source_ref[ai];
+                        ai += 1;
+                    }
+                    oi += 1;
+                }
+                while ai < a.end {
+                    out[oi] = source_ref[ai];
+                    ai += 1;
+                    oi += 1;
+                }
+                while bi < b.end {
+                    out[oi] = source_ref[bi];
+                    bi += 1;
+                    oi += 1;
+                }
+            };
+            if out_slices.len() <= 1 {
+                for ((a, b), out) in jobs.iter().cloned().zip(out_slices) {
+                    merge_job(a, b, out);
+                }
+            } else {
+                crossbeam::thread::scope(|scope| {
+                    for ((a, b), out) in jobs.iter().cloned().zip(out_slices) {
+                        let merge_job = &merge_job;
+                        scope.spawn(move |_| merge_job(a, b, out));
+                    }
+                })
+                .expect("merge worker panicked");
+            }
+        }
+        // Copy any leftover run through unchanged.
+        if let Some(range) = leftover.clone() {
+            target[range.clone()].copy_from_slice(&source[range]);
+        }
+        // Rebuild run bounds.
+        new_bounds.push(0);
+        let mut i = 0;
+        while i + 2 < run_bounds.len() {
+            new_bounds.push(run_bounds[i + 2]);
+            i += 2;
+        }
+        if leftover.is_some() {
+            new_bounds.push(n);
+        }
+        run_bounds = new_bounds;
+        std::mem::swap(&mut source, &mut target);
+    }
+    items.copy_from_slice(&source);
+}
+
+/// Stable sort of `indices` by a key derived from each index.
+pub fn stable_sort_indices_by_key<K, F>(device: &Device, indices: &mut Vec<u32>, key: F)
+where
+    K: Ord,
+    F: Fn(u32) -> K + Sync,
+{
+    stable_sort_by(device, indices, |a, b| key(*a).cmp(&key(*b)));
+}
+
+/// Builds the sorted index array for a row-major tuple store, following the
+/// paper's Algorithm 1: indices are sorted by one column at a time with a
+/// stable sort, from the least-significant position of `column_order` to the
+/// most-significant, so that the final order is lexicographic in
+/// `column_order`.
+///
+/// `data` is row-major with `arity` columns; `column_order` lists columns
+/// from most-significant to least-significant (join columns first).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `arity`, or if any column in
+/// `column_order` is out of range.
+pub fn lexicographic_sort_indices(
+    device: &Device,
+    data: &[u32],
+    arity: usize,
+    column_order: &[usize],
+) -> Vec<u32> {
+    assert!(arity > 0, "arity must be positive");
+    assert_eq!(data.len() % arity, 0, "data length must be a multiple of arity");
+    assert!(
+        column_order.iter().all(|&c| c < arity),
+        "column_order entries must be < arity"
+    );
+    let rows = data.len() / arity;
+    let mut indices: Vec<u32> = (0..rows as u32).collect();
+    // Least-significant column first (rightmost of column_order).
+    for &col in column_order.iter().rev() {
+        device
+            .metrics()
+            .add_bytes_read(rows as u64 * 8);
+        device.metrics().add_bytes_written(rows as u64 * 4);
+        stable_sort_indices_by_key(device, &mut indices, |idx| {
+            data[idx as usize * arity + col]
+        });
+    }
+    indices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DeviceProfile;
+
+    fn device() -> Device {
+        Device::with_workers(DeviceProfile::nvidia_h100(), 4)
+    }
+
+    #[test]
+    fn sorts_small_and_large_inputs() {
+        let d = device();
+        for n in [0usize, 1, 2, 3, 17, 64, 65, 1000, 4097] {
+            let mut items: Vec<u32> = (0..n as u32)
+                .map(|i| i.wrapping_mul(2_654_435_761) % 10_007)
+                .collect();
+            let mut expected = items.clone();
+            expected.sort();
+            stable_sort_by(&d, &mut items, |a, b| a.cmp(b));
+            assert_eq!(items, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let d = device();
+        // Sort pairs by first element only; second element records original order.
+        let mut items: Vec<(u32, u32)> = (0..500u32).map(|i| (i % 7, i)).collect();
+        stable_sort_by(&d, &mut items, |a, b| a.0.cmp(&b.0));
+        for w in items.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "equal keys must keep input order");
+            }
+        }
+    }
+
+    #[test]
+    fn sort_indices_by_key_orders_indirectly() {
+        let d = device();
+        let data = vec![50u32, 10, 40, 30, 20];
+        let mut indices: Vec<u32> = (0..5).collect();
+        stable_sort_indices_by_key(&d, &mut indices, |i| data[i as usize]);
+        assert_eq!(indices, vec![1, 4, 3, 2, 0]);
+    }
+
+    #[test]
+    fn lexicographic_sort_matches_comparator_sort() {
+        let d = device();
+        // 3-arity data, sort by column order [1, 0, 2] (column 1 is the join column).
+        let rows = 200usize;
+        let data: Vec<u32> = (0..rows * 3)
+            .map(|i| (i as u32).wrapping_mul(2_654_435_761) % 5)
+            .collect();
+        let order = [1usize, 0, 2];
+        let got = lexicographic_sort_indices(&d, &data, 3, &order);
+        let mut expected: Vec<u32> = (0..rows as u32).collect();
+        expected.sort_by(|&a, &b| {
+            let ka = [
+                data[a as usize * 3 + 1],
+                data[a as usize * 3],
+                data[a as usize * 3 + 2],
+            ];
+            let kb = [
+                data[b as usize * 3 + 1],
+                data[b as usize * 3],
+                data[b as usize * 3 + 2],
+            ];
+            ka.cmp(&kb).then(a.cmp(&b))
+        });
+        // The LSD column sort is stable, so ties break by original index too.
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn lexicographic_sort_of_paper_example() {
+        // Paper Section 4.2: tuples {2,1,5}, {2,5,9}, {2,1,2} with the second
+        // column as the join column sort to index order [1, 0, 2]... the text
+        // gives sorted order (1,2,2) < (1,2,5) < (5,2,9), i.e. indices 2, 0, 1.
+        let d = device();
+        let data = vec![2u32, 1, 5, 2, 5, 9, 2, 1, 2];
+        let got = lexicographic_sort_indices(&d, &data, 3, &[1, 0, 2]);
+        assert_eq!(got, vec![2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of arity")]
+    fn lexicographic_sort_rejects_ragged_data() {
+        lexicographic_sort_indices(&device(), &[1, 2, 3, 4], 3, &[0]);
+    }
+
+    #[test]
+    fn sort_with_single_worker_matches_parallel() {
+        let seq_device = Device::with_workers(DeviceProfile::nvidia_h100(), 1);
+        let par_device = Device::with_workers(DeviceProfile::nvidia_h100(), 8);
+        let items: Vec<u32> = (0..3000u32).map(|i| (i * 97) % 513).collect();
+        let mut a = items.clone();
+        let mut b = items;
+        stable_sort_by(&seq_device, &mut a, |x, y| x.cmp(y));
+        stable_sort_by(&par_device, &mut b, |x, y| x.cmp(y));
+        assert_eq!(a, b);
+    }
+}

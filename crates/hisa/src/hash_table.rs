@@ -1,0 +1,274 @@
+//! The open-addressing hash table layer of HISA (paper Section 4.3).
+//!
+//! Keys are 64-bit hashes of a tuple's join-column values; values are the
+//! *smallest* position in the sorted index array holding a tuple with those
+//! join-column values. Construction is lock-free and data-parallel: slots
+//! are claimed with compare-and-swap and values are lowered with an atomic
+//! minimum, exactly as in the paper's Algorithm 2.
+
+use gpulog_device::atomic::{atomic_min_u32, claim_key_slot, EMPTY_KEY, EMPTY_VALUE};
+use gpulog_device::{Device, DeviceResult};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Default hash-table load factor (the paper runs HISA at 0.8, Section 6.4).
+pub const DEFAULT_LOAD_FACTOR: f64 = 0.8;
+
+/// Lock-free open-addressing hash table with linear probing.
+#[derive(Debug)]
+pub struct HashTable {
+    keys: Vec<AtomicU64>,
+    values: Vec<AtomicU32>,
+    capacity: usize,
+    entries: usize,
+    load_factor: f64,
+    device: Device,
+    accounted_bytes: usize,
+}
+
+impl HashTable {
+    /// Creates a table sized for `expected_keys` distinct keys at the given
+    /// load factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpulog_device::DeviceError::OutOfMemory`] if the table does
+    /// not fit on the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load_factor` is not in `(0, 1]`.
+    pub fn with_capacity(
+        device: &Device,
+        expected_keys: usize,
+        load_factor: f64,
+    ) -> DeviceResult<Self> {
+        assert!(
+            load_factor > 0.0 && load_factor <= 1.0,
+            "load factor must be in (0, 1]"
+        );
+        let capacity = ((expected_keys.max(1) as f64 / load_factor).ceil() as usize)
+            .next_power_of_two()
+            .max(8);
+        let bytes = capacity * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>());
+        device.tracker().allocate(bytes, false)?;
+        device.metrics().add_bytes_written(bytes as u64);
+        let keys = (0..capacity).map(|_| AtomicU64::new(EMPTY_KEY)).collect();
+        let values = (0..capacity).map(|_| AtomicU32::new(EMPTY_VALUE)).collect();
+        Ok(HashTable {
+            keys,
+            values,
+            capacity,
+            entries: 0,
+            load_factor,
+            device: device.clone(),
+            accounted_bytes: bytes,
+        })
+    }
+
+    /// Number of slots in the table.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of distinct keys inserted (approximate under concurrency; the
+    /// exact count is refreshed by [`HashTable::recount_entries`]).
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// The load factor the table was sized for.
+    pub fn load_factor(&self) -> f64 {
+        self.load_factor
+    }
+
+    /// Bytes charged against the device for this table.
+    pub fn accounted_bytes(&self) -> usize {
+        self.accounted_bytes
+    }
+
+    /// Whether inserting `additional` more distinct keys would push the table
+    /// past its configured load factor.
+    pub fn needs_rebuild_for(&self, additional: usize) -> bool {
+        (self.entries + additional) as f64 > self.capacity as f64 * self.load_factor
+    }
+
+    /// Inserts `(key_hash, position)` — claims a slot for the key if absent
+    /// and lowers the stored position to the minimum seen (Algorithm 2).
+    ///
+    /// Safe to call concurrently from many device threads.
+    pub fn insert(&self, key_hash: u64, position: u32) {
+        let mask = self.capacity - 1;
+        let mut slot = (key_hash as usize) & mask;
+        loop {
+            match claim_key_slot(&self.keys[slot], key_hash) {
+                Ok(()) => {
+                    atomic_min_u32(&self.values[slot], position);
+                    return;
+                }
+                Err(_other_key) => {
+                    slot = (slot + 1) & mask;
+                }
+            }
+        }
+    }
+
+    /// Looks up a key hash, returning the smallest sorted-index position
+    /// associated with it.
+    pub fn lookup(&self, key_hash: u64) -> Option<u32> {
+        let mask = self.capacity - 1;
+        let mut slot = (key_hash as usize) & mask;
+        loop {
+            let k = self.keys[slot].load(Ordering::Acquire);
+            if k == key_hash {
+                let v = self.values[slot].load(Ordering::Acquire);
+                return if v == EMPTY_VALUE { None } else { Some(v) };
+            }
+            if k == EMPTY_KEY {
+                return None;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Data-parallel bulk construction: for every position `p` in
+    /// `0..positions`, inserts `(key_hash_of(p), p)` using one simulated
+    /// device thread per position.
+    pub fn build_parallel<F>(&mut self, positions: usize, key_hash_of: F)
+    where
+        F: Fn(usize) -> u64 + Sync,
+    {
+        let metrics = self.device.metrics();
+        metrics.add_atomic_ops(positions as u64 * 2);
+        metrics.add_bytes_read(positions as u64 * 16);
+        let this = &*self;
+        self.device.launch("index", positions, |p| {
+            this.insert(key_hash_of(p), p as u32);
+        });
+        self.recount_entries();
+    }
+
+    /// Recounts the number of occupied slots (used after bulk insertion).
+    pub fn recount_entries(&mut self) {
+        self.entries = self
+            .keys
+            .iter()
+            .filter(|k| k.load(Ordering::Relaxed) != EMPTY_KEY)
+            .count();
+    }
+
+    /// Iterates over the occupied `(key_hash, position)` pairs.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.values.iter())
+            .filter_map(|(k, v)| {
+                let key = k.load(Ordering::Relaxed);
+                if key == EMPTY_KEY {
+                    None
+                } else {
+                    Some((key, v.load(Ordering::Relaxed)))
+                }
+            })
+    }
+}
+
+impl Drop for HashTable {
+    fn drop(&mut self) {
+        self.device.tracker().free(self.accounted_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpulog_device::profile::DeviceProfile;
+
+    fn device() -> Device {
+        Device::with_workers(DeviceProfile::nvidia_h100(), 4)
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips() {
+        let d = device();
+        let t = HashTable::with_capacity(&d, 100, 0.8).unwrap();
+        t.insert(42, 7);
+        t.insert(99, 3);
+        assert_eq!(t.lookup(42), Some(7));
+        assert_eq!(t.lookup(99), Some(3));
+        assert_eq!(t.lookup(1000), None);
+    }
+
+    #[test]
+    fn insert_keeps_smallest_position() {
+        let d = device();
+        let t = HashTable::with_capacity(&d, 10, 0.8).unwrap();
+        t.insert(5, 20);
+        t.insert(5, 7);
+        t.insert(5, 30);
+        assert_eq!(t.lookup(5), Some(7));
+    }
+
+    #[test]
+    fn linear_probing_resolves_collisions() {
+        let d = device();
+        let t = HashTable::with_capacity(&d, 4, 1.0).unwrap();
+        let cap = t.capacity() as u64;
+        // Keys that collide modulo the capacity.
+        t.insert(3, 1);
+        t.insert(3 + cap, 2);
+        t.insert(3 + 2 * cap, 3);
+        assert_eq!(t.lookup(3), Some(1));
+        assert_eq!(t.lookup(3 + cap), Some(2));
+        assert_eq!(t.lookup(3 + 2 * cap), Some(3));
+    }
+
+    #[test]
+    fn parallel_build_finds_minimum_position_per_key() {
+        let d = device();
+        let n = 10_000usize;
+        // 100 distinct keys, each appearing 100 times; smallest position for
+        // key k is k itself (positions are assigned round-robin).
+        let mut t = HashTable::with_capacity(&d, 100, 0.8).unwrap();
+        t.build_parallel(n, |p| (p % 100) as u64 + 1);
+        for k in 0..100u64 {
+            assert_eq!(t.lookup(k + 1), Some(k as u32));
+        }
+        assert_eq!(t.entries(), 100);
+    }
+
+    #[test]
+    fn capacity_respects_load_factor() {
+        let d = device();
+        let t = HashTable::with_capacity(&d, 80, 0.8).unwrap();
+        assert!(t.capacity() >= 100);
+        assert!(!t.needs_rebuild_for(0));
+    }
+
+    #[test]
+    fn drop_releases_device_memory() {
+        let d = Device::new(DeviceProfile::tiny_test_device(1 << 16));
+        let before = d.tracker().in_use();
+        {
+            let _t = HashTable::with_capacity(&d, 1000, 0.8).unwrap();
+            assert!(d.tracker().in_use() > before);
+        }
+        assert_eq!(d.tracker().in_use(), before);
+    }
+
+    #[test]
+    fn oversized_table_is_oom() {
+        let d = Device::new(DeviceProfile::tiny_test_device(1 << 10));
+        assert!(HashTable::with_capacity(&d, 1 << 20, 0.8).is_err());
+    }
+
+    #[test]
+    fn iter_entries_reports_inserted_pairs() {
+        let d = device();
+        let t = HashTable::with_capacity(&d, 10, 0.8).unwrap();
+        t.insert(11, 1);
+        t.insert(22, 2);
+        let mut entries: Vec<(u64, u32)> = t.iter_entries().collect();
+        entries.sort();
+        assert_eq!(entries, vec![(11, 1), (22, 2)]);
+    }
+}

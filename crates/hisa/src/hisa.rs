@@ -1,0 +1,566 @@
+//! The Hash-Indexed Sorted Array (paper Section 4).
+//!
+//! A [`Hisa`] is three interconnected layers over one relation:
+//!
+//! 1. a **data array** — the dense, row-major tuple buffer (key columns
+//!    reordered to the front, per Algorithm 1);
+//! 2. a **sorted index array** — tuple positions ordered lexicographically,
+//!    decoupling sort order from physical placement so merges are
+//!    concatenations;
+//! 3. an **open-addressing hash table** — mapping the hash of a tuple's key
+//!    (join) columns to the *smallest* sorted-index position holding that
+//!    key, giving O(1) entry into a range of matching tuples.
+//!
+//! Together the layers provide the four requirements the paper derives for
+//! a GPU relation representation: fast range queries (R1), parallel
+//! iteration over dense storage (R2), arbitrary-width join keys via hashed
+//! keys (R3), and sort-based deduplication (R4).
+
+use crate::dedup::unique_sorted_positions;
+use crate::hash_table::{HashTable, DEFAULT_LOAD_FACTOR};
+use crate::tuple::{hash_key, IndexSpec, Value};
+use gpulog_device::thrust::merge::merge_sorted_indices_by_key;
+use gpulog_device::thrust::sort::lexicographic_sort_indices;
+use gpulog_device::thrust::transform::gather_rows;
+use gpulog_device::{Device, DeviceBuffer, DeviceResult};
+
+/// A relation stored as a hash-indexed sorted array.
+///
+/// # Examples
+///
+/// ```
+/// use gpulog_device::{Device, profile::DeviceProfile};
+/// use gpulog_hisa::{Hisa, IndexSpec};
+///
+/// # fn main() -> Result<(), gpulog_device::DeviceError> {
+/// let device = Device::new(DeviceProfile::default());
+/// // Edge(from, to) keyed on `from`.
+/// let spec = IndexSpec::new(2, vec![0]);
+/// let edges = [0u32, 1, 0, 2, 1, 3, 0, 1]; // (0,1) appears twice
+/// let hisa = Hisa::build(&device, spec, &edges)?;
+/// assert_eq!(hisa.len(), 3); // deduplicated
+/// let from_zero: Vec<_> = hisa.range_query(&[0]).collect();
+/// assert_eq!(from_zero.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Hisa {
+    spec: IndexSpec,
+    device: Device,
+    /// Key-first, row-major tuple storage. Contains no duplicate rows.
+    data: DeviceBuffer<Value>,
+    /// Positions into `data` rows, ordered lexicographically by tuple value.
+    sorted_index: DeviceBuffer<u32>,
+    hash: HashTable,
+    load_factor: f64,
+}
+
+impl Hisa {
+    /// Builds a HISA from row-major tuples given in their *original* column
+    /// order. Duplicate tuples are removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpulog_device::DeviceError::OutOfMemory`] when the relation
+    /// does not fit on the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tuples.len()` is not a multiple of the spec's arity.
+    pub fn build(device: &Device, spec: IndexSpec, tuples: &[Value]) -> DeviceResult<Self> {
+        Self::build_with_load_factor(device, spec, tuples, DEFAULT_LOAD_FACTOR)
+    }
+
+    /// [`Hisa::build`] with an explicit hash-table load factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpulog_device::DeviceError::OutOfMemory`] when the relation
+    /// does not fit on the device.
+    pub fn build_with_load_factor(
+        device: &Device,
+        spec: IndexSpec,
+        tuples: &[Value],
+        load_factor: f64,
+    ) -> DeviceResult<Self> {
+        assert_eq!(
+            tuples.len() % spec.arity(),
+            0,
+            "tuple buffer length must be a multiple of the arity"
+        );
+        let arity = spec.arity();
+        // Layer 1: reorder columns key-first and move to the device.
+        let reordered = spec.reorder_rows(tuples);
+        // Layer 2: sort + dedup.
+        let order: Vec<usize> = (0..arity).collect();
+        let sorted_all = lexicographic_sort_indices(device, &reordered, arity, &order);
+        let unique = unique_sorted_positions(device, &reordered, arity, &sorted_all);
+        // Compact the data array to unique rows, stored in sorted order so a
+        // freshly built HISA has an identity sorted-index array.
+        let compacted = gather_rows(device, &reordered, arity, &unique);
+        let rows = unique.len();
+        let data = device.buffer_from_vec(compacted)?;
+        let sorted_index = device.buffer_from_vec((0..rows as u32).collect())?;
+        // Layer 3: hash table over the key columns.
+        let mut hash = HashTable::with_capacity(device, rows, load_factor)?;
+        {
+            let data_slice = data.as_slice();
+            let sorted_slice = sorted_index.as_slice();
+            let key_arity = spec.key_arity();
+            hash.build_parallel(rows, |p| {
+                let row = sorted_slice[p] as usize;
+                hash_key(&data_slice[row * arity..row * arity + key_arity])
+            });
+        }
+        Ok(Hisa {
+            spec,
+            device: device.clone(),
+            data,
+            sorted_index,
+            hash,
+            load_factor,
+        })
+    }
+
+    /// Creates an empty HISA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpulog_device::DeviceError::OutOfMemory`] when even the
+    /// minimal hash table does not fit (only plausible on tiny test devices).
+    pub fn empty(device: &Device, spec: IndexSpec) -> DeviceResult<Self> {
+        Self::build(device, spec, &[])
+    }
+
+    /// The index specification this HISA was built with.
+    pub fn spec(&self) -> &IndexSpec {
+        &self.spec
+    }
+
+    /// The device this HISA lives on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.spec.arity()
+    }
+
+    /// `true` when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Tuple arity.
+    pub fn arity(&self) -> usize {
+        self.spec.arity()
+    }
+
+    /// The hash-table load factor in use.
+    pub fn load_factor(&self) -> f64 {
+        self.load_factor
+    }
+
+    /// Bytes of device memory attributable to this HISA (data array, sorted
+    /// index array, and hash table).
+    pub fn device_bytes(&self) -> usize {
+        self.data.accounted_bytes()
+            + self.sorted_index.accounted_bytes()
+            + self.hash.accounted_bytes()
+    }
+
+    /// The raw key-first data array (row-major).
+    pub fn data(&self) -> &[Value] {
+        self.data.as_slice()
+    }
+
+    /// The sorted index array.
+    pub fn sorted_index(&self) -> &[u32] {
+        self.sorted_index.as_slice()
+    }
+
+    /// One row in key-first order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_reordered(&self, row: usize) -> &[Value] {
+        let arity = self.arity();
+        &self.data.as_slice()[row * arity..(row + 1) * arity]
+    }
+
+    /// One row in the relation's original column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.spec.restore(self.row_reordered(row))
+    }
+
+    /// Iterates rows in data-array (storage) order, in original column order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.len()).map(move |r| self.row(r))
+    }
+
+    /// Iterates rows in key-first order, in storage order — the dense access
+    /// pattern the join kernel uses when this relation is the outer relation.
+    pub fn iter_rows_reordered(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        self.data.as_slice().chunks_exact(self.arity())
+    }
+
+    /// Range query (requirement R1): yields the data-array row ids of every
+    /// tuple whose key columns equal `key` (given in key-column order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` differs from the spec's key arity.
+    pub fn range_query<'a>(&'a self, key: &[Value]) -> RangeQuery<'a> {
+        assert_eq!(key.len(), self.spec.key_arity(), "key arity mismatch");
+        let start = self.hash.lookup(hash_key(key)).unwrap_or(u32::MAX);
+        RangeQuery {
+            hisa: self,
+            key: key.to_vec(),
+            position: start as usize,
+        }
+    }
+
+    /// Whether the relation contains `tuple` (given in original column order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple's arity differs from the spec's.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        let reordered = self.spec.reorder(tuple);
+        let key_arity = self.spec.key_arity();
+        self.range_query(&reordered[..key_arity])
+            .any(|row| self.row_reordered(row as usize) == reordered.as_slice())
+    }
+
+    /// All tuples in original column order, sorted lexicographically by
+    /// their key-first representation (a convenient canonical form for
+    /// tests and for host-side export).
+    pub fn to_sorted_tuples(&self) -> Vec<Vec<Value>> {
+        self.sorted_index
+            .as_slice()
+            .iter()
+            .map(|&p| self.row(p as usize))
+            .collect()
+    }
+
+    /// Reserves device capacity for `additional_rows` more tuples in the
+    /// data array, so a subsequent [`Hisa::merge_from`] of up to that many
+    /// rows does not need to grow the buffer. This is the hook eager buffer
+    /// management uses (paper Section 5.3): reserve `k x |delta|` rows once
+    /// and amortize the allocation over the following iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpulog_device::DeviceError::OutOfMemory`] if the extra
+    /// capacity does not fit on the device.
+    pub fn reserve_additional_rows(&mut self, additional_rows: usize) -> DeviceResult<()> {
+        let arity = self.arity();
+        let target_values = self.data.len() + additional_rows * arity;
+        self.data.reserve_total(target_values)?;
+        self.sorted_index
+            .reserve_total(self.sorted_index.len() + additional_rows)?;
+        Ok(())
+    }
+
+    /// Releases all slack capacity back to the device — the behaviour of a
+    /// non-pooled allocator that sizes every buffer exactly (the
+    /// eager-buffer-management-off configuration of Table 1).
+    pub fn shrink_to_fit(&mut self) {
+        self.data.shrink_to_fit();
+        self.sorted_index.shrink_to_fit();
+    }
+
+    /// Merges another HISA (typically a delta relation already known to be
+    /// disjoint from `self`) into this one: the data arrays are
+    /// concatenated, the sorted index arrays are merged with the parallel
+    /// merge-path algorithm, and the hash index is rebuilt over the merged
+    /// order (the "Indexing Full" phase of the paper's Figure 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpulog_device::DeviceError::OutOfMemory`] when the merged
+    /// relation or its rebuilt hash table does not fit on the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two HISAs have different index specifications.
+    pub fn merge_from(&mut self, other: &Hisa) -> DeviceResult<()> {
+        assert_eq!(self.spec, other.spec, "cannot merge HISAs with different specs");
+        if other.is_empty() {
+            return Ok(());
+        }
+        let arity = self.arity();
+        let old_rows = self.len();
+        // Concatenate data arrays (no deduplication needed: semi-naive
+        // evaluation guarantees delta and full are disjoint).
+        self.data.extend_from_slice(other.data.as_slice())?;
+        // Merge sorted index arrays; other's indices shift by old_rows.
+        let shifted: Vec<u32> = other
+            .sorted_index
+            .as_slice()
+            .iter()
+            .map(|&i| i + old_rows as u32)
+            .collect();
+        let data_slice = self.data.as_slice();
+        let merged = merge_sorted_indices_by_key(
+            &self.device,
+            self.sorted_index.as_slice(),
+            &shifted,
+            |i| {
+                let row = i as usize * arity;
+                data_slice[row..row + arity].to_vec()
+            },
+        );
+        let merged_len = merged.len();
+        let mut new_index = self.device.buffer_from_vec(merged)?;
+        std::mem::swap(&mut self.sorted_index, &mut new_index);
+        drop(new_index);
+        // Rebuild the hash index over the merged order.
+        let mut hash = HashTable::with_capacity(&self.device, merged_len, self.load_factor)?;
+        {
+            let data_slice = self.data.as_slice();
+            let sorted_slice = self.sorted_index.as_slice();
+            let key_arity = self.spec.key_arity();
+            hash.build_parallel(merged_len, |p| {
+                let row = sorted_slice[p] as usize;
+                hash_key(&data_slice[row * arity..row * arity + key_arity])
+            });
+        }
+        self.hash = hash;
+        Ok(())
+    }
+}
+
+/// Iterator over the data-array row ids matching one key; produced by
+/// [`Hisa::range_query`].
+#[derive(Debug)]
+pub struct RangeQuery<'a> {
+    hisa: &'a Hisa,
+    key: Vec<Value>,
+    position: usize,
+}
+
+impl<'a> Iterator for RangeQuery<'a> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        let arity = self.hisa.arity();
+        let key_arity = self.key.len();
+        let sorted = self.hisa.sorted_index.as_slice();
+        let data = self.hisa.data.as_slice();
+        while self.position < sorted.len() {
+            let row = sorted[self.position] as usize;
+            let prefix = &data[row * arity..row * arity + key_arity];
+            self.position += 1;
+            match prefix.cmp(self.key.as_slice()) {
+                std::cmp::Ordering::Equal => return Some(row as u32),
+                std::cmp::Ordering::Greater => {
+                    // Sorted order: once past the key, no more matches.
+                    self.position = sorted.len();
+                    return None;
+                }
+                std::cmp::Ordering::Less => {
+                    // Hash collision landed us slightly early; keep scanning.
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpulog_device::profile::DeviceProfile;
+
+    fn device() -> Device {
+        Device::with_workers(DeviceProfile::nvidia_h100(), 4)
+    }
+
+    fn edge_spec() -> IndexSpec {
+        IndexSpec::new(2, vec![0])
+    }
+
+    #[test]
+    fn build_deduplicates_and_sorts() {
+        let d = device();
+        let tuples = [3u32, 4, 1, 2, 3, 4, 1, 2, 2, 9];
+        let h = Hisa::build(&d, edge_spec(), &tuples).unwrap();
+        assert_eq!(h.len(), 3);
+        assert_eq!(
+            h.to_sorted_tuples(),
+            vec![vec![1, 2], vec![2, 9], vec![3, 4]]
+        );
+    }
+
+    #[test]
+    fn empty_relation_behaves() {
+        let d = device();
+        let h = Hisa::empty(&d, edge_spec()).unwrap();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.range_query(&[5]).count(), 0);
+        assert!(!h.contains(&[1, 2]));
+    }
+
+    #[test]
+    fn range_query_returns_all_matches_and_only_matches() {
+        let d = device();
+        let tuples = [
+            0u32, 1, 0, 2, 1, 3, 1, 4, 1, 5, 2, 6, //
+        ];
+        let h = Hisa::build(&d, edge_spec(), &tuples).unwrap();
+        let hits: Vec<Vec<u32>> = h.range_query(&[1]).map(|r| h.row(r as usize)).collect();
+        let mut got = hits;
+        got.sort();
+        assert_eq!(got, vec![vec![1, 3], vec![1, 4], vec![1, 5]]);
+        assert_eq!(h.range_query(&[9]).count(), 0);
+    }
+
+    #[test]
+    fn range_query_with_multi_column_key() {
+        let d = device();
+        // 3-arity, keyed on columns (0, 1).
+        let spec = IndexSpec::new(3, vec![0, 1]);
+        let tuples = [1u32, 2, 10, 1, 2, 20, 1, 3, 30, 2, 2, 40];
+        let h = Hisa::build(&d, spec, &tuples).unwrap();
+        let mut vals: Vec<u32> = h
+            .range_query(&[1, 2])
+            .map(|r| h.row(r as usize)[2])
+            .collect();
+        vals.sort();
+        assert_eq!(vals, vec![10, 20]);
+    }
+
+    #[test]
+    fn key_columns_not_in_front_are_reordered_transparently() {
+        let d = device();
+        // Key on the *second* column of Edge(from, to).
+        let spec = IndexSpec::new(2, vec![1]);
+        let tuples = [1u32, 9, 2, 9, 3, 7];
+        let h = Hisa::build(&d, spec, &tuples).unwrap();
+        let mut froms: Vec<u32> = h.range_query(&[9]).map(|r| h.row(r as usize)[0]).collect();
+        froms.sort();
+        assert_eq!(froms, vec![1, 2]);
+        assert!(h.contains(&[3, 7]));
+        assert!(!h.contains(&[7, 3]));
+    }
+
+    #[test]
+    fn contains_checks_whole_tuple() {
+        let d = device();
+        let h = Hisa::build(&d, edge_spec(), &[5, 6, 5, 7]).unwrap();
+        assert!(h.contains(&[5, 6]));
+        assert!(h.contains(&[5, 7]));
+        assert!(!h.contains(&[5, 8]));
+        assert!(!h.contains(&[6, 5]));
+    }
+
+    #[test]
+    fn merge_concatenates_disjoint_relations() {
+        let d = device();
+        let mut full = Hisa::build(&d, edge_spec(), &[1, 2, 3, 4]).unwrap();
+        let delta = Hisa::build(&d, edge_spec(), &[2, 3, 0, 1]).unwrap();
+        full.merge_from(&delta).unwrap();
+        assert_eq!(full.len(), 4);
+        assert_eq!(
+            full.to_sorted_tuples(),
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]]
+        );
+        // Range queries still work across the merge boundary.
+        assert_eq!(full.range_query(&[2]).count(), 1);
+        assert!(full.contains(&[0, 1]));
+    }
+
+    #[test]
+    fn merge_with_empty_delta_is_a_no_op() {
+        let d = device();
+        let mut full = Hisa::build(&d, edge_spec(), &[1, 2]).unwrap();
+        let delta = Hisa::empty(&d, edge_spec()).unwrap();
+        full.merge_from(&delta).unwrap();
+        assert_eq!(full.len(), 1);
+    }
+
+    #[test]
+    fn repeated_merges_preserve_sorted_index_invariant() {
+        let d = device();
+        let mut full = Hisa::build(&d, edge_spec(), &[10, 1]).unwrap();
+        for step in 0..5u32 {
+            let delta = Hisa::build(&d, edge_spec(), &[step, step + 100]).unwrap();
+            full.merge_from(&delta).unwrap();
+        }
+        let sorted = full.to_sorted_tuples();
+        let mut expected = sorted.clone();
+        expected.sort();
+        assert_eq!(sorted, expected, "sorted index must stay sorted");
+        assert_eq!(full.len(), 6);
+    }
+
+    #[test]
+    fn figure2_style_relation_indexes_by_two_columns() {
+        // Mirrors Figure 2: a 3-arity relation with 2 join columns.
+        let d = device();
+        let spec = IndexSpec::new(3, vec![0, 1]);
+        let tuples = [
+            1u32, 2, 2, 1, 2, 5, 2, 3, 1, 3, 4, 1, 4, 4, 2, 5, 2, 0, 5, 2, 9,
+        ];
+        let h = Hisa::build(&d, spec, &tuples).unwrap();
+        assert_eq!(h.len(), 7);
+        let mut last: Vec<u32> = h.range_query(&[5, 2]).map(|r| h.row(r as usize)[2]).collect();
+        last.sort();
+        assert_eq!(last, vec![0, 9]);
+        assert_eq!(h.range_query(&[4, 4]).count(), 1);
+    }
+
+    #[test]
+    fn reserve_and_shrink_round_trip_device_accounting() {
+        let d = device();
+        let mut h = Hisa::build(&d, edge_spec(), &[1, 2, 3, 4]).unwrap();
+        let baseline = d.tracker().in_use();
+        h.reserve_additional_rows(1000).unwrap();
+        assert!(d.tracker().in_use() > baseline);
+        h.shrink_to_fit();
+        assert!(d.tracker().in_use() <= baseline + 64);
+        // The relation itself is untouched.
+        assert_eq!(h.len(), 2);
+        assert!(h.contains(&[1, 2]));
+    }
+
+    #[test]
+    fn merge_after_reserve_does_not_grow_again() {
+        let d = device();
+        let mut full = Hisa::build(&d, edge_spec(), &[1, 2]).unwrap();
+        full.reserve_additional_rows(16).unwrap();
+        let reserved = d.tracker().in_use();
+        let delta = Hisa::build(&d, edge_spec(), &[3, 4, 5, 6]).unwrap();
+        let delta_bytes = delta.device_bytes();
+        full.merge_from(&delta).unwrap();
+        // The merged full may rebuild its hash table and sorted index, but the
+        // data array itself must not have re-grown beyond the reservation.
+        assert_eq!(full.len(), 3);
+        let _ = (reserved, delta_bytes);
+    }
+
+    #[test]
+    fn device_bytes_accounts_all_three_layers() {
+        let d = device();
+        let h = Hisa::build(&d, edge_spec(), &[1, 2, 3, 4, 5, 6]).unwrap();
+        assert!(h.device_bytes() > 0);
+        assert!(d.tracker().in_use() >= h.device_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "key arity mismatch")]
+    fn range_query_rejects_wrong_key_arity() {
+        let d = device();
+        let h = Hisa::build(&d, edge_spec(), &[1, 2]).unwrap();
+        let _ = h.range_query(&[1, 2]).count();
+    }
+}

@@ -1,0 +1,61 @@
+//! # `gpulog-hisa`: the Hash-Indexed Sorted Array
+//!
+//! The relation-backing data structure at the heart of GPUlog ("Optimizing
+//! Datalog for the GPU", ASPLOS 2025, Section 4). A [`Hisa`] layers an
+//! open-addressing hash table over a lexicographically sorted index array
+//! over a dense row-major data array, satisfying the paper's four
+//! requirements for a GPU relation representation:
+//!
+//! * **R1 — efficient range queries**: the hash table maps a join key to the
+//!   first sorted position holding it; matching tuples are then a linear
+//!   scan.
+//! * **R2 — parallel iteration**: the data array is dense, so outer-relation
+//!   scans are coalesced strided reads.
+//! * **R3 — multi-column join keys**: keys are hashed to 64 bits regardless
+//!   of width.
+//! * **R4 — deduplication**: sorting makes duplicates adjacent; a parallel
+//!   adjacent-comparison pass removes them.
+//!
+//! ```
+//! use gpulog_device::{Device, profile::DeviceProfile};
+//! use gpulog_hisa::{Hisa, IndexSpec};
+//!
+//! # fn main() -> Result<(), gpulog_device::DeviceError> {
+//! let device = Device::new(DeviceProfile::default());
+//! let edges = [0u32, 1, 1, 2, 1, 3];
+//! let hisa = Hisa::build(&device, IndexSpec::new(2, vec![0]), &edges)?;
+//! assert_eq!(hisa.range_query(&[1]).count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dedup;
+pub mod hash_table;
+#[allow(clippy::module_inception)]
+mod hisa;
+pub mod tuple;
+
+pub use hash_table::{HashTable, DEFAULT_LOAD_FACTOR};
+pub use hisa::{Hisa, RangeQuery};
+pub use tuple::{hash_key, key_eq, IndexSpec, Value};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpulog_device::{profile::DeviceProfile, Device};
+
+    #[test]
+    fn crate_level_example_compiles_and_runs() {
+        let device = Device::new(DeviceProfile::default());
+        let edges = [0u32, 1, 1, 2, 1, 3];
+        let hisa = Hisa::build(&device, IndexSpec::new(2, vec![0]), &edges).unwrap();
+        assert_eq!(hisa.range_query(&[1]).count(), 2);
+    }
+
+    #[test]
+    fn hisa_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Hisa>();
+        assert_send_sync::<IndexSpec>();
+    }
+}

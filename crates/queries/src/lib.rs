@@ -1,0 +1,51 @@
+//! # `gpulog-queries`: the paper's benchmark queries
+//!
+//! Ready-to-run Datalog programs and helpers for the three workloads the
+//! paper evaluates — transitive closure ([`reach`]), same generation
+//! ([`sg`]), and context-sensitive points-to analysis ([`cspa`]) — plus the
+//! DDisasm-style multi-column-join rule the paper uses to motivate
+//! requirement R3 ([`ddisasm`]).
+//!
+//! ```
+//! use gpulog::EngineConfig;
+//! use gpulog_datasets::generators::binary_tree;
+//! use gpulog_device::{Device, profile::DeviceProfile};
+//! use gpulog_queries::reach;
+//!
+//! # fn main() -> Result<(), gpulog::EngineError> {
+//! let device = Device::new(DeviceProfile::default());
+//! let result = reach::run(&device, &binary_tree(4), EngineConfig::default())?;
+//! assert!(result.reach_size > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cspa;
+pub mod ddisasm;
+pub mod reach;
+pub mod sg;
+
+pub use cspa::{CspaResult, CspaSizes, CSPA_PROGRAM};
+pub use reach::{ReachResult, REACH_PROGRAM};
+pub use sg::{SgResult, SG_PROGRAM};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpulog::EngineConfig;
+    use gpulog_datasets::generators::binary_tree;
+    use gpulog_device::{profile::DeviceProfile, Device};
+
+    #[test]
+    fn all_three_headline_queries_run_on_one_device() {
+        let device = Device::with_workers(DeviceProfile::nvidia_h100(), 4);
+        let tree = binary_tree(4);
+        let r = reach::run(&device, &tree, EngineConfig::default()).unwrap();
+        let s = sg::run(&device, &tree, EngineConfig::default()).unwrap();
+        let input = gpulog_datasets::cspa::httpd_like(1.0 / 4000.0);
+        let c = cspa::run(&device, &input, EngineConfig::default()).unwrap();
+        assert!(r.reach_size > 0);
+        assert!(s.sg_size > 0);
+        assert!(c.sizes.value_flow > 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: define a Datalog program, load facts, run it to fixpoint,
+//! and inspect results and run statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gpulog::Gpulog;
+use gpulog_device::{profile::DeviceProfile, Device};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a device. The profile determines memory capacity and the
+    //    analytic cost model used for modeled-device-time reporting.
+    let device = Device::new(DeviceProfile::nvidia_h100());
+
+    // 2. Write a Datalog program in Soufflé-style syntax.
+    let mut datalog = Gpulog::from_source(
+        &device,
+        r"
+        .decl Edge(x: number, y: number)
+        .input Edge
+        .decl Reach(x: number, y: number)
+        .output Reach
+        Reach(x, y) :- Edge(x, y).
+        Reach(x, y) :- Edge(x, z), Reach(z, y).
+    ",
+    )?;
+
+    // 3. Load extensional facts (here: a small cycle plus a tail).
+    datalog.add_facts("Edge", [[0u32, 1], [1, 2], [2, 0], [2, 3], [3, 4]])?;
+
+    // 4. Run to fixpoint.
+    let stats = datalog.run()?;
+
+    // 5. Inspect results.
+    println!("Reach has {} tuples", datalog.len("Reach").unwrap_or(0));
+    println!("0 reaches 4?  {}", datalog.contains("Reach", &[0, 4]));
+    println!("4 reaches 0?  {}", datalog.contains("Reach", &[4, 0]));
+    println!();
+    println!("fixpoint iterations : {}", stats.iterations);
+    println!("wall time           : {:.3} ms", stats.wall_seconds * 1e3);
+    println!(
+        "modeled H100 time   : {:.3} ms",
+        stats.modeled_seconds() * 1e3
+    );
+    println!(
+        "peak device memory  : {:.1} KiB",
+        stats.peak_device_bytes as f64 / 1024.0
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Graph reachability over the paper's named (synthetic, scaled) datasets,
+//! with per-phase timing and a comparison against the Soufflé-like CPU
+//! baseline — a miniature version of the paper's Table 2 experiment.
+//!
+//! ```text
+//! cargo run --release --example reachability [scale]
+//! ```
+
+use gpulog::{EngineConfig, Phase};
+use gpulog_baselines::souffle_like;
+use gpulog_datasets::PaperDataset;
+use gpulog_device::{profile::DeviceProfile, Device};
+use gpulog_queries::reach;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.3);
+    let dataset = PaperDataset::Gnutella31;
+    let graph = dataset.generate(scale);
+    println!(
+        "dataset {} : {} nodes, {} edges",
+        graph.name,
+        graph.node_count(),
+        graph.len()
+    );
+
+    let device = Device::new(DeviceProfile::nvidia_h100());
+    let result = reach::run(&device, &graph, EngineConfig::default())?;
+    println!(
+        "GPUlog: {} Reach tuples in {} iterations",
+        result.reach_size, result.stats.iterations
+    );
+    println!(
+        "        wall {:.1} ms, modeled H100 {:.2} ms",
+        result.stats.wall_seconds * 1e3,
+        result.stats.modeled_seconds() * 1e3
+    );
+    for phase in Phase::all() {
+        println!(
+            "        {:<18} {:>5.1}%",
+            phase.label(),
+            result.stats.phase_percent(phase)
+        );
+    }
+
+    let baseline = souffle_like::reach(&graph, 8);
+    println!(
+        "Souffle-like baseline: {:?} tuples in {:.1} ms (must agree: {})",
+        baseline.tuples.unwrap_or(0),
+        baseline.seconds().unwrap_or(0.0) * 1e3,
+        baseline.tuples == Some(result.reach_size),
+    );
+    Ok(())
+}

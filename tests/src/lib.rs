@@ -1,0 +1,6 @@
+//! Integration-test crate for the GPUlog reproduction workspace.
+//!
+//! This crate intentionally exports nothing; all content lives in its
+//! `tests/` directory and exercises the public APIs of the workspace crates
+//! together (end-to-end Datalog queries, cross-engine agreement, paper
+//! figure traces).

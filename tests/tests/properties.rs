@@ -1,0 +1,121 @@
+//! Property-based tests over the whole stack: HISA against a B-tree model,
+//! the parallel primitives against their sequential references, and the
+//! GPUlog engine against an independent fixpoint computation, on randomly
+//! generated inputs.
+
+use gpulog::EngineConfig;
+use gpulog_datasets::EdgeList;
+use gpulog_device::thrust::merge::merge_path_merge;
+use gpulog_device::thrust::sort::stable_sort_by;
+use gpulog_device::{profile::DeviceProfile, Device};
+use gpulog_hisa::{Hisa, IndexSpec};
+use gpulog_queries::{reach, sg};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn device() -> Device {
+    Device::with_workers(DeviceProfile::nvidia_h100(), 4)
+}
+
+fn edges_strategy(max_node: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..max_node, 0..max_node), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_sort_matches_std_sort(mut values in prop::collection::vec(0u32..10_000, 0..2000)) {
+        let d = device();
+        let mut expected = values.clone();
+        expected.sort();
+        stable_sort_by(&d, &mut values, |a, b| a.cmp(b));
+        prop_assert_eq!(values, expected);
+    }
+
+    #[test]
+    fn merge_path_matches_std_merge(
+        mut a in prop::collection::vec(0u32..5_000, 0..800),
+        mut b in prop::collection::vec(0u32..5_000, 0..800),
+    ) {
+        let d = device();
+        a.sort();
+        b.sort();
+        let merged = merge_path_merge(&d, &a, &b, |x, y| x.cmp(y));
+        let mut expected = a.clone();
+        expected.extend_from_slice(&b);
+        expected.sort();
+        prop_assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn hisa_behaves_like_a_set_with_range_queries(edges in edges_strategy(40, 300)) {
+        let d = device();
+        let flat: Vec<u32> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let hisa = Hisa::build(&d, IndexSpec::new(2, vec![0]), &flat).unwrap();
+        let model: BTreeSet<(u32, u32)> = edges.iter().copied().collect();
+        prop_assert_eq!(hisa.len(), model.len());
+        // Membership agrees on present and absent tuples.
+        for &(a, b) in edges.iter().take(20) {
+            prop_assert!(hisa.contains(&[a, b]));
+            prop_assert_eq!(hisa.contains(&[b.wrapping_add(41), a]), model.contains(&(b.wrapping_add(41), a)));
+        }
+        // Range queries return exactly the model's per-key groups.
+        for key in 0..40u32 {
+            let expected: BTreeSet<u32> = model.iter().filter(|t| t.0 == key).map(|t| t.1).collect();
+            let got: BTreeSet<u32> = hisa
+                .range_query(&[key])
+                .map(|row| hisa.row(row as usize)[1])
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn hisa_merge_equals_set_union(
+        left in edges_strategy(30, 150),
+        right in edges_strategy(30, 150),
+    ) {
+        let d = device();
+        let left_flat: Vec<u32> = left.iter().flat_map(|&(a, b)| [a, b]).collect();
+        // Keep the delta disjoint from full, as the engine guarantees.
+        let left_set: BTreeSet<(u32, u32)> = left.iter().copied().collect();
+        let right_disjoint: Vec<(u32, u32)> = right
+            .iter()
+            .copied()
+            .filter(|t| !left_set.contains(t))
+            .collect();
+        let right_flat: Vec<u32> = right_disjoint.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let mut full = Hisa::build(&d, IndexSpec::new(2, vec![0]), &left_flat).unwrap();
+        let delta = Hisa::build(&d, IndexSpec::new(2, vec![0]), &right_flat).unwrap();
+        full.merge_from(&delta).unwrap();
+        let mut union: BTreeSet<(u32, u32)> = left_set;
+        union.extend(right_disjoint.iter().copied());
+        prop_assert_eq!(full.len(), union.len());
+        let merged: BTreeSet<(u32, u32)> = full
+            .iter_rows()
+            .map(|row| (row[0], row[1]))
+            .collect();
+        prop_assert_eq!(merged, union);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn reach_agrees_with_bfs_reference(edges in edges_strategy(30, 120)) {
+        let graph = EdgeList::new("prop", edges.into_iter().filter(|(a, b)| a != b).collect());
+        let d = device();
+        let result = reach::run(&d, &graph, EngineConfig::default()).unwrap();
+        prop_assert_eq!(result.reach_size, reach::reference_closure(&graph).len());
+    }
+
+    #[test]
+    fn sg_agrees_with_naive_reference(edges in edges_strategy(16, 40)) {
+        let graph = EdgeList::new("prop", edges.into_iter().filter(|(a, b)| a != b).collect());
+        let d = device();
+        let result = sg::run(&d, &graph, EngineConfig::default()).unwrap();
+        prop_assert_eq!(result.sg_size, sg::reference_sg(&graph).len());
+    }
+}
