@@ -52,7 +52,8 @@ impl DataFrame {
 
     /// `drop_duplicates` producing a fresh, sorted dataframe.
     fn drop_duplicates(&self) -> DataFrame {
-        let mut pairs: Vec<(u32, u32)> = self.a.iter().copied().zip(self.b.iter().copied()).collect();
+        let mut pairs: Vec<(u32, u32)> =
+            self.a.iter().copied().zip(self.b.iter().copied()).collect();
         pairs.sort_unstable();
         pairs.dedup();
         DataFrame::from_pairs(pairs)
@@ -60,7 +61,11 @@ impl DataFrame {
 
     /// Inner hash join `self.b == other.a`, emitting `(other.b, self... )`
     /// configured by the caller through `emit`.
-    fn join_on_b_eq_a(&self, other: &DataFrame, emit: impl Fn(usize, usize) -> (u32, u32)) -> DataFrame {
+    fn join_on_b_eq_a(
+        &self,
+        other: &DataFrame,
+        emit: impl Fn(usize, usize) -> (u32, u32),
+    ) -> DataFrame {
         let mut index: HashMap<u32, Vec<usize>> = HashMap::new();
         for (i, &key) in other.a.iter().enumerate() {
             index.entry(key).or_default().push(i);
@@ -192,7 +197,7 @@ pub fn sg(graph: &EdgeList, memory_limit_bytes: usize) -> BaselineOutcome {
             b: delta.a.clone(), // a (join key)
         };
         let tmp = sg_keyed.join_on_b_eq_a(&edges, |i, j| (sg_keyed.a[i], edges.b[j])); // (b, x)
-        // SG(x, y) :- Edge(b, y), Tmp(b, x): join tmp on b.
+                                                                                       // SG(x, y) :- Edge(b, y), Tmp(b, x): join tmp on b.
         let tmp_keyed = DataFrame {
             a: tmp.b.clone(), // x
             b: tmp.a.clone(), // b (join key)

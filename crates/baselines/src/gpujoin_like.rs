@@ -28,8 +28,8 @@ struct TupleHashTable {
 
 impl TupleHashTable {
     fn with_capacity_for(tuples: usize) -> Self {
-        let capacity = ((tuples.max(4) as f64 / GPUJOIN_LOAD_FACTOR).ceil() as usize)
-            .next_power_of_two();
+        let capacity =
+            ((tuples.max(4) as f64 / GPUJOIN_LOAD_FACTOR).ceil() as usize).next_power_of_two();
         TupleHashTable {
             slots: vec![None; capacity],
             len: 0,
@@ -129,10 +129,7 @@ pub fn reach(graph: &EdgeList, memory_limit_bytes: usize) -> BaselineOutcome {
         full.sort_unstable();
         full.dedup();
         // Next delta: derived tuples that were not present before this merge.
-        delta = derived
-            .into_iter()
-            .filter(|t| seen.insert(*t))
-            .collect();
+        delta = derived.into_iter().filter(|t| seen.insert(*t)).collect();
         delta.sort_unstable();
         delta.dedup();
         peak = peak.max(edges_by_dst.bytes() + full.len() * 8 + delta.len() * 8 + seen.len() * 24);

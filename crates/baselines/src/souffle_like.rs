@@ -49,7 +49,10 @@ impl BinaryRelation {
     }
 
     fn firsts_for_second(&self, second: u32) -> &[u32] {
-        self.by_second.get(&second).map(Vec::as_slice).unwrap_or(&[])
+        self.by_second
+            .get(&second)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Rough memory estimate: tuples stored once in the set and once per
@@ -71,11 +74,11 @@ where
     let workers = workers.max(1).min(delta.len());
     let chunk = delta.len().div_ceil(workers);
     let mut outputs: Vec<Vec<(u32, u32)>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for part in delta.chunks(chunk) {
             let derive = &derive;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 for t in part {
                     derive(t, &mut local);
@@ -86,8 +89,7 @@ where
         for h in handles {
             outputs.push(h.join().expect("baseline worker panicked"));
         }
-    })
-    .expect("baseline scope failed");
+    });
     outputs.concat()
 }
 

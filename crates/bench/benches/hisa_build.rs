@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn random_tuples(rows: usize, arity: usize, seed: u64) -> Vec<u32> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..rows * arity).map(|_| rng.gen_range(0..50_000)).collect()
+    (0..rows * arity)
+        .map(|_| rng.gen_range(0..50_000))
+        .collect()
 }
 
 fn bench_hisa_build(c: &mut Criterion) {

@@ -14,7 +14,9 @@ fn bench_sg(c: &mut Criterion) {
     c.bench_function("sg_gpulog_ego-Facebook", |b| {
         b.iter(|| {
             let device = Device::new(DeviceProfile::nvidia_h100());
-            sg::run(&device, &graph, EngineConfig::default()).unwrap().sg_size
+            sg::run(&device, &graph, EngineConfig::default())
+                .unwrap()
+                .sg_size
         })
     });
     c.bench_function("sg_souffle_like_ego-Facebook", |b| {

@@ -8,7 +8,10 @@ use gpulog_queries::cspa;
 
 fn main() {
     let scale = scale_from_env();
-    banner("Figure 6: CSPA phase breakdown (percent of run time)", scale);
+    banner(
+        "Figure 6: CSPA phase breakdown (percent of run time)",
+        scale,
+    );
     let cspa_scale = scale / 400.0;
 
     let mut table = TextTable::new([
@@ -52,7 +55,7 @@ fn main() {
                 Phase::Join => 'J',
                 Phase::Other => '.',
             };
-            bar.extend(std::iter::repeat(ch).take(blocks));
+            bar.extend(std::iter::repeat_n(ch, blocks));
         }
         println!("{name:>12} |{bar}|");
     }

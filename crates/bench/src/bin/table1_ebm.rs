@@ -12,7 +12,10 @@ use gpulog_queries::reach;
 
 fn main() {
     let scale = scale_from_env();
-    banner("Table 1: REACH with vs. without eager buffer management", scale);
+    banner(
+        "Table 1: REACH with vs. without eager buffer management",
+        scale,
+    );
     let mut table = TextTable::new([
         "Dataset",
         "Iter total",
@@ -26,13 +29,17 @@ fn main() {
     for dataset in PaperDataset::table1() {
         let graph = dataset.generate(scale);
 
-        let mut normal_cfg = EngineConfig::default();
-        normal_cfg.ebm = EbmConfig::disabled();
+        let normal_cfg = EngineConfig {
+            ebm: EbmConfig::disabled(),
+            ..EngineConfig::default()
+        };
         let normal_device = gpulog_device(scale);
         let normal = reach::run(&normal_device, &graph, normal_cfg).expect("normal run");
 
-        let mut eager_cfg = EngineConfig::default();
-        eager_cfg.ebm = EbmConfig::with_growth_factor(8.0);
+        let eager_cfg = EngineConfig {
+            ebm: EbmConfig::with_growth_factor(8.0),
+            ..EngineConfig::default()
+        };
         let eager_device = gpulog_device(scale);
         let eager = reach::run(&eager_device, &graph, eager_cfg).expect("eager run");
 
@@ -46,7 +53,11 @@ fn main() {
         table.row([
             dataset.paper_name().to_string(),
             format!("{}", eager.stats.iterations),
-            if tail == 0 { "/".to_string() } else { format!("{tail}") },
+            if tail == 0 {
+                "/".to_string()
+            } else {
+                format!("{tail}")
+            },
             format!("{normal_time:.4}"),
             format!("{eager_time:.4}"),
             format!("{:.2}", normal.stats.peak_device_bytes as f64 / 1e6),

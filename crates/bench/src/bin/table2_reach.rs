@@ -9,9 +9,14 @@ use gpulog_queries::reach;
 
 fn main() {
     let scale = scale_from_env();
-    banner("Table 2: REACH — GPUlog vs Souffle-like, GPUJoin-like, cuDF-like", scale);
+    banner(
+        "Table 2: REACH — GPUlog vs Souffle-like, GPUJoin-like, cuDF-like",
+        scale,
+    );
     let budget = vram_budget_bytes(scale);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     let mut table = TextTable::new([
         "Dataset",

@@ -11,9 +11,14 @@ use gpulog_queries::sg;
 
 fn main() {
     let scale = scale_from_env();
-    banner("Table 3: SG — GPUlog vs GPUlog-HIP vs Souffle-like vs cuDF-like", scale);
+    banner(
+        "Table 3: SG — GPUlog vs GPUlog-HIP vs Souffle-like vs cuDF-like",
+        scale,
+    );
     let budget = vram_budget_bytes(scale);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     let mut table = TextTable::new([
         "Dataset",
@@ -48,8 +53,10 @@ fn main() {
         let mut hip_profile = DeviceProfile::amd_mi250();
         hip_profile.memory_capacity_bytes = budget;
         let hip_device = Device::new(hip_profile);
-        let mut hip_cfg = EngineConfig::default();
-        hip_cfg.ebm = EbmConfig::disabled();
+        let hip_cfg = EngineConfig {
+            ebm: EbmConfig::disabled(),
+            ..EngineConfig::default()
+        };
         let hip_cell = match sg::run(&hip_device, &graph, hip_cfg) {
             Ok(r) => format!("{:.3}", r.stats.modeled_seconds()),
             Err(_) => "OOM".to_string(),

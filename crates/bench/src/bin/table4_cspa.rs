@@ -14,7 +14,9 @@ fn main() {
     // synthetic stand-ins scale them down by a constant factor adjusted by
     // GPULOG_SCALE.
     let cspa_scale = scale / 400.0;
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     let inputs = [
         ("Httpd", httpd_like(cspa_scale)),
@@ -37,7 +39,8 @@ fn main() {
 
     for (name, input) in &inputs {
         let device = gpulog_device(scale);
-        let gpulog_result = cspa::run(&device, input, EngineConfig::default()).expect("gpulog cspa");
+        let gpulog_result =
+            cspa::run(&device, input, EngineConfig::default()).expect("gpulog cspa");
         let (souffle_outcome, souffle_sizes) = souffle_like::cspa(input, workers);
         // Cross-check: both engines must derive the same relation sizes, as
         // the paper notes "All relation sizes match that of Souffle's".

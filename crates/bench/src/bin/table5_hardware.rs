@@ -12,7 +12,9 @@ use gpulog_queries::{cspa, sg};
 /// Runs a workload once on a reference device and reports the modeled time
 /// under each profile. The AMD profiles model the HIP backend, which lacks
 /// the pooled allocator (EBM off), matching the paper's Section 6.6 setup.
-fn modeled_times(run: impl Fn(&Device, EngineConfig) -> gpulog_device::CounterSnapshot) -> Vec<f64> {
+fn modeled_times(
+    run: impl Fn(&Device, EngineConfig) -> gpulog_device::CounterSnapshot,
+) -> Vec<f64> {
     let mut out = Vec::new();
     for profile in DeviceProfile::paper_gpus() {
         let is_amd = profile.name.starts_with("AMD");
@@ -29,11 +31,19 @@ fn modeled_times(run: impl Fn(&Device, EngineConfig) -> gpulog_device::CounterSn
 
 fn main() {
     let scale = scale_from_env();
-    banner("Table 5: GPUlog across GPU models (modeled device time)", scale);
+    banner(
+        "Table 5: GPUlog across GPU models (modeled device time)",
+        scale,
+    );
     let cspa_scale = scale / 400.0;
 
     let mut table = TextTable::new([
-        "Query", "Dataset", "H100 (s)", "A100 (s)", "MI250 (s)", "MI50 (s)",
+        "Query",
+        "Dataset",
+        "H100 (s)",
+        "A100 (s)",
+        "MI250 (s)",
+        "MI50 (s)",
     ]);
 
     for dataset in [

@@ -24,13 +24,22 @@ fn random_tuples(rows: usize, seed: u64) -> Vec<u32> {
 
 fn main() {
     let scale = scale_from_env();
-    banner("Table 6: sort / merge / allocation — GPU (A100) vs CPU (Zen 3)", scale);
+    banner(
+        "Table 6: sort / merge / allocation — GPU (A100) vs CPU (Zen 3)",
+        scale,
+    );
     // The paper sweeps 1e6 .. 5e8 tuples; the simulated sweep uses the same
     // geometric shape scaled down so the largest size stays laptop-friendly.
-    let sizes: Vec<usize> = [1_000_000usize, 10_000_000, 50_000_000, 100_000_000, 500_000_000]
-        .iter()
-        .map(|&n| ((n as f64 * scale / 100.0) as usize).max(10_000))
-        .collect();
+    let sizes: Vec<usize> = [
+        1_000_000usize,
+        10_000_000,
+        50_000_000,
+        100_000_000,
+        500_000_000,
+    ]
+    .iter()
+    .map(|&n| ((n as f64 * scale / 100.0) as usize).max(10_000))
+    .collect();
 
     let gpu_model = CostModel::new(DeviceProfile::nvidia_a100());
     let cpu_model = CostModel::new(DeviceProfile::amd_epyc_7543p());
@@ -78,12 +87,30 @@ fn main() {
 
         table.row([
             format!("{rows}"),
-            format!("{:.4}", gpu_model.estimate(&sort_work).total_sec() * REPETITIONS),
-            format!("{:.4}", cpu_model.estimate(&sort_work).total_sec() * REPETITIONS),
-            format!("{:.4}", gpu_model.estimate(&merge_work).total_sec() * REPETITIONS),
-            format!("{:.4}", cpu_model.estimate(&merge_work).total_sec() * REPETITIONS),
-            format!("{:.4}", gpu_model.estimate(&alloc_work).total_sec() * REPETITIONS),
-            format!("{:.4}", cpu_model.estimate(&alloc_work).total_sec() * REPETITIONS),
+            format!(
+                "{:.4}",
+                gpu_model.estimate(&sort_work).total_sec() * REPETITIONS
+            ),
+            format!(
+                "{:.4}",
+                cpu_model.estimate(&sort_work).total_sec() * REPETITIONS
+            ),
+            format!(
+                "{:.4}",
+                gpu_model.estimate(&merge_work).total_sec() * REPETITIONS
+            ),
+            format!(
+                "{:.4}",
+                cpu_model.estimate(&merge_work).total_sec() * REPETITIONS
+            ),
+            format!(
+                "{:.4}",
+                gpu_model.estimate(&alloc_work).total_sec() * REPETITIONS
+            ),
+            format!(
+                "{:.4}",
+                cpu_model.estimate(&alloc_work).total_sec() * REPETITIONS
+            ),
         ]);
     }
     println!("{}", table.render());

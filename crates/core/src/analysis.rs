@@ -142,11 +142,7 @@ pub fn stratify(program: &Program) -> EngineResult<StratifiedProgram> {
     })
 }
 
-fn validate_rule(
-    rule: &Rule,
-    id_of: &HashMap<&str, usize>,
-    arities: &[usize],
-) -> EngineResult<()> {
+fn validate_rule(rule: &Rule, id_of: &HashMap<&str, usize>, arities: &[usize]) -> EngineResult<()> {
     let check_atom = |atom: &crate::ast::Atom| -> EngineResult<()> {
         match id_of.get(atom.relation.as_str()) {
             None => Err(EngineError::Validation {
@@ -376,10 +372,7 @@ mod tests {
             .body("Missing", vec![Term::var("x")])
             .end_rule()
             .build();
-        assert!(matches!(
-            stratify(&p),
-            Err(EngineError::Validation { .. })
-        ));
+        assert!(matches!(stratify(&p), Err(EngineError::Validation { .. })));
     }
 
     #[test]

@@ -301,7 +301,10 @@ impl ProgramBuilder {
     /// Panics if a rule is already open (finish it with
     /// [`ProgramBuilder::end_rule`] first).
     pub fn rule(mut self, head_relation: impl Into<String>, head_terms: Vec<Term>) -> Self {
-        assert!(self.current_rule.is_none(), "finish the previous rule first");
+        assert!(
+            self.current_rule.is_none(),
+            "finish the previous rule first"
+        );
         self.current_rule = Some(Rule {
             head: Atom::new(head_relation, head_terms),
             body: Vec::new(),

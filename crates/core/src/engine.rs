@@ -13,8 +13,8 @@ use crate::ebm::EbmConfig;
 use crate::error::{EngineError, EngineResult};
 use crate::planner::{compile, CompiledProgram, RulePlan, VersionSel};
 use crate::ra::nway::{fused_rule_join, FusedLevel, NwayStrategy};
-use crate::ra::{difference, hash_join, project_rows};
 use crate::ra::project::{filter_rows, scan_select};
+use crate::ra::{difference, hash_join, project_rows};
 use crate::relation::RelationStorage;
 use crate::stats::{IterationRecord, Phase, RunStats};
 use gpulog_device::Device;
@@ -114,12 +114,13 @@ impl GpulogEngine {
         config: EngineConfig,
     ) -> EngineResult<Self> {
         let mut relations = Vec::with_capacity(compiled.relation_names.len());
-        for (name, &arity) in compiled
-            .relation_names
-            .iter()
-            .zip(compiled.arities.iter())
-        {
-            relations.push(RelationStorage::new(device, name, arity, config.load_factor)?);
+        for (name, &arity) in compiled.relation_names.iter().zip(compiled.arities.iter()) {
+            relations.push(RelationStorage::new(
+                device,
+                name,
+                arity,
+                config.load_factor,
+            )?);
         }
         let pending_facts = vec![Vec::new(); compiled.relation_names.len()];
         Ok(GpulogEngine {
@@ -165,10 +166,13 @@ impl GpulogEngine {
                 message: "facts cannot be added after the engine has run".into(),
             });
         }
-        let id = self.compiled.relation_id(relation).ok_or_else(|| EngineError::BadFacts {
-            relation: relation.to_string(),
-            message: "unknown relation".into(),
-        })?;
+        let id = self
+            .compiled
+            .relation_id(relation)
+            .ok_or_else(|| EngineError::BadFacts {
+                relation: relation.to_string(),
+                message: "unknown relation".into(),
+            })?;
         let arity = self.compiled.arities[id];
         let buffer = &mut self.pending_facts[id];
         for tuple in tuples {
@@ -191,15 +195,21 @@ impl GpulogEngine {
     /// Returns [`EngineError::BadFacts`] for unknown relations or buffers
     /// whose length is not a multiple of the arity.
     pub fn add_facts_flat(&mut self, relation: &str, flat: &[u32]) -> EngineResult<()> {
-        let id = self.compiled.relation_id(relation).ok_or_else(|| EngineError::BadFacts {
-            relation: relation.to_string(),
-            message: "unknown relation".into(),
-        })?;
+        let id = self
+            .compiled
+            .relation_id(relation)
+            .ok_or_else(|| EngineError::BadFacts {
+                relation: relation.to_string(),
+                message: "unknown relation".into(),
+            })?;
         let arity = self.compiled.arities[id];
-        if flat.len() % arity != 0 {
+        if !flat.len().is_multiple_of(arity) {
             return Err(EngineError::BadFacts {
                 relation: relation.to_string(),
-                message: format!("buffer length {} is not a multiple of arity {arity}", flat.len()),
+                message: format!(
+                    "buffer length {} is not a multiple of arity {arity}",
+                    flat.len()
+                ),
             });
         }
         if self.has_run {
@@ -221,9 +231,12 @@ impl GpulogEngine {
 
     /// All tuples of a relation, in declared column order.
     pub fn relation_tuples(&self, relation: &str) -> Option<Vec<Vec<u32>>> {
-        self.compiled
-            .relation_id(relation)
-            .map(|id| self.relations[id].tuples())
+        self.compiled.relation_id(relation).map(|id| {
+            self.relations[id]
+                .tuples_iter()
+                .map(<[u32]>::to_vec)
+                .collect()
+        })
     }
 
     /// Whether a relation contains a tuple.
@@ -370,7 +383,9 @@ impl GpulogEngine {
             total_delta += delta.len() / arity;
 
             let t = Instant::now();
-            self.relations[rel].set_delta(&delta)?;
+            // `difference` emits sorted, deduplicated, full-disjoint rows,
+            // so the delta HISA skips its sort/dedup passes entirely.
+            self.relations[rel].set_delta_sorted_unique(&delta)?;
             stats.add_phase(Phase::IndexDelta, t.elapsed());
 
             let t = Instant::now();
@@ -456,8 +471,12 @@ impl GpulogEngine {
                     );
                     inter_arity = join.emit.len();
                     if !plan.filters[k + 1].is_empty() {
-                        intermediate =
-                            filter_rows(&self.device, &intermediate, inter_arity, &plan.filters[k + 1]);
+                        intermediate = filter_rows(
+                            &self.device,
+                            &intermediate,
+                            inter_arity,
+                            &plan.filters[k + 1],
+                        );
                     }
                     stats.add_phase(Phase::Join, t.elapsed());
                 }
@@ -568,7 +587,8 @@ mod tests {
     fn reach_on_a_chain_computes_transitive_closure() {
         let d = device();
         let mut e = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
-        e.add_facts("Edge", [[0u32, 1], [1, 2], [2, 3], [3, 4]]).unwrap();
+        e.add_facts("Edge", [[0u32, 1], [1, 2], [2, 3], [3, 4]])
+            .unwrap();
         let stats = e.run().unwrap();
         // Chain of 5 nodes: 4 + 3 + 2 + 1 = 10 reachable pairs.
         assert_eq!(e.relation_size("Reach"), Some(10));
@@ -612,7 +632,12 @@ mod tests {
             [8, 6],
             [8, 7],
         ] {
-            assert!(e.contains("SG", &pair), "missing SG({}, {})", pair[0], pair[1]);
+            assert!(
+                e.contains("SG", &pair),
+                "missing SG({}, {})",
+                pair[0],
+                pair[1]
+            );
         }
         // Figure 1 shows the query converging after iteration 3 (the third
         // iteration produces an empty delta).
@@ -625,8 +650,10 @@ mod tests {
         let mut mat = GpulogEngine::from_source(&d, SG, EngineConfig::default()).unwrap();
         mat.add_facts("Edge", figure1_edges()).unwrap();
         mat.run().unwrap();
-        let mut cfg = EngineConfig::default();
-        cfg.nway = NwayStrategy::FusedNestedLoop;
+        let cfg = EngineConfig {
+            nway: NwayStrategy::FusedNestedLoop,
+            ..EngineConfig::default()
+        };
         let mut fused = GpulogEngine::from_source(&d, SG, cfg).unwrap();
         fused.add_facts("Edge", figure1_edges()).unwrap();
         fused.run().unwrap();
@@ -643,8 +670,10 @@ mod tests {
         let mut on = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
         on.add_facts("Edge", figure1_edges()).unwrap();
         on.run().unwrap();
-        let mut cfg = EngineConfig::default();
-        cfg.ebm = EbmConfig::disabled();
+        let cfg = EngineConfig {
+            ebm: EbmConfig::disabled(),
+            ..EngineConfig::default()
+        };
         let mut off = GpulogEngine::from_source(&d, REACH, cfg).unwrap();
         off.add_facts("Edge", figure1_edges()).unwrap();
         off.run().unwrap();
@@ -710,7 +739,10 @@ mod tests {
         e.add_facts("Edge", edges).unwrap();
         match e.run() {
             Err(EngineError::Device(err)) => {
-                assert!(matches!(err, gpulog_device::DeviceError::OutOfMemory { .. }));
+                assert!(matches!(
+                    err,
+                    gpulog_device::DeviceError::OutOfMemory { .. }
+                ));
             }
             other => panic!("expected an out-of-memory error, got {other:?}"),
         }

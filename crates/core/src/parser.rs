@@ -71,15 +71,24 @@ fn tokenize(source: &str) -> EngineResult<Vec<Spanned>> {
             }
             '(' => {
                 chars.next();
-                tokens.push(Spanned { token: Token::LParen, line });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    line,
+                });
             }
             ')' => {
                 chars.next();
-                tokens.push(Spanned { token: Token::RParen, line });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    line,
+                });
             }
             ',' => {
                 chars.next();
-                tokens.push(Spanned { token: Token::Comma, line });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    line,
+                });
             }
             '.' => {
                 chars.next();
@@ -94,7 +103,10 @@ fn tokenize(source: &str) -> EngineResult<Vec<Spanned>> {
                     }
                 }
                 if word.is_empty() {
-                    tokens.push(Spanned { token: Token::Dot, line });
+                    tokens.push(Spanned {
+                        token: Token::Dot,
+                        line,
+                    });
                 } else {
                     tokens.push(Spanned {
                         token: Token::Directive(word),
@@ -144,7 +156,10 @@ fn tokenize(source: &str) -> EngineResult<Vec<Spanned>> {
                 } else {
                     CmpOp::Lt
                 };
-                tokens.push(Spanned { token: Token::Cmp(op), line });
+                tokens.push(Spanned {
+                    token: Token::Cmp(op),
+                    line,
+                });
             }
             '>' => {
                 chars.next();
@@ -154,7 +169,10 @@ fn tokenize(source: &str) -> EngineResult<Vec<Spanned>> {
                 } else {
                     CmpOp::Gt
                 };
-                tokens.push(Spanned { token: Token::Cmp(op), line });
+                tokens.push(Spanned {
+                    token: Token::Cmp(op),
+                    line,
+                });
             }
             '_' => {
                 chars.next();
@@ -213,15 +231,17 @@ fn tokenize(source: &str) -> EngineResult<Vec<Spanned>> {
                     }
                 }
                 // A trailing dot belongs to the rule terminator, not the name.
-                while word.ends_with('.') {
+                if word.ends_with('.') {
                     word.pop();
                     tokens.push(Spanned {
                         token: Token::Ident(word.clone()),
                         line,
                     });
-                    tokens.push(Spanned { token: Token::Dot, line });
+                    tokens.push(Spanned {
+                        token: Token::Dot,
+                        line,
+                    });
                     word.clear();
-                    break;
                 }
                 if !word.is_empty() {
                     tokens.push(Spanned {
@@ -415,8 +435,7 @@ impl Parser {
                         Some(Token::Comma) => continue,
                         Some(Token::Dot) => break,
                         other => {
-                            return Err(self
-                                .error(format!("expected ',' or '.', found {other:?}")))
+                            return Err(self.error(format!("expected ',' or '.', found {other:?}")))
                         }
                     }
                 }

@@ -455,10 +455,7 @@ fn collect_applicable_filters(
         let resolve = |t: &Term| -> Option<ColumnSource> {
             match t {
                 Term::Const(v) => Some(ColumnSource::Const(*v)),
-                Term::Var(v) => columns
-                    .iter()
-                    .position(|c| c == v)
-                    .map(ColumnSource::Col),
+                Term::Var(v) => columns.iter().position(|c| c == v).map(ColumnSource::Col),
             }
         };
         if let (Some(left), Some(right)) = (resolve(&c.left), resolve(&c.right)) {
@@ -532,11 +529,7 @@ mod tests {
         ",
         );
         let sg = c.relation_id("SG").unwrap();
-        let stratum = c
-            .strata
-            .iter()
-            .find(|s| s.relations.contains(&sg))
-            .unwrap();
+        let stratum = c.strata.iter().find(|s| s.relations.contains(&sg)).unwrap();
         // Rule 1 has no SG occurrence: non-recursive. Rule 2 has exactly one
         // SG occurrence: one delta version.
         assert_eq!(stratum.non_recursive.len(), 1);
@@ -544,7 +537,11 @@ mod tests {
         let rec = &stratum.recursive[0];
         assert_eq!(rec.scan.version, VersionSel::Delta);
         assert_eq!(rec.scan.relation, sg);
-        assert_eq!(rec.joins.len(), 2, "temp-materialized into two binary joins");
+        assert_eq!(
+            rec.joins.len(),
+            2,
+            "temp-materialized into two binary joins"
+        );
         // The x != y constraint is applied only once all variables are bound,
         // i.e. after the second join.
         assert!(rec.filters[0].is_empty());
@@ -677,11 +674,7 @@ mod tests {
         ",
         );
         let a = c.relation_id("A").unwrap();
-        let stratum = c
-            .strata
-            .iter()
-            .find(|s| s.relations.contains(&a))
-            .unwrap();
+        let stratum = c.strata.iter().find(|s| s.relations.contains(&a)).unwrap();
         assert_eq!(stratum.non_recursive.len(), 1);
         assert_eq!(stratum.recursive.len(), 2);
         assert!(stratum

@@ -125,6 +125,9 @@ mod tests {
     fn difference_against_empty_relation_keeps_everything_deduplicated() {
         let d = device();
         let full = Hisa::build(&d, IndexSpec::new(2, vec![0]), &[]).unwrap();
-        assert_eq!(difference(&d, &[9, 9, 9, 9, 1, 1], 2, &full), vec![1, 1, 9, 9]);
+        assert_eq!(
+            difference(&d, &[9, 9, 9, 9, 1, 1], 2, &full),
+            vec![1, 1, 9, 9]
+        );
     }
 }

@@ -31,6 +31,7 @@ use gpulog_hisa::Hisa;
 ///
 /// Panics if the key arities of `outer_key_cols` and the inner HISA differ,
 /// or if any referenced column is out of range.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's kernel signature
 pub fn hash_join(
     device: &Device,
     outer: &[u32],
@@ -48,11 +49,7 @@ pub fn hash_join(
     if outer_arity > 0 {
         assert_eq!(outer.len() % outer_arity, 0, "ragged outer buffer");
     }
-    let outer_rows = if outer_arity == 0 {
-        0
-    } else {
-        outer.len() / outer_arity
-    };
+    let outer_rows = outer.len().checked_div(outer_arity).unwrap_or(0);
     let emit_arity = emit.len();
     let inner_arity = inner.arity();
 
@@ -194,7 +191,8 @@ mod tests {
         ];
         let got = rows(&hash_join(&d, &outer, 2, &[1], &inner, &[], &[], &emit), 3);
         // Reference: dedup inner first (HISA deduplicates), then nested loop.
-        let mut inner_set: Vec<Vec<u32>> = inner_tuples.chunks_exact(2).map(|c| c.to_vec()).collect();
+        let mut inner_set: Vec<Vec<u32>> =
+            inner_tuples.chunks_exact(2).map(|c| c.to_vec()).collect();
         inner_set.sort();
         inner_set.dedup();
         let mut expected = Vec::new();
@@ -215,7 +213,11 @@ mod tests {
         let outer = [1u32, 1, 2, 2];
         let inner_tuples = [1u32, 5, 5, 1, 7, 7, 2, 9, 9, 2, 3, 9];
         let inner = Hisa::build(&d, IndexSpec::new(3, vec![0]), &inner_tuples).unwrap();
-        let emit = [EmitSource::Outer(0), EmitSource::Inner(1), EmitSource::Inner(2)];
+        let emit = [
+            EmitSource::Outer(0),
+            EmitSource::Inner(1),
+            EmitSource::Inner(2),
+        ];
         // Require inner col1 == inner col2 (repeated variable).
         let eq = [(1usize, 2usize)];
         let got = rows(&hash_join(&d, &outer, 2, &[0], &inner, &[], &eq, &emit), 3);
@@ -236,7 +238,14 @@ mod tests {
         let got = rows(&hash_join(&d, &outer, 1, &[], &inner, &[], &[], &emit), 2);
         assert_eq!(
             got,
-            vec![vec![1, 10], vec![1, 20], vec![1, 30], vec![2, 10], vec![2, 20], vec![2, 30]]
+            vec![
+                vec![1, 10],
+                vec![1, 20],
+                vec![1, 30],
+                vec![2, 10],
+                vec![2, 20],
+                vec![2, 30]
+            ]
         );
     }
 

@@ -191,9 +191,7 @@ mod tests {
     fn fused_sg_chain_matches_manual_enumeration() {
         let d = device();
         // Graph from the paper's Figure 1.
-        let edges: Vec<u32> = vec![
-            0, 1, 0, 2, 1, 3, 1, 4, 2, 4, 2, 5, 3, 6, 4, 7, 4, 8, 5, 8,
-        ];
+        let edges: Vec<u32> = vec![0, 1, 0, 2, 1, 3, 1, 4, 2, 4, 2, 5, 3, 6, 4, 7, 4, 8, 5, 8];
         let edge_by_from = Hisa::build(&d, IndexSpec::new(2, vec![0]), &edges).unwrap();
         // SG delta after iteration 1 (from Figure 1).
         let sg_delta: Vec<u32> = vec![1, 2, 2, 1, 3, 4, 4, 3, 4, 5, 5, 4, 7, 8, 8, 7];
@@ -205,7 +203,11 @@ mod tests {
             inner_key_cols: vec![0],
             inner_const_filters: vec![],
             inner_eq_filters: vec![],
-            emit: vec![EmitSource::Outer(0), EmitSource::Outer(1), EmitSource::Inner(1)],
+            emit: vec![
+                EmitSource::Outer(0),
+                EmitSource::Outer(1),
+                EmitSource::Inner(1),
+            ],
         };
         // Level 2: join on b (outer col 1) with Edge(b, y): emits (a, b, x, y).
         let step2 = JoinStep {
@@ -275,6 +277,9 @@ mod tests {
 
     #[test]
     fn default_strategy_is_temporarily_materialized() {
-        assert_eq!(NwayStrategy::default(), NwayStrategy::TemporarilyMaterialized);
+        assert_eq!(
+            NwayStrategy::default(),
+            NwayStrategy::TemporarilyMaterialized
+        );
     }
 }

@@ -47,7 +47,12 @@ pub fn project_rows(
 /// # Panics
 ///
 /// Panics if `data.len()` is not a multiple of `arity`.
-pub fn filter_rows(device: &Device, data: &[u32], arity: usize, filters: &[FilterStep]) -> Vec<u32> {
+pub fn filter_rows(
+    device: &Device,
+    data: &[u32],
+    arity: usize,
+    filters: &[FilterStep],
+) -> Vec<u32> {
     assert!(arity > 0, "arity must be positive");
     assert_eq!(data.len() % arity, 0, "ragged row buffer");
     if filters.is_empty() {
@@ -142,7 +147,11 @@ mod tests {
             &d,
             &data,
             3,
-            &[ColumnSource::Col(2), ColumnSource::Const(9), ColumnSource::Col(0)],
+            &[
+                ColumnSource::Col(2),
+                ColumnSource::Const(9),
+                ColumnSource::Col(0),
+            ],
         );
         assert_eq!(out, vec![3, 9, 1, 6, 9, 4]);
     }

@@ -56,6 +56,29 @@ impl RelationVersion {
         })
     }
 
+    /// [`RelationVersion::from_tuples`] for tuples that are already
+    /// lexicographically sorted and duplicate-free (the shape the
+    /// delta-population phase produces): the canonical index is built with
+    /// the HISA fast path, skipping its sort and dedup entirely.
+    fn from_sorted_unique_tuples(
+        device: &Device,
+        arity: usize,
+        tuples: &[u32],
+        load_factor: f64,
+    ) -> EngineResult<Self> {
+        Ok(RelationVersion {
+            arity,
+            canonical: Hisa::build_from_sorted_unique(
+                device,
+                IndexSpec::full_key(arity),
+                tuples,
+                load_factor,
+            )?,
+            by_key: HashMap::new(),
+            load_factor,
+        })
+    }
+
     /// Number of tuples in this version.
     pub fn len(&self) -> usize {
         self.canonical.len()
@@ -83,11 +106,11 @@ impl RelationVersion {
     ///
     /// Returns a device error if building the index exhausts device memory.
     pub fn index_on(&mut self, device: &Device, key_cols: &[usize]) -> EngineResult<&Hisa> {
-        if key_cols.is_empty() || key_cols.len() == self.arity {
-            // The canonical index covers full-key lookups and plain scans.
-            if key_cols.is_empty() || key_cols == (0..self.arity).collect::<Vec<_>>() {
-                return Ok(&self.canonical);
-            }
+        // The canonical index covers plain scans (empty key) and the
+        // identity full key. A *permuted* full key (e.g. [1, 0]) changes
+        // the sort order, so it gets a real secondary index below.
+        if is_canonical_key(key_cols, self.arity) {
+            return Ok(&self.canonical);
         }
         if !self.by_key.contains_key(key_cols) {
             let spec = IndexSpec::new(self.arity, key_cols.to_vec());
@@ -105,7 +128,7 @@ impl RelationVersion {
     /// Returns an already-built index on `key_cols` without building one.
     /// An empty or identity key returns the canonical index.
     pub fn existing_index(&self, key_cols: &[usize]) -> Option<&Hisa> {
-        if key_cols.is_empty() || key_cols == (0..self.arity).collect::<Vec<_>>() {
+        if is_canonical_key(key_cols, self.arity) {
             return Some(&self.canonical);
         }
         self.by_key.get(key_cols)
@@ -121,6 +144,12 @@ impl RelationVersion {
     pub fn clear_secondary_indices(&mut self) {
         self.by_key.clear();
     }
+}
+
+/// Whether `key_cols` is served by the canonical (identity full-key)
+/// index: an empty key (plain scan) or exactly `[0, 1, ..., arity - 1]`.
+fn is_canonical_key(key_cols: &[usize], arity: usize) -> bool {
+    key_cols.is_empty() || key_cols.iter().copied().eq(0..arity)
 }
 
 /// Storage for one relation across the semi-naïve loop.
@@ -169,14 +198,10 @@ impl RelationStorage {
         self.full.is_empty()
     }
 
-    /// All tuples of the full relation, one `Vec` per tuple, in declared
-    /// column order.
-    pub fn tuples(&self) -> Vec<Vec<u32>> {
-        self.full
-            .tuples_flat()
-            .chunks_exact(self.arity)
-            .map(|c| c.to_vec())
-            .collect()
+    /// Iterates the full relation's tuples as borrowed row slices in
+    /// declared column order, without allocating per row.
+    pub fn tuples_iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.full.tuples_flat().chunks_exact(self.arity.max(1))
     }
 
     /// Whether the full relation contains `tuple`.
@@ -197,7 +222,8 @@ impl RelationStorage {
     ///
     /// Returns a device error if the relation does not fit.
     pub fn load_full(&mut self, tuples: &[u32]) -> EngineResult<()> {
-        self.full = RelationVersion::from_tuples(&self.device, self.arity, tuples, self.load_factor)?;
+        self.full =
+            RelationVersion::from_tuples(&self.device, self.arity, tuples, self.load_factor)?;
         Ok(())
     }
 
@@ -208,7 +234,26 @@ impl RelationStorage {
     ///
     /// Returns a device error if the delta does not fit.
     pub fn set_delta(&mut self, tuples: &[u32]) -> EngineResult<()> {
-        self.delta = RelationVersion::from_tuples(&self.device, self.arity, tuples, self.load_factor)?;
+        self.delta =
+            RelationVersion::from_tuples(&self.device, self.arity, tuples, self.load_factor)?;
+        Ok(())
+    }
+
+    /// [`RelationStorage::set_delta`] for tuples that are additionally
+    /// already sorted lexicographically — exactly what
+    /// [`crate::ra::difference`] emits. The delta HISA is built without
+    /// re-sorting or re-deduplicating.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the delta does not fit.
+    pub fn set_delta_sorted_unique(&mut self, tuples: &[u32]) -> EngineResult<()> {
+        self.delta = RelationVersion::from_sorted_unique_tuples(
+            &self.device,
+            self.arity,
+            tuples,
+            self.load_factor,
+        )?;
         Ok(())
     }
 
@@ -244,10 +289,13 @@ impl RelationStorage {
         }
         self.full.canonical.merge_from(self.delta.canonical())?;
         // Keep secondary indices consistent: merge the delta (re-indexed on
-        // each secondary key) into every existing secondary index.
+        // each secondary key) into every existing secondary index. The
+        // delta's canonical data array is always sorted and duplicate-free
+        // (both delta construction paths guarantee it), so each re-index is
+        // a key-column-only permutation sort — no dedup, no full rebuild.
         let keys: Vec<Vec<usize>> = self.full.by_key.keys().cloned().collect();
         for key in keys {
-            let delta_indexed = Hisa::build_with_load_factor(
+            let delta_indexed = Hisa::build_reindexed_from_sorted_unique(
                 &self.device,
                 IndexSpec::new(self.arity, key.clone()),
                 self.delta.tuples_flat(),
@@ -309,7 +357,12 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert!(s.contains(&[3, 4]));
         assert!(!s.contains(&[4, 3]));
-        assert_eq!(s.tuples().len(), 2);
+        assert_eq!(s.tuples_iter().count(), 2);
+        assert_eq!(
+            s.tuples_iter().next(),
+            Some(&[1u32, 2][..]),
+            "rows are borrowed slices in declared column order"
+        );
     }
 
     #[test]
@@ -329,18 +382,70 @@ mod tests {
     }
 
     #[test]
+    fn permuted_full_key_builds_a_real_secondary_index() {
+        let d = device();
+        let mut s = storage(&d);
+        s.load_full(&[1, 2, 3, 4]).unwrap();
+        let bytes_before = s.full.device_bytes();
+        {
+            let idx = s.full.index_on(&d, &[1, 0]).unwrap();
+            assert_eq!(idx.spec().key_columns(), &[1, 0]);
+            // Key order is (column 1, column 0): look up tuple (1, 2) as (2, 1).
+            assert_eq!(idx.range_query(&[2, 1]).count(), 1);
+            assert_eq!(idx.range_query(&[1, 2]).count(), 0);
+        }
+        assert!(
+            s.full.device_bytes() > bytes_before,
+            "a permuted full key must build a real index, not alias the canonical one"
+        );
+        // The identity full key still returns the canonical index for free.
+        let bytes_with_permuted = s.full.device_bytes();
+        let _ = s.full.index_on(&d, &[0, 1]).unwrap();
+        let _ = s.full.index_on(&d, &[]).unwrap();
+        assert_eq!(s.full.device_bytes(), bytes_with_permuted);
+    }
+
+    #[test]
+    fn sorted_unique_delta_path_matches_general_path() {
+        let d = device();
+        let mut a = storage(&d);
+        let mut b = storage(&d);
+        for s in [&mut a, &mut b] {
+            s.load_full(&[1, 2]).unwrap();
+            let _ = s.full.index_on(&d, &[1]).unwrap();
+        }
+        // Sorted, deduplicated, disjoint from full — the difference() shape.
+        let delta = [0u32, 2, 3, 2, 4, 5];
+        a.set_delta(&delta).unwrap();
+        b.set_delta_sorted_unique(&delta).unwrap();
+        a.merge_delta_into_full(&EbmConfig::default()).unwrap();
+        b.merge_delta_into_full(&EbmConfig::default()).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            a.full.index_on(&d, &[1]).unwrap().to_sorted_tuples(),
+            b.full.index_on(&d, &[1]).unwrap().to_sorted_tuples()
+        );
+    }
+
+    #[test]
     fn merge_moves_delta_into_full_and_keeps_indices_consistent() {
         let d = device();
         let mut s = storage(&d);
         s.load_full(&[1, 2]).unwrap();
         // Materialize a secondary index before merging.
-        assert_eq!(s.full.index_on(&d, &[1]).unwrap().range_query(&[2]).count(), 1);
+        assert_eq!(
+            s.full.index_on(&d, &[1]).unwrap().range_query(&[2]).count(),
+            1
+        );
         s.set_delta(&[3, 2, 4, 5]).unwrap();
         s.merge_delta_into_full(&EbmConfig::default()).unwrap();
         assert_eq!(s.len(), 3);
         assert!(s.contains(&[3, 2]));
         // The secondary index must see the merged tuples too.
-        assert_eq!(s.full.index_on(&d, &[1]).unwrap().range_query(&[2]).count(), 2);
+        assert_eq!(
+            s.full.index_on(&d, &[1]).unwrap().range_query(&[2]).count(),
+            2
+        );
     }
 
     #[test]

@@ -132,7 +132,14 @@ pub fn linux_like(scale: f64) -> CspaInput {
 /// A scaled-down stand-in for the paper's PostgreSQL input (Assign 1.2e6,
 /// Dereference 3.46e6) with deep chains and few targets (largest output).
 pub fn postgres_like(scale: f64) -> CspaInput {
-    scaled("postgres (synthetic)", 1_200_000.0, 3_460_000.0, 30, 13, scale)
+    scaled(
+        "postgres (synthetic)",
+        1_200_000.0,
+        3_460_000.0,
+        30,
+        13,
+        scale,
+    )
 }
 
 fn scaled(
@@ -185,7 +192,10 @@ mod tests {
     fn paper_stand_ins_keep_the_paper_input_ratios() {
         let httpd = httpd_like(1.0 / 400.0);
         let ratio = httpd.dereference_len() as f64 / httpd.assign_len() as f64;
-        assert!(ratio > 2.0 && ratio < 4.5, "httpd deref/assign ratio {ratio}");
+        assert!(
+            ratio > 2.0 && ratio < 4.5,
+            "httpd deref/assign ratio {ratio}"
+        );
         let linux = linux_like(1.0 / 400.0);
         assert!(linux.assign_len() > httpd.assign_len());
         let postgres = postgres_like(1.0 / 400.0);

@@ -96,7 +96,7 @@ pub fn power_law_graph(nodes: u32, edges_per_node: u32, seed: u64) -> EdgeList {
     let mut rng = rng(seed);
     let mut edges: Vec<(u32, u32)> = Vec::new();
     let mut targets: Vec<u32> = Vec::new(); // node repeated once per degree
-    // Seed clique.
+                                            // Seed clique.
     let seed_nodes = edges_per_node.max(2).min(nodes);
     for a in 0..seed_nodes {
         for b in 0..seed_nodes {

@@ -98,17 +98,16 @@ mod tests {
     #[test]
     fn atomic_min_under_contention_finds_global_minimum() {
         let slot = AtomicU32::new(EMPTY_VALUE);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..8u32 {
                 let slot = &slot;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..1000u32 {
                         atomic_min_u32(slot, t * 1000 + i + 1);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(slot.load(Ordering::Relaxed), 1);
     }
 }

@@ -153,7 +153,7 @@ impl<T: DeviceValue> DeviceBuffer<T> {
         self.data.extend_from_slice(items);
         self.device
             .metrics()
-            .add_bytes_written((items.len() * std::mem::size_of::<T>()) as u64);
+            .add_bytes_written(std::mem::size_of_val(items) as u64);
         Ok(())
     }
 

@@ -73,8 +73,7 @@ impl CostModel {
 
     /// Estimates the modeled time for the work described by `counters`.
     pub fn estimate(&self, counters: &CounterSnapshot) -> CostEstimate {
-        let launch_sec =
-            counters.kernel_launches as f64 * self.profile.kernel_launch_overhead_sec;
+        let launch_sec = counters.kernel_launches as f64 * self.profile.kernel_launch_overhead_sec;
         let memory_sec = counters.bytes_moved() as f64 / self.profile.effective_bandwidth();
         let compute_sec = counters.ops as f64 / self.profile.compute_throughput_ops_per_sec();
         let atomic_sec = counters.atomic_ops as f64 * self.atomic_op_sec;
@@ -163,8 +162,8 @@ mod tests {
 
     #[test]
     fn zero_work_costs_zero() {
-        let est = CostModel::new(DeviceProfile::nvidia_h100())
-            .estimate(&CounterSnapshot::default());
+        let est =
+            CostModel::new(DeviceProfile::nvidia_h100()).estimate(&CounterSnapshot::default());
         assert_eq!(est.total_sec(), 0.0);
     }
 }

@@ -67,13 +67,14 @@ impl Device {
     pub fn with_workers(profile: DeviceProfile, workers: usize) -> Self {
         let metrics = Arc::new(Metrics::new());
         let tracker = MemoryTracker::new(profile.memory_capacity_bytes, Arc::clone(&metrics));
+        let executor = Executor::with_metrics(workers, Arc::clone(&metrics));
         Device {
             inner: Arc::new(DeviceInner {
                 profile,
                 metrics,
                 tracker,
                 recycle_bin: RecycleBin::new(16),
-                executor: Executor::new(workers),
+                executor,
             }),
         }
     }
@@ -120,7 +121,7 @@ impl Device {
     /// Returns [`crate::DeviceError::OutOfMemory`] if the buffer does not fit.
     pub fn buffer_from_slice<T: DeviceValue>(&self, data: &[T]) -> DeviceResult<DeviceBuffer<T>> {
         self.metrics()
-            .add_bytes_written((data.len() * std::mem::size_of::<T>()) as u64);
+            .add_bytes_written(std::mem::size_of_val(data) as u64);
         DeviceBuffer::from_vec(self.clone(), data.to_vec())
     }
 
@@ -129,7 +130,11 @@ impl Device {
     /// # Errors
     ///
     /// Returns [`crate::DeviceError::OutOfMemory`] if the buffer does not fit.
-    pub fn buffer_filled<T: DeviceValue>(&self, len: usize, value: T) -> DeviceResult<DeviceBuffer<T>> {
+    pub fn buffer_filled<T: DeviceValue>(
+        &self,
+        len: usize,
+        value: T,
+    ) -> DeviceResult<DeviceBuffer<T>> {
         self.metrics()
             .add_bytes_written((len * std::mem::size_of::<T>()) as u64);
         DeviceBuffer::from_vec(self.clone(), vec![value; len])

@@ -8,8 +8,18 @@
 //! of coalesced strided access). Kernels that scatter variable-length
 //! output use [`Executor::scatter_by_offsets`], which mirrors the two-pass
 //! count/scan/write pattern GPU joins use.
+//!
+//! The workers are a persistent [`WorkerPool`]: threads are spawned once
+//! when the executor is created and parked between launches, so a kernel
+//! launch costs a condvar wake-up instead of OS thread creation — the CUDA
+//! cost shape the paper's launch-overhead analysis assumes. Cloning an
+//! executor (or the device that owns it) shares the pool, exactly as CUDA
+//! streams share one device's schedulers.
 
+use crate::metrics::Metrics;
+use crate::worker_pool::WorkerPool;
 use std::ops::Range;
+use std::sync::{Arc, Mutex};
 
 /// A simulated kernel-launch configuration.
 ///
@@ -36,10 +46,11 @@ impl Default for LaunchConfig {
     }
 }
 
-/// Data-parallel executor over a fixed worker pool.
+/// Data-parallel executor over a persistent, fixed-size worker pool.
 #[derive(Debug, Clone)]
 pub struct Executor {
     workers: usize,
+    pool: Arc<WorkerPool>,
 }
 
 impl Default for Executor {
@@ -49,10 +60,24 @@ impl Default for Executor {
 }
 
 impl Executor {
-    /// Creates an executor with `workers` worker threads (minimum 1).
+    /// Creates an executor with `workers` worker threads (minimum 1). The
+    /// backing pool threads are spawned here, once, and live until the last
+    /// clone of this executor is dropped.
     pub fn new(workers: usize) -> Self {
+        Self::build(workers, None)
+    }
+
+    /// [`Executor::new`], additionally reporting thread spawns and dispatch
+    /// latency into `metrics` (used by [`crate::Device`]).
+    pub fn with_metrics(workers: usize, metrics: Arc<Metrics>) -> Self {
+        Self::build(workers, Some(metrics))
+    }
+
+    fn build(workers: usize, metrics: Option<Arc<Metrics>>) -> Self {
+        let workers = workers.max(1);
         Executor {
-            workers: workers.max(1),
+            workers,
+            pool: Arc::new(WorkerPool::new(workers, metrics)),
         }
     }
 
@@ -68,9 +93,49 @@ impl Executor {
         self.workers
     }
 
+    /// Total OS threads spawned for this executor over its lifetime
+    /// (constant after construction; launches reuse the parked pool).
+    pub fn threads_spawned(&self) -> u64 {
+        self.pool.threads_spawned()
+    }
+
+    /// Number of parallel dispatches handed to the worker pool.
+    pub fn pool_dispatches(&self) -> u64 {
+        self.pool.dispatches()
+    }
+
     /// Splits `n` items into at most `workers` contiguous, non-empty ranges.
     pub fn partitions(&self, n: usize) -> Vec<Range<usize>> {
         partition_ranges(n, self.workers)
+    }
+
+    /// Runs `run(i, jobs[i])` for every job, spreading jobs across the
+    /// worker pool. This is the primitive the irregular parallel phases
+    /// (per-run sorts, pairwise merges, pre-split output slices) build on:
+    /// each job owns its data — typically a disjoint `&mut` slice — and is
+    /// handed to exactly one worker.
+    pub fn run_tasks<J, F>(&self, jobs: Vec<J>, run: F)
+    where
+        J: Send,
+        F: Fn(usize, J) + Sync,
+    {
+        if jobs.len() <= 1 {
+            for (i, job) in jobs.into_iter().enumerate() {
+                run(i, job);
+            }
+            return;
+        }
+        // Each slot is taken exactly once, by whichever worker claims the
+        // task index; the mutex is uncontended by construction.
+        let slots: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        self.pool.run(slots.len(), &|i| {
+            let job = slots[i]
+                .lock()
+                .expect("task slot lock poisoned")
+                .take()
+                .expect("task claimed twice");
+            run(i, job);
+        });
     }
 
     /// Runs `f(worker_id, range)` for each partition, in parallel.
@@ -82,17 +147,8 @@ impl Executor {
         if parts.is_empty() {
             return;
         }
-        if parts.len() == 1 {
-            f(0, parts.into_iter().next().expect("one partition"));
-            return;
-        }
-        crossbeam::thread::scope(|scope| {
-            for (worker_id, range) in parts.into_iter().enumerate() {
-                let f = &f;
-                scope.spawn(move |_| f(worker_id, range));
-            }
-        })
-        .expect("device worker thread panicked");
+        let parts_ref = &parts;
+        self.pool.run(parts.len(), &|p| f(p, parts_ref[p].clone()));
     }
 
     /// Runs `f(i)` for every index in `0..n`, in parallel.
@@ -118,34 +174,22 @@ impl Executor {
             return;
         }
         let parts = self.partitions(n);
-        let mut slices: Vec<(Range<usize>, &mut [T])> = Vec::with_capacity(parts.len());
+        let mut jobs: Vec<(Range<usize>, &mut [T])> = Vec::with_capacity(parts.len());
         let mut rest = out;
         let mut consumed = 0;
         for range in parts {
             let take = range.end - consumed;
             let (head, tail) = rest.split_at_mut(take);
-            slices.push((range.clone(), head));
+            jobs.push((range.clone(), head));
             rest = tail;
             consumed = range.end;
         }
-        if slices.len() == 1 {
-            let (range, slice) = slices.pop().expect("one slice");
+        let f = &f;
+        self.run_tasks(jobs, |_, (range, slice)| {
             for (slot, i) in slice.iter_mut().zip(range) {
                 *slot = f(i);
             }
-            return;
-        }
-        crossbeam::thread::scope(|scope| {
-            for (range, slice) in slices {
-                let f = &f;
-                scope.spawn(move |_| {
-                    for (slot, i) in slice.iter_mut().zip(range) {
-                        *slot = f(i);
-                    }
-                });
-            }
-        })
-        .expect("device worker thread panicked");
+        });
     }
 
     /// Computes `vec![f(0), f(1), ..., f(n-1)]` in parallel.
@@ -192,33 +236,25 @@ impl Executor {
         for range in parts {
             let begin = offsets[range.start];
             let end = offsets[range.end];
-            assert!(begin >= cursor && end >= begin, "offsets must be non-decreasing");
+            assert!(
+                begin >= cursor && end >= begin,
+                "offsets must be non-decreasing"
+            );
             let (_, tail) = rest.split_at_mut(begin - cursor);
             let (mine, tail) = tail.split_at_mut(end - begin);
             jobs.push((range, mine));
             rest = tail;
             cursor = end;
         }
-        let run_job = |job: (Range<usize>, &mut [T])| {
-            let (range, slice) = job;
+        let f = &f;
+        self.run_tasks(jobs, |_, (range, slice)| {
             let base = offsets[range.start];
             for i in range {
                 let lo = offsets[i] - base;
                 let hi = offsets[i + 1] - base;
                 f(i, &mut slice[lo..hi]);
             }
-        };
-        if jobs.len() == 1 {
-            run_job(jobs.pop().expect("one job"));
-            return;
-        }
-        crossbeam::thread::scope(|scope| {
-            for job in jobs {
-                let run_job = &run_job;
-                scope.spawn(move |_| run_job(job));
-            }
-        })
-        .expect("device worker thread panicked");
+        });
     }
 }
 
@@ -302,6 +338,39 @@ mod tests {
     }
 
     #[test]
+    fn run_tasks_hands_each_job_to_exactly_one_worker() {
+        let ex = Executor::new(4);
+        let jobs: Vec<u64> = (0..100).collect();
+        let sum = AtomicU64::new(0);
+        ex.run_tasks(jobs, |i, job| {
+            assert_eq!(i as u64, job);
+            sum.fetch_add(job, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn launches_reuse_the_pool_instead_of_spawning() {
+        let ex = Executor::new(6);
+        let spawned_at_creation = ex.threads_spawned();
+        assert_eq!(spawned_at_creation, 5);
+        for _ in 0..50 {
+            ex.for_each_index(512, |_| {});
+        }
+        assert_eq!(ex.threads_spawned(), spawned_at_creation);
+        assert_eq!(ex.pool_dispatches(), 50);
+    }
+
+    #[test]
+    fn clones_share_one_pool() {
+        let ex = Executor::new(4);
+        let clone = ex.clone();
+        clone.for_each_index(100, |_| {});
+        assert_eq!(ex.pool_dispatches(), 1);
+        assert_eq!(ex.threads_spawned(), 3);
+    }
+
+    #[test]
     fn scatter_by_offsets_writes_disjoint_variable_length_ranges() {
         let ex = Executor::new(4);
         // item i produces i % 3 outputs, each equal to i.
@@ -318,8 +387,8 @@ mod tests {
             }
         });
         for i in 0..n {
-            for j in offsets[i]..offsets[i + 1] {
-                assert_eq!(out[j], i);
+            for slot in &out[offsets[i]..offsets[i + 1]] {
+                assert_eq!(*slot, i);
             }
         }
     }

@@ -7,9 +7,9 @@
 //! figure of the paper (Figure 6), and they also expose the memory-footprint
 //! numbers reported in Table 1.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// A snapshot of the device counters at a point in time.
@@ -25,6 +25,17 @@ pub struct CounterSnapshot {
     pub atomic_ops: u64,
     /// Number of kernel launches issued.
     pub kernel_launches: u64,
+    /// Number of parallel dispatches handed to the persistent worker pool
+    /// (launches small enough to run inline on the calling thread are not
+    /// dispatches).
+    pub pool_dispatches: u64,
+    /// Wall nanoseconds spent inside pool dispatches (hand-off, execution,
+    /// and completion handshake).
+    pub dispatch_nanos: u64,
+    /// OS threads spawned by the device's worker pool. Constant after
+    /// device creation: kernel launches reuse the parked pool, so a
+    /// fixpoint run must not move this counter.
+    pub threads_spawned: u64,
     /// Number of allocations served by the pool.
     pub allocations: u64,
     /// Number of allocations satisfied by reusing a pooled buffer.
@@ -54,6 +65,9 @@ impl CounterSnapshot {
             ops: self.ops - earlier.ops,
             atomic_ops: self.atomic_ops - earlier.atomic_ops,
             kernel_launches: self.kernel_launches - earlier.kernel_launches,
+            pool_dispatches: self.pool_dispatches - earlier.pool_dispatches,
+            dispatch_nanos: self.dispatch_nanos - earlier.dispatch_nanos,
+            threads_spawned: self.threads_spawned - earlier.threads_spawned,
             allocations: self.allocations - earlier.allocations,
             pool_reuses: self.pool_reuses - earlier.pool_reuses,
             bytes_allocated: self.bytes_allocated - earlier.bytes_allocated,
@@ -71,6 +85,9 @@ pub struct Metrics {
     ops: AtomicU64,
     atomic_ops: AtomicU64,
     kernel_launches: AtomicU64,
+    pool_dispatches: AtomicU64,
+    dispatch_nanos: AtomicU64,
+    threads_spawned: AtomicU64,
     allocations: AtomicU64,
     pool_reuses: AtomicU64,
     bytes_allocated: AtomicU64,
@@ -110,13 +127,33 @@ impl Metrics {
         self.kernel_launches.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one parallel dispatch to the worker pool and the wall time
+    /// it took end to end.
+    pub fn add_pool_dispatch(&self, elapsed: Duration) {
+        self.pool_dispatches.fetch_add(1, Ordering::Relaxed);
+        self.dispatch_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records that the worker pool spawned `n` OS threads (happens once,
+    /// at pool construction).
+    pub fn add_threads_spawned(&self, n: u64) {
+        self.threads_spawned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// OS threads spawned by the device's worker pool so far.
+    pub fn threads_spawned(&self) -> u64 {
+        self.threads_spawned.load(Ordering::Relaxed)
+    }
+
     /// Records an allocation of `bytes`, returning the new in-use total.
     pub fn record_alloc(&self, bytes: usize, reused: bool) -> usize {
         self.allocations.fetch_add(1, Ordering::Relaxed);
         if reused {
             self.pool_reuses.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.bytes_allocated.fetch_add(bytes as u64, Ordering::Relaxed);
+            self.bytes_allocated
+                .fetch_add(bytes as u64, Ordering::Relaxed);
         }
         let now = self.bytes_in_use.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.peak_bytes_in_use.fetch_max(now, Ordering::Relaxed);
@@ -141,18 +178,24 @@ impl Metrics {
     /// Adds `elapsed` wall time to the named phase bucket (e.g. `"join"`,
     /// `"merge"`, `"dedup"`). Phase buckets feed Figure 6.
     pub fn add_phase_time(&self, phase: &str, elapsed: Duration) {
-        let mut phases = self.phase_times.lock();
+        let mut phases = self.phase_times.lock().expect("phase timer lock poisoned");
         *phases.entry(phase.to_string()).or_default() += elapsed;
     }
 
     /// Returns the accumulated wall time per phase.
     pub fn phase_times(&self) -> HashMap<String, Duration> {
-        self.phase_times.lock().clone()
+        self.phase_times
+            .lock()
+            .expect("phase timer lock poisoned")
+            .clone()
     }
 
     /// Clears the per-phase timers (counter totals are left untouched).
     pub fn reset_phase_times(&self) {
-        self.phase_times.lock().clear();
+        self.phase_times
+            .lock()
+            .expect("phase timer lock poisoned")
+            .clear();
     }
 
     /// Takes a consistent-enough snapshot of all counters.
@@ -163,6 +206,9 @@ impl Metrics {
             ops: self.ops.load(Ordering::Relaxed),
             atomic_ops: self.atomic_ops.load(Ordering::Relaxed),
             kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            pool_dispatches: self.pool_dispatches.load(Ordering::Relaxed),
+            dispatch_nanos: self.dispatch_nanos.load(Ordering::Relaxed),
+            threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
             allocations: self.allocations.load(Ordering::Relaxed),
             pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
             bytes_allocated: self.bytes_allocated.load(Ordering::Relaxed),
@@ -232,6 +278,20 @@ mod tests {
         assert_eq!(phases["merge"], Duration::from_millis(3));
         m.reset_phase_times();
         assert!(m.phase_times().is_empty());
+    }
+
+    #[test]
+    fn pool_counters_accumulate_and_subtract() {
+        let m = Metrics::new();
+        m.add_threads_spawned(3);
+        m.add_pool_dispatch(Duration::from_micros(5));
+        let before = m.snapshot();
+        m.add_pool_dispatch(Duration::from_micros(7));
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.pool_dispatches, 1);
+        assert_eq!(delta.dispatch_nanos, 7_000);
+        assert_eq!(delta.threads_spawned, 0);
+        assert_eq!(m.threads_spawned(), 3);
     }
 
     #[test]

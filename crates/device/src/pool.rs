@@ -13,8 +13,7 @@
 
 use crate::error::{DeviceError, DeviceResult};
 use crate::metrics::Metrics;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Tracks device-memory consumption against a fixed capacity.
 #[derive(Debug)]
@@ -92,7 +91,7 @@ impl RecycleBin {
     /// Takes a retained buffer whose capacity is at least `min_capacity`,
     /// if one is available. The returned buffer has length zero.
     pub fn take(&self, min_capacity: usize) -> Option<Vec<u32>> {
-        let mut free = self.free.lock();
+        let mut free = self.free.lock().expect("recycle bin lock poisoned");
         // Pick the smallest retained buffer that is large enough, to keep
         // big buffers available for big requests.
         let mut best: Option<(usize, usize)> = None;
@@ -117,7 +116,7 @@ impl RecycleBin {
         if buf.capacity() == 0 {
             return;
         }
-        let mut free = self.free.lock();
+        let mut free = self.free.lock().expect("recycle bin lock poisoned");
         free.push(buf);
         if free.len() > self.max_retained {
             if let Some((smallest, _)) = free
@@ -133,17 +132,22 @@ impl RecycleBin {
 
     /// Number of buffers currently retained.
     pub fn retained(&self) -> usize {
-        self.free.lock().len()
+        self.free.lock().expect("recycle bin lock poisoned").len()
     }
 
     /// Total capacity (in elements) currently retained.
     pub fn retained_capacity(&self) -> usize {
-        self.free.lock().iter().map(|b| b.capacity()).sum()
+        self.free
+            .lock()
+            .expect("recycle bin lock poisoned")
+            .iter()
+            .map(|b| b.capacity())
+            .sum()
     }
 
     /// Drops every retained buffer.
     pub fn clear(&self) {
-        self.free.lock().clear();
+        self.free.lock().expect("recycle bin lock poisoned").clear();
     }
 }
 
@@ -223,7 +227,10 @@ mod tests {
         bin.put(Vec::with_capacity(20));
         bin.put(Vec::with_capacity(30));
         assert_eq!(bin.retained(), 2);
-        assert!(bin.take(25).is_some(), "the 30-capacity buffer must survive");
+        assert!(
+            bin.take(25).is_some(),
+            "the 30-capacity buffer must survive"
+        );
     }
 
     #[test]

@@ -93,29 +93,14 @@ where
             }
             let _ = range;
         };
-        if slices.len() == 1 {
-            run(0, slices.pop().expect("one slice"));
-        } else {
-            crossbeam::thread::scope(|scope| {
-                for (p, slice) in slices.into_iter().enumerate() {
-                    let run = &run;
-                    scope.spawn(move |_| run(p, slice));
-                }
-            })
-            .expect("merge worker panicked");
-        }
+        executor.run_tasks(slices, run);
     }
     out
 }
 
 /// Merges two sorted `u32` index arrays whose order is defined indirectly by
 /// a key function (e.g. the lexicographic tuple behind each index).
-pub fn merge_sorted_indices_by_key<K, F>(
-    device: &Device,
-    a: &[u32],
-    b: &[u32],
-    key: F,
-) -> Vec<u32>
+pub fn merge_sorted_indices_by_key<K, F>(device: &Device, a: &[u32], b: &[u32], key: F) -> Vec<u32>
 where
     K: Ord,
     F: Fn(u32) -> K + Sync,
@@ -137,14 +122,23 @@ mod tests {
         let d = device();
         let out: Vec<u32> = merge_path_merge(&d, &[], &[], |a, b| a.cmp(b));
         assert!(out.is_empty());
-        assert_eq!(merge_path_merge(&d, &[1u32, 2], &[], |a, b| a.cmp(b)), vec![1, 2]);
+        assert_eq!(
+            merge_path_merge(&d, &[1u32, 2], &[], |a, b| a.cmp(b)),
+            vec![1, 2]
+        );
         assert_eq!(merge_path_merge(&d, &[], &[3u32], |a, b| a.cmp(b)), vec![3]);
     }
 
     #[test]
     fn merge_matches_std_merge_on_random_inputs() {
         let d = device();
-        for (na, nb) in [(1usize, 1usize), (10, 3), (100, 100), (1000, 777), (1, 1000)] {
+        for (na, nb) in [
+            (1usize, 1usize),
+            (10, 3),
+            (100, 100),
+            (1000, 777),
+            (1, 1000),
+        ] {
             let mut a: Vec<u32> = (0..na as u32).map(|i| (i * 37) % 523).collect();
             let mut b: Vec<u32> = (0..nb as u32).map(|i| (i * 91) % 523).collect();
             a.sort();
@@ -164,16 +158,13 @@ mod tests {
         let a: Vec<(u32, u32)> = vec![(1, 0), (2, 0), (2, 0), (5, 0)];
         let b: Vec<(u32, u32)> = vec![(2, 1), (5, 1)];
         let out = merge_path_merge(&d, &a, &b, |x, y| x.0.cmp(&y.0));
-        assert_eq!(
-            out,
-            vec![(1, 0), (2, 0), (2, 0), (2, 1), (5, 0), (5, 1)]
-        );
+        assert_eq!(out, vec![(1, 0), (2, 0), (2, 0), (2, 1), (5, 0), (5, 1)]);
     }
 
     #[test]
     fn merge_sorted_indices_by_key_uses_indirect_order() {
         let d = device();
-        let data = vec![10u32, 30, 50, 20, 40];
+        let data = [10u32, 30, 50, 20, 40];
         // a holds indices {0, 1, 2} sorted by data, b holds {3, 4}.
         let a = vec![0u32, 1, 2];
         let b = vec![3u32, 4];

@@ -17,9 +17,9 @@ where
     let mut sums = vec![0u64; partials.len()];
     {
         let partials_ref = &partials;
-        device.executor().fill(&mut sums, |p| {
-            partials_ref[p].clone().map(&f).sum()
-        });
+        device
+            .executor()
+            .fill(&mut sums, |p| partials_ref[p].clone().map(&f).sum());
     }
     sums.into_iter().sum()
 }

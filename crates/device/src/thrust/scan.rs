@@ -17,7 +17,7 @@ pub fn exclusive_scan_offsets(device: &Device, values: &[usize]) -> Vec<usize> {
     device.metrics().add_kernel_launch();
     device
         .metrics()
-        .add_bytes_read((n * std::mem::size_of::<usize>()) as u64);
+        .add_bytes_read(std::mem::size_of_val(values) as u64);
     device
         .metrics()
         .add_bytes_written(((n + 1) * std::mem::size_of::<usize>()) as u64);
@@ -29,7 +29,9 @@ pub fn exclusive_scan_offsets(device: &Device, values: &[usize]) -> Vec<usize> {
     let mut partial: Vec<usize> = vec![0; parts.len()];
     {
         let parts_ref = &parts;
-        executor.fill(&mut partial, |p| parts_ref[p].clone().map(|i| values[i]).sum());
+        executor.fill(&mut partial, |p| {
+            parts_ref[p].clone().map(|i| values[i]).sum()
+        });
     }
     // Sequential scan over the (few) partition sums.
     let mut bases = vec![0usize; parts.len() + 1];
@@ -37,8 +39,9 @@ pub fn exclusive_scan_offsets(device: &Device, values: &[usize]) -> Vec<usize> {
         bases[i + 1] = bases[i] + s;
     }
     // Pass 2: per-partition exclusive scans shifted by the base.
-    let offsets_cell: Vec<std::sync::atomic::AtomicUsize> =
-        (0..=n).map(|_| std::sync::atomic::AtomicUsize::new(0)).collect();
+    let offsets_cell: Vec<std::sync::atomic::AtomicUsize> = (0..=n)
+        .map(|_| std::sync::atomic::AtomicUsize::new(0))
+        .collect();
     {
         let parts_ref = &parts;
         let bases_ref = &bases;

@@ -3,18 +3,25 @@
 //! HISA builds its sorted index array with a sequence of *stable* sorts, one
 //! per tuple column, from the least-significant (rightmost) column to the
 //! most-significant (paper Algorithm 1) — a radix sort whose digits are
-//! whole columns. [`lexicographic_sort_indices`] implements exactly that on
-//! top of the generic [`stable_sort_by`] primitive.
+//! whole columns. [`lexicographic_sort_indices`] implements exactly that:
+//! each column is itself sorted with a stable LSD counting sort over 8-bit
+//! digits (per-worker histograms, an exclusive scan over the combined
+//! counts, and a stable scatter — the classic GPU radix-sort schedule),
+//! so the whole build is comparison-free. The generic comparison-based
+//! [`stable_sort_by`] remains for arbitrary element types and as the
+//! reference the radix path is property-tested against.
 
 use crate::device::Device;
 use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering as AtomicOrdering};
 
 /// Parallel, stable, comparison-based sort.
 ///
 /// Items are split into one run per worker, each run is sorted with the
 /// standard library's stable sort, and runs are then merged pairwise (each
 /// merge handled by one worker) until a single run remains — the classic
-/// parallel merge-sort schedule.
+/// parallel merge-sort schedule. All parallel phases execute on the
+/// device's persistent worker pool.
 pub fn stable_sort_by<T, F>(device: &Device, items: &mut Vec<T>, compare: F)
 where
     T: Copy + Send + Sync,
@@ -38,25 +45,12 @@ where
             jobs.push(head);
             rest = tail;
         }
-        if jobs.len() == 1 {
-            jobs.pop().expect("one job").sort_by(&compare);
-        } else {
-            crossbeam::thread::scope(|scope| {
-                for job in jobs {
-                    let compare = &compare;
-                    scope.spawn(move |_| job.sort_by(compare));
-                }
-            })
-            .expect("sort worker panicked");
-        }
+        let compare = &compare;
+        executor.run_tasks(jobs, |_, job| job.sort_by(compare));
     }
     let passes = (parts.len().max(2) as f64).log2().ceil() as u64 + 1;
-    device
-        .metrics()
-        .add_bytes_read(n as u64 * elem * passes);
-    device
-        .metrics()
-        .add_bytes_written(n as u64 * elem * passes);
+    device.metrics().add_bytes_read(n as u64 * elem * passes);
+    device.metrics().add_bytes_written(n as u64 * elem * passes);
     device
         .metrics()
         .add_ops(n as u64 * (n.max(2) as f64).log2().ceil() as u64);
@@ -75,7 +69,10 @@ where
         let mut jobs = Vec::with_capacity(pair_count + 1);
         let mut i = 0;
         while i + 2 < run_bounds.len() {
-            jobs.push((run_bounds[i]..run_bounds[i + 1], run_bounds[i + 1]..run_bounds[i + 2]));
+            jobs.push((
+                run_bounds[i]..run_bounds[i + 1],
+                run_bounds[i + 1]..run_bounds[i + 2],
+            ));
             i += 2;
         }
         let leftover = if i + 1 < run_bounds.len() {
@@ -85,7 +82,8 @@ where
         };
         // Split the target buffer into one output slice per job.
         {
-            let mut out_slices: Vec<&mut [T]> = Vec::with_capacity(jobs.len());
+            let mut merge_jobs: Vec<(std::ops::Range<usize>, std::ops::Range<usize>, &mut [T])> =
+                Vec::with_capacity(jobs.len());
             let mut rest: &mut [T] = target.as_mut_slice();
             let mut cursor = 0usize;
             for (a, b) in &jobs {
@@ -93,13 +91,13 @@ where
                 let len = (a.end - a.start) + (b.end - b.start);
                 let (_, tail) = rest.split_at_mut(start - cursor);
                 let (mine, tail) = tail.split_at_mut(len);
-                out_slices.push(mine);
+                merge_jobs.push((a.clone(), b.clone(), mine));
                 rest = tail;
                 cursor = start + len;
             }
             let source_ref = &source;
             let compare = &compare;
-            let merge_job = |a: std::ops::Range<usize>, b: std::ops::Range<usize>, out: &mut [T]| {
+            executor.run_tasks(merge_jobs, |_, (a, b, out)| {
                 let (mut ai, mut bi, mut oi) = (a.start, b.start, 0usize);
                 while ai < a.end && bi < b.end {
                     if compare(&source_ref[bi], &source_ref[ai]) == Ordering::Less {
@@ -121,20 +119,7 @@ where
                     bi += 1;
                     oi += 1;
                 }
-            };
-            if out_slices.len() <= 1 {
-                for ((a, b), out) in jobs.iter().cloned().zip(out_slices) {
-                    merge_job(a, b, out);
-                }
-            } else {
-                crossbeam::thread::scope(|scope| {
-                    for ((a, b), out) in jobs.iter().cloned().zip(out_slices) {
-                        let merge_job = &merge_job;
-                        scope.spawn(move |_| merge_job(a, b, out));
-                    }
-                })
-                .expect("merge worker panicked");
-            }
+            });
         }
         // Copy any leftover run through unchanged.
         if let Some(range) = leftover.clone() {
@@ -165,11 +150,83 @@ where
     stable_sort_by(device, indices, |a, b| key(*a).cmp(&key(*b)));
 }
 
+/// Number of 8-bit digit positions needed to cover `max_value`.
+fn radix_passes_for(max_value: u32) -> usize {
+    if max_value == 0 {
+        0
+    } else {
+        (32 - max_value.leading_zeros() as usize).div_ceil(8)
+    }
+}
+
+/// One stable counting-sort pass over an 8-bit digit of one column.
+///
+/// `input` and `output` hold row indices; rows are ranked by
+/// `(data[row * arity + col] >> shift) & 0xff`. Histograms are built per
+/// worker partition, combined with an exclusive scan into per-partition,
+/// per-digit start offsets, and scattered back in partition order — which
+/// is what makes the pass stable.
+fn counting_sort_pass(
+    device: &Device,
+    data: &[u32],
+    arity: usize,
+    col: usize,
+    shift: u32,
+    input: &[AtomicU32],
+    output: &[AtomicU32],
+) {
+    const RADIX: usize = 256;
+    let n = input.len();
+    let executor = device.executor();
+    let parts = executor.partitions(n);
+    let digit_of = |slot: &AtomicU32| {
+        let row = slot.load(AtomicOrdering::Relaxed) as usize;
+        ((data[row * arity + col] >> shift) & 0xff) as usize
+    };
+    // Pass 1: per-partition digit histograms.
+    let parts_ref = &parts;
+    let histograms: Vec<Vec<u32>> = executor.map_collect(parts.len(), |p| {
+        let mut hist = vec![0u32; RADIX];
+        for slot in &input[parts_ref[p].clone()] {
+            hist[digit_of(slot)] += 1;
+        }
+        hist
+    });
+    // Exclusive scan over (digit, partition): all smaller digits first,
+    // then earlier partitions of the same digit.
+    let mut starts = vec![0u32; parts.len() * RADIX];
+    let mut running = 0u32;
+    for digit in 0..RADIX {
+        for (p, hist) in histograms.iter().enumerate() {
+            starts[p * RADIX + digit] = running;
+            running += hist[digit];
+        }
+    }
+    // Pass 2: stable scatter, one worker per partition. Destinations of
+    // different partitions are disjoint by construction of `starts`.
+    let starts_ref = &starts;
+    executor.for_each_partition(n, |p, range| {
+        let mut cursors = starts_ref[p * RADIX..(p + 1) * RADIX].to_vec();
+        for slot in &input[range] {
+            let digit = digit_of(slot);
+            let dest = cursors[digit] as usize;
+            cursors[digit] += 1;
+            output[dest].store(slot.load(AtomicOrdering::Relaxed), AtomicOrdering::Relaxed);
+        }
+    });
+}
+
 /// Builds the sorted index array for a row-major tuple store, following the
 /// paper's Algorithm 1: indices are sorted by one column at a time with a
 /// stable sort, from the least-significant position of `column_order` to the
 /// most-significant, so that the final order is lexicographic in
-/// `column_order`.
+/// `column_order`. Ties (identical projections onto `column_order`) keep
+/// their original index order.
+///
+/// Each column is sorted by a stable LSD counting sort over 8-bit digits;
+/// digit positions above the column's maximum value are skipped, so dense
+/// id spaces (the common case for Datalog constants) take one or two passes
+/// per column instead of four.
 ///
 /// `data` is row-major with `arity` columns; `column_order` lists columns
 /// from most-significant to least-significant (join columns first).
@@ -185,22 +242,74 @@ pub fn lexicographic_sort_indices(
     column_order: &[usize],
 ) -> Vec<u32> {
     assert!(arity > 0, "arity must be positive");
-    assert_eq!(data.len() % arity, 0, "data length must be a multiple of arity");
+    assert_eq!(
+        data.len() % arity,
+        0,
+        "data length must be a multiple of arity"
+    );
+    assert!(
+        column_order.iter().all(|&c| c < arity),
+        "column_order entries must be < arity"
+    );
+    let rows = data.len() / arity;
+    if rows <= 1 {
+        return (0..rows as u32).collect();
+    }
+    // Ping-pong buffers; the atomic cells let scatter destinations cross
+    // worker partitions without unsafe aliasing.
+    let mut input: Vec<AtomicU32> = (0..rows as u32).map(AtomicU32::new).collect();
+    let mut output: Vec<AtomicU32> = (0..rows).map(|_| AtomicU32::new(0)).collect();
+    // Least-significant column first (rightmost of column_order).
+    for &col in column_order.iter().rev() {
+        let max_value =
+            crate::thrust::reduce::max_by(device, rows, |r| data[r * arity + col]).unwrap_or(0);
+        let passes = radix_passes_for(max_value);
+        device.metrics().add_kernel_launch();
+        device
+            .metrics()
+            .add_bytes_read(rows as u64 * 8 * passes.max(1) as u64);
+        device
+            .metrics()
+            .add_bytes_written(rows as u64 * 4 * passes as u64);
+        device.metrics().add_ops(rows as u64 * passes as u64);
+        // A column whose values are all zero needs no reordering at all.
+        for pass in 0..passes {
+            counting_sort_pass(device, data, arity, col, (pass * 8) as u32, &input, &output);
+            std::mem::swap(&mut input, &mut output);
+        }
+    }
+    input
+        .into_iter()
+        .map(std::sync::atomic::AtomicU32::into_inner)
+        .collect()
+}
+
+/// The pre-radix, comparison-based implementation of
+/// [`lexicographic_sort_indices`]: one stable merge sort per column. Kept
+/// as the reference the radix path is property-tested against and as a
+/// fallback for debugging.
+pub fn lexicographic_sort_indices_by_comparison(
+    device: &Device,
+    data: &[u32],
+    arity: usize,
+    column_order: &[usize],
+) -> Vec<u32> {
+    assert!(arity > 0, "arity must be positive");
+    assert_eq!(
+        data.len() % arity,
+        0,
+        "data length must be a multiple of arity"
+    );
     assert!(
         column_order.iter().all(|&c| c < arity),
         "column_order entries must be < arity"
     );
     let rows = data.len() / arity;
     let mut indices: Vec<u32> = (0..rows as u32).collect();
-    // Least-significant column first (rightmost of column_order).
     for &col in column_order.iter().rev() {
-        device
-            .metrics()
-            .add_bytes_read(rows as u64 * 8);
+        device.metrics().add_bytes_read(rows as u64 * 8);
         device.metrics().add_bytes_written(rows as u64 * 4);
-        stable_sort_indices_by_key(device, &mut indices, |idx| {
-            data[idx as usize * arity + col]
-        });
+        stable_sort_indices_by_key(device, &mut indices, |idx| data[idx as usize * arity + col]);
     }
     indices
 }
@@ -245,10 +354,21 @@ mod tests {
     #[test]
     fn sort_indices_by_key_orders_indirectly() {
         let d = device();
-        let data = vec![50u32, 10, 40, 30, 20];
+        let data = [50u32, 10, 40, 30, 20];
         let mut indices: Vec<u32> = (0..5).collect();
         stable_sort_indices_by_key(&d, &mut indices, |i| data[i as usize]);
         assert_eq!(indices, vec![1, 4, 3, 2, 0]);
+    }
+
+    #[test]
+    fn radix_passes_match_value_magnitude() {
+        assert_eq!(radix_passes_for(0), 0);
+        assert_eq!(radix_passes_for(1), 1);
+        assert_eq!(radix_passes_for(255), 1);
+        assert_eq!(radix_passes_for(256), 2);
+        assert_eq!(radix_passes_for(65_535), 2);
+        assert_eq!(radix_passes_for(65_536), 3);
+        assert_eq!(radix_passes_for(u32::MAX), 4);
     }
 
     #[test]
@@ -280,6 +400,31 @@ mod tests {
     }
 
     #[test]
+    fn radix_and_comparison_paths_agree_on_large_values() {
+        let d = device();
+        // Values spanning all four digit bytes, including u32::MAX.
+        let rows = 500usize;
+        let data: Vec<u32> = (0..rows * 2)
+            .map(|i| (i as u32).wrapping_mul(2_654_435_761))
+            .chain([u32::MAX, 0])
+            .take(rows * 2)
+            .collect();
+        let radix = lexicographic_sort_indices(&d, &data, 2, &[0, 1]);
+        let comparison = lexicographic_sort_indices_by_comparison(&d, &data, 2, &[0, 1]);
+        assert_eq!(radix, comparison);
+    }
+
+    #[test]
+    fn all_equal_column_is_skipped_without_reordering() {
+        let d = device();
+        // Column 0 is constant zero; order must be decided by column 1 only,
+        // with ties keeping the identity order.
+        let data = vec![0u32, 5, 0, 3, 0, 5, 0, 1];
+        let got = lexicographic_sort_indices(&d, &data, 2, &[0, 1]);
+        assert_eq!(got, vec![3, 1, 0, 2]);
+    }
+
+    #[test]
     fn lexicographic_sort_of_paper_example() {
         // Paper Section 4.2: tuples {2,1,5}, {2,5,9}, {2,1,2} with the second
         // column as the join column sort to index order [1, 0, 2]... the text
@@ -305,6 +450,16 @@ mod tests {
         let mut b = items;
         stable_sort_by(&seq_device, &mut a, |x, y| x.cmp(y));
         stable_sort_by(&par_device, &mut b, |x, y| x.cmp(y));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn radix_sort_with_single_worker_matches_parallel() {
+        let seq = Device::with_workers(DeviceProfile::nvidia_h100(), 1);
+        let par = Device::with_workers(DeviceProfile::nvidia_h100(), 8);
+        let data: Vec<u32> = (0..5000u32).map(|i| i.wrapping_mul(97) % 4099).collect();
+        let a = lexicographic_sort_indices(&seq, &data, 2, &[1, 0]);
+        let b = lexicographic_sort_indices(&par, &data, 2, &[1, 0]);
         assert_eq!(a, b);
     }
 }

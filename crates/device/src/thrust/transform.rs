@@ -12,7 +12,11 @@ use crate::thrust::scan::exclusive_scan_offsets;
 /// of range.
 pub fn gather_rows(device: &Device, data: &[u32], arity: usize, indices: &[u32]) -> Vec<u32> {
     assert!(arity > 0, "arity must be positive");
-    assert_eq!(data.len() % arity, 0, "data length must be a multiple of arity");
+    assert_eq!(
+        data.len() % arity,
+        0,
+        "data length must be a multiple of arity"
+    );
     let rows = data.len() / arity;
     assert!(
         indices.iter().all(|&i| (i as usize) < rows),
@@ -41,9 +45,7 @@ where
 {
     device.metrics().add_kernel_launch();
     device.metrics().add_ops(n as u64);
-    let flags: Vec<usize> = device
-        .executor()
-        .map_collect(n, |i| usize::from(keep(i)));
+    let flags: Vec<usize> = device.executor().map_collect(n, |i| usize::from(keep(i)));
     let offsets = exclusive_scan_offsets(device, &flags);
     let total = offsets[n];
     device.metrics().add_bytes_written(total as u64 * 4);
@@ -72,9 +74,7 @@ pub fn adjacent_unique_flags(
     assert!(arity > 0, "arity must be positive");
     let n = sorted_indices.len();
     device.metrics().add_kernel_launch();
-    device
-        .metrics()
-        .add_bytes_read((n * arity * 4 * 2) as u64);
+    device.metrics().add_bytes_read((n * arity * 4 * 2) as u64);
     device.metrics().add_ops((n * arity) as u64);
     let mut flags = vec![false; n];
     device.executor().fill(&mut flags, |i| {
@@ -98,7 +98,7 @@ where
     device.metrics().add_kernel_launch();
     device
         .metrics()
-        .add_bytes_read((input.len() * std::mem::size_of::<T>()) as u64);
+        .add_bytes_read(std::mem::size_of_val(input) as u64);
     device
         .metrics()
         .add_bytes_written((input.len() * std::mem::size_of::<U>()) as u64);

@@ -29,7 +29,12 @@ pub fn unique_sorted_positions(
 }
 
 /// Counts the number of distinct tuples referenced by a sorted index array.
-pub fn count_distinct(device: &Device, data: &[u32], arity: usize, sorted_indices: &[u32]) -> usize {
+pub fn count_distinct(
+    device: &Device,
+    data: &[u32],
+    arity: usize,
+    sorted_indices: &[u32],
+) -> usize {
     if sorted_indices.is_empty() {
         return 0;
     }
@@ -80,6 +85,9 @@ mod tests {
         let d = device();
         let data = vec![1u32, 0, 2, 0, 3, 0];
         let sorted = vec![0u32, 1, 2];
-        assert_eq!(unique_sorted_positions(&d, &data, 2, &sorted), vec![0, 1, 2]);
+        assert_eq!(
+            unique_sorted_positions(&d, &data, 2, &sorted),
+            vec![0, 1, 2]
+        );
     }
 }

@@ -103,16 +103,108 @@ impl Hisa {
         let data = device.buffer_from_vec(compacted)?;
         let sorted_index = device.buffer_from_vec((0..rows as u32).collect())?;
         // Layer 3: hash table over the key columns.
-        let mut hash = HashTable::with_capacity(device, rows, load_factor)?;
-        {
-            let data_slice = data.as_slice();
-            let sorted_slice = sorted_index.as_slice();
-            let key_arity = spec.key_arity();
-            hash.build_parallel(rows, |p| {
-                let row = sorted_slice[p] as usize;
-                hash_key(&data_slice[row * arity..row * arity + key_arity])
-            });
-        }
+        let hash = build_hash_layer(device, &spec, &data, &sorted_index, load_factor)?;
+        Ok(Hisa {
+            spec,
+            device: device.clone(),
+            data,
+            sorted_index,
+            hash,
+            load_factor,
+        })
+    }
+
+    /// Builds a HISA from tuples that are already in key-first order,
+    /// lexicographically sorted, and duplicate-free — the fast path for
+    /// delta relations, whose tuples leave the delta-population phase
+    /// exactly in this shape. Skips the sort, the adjacent-comparison
+    /// dedup pass, and the compaction gather of [`Hisa::build`]: only the
+    /// hash layer is constructed, over an identity sorted-index array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpulog_device::DeviceError::OutOfMemory`] when the
+    /// relation does not fit on the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reordered.len()` is not a multiple of the arity. Sorted
+    /// order and uniqueness are the caller's contract (checked only under
+    /// `debug_assertions`).
+    pub fn build_from_sorted_unique(
+        device: &Device,
+        spec: IndexSpec,
+        reordered: &[Value],
+        load_factor: f64,
+    ) -> DeviceResult<Self> {
+        let arity = spec.arity();
+        assert_eq!(
+            reordered.len() % arity,
+            0,
+            "tuple buffer length must be a multiple of the arity"
+        );
+        debug_assert!(
+            rows_are_sorted_unique(reordered, arity),
+            "build_from_sorted_unique requires sorted, duplicate-free rows"
+        );
+        let rows = reordered.len() / arity;
+        let data = device.buffer_from_slice(reordered)?;
+        let sorted_index = device.buffer_from_vec((0..rows as u32).collect())?;
+        let hash = build_hash_layer(device, &spec, &data, &sorted_index, load_factor)?;
+        Ok(Hisa {
+            spec,
+            device: device.clone(),
+            data,
+            sorted_index,
+            hash,
+            load_factor,
+        })
+    }
+
+    /// Re-indexes duplicate-free tuples that are already sorted in their
+    /// *original* column order under a different key specification — the
+    /// secondary-index fast path of the delta-reuse merge.
+    ///
+    /// Because the input is identity-sorted and duplicate-free, a stable
+    /// sort over the key columns alone yields the full key-first
+    /// lexicographic order: rows tying on every key column are ordered by
+    /// their remaining columns, and the stable tie-break (input order =
+    /// identity order restricted to those equal rows) is exactly that.
+    /// So this skips the non-key sort passes, the dedup pass, and the
+    /// compaction gather that a fresh [`Hisa::build`] would run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpulog_device::DeviceError::OutOfMemory`] when the
+    /// relation does not fit on the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tuples.len()` is not a multiple of the arity. Sorted
+    /// order and uniqueness are the caller's contract (checked only under
+    /// `debug_assertions`).
+    pub fn build_reindexed_from_sorted_unique(
+        device: &Device,
+        spec: IndexSpec,
+        tuples: &[Value],
+        load_factor: f64,
+    ) -> DeviceResult<Self> {
+        let arity = spec.arity();
+        assert_eq!(
+            tuples.len() % arity,
+            0,
+            "tuple buffer length must be a multiple of the arity"
+        );
+        debug_assert!(
+            rows_are_sorted_unique(tuples, arity),
+            "build_reindexed_from_sorted_unique requires identity-sorted, duplicate-free rows"
+        );
+        // Stable sort by the key columns only (in significance order);
+        // ties keep the identity-sorted input order.
+        let order = lexicographic_sort_indices(device, tuples, arity, spec.key_columns());
+        let data = device.buffer_from_vec(spec.reorder_rows(tuples))?;
+        let sorted_index = device.buffer_from_vec(order)?;
+        let hash = build_hash_layer(device, &spec, &data, &sorted_index, load_factor)?;
         Ok(Hisa {
             spec,
             device: device.clone(),
@@ -292,7 +384,10 @@ impl Hisa {
     ///
     /// Panics if the two HISAs have different index specifications.
     pub fn merge_from(&mut self, other: &Hisa) -> DeviceResult<()> {
-        assert_eq!(self.spec, other.spec, "cannot merge HISAs with different specs");
+        assert_eq!(
+            self.spec, other.spec,
+            "cannot merge HISAs with different specs"
+        );
         if other.is_empty() {
             return Ok(());
         }
@@ -323,19 +418,47 @@ impl Hisa {
         std::mem::swap(&mut self.sorted_index, &mut new_index);
         drop(new_index);
         // Rebuild the hash index over the merged order.
-        let mut hash = HashTable::with_capacity(&self.device, merged_len, self.load_factor)?;
-        {
-            let data_slice = self.data.as_slice();
-            let sorted_slice = self.sorted_index.as_slice();
-            let key_arity = self.spec.key_arity();
-            hash.build_parallel(merged_len, |p| {
-                let row = sorted_slice[p] as usize;
-                hash_key(&data_slice[row * arity..row * arity + key_arity])
-            });
-        }
-        self.hash = hash;
+        debug_assert_eq!(merged_len * arity, self.data.len());
+        self.hash = build_hash_layer(
+            &self.device,
+            &self.spec,
+            &self.data,
+            &self.sorted_index,
+            self.load_factor,
+        )?;
         Ok(())
     }
+}
+
+/// Whether the row-major buffer's rows are strictly increasing (sorted and
+/// duplicate-free). Debug-build validation for the fast-path constructors.
+fn rows_are_sorted_unique(data: &[Value], arity: usize) -> bool {
+    data.chunks_exact(arity)
+        .zip(data.chunks_exact(arity).skip(1))
+        .all(|(a, b)| a < b)
+}
+
+/// Builds the open-addressing hash layer mapping each key's hash to its
+/// smallest sorted-index position (paper Algorithm 2), shared by every
+/// construction path.
+fn build_hash_layer(
+    device: &Device,
+    spec: &IndexSpec,
+    data: &DeviceBuffer<Value>,
+    sorted_index: &DeviceBuffer<u32>,
+    load_factor: f64,
+) -> DeviceResult<HashTable> {
+    let rows = sorted_index.len();
+    let arity = spec.arity();
+    let key_arity = spec.key_arity();
+    let mut hash = HashTable::with_capacity(device, rows, load_factor)?;
+    let data_slice = data.as_slice();
+    let sorted_slice = sorted_index.as_slice();
+    hash.build_parallel(rows, |p| {
+        let row = sorted_slice[p] as usize;
+        hash_key(&data_slice[row * arity..row * arity + key_arity])
+    });
+    Ok(hash)
 }
 
 /// Iterator over the data-array row ids matching one key; produced by
@@ -513,7 +636,10 @@ mod tests {
         ];
         let h = Hisa::build(&d, spec, &tuples).unwrap();
         assert_eq!(h.len(), 7);
-        let mut last: Vec<u32> = h.range_query(&[5, 2]).map(|r| h.row(r as usize)[2]).collect();
+        let mut last: Vec<u32> = h
+            .range_query(&[5, 2])
+            .map(|r| h.row(r as usize)[2])
+            .collect();
         last.sort();
         assert_eq!(last, vec![0, 9]);
         assert_eq!(h.range_query(&[4, 4]).count(), 1);
@@ -554,6 +680,89 @@ mod tests {
         let h = Hisa::build(&d, edge_spec(), &[1, 2, 3, 4, 5, 6]).unwrap();
         assert!(h.device_bytes() > 0);
         assert!(d.tracker().in_use() >= h.device_bytes());
+    }
+
+    #[test]
+    fn build_from_sorted_unique_matches_general_build() {
+        let d = device();
+        // Already sorted, unique, key-first (key = column 0, identity perm).
+        let tuples = [1u32, 2, 2, 9, 3, 4, 3, 7];
+        let fast = Hisa::build_from_sorted_unique(&d, edge_spec(), &tuples, 0.8).unwrap();
+        let general = Hisa::build(&d, edge_spec(), &tuples).unwrap();
+        assert_eq!(fast.to_sorted_tuples(), general.to_sorted_tuples());
+        assert_eq!(fast.range_query(&[3]).count(), 2);
+        assert!(fast.contains(&[2, 9]));
+        assert!(!fast.contains(&[9, 2]));
+    }
+
+    #[test]
+    fn build_from_sorted_unique_of_empty_input() {
+        let d = device();
+        let h = Hisa::build_from_sorted_unique(&d, edge_spec(), &[], 0.8).unwrap();
+        assert!(h.is_empty());
+        assert_eq!(h.range_query(&[1]).count(), 0);
+    }
+
+    #[test]
+    fn reindexed_build_agrees_with_general_build_on_secondary_keys() {
+        let d = device();
+        // Identity-sorted unique tuples; re-key on the second column.
+        let tuples = [0u32, 9, 1, 4, 2, 9, 3, 4, 4, 1];
+        for key in [vec![1usize], vec![1, 0]] {
+            let spec = IndexSpec::new(2, key.clone());
+            let fast =
+                Hisa::build_reindexed_from_sorted_unique(&d, spec.clone(), &tuples, 0.8).unwrap();
+            let general = Hisa::build(&d, spec, &tuples).unwrap();
+            assert_eq!(
+                fast.to_sorted_tuples(),
+                general.to_sorted_tuples(),
+                "key {key:?}"
+            );
+        }
+        let spec = IndexSpec::new(2, vec![1]);
+        let fast = Hisa::build_reindexed_from_sorted_unique(&d, spec, &tuples, 0.8).unwrap();
+        let mut froms: Vec<u32> = fast
+            .range_query(&[9])
+            .map(|r| fast.row(r as usize)[0])
+            .collect();
+        froms.sort();
+        assert_eq!(froms, vec![0, 2]);
+    }
+
+    #[test]
+    fn reindexed_build_supports_wider_arities_and_multi_column_keys() {
+        let d = device();
+        // Arity 3, identity-sorted, unique; key on columns (2, 0).
+        let tuples = [
+            0u32, 5, 1, //
+            1, 4, 1, //
+            1, 4, 2, //
+            2, 0, 1, //
+            2, 1, 1, //
+        ];
+        let spec = IndexSpec::new(3, vec![2, 0]);
+        let fast =
+            Hisa::build_reindexed_from_sorted_unique(&d, spec.clone(), &tuples, 0.8).unwrap();
+        let general = Hisa::build(&d, spec, &tuples).unwrap();
+        assert_eq!(fast.to_sorted_tuples(), general.to_sorted_tuples());
+        assert_eq!(fast.range_query(&[1, 2]).count(), 2);
+    }
+
+    #[test]
+    fn merged_hisa_accepts_reindexed_deltas() {
+        let d = device();
+        let spec = IndexSpec::new(2, vec![1]);
+        let mut full =
+            Hisa::build_reindexed_from_sorted_unique(&d, spec.clone(), &[1, 2, 3, 4], 0.8).unwrap();
+        let delta = Hisa::build_reindexed_from_sorted_unique(&d, spec, &[0, 2, 5, 4], 0.8).unwrap();
+        full.merge_from(&delta).unwrap();
+        assert_eq!(full.len(), 4);
+        assert_eq!(full.range_query(&[2]).count(), 2);
+        assert_eq!(full.range_query(&[4]).count(), 2);
+        let sorted = full.to_sorted_tuples();
+        let mut expected = sorted.clone();
+        expected.sort_by_key(|t| (t[1], t[0]));
+        assert_eq!(sorted, expected, "sorted index must follow the key order");
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl IndexSpec {
     /// out-of-range column, or contains duplicates.
     pub fn new(arity: usize, key_columns: Vec<usize>) -> Self {
         assert!(arity > 0, "arity must be positive");
-        assert!(!key_columns.is_empty(), "at least one key column is required");
+        assert!(
+            !key_columns.is_empty(),
+            "at least one key column is required"
+        );
         assert!(
             key_columns.iter().all(|&c| c < arity),
             "key column out of range for arity {arity}"
@@ -54,11 +57,7 @@ impl IndexSpec {
             seen[c] = true;
         }
         let mut permutation = key_columns.clone();
-        for c in 0..arity {
-            if !seen[c] {
-                permutation.push(c);
-            }
-        }
+        permutation.extend((0..arity).filter(|&c| !seen[c]));
         IndexSpec {
             arity,
             key_columns,

@@ -68,7 +68,11 @@ pub struct CspaResult {
 /// # Errors
 ///
 /// Returns engine or device errors.
-pub fn prepare(device: &Device, input: &CspaInput, config: EngineConfig) -> EngineResult<GpulogEngine> {
+pub fn prepare(
+    device: &Device,
+    input: &CspaInput,
+    config: EngineConfig,
+) -> EngineResult<GpulogEngine> {
     let mut engine = GpulogEngine::from_source(device, CSPA_PROGRAM, config)?;
     engine.add_facts_flat("Assign", &input.assign_flat())?;
     engine.add_facts_flat("Dereference", &input.dereference_flat())?;

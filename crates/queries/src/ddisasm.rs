@@ -54,7 +54,11 @@ pub fn generate(instructions: u32, seed: u64) -> DdisasmInput {
                 NONE_REG
             };
             // Half the accesses use the same register as the def (joinable).
-            let access_reg = if rng.gen_bool(0.5) { reg } else { rng.gen_range(1..16) };
+            let access_reg = if rng.gen_bool(0.5) {
+                reg
+            } else {
+                rng.gen_range(1..16)
+            };
             input.memory_access.push([op, ea, access_reg, base]);
         }
     }
@@ -67,7 +71,11 @@ pub fn generate(instructions: u32, seed: u64) -> DdisasmInput {
 /// # Errors
 ///
 /// Returns engine or device errors.
-pub fn run(device: &Device, input: &DdisasmInput, config: EngineConfig) -> EngineResult<(RunStats, usize)> {
+pub fn run(
+    device: &Device,
+    input: &DdisasmInput,
+    config: EngineConfig,
+) -> EngineResult<(RunStats, usize)> {
     let mut engine = GpulogEngine::from_source(device, DDISASM_PROGRAM, config)?;
     let def_flat: Vec<u32> = input.def_used.iter().flatten().copied().collect();
     let mem_flat: Vec<u32> = input.memory_access.iter().flatten().copied().collect();

@@ -29,7 +29,11 @@ pub struct SgResult {
 /// # Errors
 ///
 /// Returns engine or device errors.
-pub fn prepare(device: &Device, graph: &EdgeList, config: EngineConfig) -> EngineResult<GpulogEngine> {
+pub fn prepare(
+    device: &Device,
+    graph: &EdgeList,
+    config: EngineConfig,
+) -> EngineResult<GpulogEngine> {
     let mut engine = GpulogEngine::from_source(device, SG_PROGRAM, config)?;
     engine.add_facts_flat("Edge", &graph.to_flat())?;
     Ok(engine)

@@ -22,10 +22,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .output_relation("unsupported", 2) // (ea, reg)
         .output_relation("unsupported_regs", 1)
         .rule("unsupported", vec![Term::var("ea"), Term::var("reg")])
-        .body("def_used", vec![Term::var("ea"), Term::var("reg"), Term::var("k")])
+        .body(
+            "def_used",
+            vec![Term::var("ea"), Term::var("reg"), Term::var("k")],
+        )
         .body(
             "mem_access",
-            vec![Term::Const(1), Term::var("ea"), Term::var("reg"), Term::var("base")],
+            vec![
+                Term::Const(1),
+                Term::var("ea"),
+                Term::var("reg"),
+                Term::var("base"),
+            ],
         )
         .constraint(Term::var("base"), CmpOp::Ne, Term::Const(0))
         .end_rule()
@@ -36,10 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Tune the engine: larger EBM growth factor, paper's 0.8 load factor,
     // temporarily-materialized joins (the default, spelled out here).
-    let mut config = EngineConfig::default();
-    config.ebm = EbmConfig::with_growth_factor(16.0);
-    config.load_factor = 0.8;
-    config.nway = NwayStrategy::TemporarilyMaterialized;
+    let config = EngineConfig {
+        ebm: EbmConfig::with_growth_factor(16.0),
+        load_factor: 0.8,
+        nway: NwayStrategy::TemporarilyMaterialized,
+        ..EngineConfig::default()
+    };
 
     let device = Device::new(DeviceProfile::nvidia_a100());
     let mut engine = GpulogEngine::new(&device, &program, config)?;

@@ -1,0 +1,2 @@
+//! Placeholder library target for the examples package; all content lives
+//! in the example binaries next to this file (`cargo run --example ...`).

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut engine = sg::prepare(&device, &graph, EngineConfig::default())?;
     let stats = engine.run()?;
     println!("SG on the paper's Figure 1 graph");
-    println!("  final SG size: {}", engine.relation_size("SG").unwrap_or(0));
+    println!(
+        "  final SG size: {}",
+        engine.relation_size("SG").unwrap_or(0)
+    );
     for record in &stats.iteration_records {
         println!(
             "  iteration {}: {} tuples derived, {} new (delta)",
@@ -52,11 +55,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Part 2: strategy comparison on a layered DAG.
     let big = layered_dag(8, 40, 3, 7);
     for (label, strategy) in [
-        ("temporarily materialized", NwayStrategy::TemporarilyMaterialized),
+        (
+            "temporarily materialized",
+            NwayStrategy::TemporarilyMaterialized,
+        ),
         ("fused nested loop", NwayStrategy::FusedNestedLoop),
     ] {
-        let mut cfg = EngineConfig::default();
-        cfg.nway = strategy;
+        let cfg = EngineConfig {
+            nway: strategy,
+            ..EngineConfig::default()
+        };
         let result = sg::run(&device, &big, cfg)?;
         println!(
             "strategy {label:<26}: {} tuples, wall {:.1} ms, modeled {:.2} ms",

@@ -32,6 +32,29 @@ fn figure1_graph() -> EdgeList {
 }
 
 #[test]
+fn fixpoint_runs_spawn_zero_threads_after_warmup() {
+    // The worker pool is created with the device; every kernel launch after
+    // that must reuse the parked threads. A full fixpoint evaluation — the
+    // warmup run and a second run on the same device — must therefore leave
+    // the spawn counter exactly where device creation put it.
+    let d = device();
+    let spawned_at_creation = d.metrics().threads_spawned();
+    let mut warmup = sg::prepare(&d, &figure1_graph(), EngineConfig::default()).unwrap();
+    warmup.run().unwrap();
+    let after_warmup = d.metrics().snapshot();
+    assert_eq!(after_warmup.threads_spawned, spawned_at_creation);
+
+    let mut engine = sg::prepare(&d, &figure1_graph(), EngineConfig::default()).unwrap();
+    engine.run().unwrap();
+    let delta = d.metrics().snapshot().since(&after_warmup);
+    assert_eq!(delta.threads_spawned, 0, "post-warmup runs must not spawn");
+    assert!(
+        delta.kernel_launches > 0,
+        "the run must actually have launched kernels"
+    );
+}
+
+#[test]
 fn figure1_sg_trace_matches_the_paper() {
     // Figure 1 of the paper walks SG through three iterations on a 9-node
     // graph: iteration 1 derives 8 tuples, iteration 2 adds 6 more, and
@@ -90,7 +113,9 @@ fn gpulog_and_baselines_agree_on_sg() {
         ("tree", binary_tree(4)),
     ] {
         let d = device();
-        let gpulog_size = sg::run(&d, &graph, EngineConfig::default()).unwrap().sg_size;
+        let gpulog_size = sg::run(&d, &graph, EngineConfig::default())
+            .unwrap()
+            .sg_size;
         let reference = sg::reference_sg(&graph).len();
         assert_eq!(gpulog_size, reference, "GPUlog vs reference on {name}");
         assert_eq!(souffle_like::sg(&graph, 4).tuples, Some(reference));
@@ -114,8 +139,10 @@ fn ebm_configurations_do_not_change_results_only_memory() {
     let graph = PaperDataset::SfCedge.generate(0.12);
     let run = |ebm: EbmConfig| {
         let d = device();
-        let mut cfg = EngineConfig::default();
-        cfg.ebm = ebm;
+        let cfg = EngineConfig {
+            ebm,
+            ..EngineConfig::default()
+        };
         let r = reach::run(&d, &graph, cfg).unwrap();
         (r.reach_size, r.stats.peak_device_bytes)
     };
@@ -132,8 +159,10 @@ fn join_strategies_agree_on_cspa() {
     let input = gpulog_datasets::cspa::postgres_like(1.0 / 6000.0);
     let d = device();
     let materialized = cspa::run(&d, &input, EngineConfig::default()).unwrap();
-    let mut cfg = EngineConfig::default();
-    cfg.nway = NwayStrategy::FusedNestedLoop;
+    let cfg = EngineConfig {
+        nway: NwayStrategy::FusedNestedLoop,
+        ..EngineConfig::default()
+    };
     let fused = cspa::run(&d, &input, cfg).unwrap();
     assert_eq!(materialized.sizes, fused.sizes);
 }

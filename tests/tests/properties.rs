@@ -3,12 +3,15 @@
 //! GPUlog engine against an independent fixpoint computation, on randomly
 //! generated inputs.
 
-use gpulog::EngineConfig;
+use gpulog::relation::RelationStorage;
+use gpulog::{EbmConfig, EngineConfig};
 use gpulog_datasets::EdgeList;
 use gpulog_device::thrust::merge::merge_path_merge;
-use gpulog_device::thrust::sort::stable_sort_by;
+use gpulog_device::thrust::sort::{
+    lexicographic_sort_indices, lexicographic_sort_indices_by_comparison, stable_sort_by,
+};
 use gpulog_device::{profile::DeviceProfile, Device};
-use gpulog_hisa::{Hisa, IndexSpec};
+use gpulog_hisa::{Hisa, IndexSpec, DEFAULT_LOAD_FACTOR};
 use gpulog_queries::{reach, sg};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -46,6 +49,58 @@ proptest! {
         expected.extend_from_slice(&b);
         expected.sort();
         prop_assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn radix_sort_matches_comparison_sort(
+        tuples in prop::collection::vec((0u32..60_000, 0u32..300, 0u32..4), 0..600),
+    ) {
+        let d = device();
+        let flat: Vec<u32> = tuples.iter().flat_map(|&(a, b, c)| [a, b, c]).collect();
+        for order in [vec![0usize, 1, 2], vec![2, 0, 1], vec![1], vec![2, 1]] {
+            let radix = lexicographic_sort_indices(&d, &flat, 3, &order);
+            let comparison = lexicographic_sort_indices_by_comparison(&d, &flat, 3, &order);
+            prop_assert_eq!(&radix, &comparison, "column order {:?}", &order);
+        }
+    }
+
+    #[test]
+    fn delta_reuse_merge_keeps_secondary_indices_consistent(
+        base in edges_strategy(25, 120),
+        extra in edges_strategy(25, 60),
+    ) {
+        let d = device();
+        let mut storage = RelationStorage::new(&d, "Edge", 2, DEFAULT_LOAD_FACTOR).unwrap();
+        let base_flat: Vec<u32> = base.iter().flat_map(|&(a, b)| [a, b]).collect();
+        storage.load_full(&base_flat).unwrap();
+        // Materialize a secondary index before the merge so the reuse path
+        // has to keep it consistent.
+        let _ = storage.full.index_on(&d, &[1]).unwrap();
+        // Delta must be sorted, deduplicated, and disjoint from full.
+        let mut delta_set: BTreeSet<(u32, u32)> = extra.iter().copied().collect();
+        for &(a, b) in &base {
+            delta_set.remove(&(a, b));
+        }
+        let delta_flat: Vec<u32> = delta_set.iter().flat_map(|&(a, b)| [a, b]).collect();
+        storage.set_delta_sorted_unique(&delta_flat).unwrap();
+        storage.merge_delta_into_full(&EbmConfig::default()).unwrap();
+
+        // The merged secondary index must agree with an index built from
+        // scratch over the union.
+        let mut union: BTreeSet<(u32, u32)> = base.iter().copied().collect();
+        union.extend(delta_set.iter().copied());
+        let union_flat: Vec<u32> = union.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let fresh = Hisa::build(&d, IndexSpec::new(2, vec![1]), &union_flat).unwrap();
+        let merged = storage.full.index_on(&d, &[1]).unwrap();
+        prop_assert_eq!(merged.len(), union.len());
+        prop_assert_eq!(merged.to_sorted_tuples(), fresh.to_sorted_tuples());
+        for key in 0..25u32 {
+            prop_assert_eq!(
+                merged.range_query(&[key]).count(),
+                fresh.range_query(&[key]).count(),
+                "range size for key {}", key
+            );
+        }
     }
 
     #[test]

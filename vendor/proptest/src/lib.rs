@@ -1,0 +1,227 @@
+//! Minimal stand-in for the `proptest` property-testing crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//! header), [`Strategy`] for integer ranges, tuples, and
+//! `prop::collection::vec`, plus `prop_assert!` / `prop_assert_eq!`.
+//! Inputs are generated from a deterministic per-test seed (a hash of
+//! the test name), so failures reproduce without a persistence file.
+//! No shrinking is performed: a failing case panics immediately with the
+//! case number.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A source of random test inputs. Subset of `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u32, u64, usize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Collection strategies. Subset of `proptest::collection`.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of values from an element strategy, with
+    /// lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration. Subset of `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Stable 64-bit seed derived from a test's name.
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a: stable across runs and platforms, unlike `DefaultHasher`.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Items the [`proptest!`] expansion needs from the caller's scope.
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::SmallRng;
+    pub use rand::SeedableRng;
+}
+
+/// The common imports property tests use.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ...)`
+/// runs its body for `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        #[test]
+        fn $name:ident ( $($p:pat_param in $s:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            use $crate::__rt::SeedableRng as _;
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::__rt::SmallRng::seed_from_u64($crate::seed_for(stringify!($name)));
+            for __case in 0..__config.cases {
+                let __run = || {
+                    $(let $p = $crate::Strategy::generate(&$s, &mut __rng);)+
+                    $body
+                };
+                if let Err(panic) = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(__run),
+                ) {
+                    eprintln!(
+                        "property {} failed on case {}/{} (seed {})",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        $crate::seed_for(stringify!($name)),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair_strategy(limit: u32) -> impl Strategy<Value = (u32, u32)> {
+        (0..limit, 0..limit)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 3u32..17) {
+            prop_assert!((3..17).contains(&v));
+        }
+
+        #[test]
+        fn vecs_respect_length_and_element_bounds(
+            values in prop::collection::vec(0u32..100, 2..50),
+        ) {
+            prop_assert!((2..50).contains(&values.len()));
+            prop_assert!(values.iter().all(|&v| v < 100));
+        }
+
+        #[test]
+        fn tuples_and_mut_bindings_work(mut pair in pair_strategy(9)) {
+            pair.0 += 1;
+            prop_assert!(pair.0 <= 9 && pair.1 < 9);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(crate::seed_for("a"), crate::seed_for("a"));
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Minimal stand-in for the `rand` crate.
+//!
+//! Implements exactly the surface the workspace uses — a seedable small
+//! RNG with `gen`, `gen_range` over (inclusive) ranges, and `gen_bool` —
+//! backed by splitmix64 followed by an xorshift* scramble. The value
+//! stream differs from the real `SmallRng`; all workspace call sites
+//! only require determinism per seed, not a specific stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types constructible from a seed. Subset of `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG seeded from a `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A value type an RNG can produce uniformly. Support trait for
+/// [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl Standard for u32 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn from_u64(bits: u64) -> Self {
+        bits
+    }
+}
+
+/// A range an RNG can sample a `T` from. Support trait for
+/// [`Rng::gen_range`]. The element type is a type parameter (as in the
+/// real `rand`) so integer-literal ranges infer it from the call site.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample(&self, bits: u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(&self, bits: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (bits % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(&self, bits: u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64 + 1;
+                lo + (bits % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u32, u64, usize);
+
+/// Random-value methods. Subset of `rand::Rng`.
+pub trait Rng {
+    /// The next 64 raw bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws one uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 random mantissa bits give a uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic RNG (xorshift64* over a splitmix64
+    /// seeded state). Stand-in for `rand::rngs::SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 turns any seed (including 0) into a well-mixed,
+            // non-zero xorshift state.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            SmallRng { state: z.max(1) }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64*
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(5u32..17);
+            assert!((5..17).contains(&v));
+            let w = rng.gen_range(2u32..=9);
+            assert!((2..=9).contains(&w));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_whole_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits = {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op stand-in for `serde`'s derive macros.
+//!
+//! The workspace annotates a few plain-data types with
+//! `#[derive(Serialize, Deserialize)]` so they are ready for a real
+//! serialization dependency, but nothing actually serializes. This
+//! proc-macro crate accepts the derives and expands to nothing, which
+//! keeps the annotations compiling in the offline build environment.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
