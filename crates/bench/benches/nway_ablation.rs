@@ -20,10 +20,7 @@ fn bench_nway(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, s| {
             b.iter(|| {
                 let device = Device::new(DeviceProfile::nvidia_h100());
-                let cfg = EngineConfig {
-                    nway: *s,
-                    ..EngineConfig::default()
-                };
+                let cfg = EngineConfig::new().with_nway(*s);
                 sg::run(&device, &graph, cfg).unwrap().sg_size
             })
         });

@@ -22,6 +22,7 @@ fn main() {
         "Dataset",
         "Edges",
         "Reach tuples",
+        "Reach checksum",
         "GPUlog H100 (s, modeled)",
         "GPUlog (s, host wall)",
         "Souffle-like (s)",
@@ -33,15 +34,34 @@ fn main() {
     for dataset in PaperDataset::table2() {
         let graph = dataset.generate(scale);
         let device = gpulog_device(scale);
-        let gpulog_result = reach::run(&device, &graph, EngineConfig::default());
-        let (modeled_cell, wall_cell, modeled, reach_size) = match &gpulog_result {
-            Ok(r) => (
-                format!("{:.4}", r.stats.modeled_seconds()),
-                format!("{:.3}", r.stats.wall_seconds),
-                r.stats.modeled_seconds(),
-                r.reach_size,
+        let gpulog_result = reach::prepare(&device, &graph, EngineConfig::default())
+            .and_then(|mut engine| engine.run().map(|stats| (engine, stats)));
+        let (modeled_cell, wall_cell, modeled, reach_size, checksum_cell) = match &gpulog_result {
+            Ok((engine, stats)) => (
+                format!("{:.4}", stats.modeled_seconds()),
+                format!("{:.3}", stats.wall_seconds),
+                stats.modeled_seconds(),
+                engine.relation_size("Reach").unwrap_or(0),
+                // Fold the checksum over borrowed row slices — no per-row
+                // `Vec<u32>` clones for a relation with millions of tuples.
+                format!(
+                    "{:08x}",
+                    engine
+                        .relation_tuples_iter("Reach")
+                        .into_iter()
+                        .flatten()
+                        .fold(0u32, |acc, row| row
+                            .iter()
+                            .fold(acc, |a, &v| a.rotate_left(5) ^ v))
+                ),
             ),
-            Err(_) => ("OOM".to_string(), "OOM".to_string(), f64::NAN, 0),
+            Err(_) => (
+                "OOM".to_string(),
+                "OOM".to_string(),
+                f64::NAN,
+                0,
+                "-".to_string(),
+            ),
         };
         let souffle = souffle_like::reach(&graph, workers);
         let gpujoin = gpujoin_like::reach(&graph, budget);
@@ -51,6 +71,7 @@ fn main() {
             dataset.paper_name().to_string(),
             format!("{}", graph.len()),
             format!("{reach_size}"),
+            checksum_cell,
             modeled_cell,
             wall_cell,
             souffle.cell(),

@@ -36,14 +36,26 @@ fn main() {
 
         // CUDA-like configuration: H100 profile, pooled allocation (EBM on).
         let cuda_device = gpulog_device(scale);
-        let cuda = sg::run(&cuda_device, &graph, EngineConfig::default());
+        let cuda = sg::prepare(&cuda_device, &graph, EngineConfig::default())
+            .and_then(|mut engine| engine.run().map(|stats| (engine, stats)));
         let (cuda_cell, cuda_wall_cell, cuda_modeled, sg_size) = match &cuda {
-            Ok(r) => (
-                format!("{:.4}", r.stats.modeled_seconds()),
-                format!("{:.3}", r.stats.wall_seconds),
-                r.stats.modeled_seconds(),
-                r.sg_size,
-            ),
+            Ok((engine, stats)) => {
+                // Sanity-check the export path over borrowed rows (no
+                // per-row `Vec<u32>` clones) against the indexed count.
+                assert_eq!(
+                    engine
+                        .relation_tuples_iter("SG")
+                        .map(Iterator::count)
+                        .unwrap_or(0),
+                    engine.relation_size("SG").unwrap_or(0)
+                );
+                (
+                    format!("{:.4}", stats.modeled_seconds()),
+                    format!("{:.3}", stats.wall_seconds),
+                    stats.modeled_seconds(),
+                    engine.relation_size("SG").unwrap_or(0),
+                )
+            }
             Err(_) => ("OOM".to_string(), "OOM".to_string(), f64::NAN, 0),
         };
 
@@ -53,10 +65,7 @@ fn main() {
         let mut hip_profile = DeviceProfile::amd_mi250();
         hip_profile.memory_capacity_bytes = budget;
         let hip_device = Device::new(hip_profile);
-        let hip_cfg = EngineConfig {
-            ebm: EbmConfig::disabled(),
-            ..EngineConfig::default()
-        };
+        let hip_cfg = EngineConfig::new().with_ebm(EbmConfig::disabled());
         let hip_cell = match sg::run(&hip_device, &graph, hip_cfg) {
             Ok(r) => format!("{:.3}", r.stats.modeled_seconds()),
             Err(_) => "OOM".to_string(),

@@ -1,0 +1,351 @@
+//! Pluggable evaluation backends.
+//!
+//! The engine never runs relational-algebra kernels itself: it lowers every
+//! rule plan into an [`RaPipeline`] (see [`crate::planner::lower_rule_plan`])
+//! and hands the pipeline to a [`Backend`] together with an [`EvalContext`]
+//! — the device, the relation storages, and the statistics sink. The
+//! shipped implementation is [`SerialBackend`], which executes operators
+//! one after another on a single simulated device, exactly reproducing the
+//! paper's single-GPU evaluation loop.
+//!
+//! The trait is the seam the ROADMAP's scaling items plug into: a
+//! `ShardedBackend` can partition each relation's HISA by key hash and fan
+//! one [`RaOp`] out across worker groups, and an async-pipelining backend
+//! can overlap the join/dedup/merge phases of consecutive iterations —
+//! both behind the same `execute` call, with no change to the engine or
+//! the planner.
+
+use crate::ebm::EbmConfig;
+use crate::error::EngineResult;
+use crate::planner::VersionSel;
+use crate::ra::nway::{fused_rule_join_batch, FusedLevel};
+use crate::ra::op::{RaOp, RaPipeline};
+use crate::ra::project::{batch_from_flat, filter_batch, scan_select};
+use crate::ra::{difference_batch, hash_join_batch, project_batch};
+use crate::relation::RelationStorage;
+use crate::stats::{Phase, RunStats};
+use gpulog_device::Device;
+use gpulog_hisa::TupleBatch;
+use std::fmt;
+use std::time::Instant;
+
+/// Everything a backend needs to execute one pipeline: the device to launch
+/// kernels on, the relation storages to read and write, the statistics sink
+/// the paper's Figure 6 phase buckets are timed into, and the
+/// eager-buffer-management policy governing allocations.
+#[derive(Debug)]
+pub struct EvalContext<'a> {
+    /// The (simulated) device kernels run on.
+    pub device: &'a Device,
+    /// All relation storages, indexed by [`crate::planner::RelId`].
+    pub relations: &'a mut [RelationStorage],
+    /// Phase-bucketed timing sink.
+    pub stats: &'a mut RunStats,
+    /// Eager-buffer-management policy for delta population and merges.
+    pub ebm: EbmConfig,
+}
+
+/// What executing one pipeline produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineOutcome {
+    /// Head tuples appended to the head relation's `new` buffer (rule
+    /// pipelines).
+    pub derived_rows: usize,
+    /// Raw `new` rows consumed (diff pipelines).
+    pub new_rows: usize,
+    /// Delta rows installed and merged into full (diff pipelines).
+    pub delta_rows: usize,
+}
+
+/// A rule-evaluation backend: executes lowered [`RaPipeline`]s against an
+/// [`EvalContext`].
+///
+/// Implementations must preserve the engine's semantics — a pipeline's head
+/// tuples go to the head relation's `new` buffer, and a [`RaOp::Diff`]
+/// pipeline installs and merges the relation's next delta — but are free to
+/// choose *how*: serially on one device, sharded across worker groups, or
+/// overlapped across iterations.
+pub trait Backend: fmt::Debug + Send {
+    /// A short human-readable backend name (for diagnostics).
+    fn name(&self) -> &str;
+
+    /// Executes one operator pipeline to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns device errors (including out-of-memory) raised while
+    /// building indices or materializing intermediates.
+    fn execute(
+        &self,
+        ctx: &mut EvalContext<'_>,
+        pipeline: &RaPipeline,
+    ) -> EngineResult<PipelineOutcome>;
+}
+
+/// The single-device, operator-at-a-time backend — the paper's evaluation
+/// loop, with each op materializing its output batch before the next op
+/// runs (temporarily-materialized execution).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialBackend;
+
+impl Backend for SerialBackend {
+    fn name(&self) -> &str {
+        "serial"
+    }
+
+    fn execute(
+        &self,
+        ctx: &mut EvalContext<'_>,
+        pipeline: &RaPipeline,
+    ) -> EngineResult<PipelineOutcome> {
+        let mut outcome = PipelineOutcome::default();
+        // The intermediate batch flowing between operators: empty until the
+        // scan runs, then each op's output. Every consuming op ends the
+        // pipeline early when its input arrives empty — no downstream op
+        // can derive anything from an empty intermediate.
+        let mut batch = TupleBatch::empty(1);
+        for op in &pipeline.ops {
+            match op {
+                RaOp::Scan { step, filters } => {
+                    let t = Instant::now();
+                    let storage = &ctx.relations[step.relation];
+                    let source = match step.version {
+                        VersionSel::Full => &storage.full,
+                        VersionSel::Delta => &storage.delta,
+                    };
+                    if source.is_empty() {
+                        return Ok(outcome);
+                    }
+                    let scanned = scan_select(
+                        ctx.device,
+                        source.tuples_flat(),
+                        storage.arity,
+                        &step.const_filters,
+                        &step.eq_filters,
+                        &step.keep_cols,
+                    );
+                    batch = batch_from_flat(step.keep_cols.len(), scanned);
+                    if !filters.is_empty() {
+                        batch = filter_batch(ctx.device, &batch, filters);
+                    }
+                    ctx.stats.add_phase(Phase::Join, t.elapsed());
+                }
+                RaOp::HashJoin { step, filters } => {
+                    if batch.is_empty() {
+                        return Ok(outcome);
+                    }
+                    // Build or fetch the inner index.
+                    let t = Instant::now();
+                    let index_phase = match step.version {
+                        VersionSel::Full => Phase::IndexFull,
+                        VersionSel::Delta => Phase::IndexDelta,
+                    };
+                    {
+                        let storage = &mut ctx.relations[step.relation];
+                        let version = match step.version {
+                            VersionSel::Full => &mut storage.full,
+                            VersionSel::Delta => &mut storage.delta,
+                        };
+                        version.index_on(ctx.device, &step.inner_key_cols)?;
+                    }
+                    ctx.stats.add_phase(index_phase, t.elapsed());
+
+                    let t = Instant::now();
+                    let storage = &ctx.relations[step.relation];
+                    let version = match step.version {
+                        VersionSel::Full => &storage.full,
+                        VersionSel::Delta => &storage.delta,
+                    };
+                    let inner = version
+                        .existing_index(&step.inner_key_cols)
+                        .expect("index built above");
+                    batch = hash_join_batch(
+                        ctx.device,
+                        &batch,
+                        &step.outer_key_cols,
+                        inner,
+                        &step.inner_const_filters,
+                        &step.inner_eq_filters,
+                        &step.emit,
+                    );
+                    if !filters.is_empty() {
+                        batch = filter_batch(ctx.device, &batch, filters);
+                    }
+                    ctx.stats.add_phase(Phase::Join, t.elapsed());
+                }
+                RaOp::FusedJoin { levels, head_proj } => {
+                    if batch.is_empty() {
+                        return Ok(outcome);
+                    }
+                    // Pre-build every level's index, then run the fused
+                    // kernel.
+                    let t = Instant::now();
+                    for (step, _) in levels {
+                        let storage = &mut ctx.relations[step.relation];
+                        let version = match step.version {
+                            VersionSel::Full => &mut storage.full,
+                            VersionSel::Delta => &mut storage.delta,
+                        };
+                        version.index_on(ctx.device, &step.inner_key_cols)?;
+                    }
+                    ctx.stats.add_phase(Phase::IndexFull, t.elapsed());
+
+                    let t = Instant::now();
+                    let fused_levels: Vec<FusedLevel<'_>> = levels
+                        .iter()
+                        .map(|(step, filters)| {
+                            let storage = &ctx.relations[step.relation];
+                            let version = match step.version {
+                                VersionSel::Full => &storage.full,
+                                VersionSel::Delta => &storage.delta,
+                            };
+                            FusedLevel {
+                                step,
+                                inner: version
+                                    .existing_index(&step.inner_key_cols)
+                                    .expect("index built above"),
+                                filters: filters.as_slice(),
+                            }
+                        })
+                        .collect();
+                    batch = fused_rule_join_batch(ctx.device, &batch, &fused_levels, head_proj);
+                    ctx.stats.add_phase(Phase::Join, t.elapsed());
+                }
+                RaOp::Project { columns } => {
+                    if batch.is_empty() {
+                        return Ok(outcome);
+                    }
+                    let t = Instant::now();
+                    batch = project_batch(ctx.device, &batch, columns);
+                    ctx.stats.add_phase(Phase::Join, t.elapsed());
+                }
+                RaOp::Diff { relation } => {
+                    let storage = &mut ctx.relations[*relation];
+                    let arity = storage.arity;
+                    let new = TupleBatch::new(arity, storage.take_new(&ctx.ebm));
+                    outcome.new_rows = new.len();
+
+                    let t = Instant::now();
+                    let delta = difference_batch(ctx.device, &new, storage.full.canonical());
+                    ctx.stats.add_phase(Phase::Deduplication, t.elapsed());
+                    outcome.delta_rows = delta.len();
+
+                    // `difference_batch` flags its output sorted-unique, so
+                    // the delta HISA build skips its sort/dedup passes.
+                    let t = Instant::now();
+                    storage.set_delta_batch(&delta)?;
+                    ctx.stats.add_phase(Phase::IndexDelta, t.elapsed());
+
+                    let t = Instant::now();
+                    let ebm = ctx.ebm;
+                    storage.merge_delta_into_full(&ebm)?;
+                    ctx.stats.add_phase(Phase::Merge, t.elapsed());
+                }
+            }
+        }
+        if !pipeline.ops.is_empty() && !matches!(pipeline.ops.last(), Some(RaOp::Diff { .. })) {
+            outcome.derived_rows = batch.len();
+            if !batch.is_empty() {
+                ctx.relations[pipeline.head].push_new_batch(&batch);
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{ColumnSource, ScanStep};
+    use gpulog_device::profile::DeviceProfile;
+    use gpulog_hisa::DEFAULT_LOAD_FACTOR;
+
+    fn device() -> Device {
+        Device::with_workers(DeviceProfile::nvidia_h100(), 4)
+    }
+
+    #[test]
+    fn scan_project_pipeline_derives_into_the_head_buffer() {
+        let d = device();
+        let mut relations = vec![
+            RelationStorage::new(&d, "E", 2, DEFAULT_LOAD_FACTOR).unwrap(),
+            RelationStorage::new(&d, "R", 2, DEFAULT_LOAD_FACTOR).unwrap(),
+        ];
+        relations[0].load_full(&[1, 2, 3, 4]).unwrap();
+        let pipeline = RaPipeline {
+            head: 1,
+            ops: vec![
+                RaOp::Scan {
+                    step: ScanStep {
+                        relation: 0,
+                        version: VersionSel::Full,
+                        const_filters: vec![],
+                        eq_filters: vec![],
+                        keep_cols: vec![0, 1],
+                    },
+                    filters: vec![],
+                },
+                RaOp::Project {
+                    columns: vec![ColumnSource::Col(1), ColumnSource::Col(0)],
+                },
+            ],
+            text: "R(y, x) :- E(x, y).".into(),
+        };
+        let mut stats = RunStats::default();
+        let mut ctx = EvalContext {
+            device: &d,
+            relations: &mut relations,
+            stats: &mut stats,
+            ebm: EbmConfig::default(),
+        };
+        let outcome = SerialBackend.execute(&mut ctx, &pipeline).unwrap();
+        assert_eq!(outcome.derived_rows, 2);
+        assert_eq!(
+            relations[1].take_new(&EbmConfig::default()),
+            vec![2, 1, 4, 3]
+        );
+    }
+
+    #[test]
+    fn diff_pipeline_populates_and_merges_the_delta() {
+        let d = device();
+        let mut relations = vec![RelationStorage::new(&d, "R", 2, DEFAULT_LOAD_FACTOR).unwrap()];
+        relations[0].load_full(&[1, 2]).unwrap();
+        relations[0].push_new(&[1, 2, 3, 4, 3, 4, 5, 6]);
+        let mut stats = RunStats::default();
+        let mut ctx = EvalContext {
+            device: &d,
+            relations: &mut relations,
+            stats: &mut stats,
+            ebm: EbmConfig::default(),
+        };
+        let outcome = SerialBackend
+            .execute(&mut ctx, &RaPipeline::diff(0))
+            .unwrap();
+        assert_eq!(outcome.new_rows, 4);
+        assert_eq!(outcome.delta_rows, 2, "dedup removes (3,4); (1,2) in full");
+        assert_eq!(relations[0].len(), 3);
+        assert!(relations[0].contains(&[5, 6]));
+        assert!(stats.phase(Phase::Merge) > 0.0);
+    }
+
+    #[test]
+    fn empty_pipeline_derives_nothing() {
+        let d = device();
+        let mut relations = vec![RelationStorage::new(&d, "R", 1, DEFAULT_LOAD_FACTOR).unwrap()];
+        let mut stats = RunStats::default();
+        let mut ctx = EvalContext {
+            device: &d,
+            relations: &mut relations,
+            stats: &mut stats,
+            ebm: EbmConfig::default(),
+        };
+        let pipeline = RaPipeline {
+            head: 0,
+            ops: vec![],
+            text: "trivially empty".into(),
+        };
+        let outcome = SerialBackend.execute(&mut ctx, &pipeline).unwrap();
+        assert_eq!(outcome, PipelineOutcome::default());
+    }
+}

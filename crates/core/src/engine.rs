@@ -2,26 +2,50 @@
 //!
 //! Evaluation proceeds stratum by stratum. Within a recursive stratum the
 //! engine runs the classic semi-naïve loop: evaluate every delta-version
-//! rule plan, deduplicate the resulting `new` tuples and subtract `full`
-//! (populating the next `delta`), merge `delta` into `full`, and repeat
-//! until every delta is empty. Each phase is timed into the buckets the
-//! paper's Figure 6 reports, and memory behaviour follows the configured
-//! eager-buffer-management policy.
+//! rule pipeline, deduplicate the resulting `new` tuples and subtract
+//! `full` (populating the next `delta`), merge `delta` into `full`, and
+//! repeat until every delta is empty. Each phase is timed into the buckets
+//! the paper's Figure 6 reports, and memory behaviour follows the
+//! configured eager-buffer-management policy.
+//!
+//! The engine itself runs no relational-algebra kernels: at construction
+//! it lowers every rule plan into an [`RaPipeline`] (see
+//! [`crate::planner::lower_rule_plan`]) and dispatches each pipeline
+//! through its [`Backend`] — [`SerialBackend`] by default. See
+//! `docs/architecture.md` for the Batch → Op → Backend layering.
 
 use crate::ast::Program;
+use crate::backend::{Backend, EvalContext, PipelineOutcome, SerialBackend};
 use crate::ebm::EbmConfig;
 use crate::error::{EngineError, EngineResult};
-use crate::planner::{compile, CompiledProgram, RulePlan, VersionSel};
-use crate::ra::nway::{fused_rule_join, FusedLevel, NwayStrategy};
-use crate::ra::project::{filter_rows, scan_select};
-use crate::ra::{difference, hash_join, project_rows};
+use crate::planner::{compile, lower_program, CompiledProgram, LoweredStratum};
+use crate::ra::nway::NwayStrategy;
+use crate::ra::op::RaPipeline;
 use crate::relation::RelationStorage;
 use crate::stats::{IterationRecord, Phase, RunStats};
 use gpulog_device::Device;
+use gpulog_hisa::TupleBatch;
 use std::time::Instant;
 
 /// Engine configuration.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`EngineConfig::default`] (or [`EngineConfig::new`]) and refine it with
+/// the `with_*` setters, so new knobs can be added without breaking
+/// callers.
+///
+/// # Examples
+///
+/// ```
+/// use gpulog::{EngineConfig, NwayStrategy};
+///
+/// let config = EngineConfig::new()
+///     .with_nway(NwayStrategy::FusedNestedLoop)
+///     .with_max_iterations(10_000);
+/// assert_eq!(config.nway, NwayStrategy::FusedNestedLoop);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// HISA hash-table load factor (the paper runs 0.8).
     pub load_factor: f64,
@@ -44,12 +68,190 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// The default configuration (alias of [`EngineConfig::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the HISA hash-table load factor.
+    #[must_use]
+    pub fn with_load_factor(mut self, load_factor: f64) -> Self {
+        self.load_factor = load_factor;
+        self
+    }
+
+    /// Sets the eager-buffer-management policy.
+    #[must_use]
+    pub fn with_ebm(mut self, ebm: EbmConfig) -> Self {
+        self.ebm = ebm;
+        self
+    }
+
+    /// Sets the n-way join strategy.
+    #[must_use]
+    pub fn with_nway(mut self, nway: NwayStrategy) -> Self {
+        self.nway = nway;
+        self
+    }
+
+    /// Sets the per-stratum fixpoint iteration limit.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+}
+
+/// The program a builder will compile, in whichever form it was supplied.
+#[derive(Debug)]
+enum ProgramSpec {
+    Source(String),
+    Ast(Program),
+    Compiled(CompiledProgram),
+}
+
+/// Fluent constructor for [`GpulogEngine`], obtained from
+/// [`GpulogEngine::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use gpulog::{GpulogEngine, NwayStrategy};
+/// use gpulog_device::{Device, profile::DeviceProfile};
+///
+/// # fn main() -> Result<(), gpulog::EngineError> {
+/// let device = Device::new(DeviceProfile::default());
+/// let mut engine = GpulogEngine::builder(&device)
+///     .program(
+///         r"
+///         .decl Edge(x: number, y: number)
+///         .input Edge
+///         .decl Reach(x: number, y: number)
+///         .output Reach
+///         Reach(x, y) :- Edge(x, y).
+///         Reach(x, y) :- Edge(x, z), Reach(z, y).
+///     ",
+///     )
+///     .nway(NwayStrategy::TemporarilyMaterialized)
+///     .build()?;
+/// engine.add_facts("Edge", [[0, 1], [1, 2]])?;
+/// engine.run()?;
+/// assert_eq!(engine.relation_size("Reach"), Some(3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EngineBuilder<'d> {
+    device: &'d Device,
+    program: Option<ProgramSpec>,
+    config: EngineConfig,
+    backend: Option<Box<dyn Backend>>,
+}
+
+impl<'d> EngineBuilder<'d> {
+    fn new(device: &'d Device) -> Self {
+        EngineBuilder {
+            device,
+            program: None,
+            config: EngineConfig::default(),
+            backend: None,
+        }
+    }
+
+    /// Supplies the program as Soufflé-style source text.
+    #[must_use]
+    pub fn program(mut self, source: &str) -> Self {
+        self.program = Some(ProgramSpec::Source(source.to_string()));
+        self
+    }
+
+    /// Supplies the program as an already-constructed AST.
+    #[must_use]
+    pub fn program_ast(mut self, program: &Program) -> Self {
+        self.program = Some(ProgramSpec::Ast(program.clone()));
+        self
+    }
+
+    /// Supplies an already-compiled program (skips parsing and planning).
+    #[must_use]
+    pub fn compiled(mut self, compiled: CompiledProgram) -> Self {
+        self.program = Some(ProgramSpec::Compiled(compiled));
+        self
+    }
+
+    /// Replaces the whole configuration.
+    #[must_use]
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the HISA hash-table load factor.
+    #[must_use]
+    pub fn load_factor(mut self, load_factor: f64) -> Self {
+        self.config.load_factor = load_factor;
+        self
+    }
+
+    /// Sets the eager-buffer-management policy.
+    #[must_use]
+    pub fn ebm(mut self, ebm: EbmConfig) -> Self {
+        self.config.ebm = ebm;
+        self
+    }
+
+    /// Sets the n-way join strategy.
+    #[must_use]
+    pub fn nway(mut self, nway: NwayStrategy) -> Self {
+        self.config.nway = nway;
+        self
+    }
+
+    /// Sets the per-stratum fixpoint iteration limit.
+    #[must_use]
+    pub fn max_iterations(mut self, max_iterations: usize) -> Self {
+        self.config.max_iterations = max_iterations;
+        self
+    }
+
+    /// Installs a custom evaluation backend (defaults to
+    /// [`SerialBackend`]).
+    #[must_use]
+    pub fn backend(mut self, backend: Box<dyn Backend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Compiles the program (if needed) and constructs the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Validation`] if no program was supplied, and
+    /// parse, validation, or device errors from compilation and storage
+    /// allocation.
+    pub fn build(self) -> EngineResult<GpulogEngine> {
+        let compiled = match self.program {
+            Some(ProgramSpec::Source(source)) => compile(&crate::parser::parse_program(&source)?)?,
+            Some(ProgramSpec::Ast(program)) => compile(&program)?,
+            Some(ProgramSpec::Compiled(compiled)) => compiled,
+            None => {
+                return Err(EngineError::Validation {
+                    message: "EngineBuilder::build called without a program".into(),
+                })
+            }
+        };
+        let backend = self.backend.unwrap_or_else(|| Box::new(SerialBackend));
+        GpulogEngine::with_backend(self.device, compiled, self.config, backend)
+    }
+}
+
 /// The GPUlog Datalog engine.
 ///
 /// # Examples
 ///
 /// ```
-/// use gpulog::{GpulogEngine, EngineConfig};
+/// use gpulog::GpulogEngine;
 /// use gpulog_device::{Device, profile::DeviceProfile};
 ///
 /// # fn main() -> Result<(), gpulog::EngineError> {
@@ -62,7 +264,7 @@ impl Default for EngineConfig {
 ///     Reach(x, y) :- Edge(x, y).
 ///     Reach(x, y) :- Edge(x, z), Reach(z, y).
 /// ";
-/// let mut engine = GpulogEngine::from_source(&device, source, EngineConfig::default())?;
+/// let mut engine = GpulogEngine::builder(&device).program(source).build()?;
 /// engine.add_facts("Edge", [[0, 1], [1, 2], [2, 3]])?;
 /// let stats = engine.run()?;
 /// assert_eq!(engine.relation_size("Reach"), Some(6));
@@ -74,6 +276,11 @@ impl Default for EngineConfig {
 pub struct GpulogEngine {
     device: Device,
     compiled: CompiledProgram,
+    pipelines: Vec<LoweredStratum>,
+    /// One pre-built [`RaOp::Diff`](crate::ra::op::RaOp) pipeline per
+    /// relation, so the fixpoint loop allocates nothing per iteration.
+    diff_pipelines: Vec<RaPipeline>,
+    backend: Box<dyn Backend>,
     relations: Vec<RelationStorage>,
     pending_facts: Vec<Vec<u32>>,
     config: EngineConfig,
@@ -81,6 +288,11 @@ pub struct GpulogEngine {
 }
 
 impl GpulogEngine {
+    /// Starts building an engine bound to `device`.
+    pub fn builder(device: &Device) -> EngineBuilder<'_> {
+        EngineBuilder::new(device)
+    }
+
     /// Builds an engine from an already-constructed [`Program`].
     ///
     /// # Errors
@@ -113,6 +325,22 @@ impl GpulogEngine {
         compiled: CompiledProgram,
         config: EngineConfig,
     ) -> EngineResult<Self> {
+        Self::with_backend(device, compiled, config, Box::new(SerialBackend))
+    }
+
+    /// Builds an engine from a pre-compiled program with an explicit
+    /// evaluation backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns device errors if the empty relation storage cannot be
+    /// allocated.
+    pub fn with_backend(
+        device: &Device,
+        compiled: CompiledProgram,
+        config: EngineConfig,
+        backend: Box<dyn Backend>,
+    ) -> EngineResult<Self> {
         let mut relations = Vec::with_capacity(compiled.relation_names.len());
         for (name, &arity) in compiled.relation_names.iter().zip(compiled.arities.iter()) {
             relations.push(RelationStorage::new(
@@ -123,9 +351,16 @@ impl GpulogEngine {
             )?);
         }
         let pending_facts = vec![Vec::new(); compiled.relation_names.len()];
+        let pipelines = lower_program(&compiled, config.nway);
+        let diff_pipelines = (0..compiled.relation_names.len())
+            .map(RaPipeline::diff)
+            .collect();
         Ok(GpulogEngine {
             device: device.clone(),
             compiled,
+            pipelines,
+            diff_pipelines,
+            backend,
             relations,
             pending_facts,
             config,
@@ -141,6 +376,16 @@ impl GpulogEngine {
     /// The compiled program (plans, strata, relation metadata).
     pub fn compiled(&self) -> &CompiledProgram {
         &self.compiled
+    }
+
+    /// The lowered operator pipelines, stratum by stratum.
+    pub fn pipelines(&self) -> &[LoweredStratum] {
+        &self.pipelines
+    }
+
+    /// The evaluation backend in use.
+    pub fn backend(&self) -> &dyn Backend {
+        self.backend.as_ref()
     }
 
     /// The engine configuration.
@@ -192,8 +437,10 @@ impl GpulogEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::BadFacts`] for unknown relations or buffers
-    /// whose length is not a multiple of the arity.
+    /// Returns [`EngineError::BadFacts`] for unknown relations or facts
+    /// added after the engine has run, and [`EngineError::RaggedFacts`] for
+    /// buffers whose length is not a multiple of the relation's arity (a
+    /// ragged tail must never slip into the extensional database).
     pub fn add_facts_flat(&mut self, relation: &str, flat: &[u32]) -> EngineResult<()> {
         let id = self
             .compiled
@@ -204,12 +451,10 @@ impl GpulogEngine {
             })?;
         let arity = self.compiled.arities[id];
         if !flat.len().is_multiple_of(arity) {
-            return Err(EngineError::BadFacts {
+            return Err(EngineError::RaggedFacts {
                 relation: relation.to_string(),
-                message: format!(
-                    "buffer length {} is not a multiple of arity {arity}",
-                    flat.len()
-                ),
+                len: flat.len(),
+                arity,
             });
         }
         if self.has_run {
@@ -222,6 +467,37 @@ impl GpulogEngine {
         Ok(())
     }
 
+    /// Adds extensional facts from a [`TupleBatch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadFacts`] for unknown relations, arity
+    /// mismatches, or facts added after the engine has run.
+    pub fn add_facts_batch(&mut self, relation: &str, batch: &TupleBatch) -> EngineResult<()> {
+        let id = self
+            .compiled
+            .relation_id(relation)
+            .ok_or_else(|| EngineError::BadFacts {
+                relation: relation.to_string(),
+                message: "unknown relation".into(),
+            })?;
+        let arity = self.compiled.arities[id];
+        if batch.arity() != arity {
+            return Err(EngineError::BadFacts {
+                relation: relation.to_string(),
+                message: format!("expected arity {arity}, got {}", batch.arity()),
+            });
+        }
+        if self.has_run {
+            return Err(EngineError::BadFacts {
+                relation: relation.to_string(),
+                message: "facts cannot be added after the engine has run".into(),
+            });
+        }
+        self.pending_facts[id].extend_from_slice(batch.as_flat());
+        Ok(())
+    }
+
     /// Number of tuples in a relation's full version.
     pub fn relation_size(&self, relation: &str) -> Option<usize> {
         self.compiled
@@ -229,14 +505,29 @@ impl GpulogEngine {
             .map(|id| self.relations[id].len())
     }
 
+    /// Iterates a relation's tuples as borrowed row slices in declared
+    /// column order, without cloning per row.
+    pub fn relation_tuples_iter(
+        &self,
+        relation: &str,
+    ) -> Option<impl Iterator<Item = &[u32]> + '_> {
+        self.compiled
+            .relation_id(relation)
+            .map(|id| self.relations[id].tuples_iter())
+    }
+
     /// All tuples of a relation, in declared column order.
     pub fn relation_tuples(&self, relation: &str) -> Option<Vec<Vec<u32>>> {
-        self.compiled.relation_id(relation).map(|id| {
-            self.relations[id]
-                .tuples_iter()
-                .map(<[u32]>::to_vec)
-                .collect()
-        })
+        self.relation_tuples_iter(relation)
+            .map(|rows| rows.map(<[u32]>::to_vec).collect())
+    }
+
+    /// A relation's tuples as an owned [`TupleBatch`] (duplicate-free, in
+    /// storage order).
+    pub fn relation_batch(&self, relation: &str) -> Option<TupleBatch> {
+        self.compiled
+            .relation_id(relation)
+            .map(|id| self.relations[id].tuples_batch())
     }
 
     /// Whether a relation contains a tuple.
@@ -273,28 +564,41 @@ impl GpulogEngine {
         self.pending_facts = vec![Vec::new(); self.relations.len()];
         stats.add_phase(Phase::Other, t.elapsed());
 
-        let strata = self.compiled.strata.clone();
-        for (stratum_idx, stratum) in strata.iter().enumerate() {
-            // Non-recursive rules: evaluate once over full versions.
-            for plan in &stratum.non_recursive {
-                self.eval_plan(plan, &mut stats)?;
-            }
-            let (nr_new, nr_delta) = self.populate_and_merge(&stratum.relations, &mut stats)?;
+        // Per-stratum metadata and the lowered pipelines, cloned out of
+        // `self` so dispatch can borrow the relations mutably.
+        let strata_meta: Vec<(Vec<usize>, bool)> = self
+            .compiled
+            .strata
+            .iter()
+            .map(|s| (s.relations.clone(), s.is_recursive))
+            .collect();
+        let pipelines = self.pipelines.clone();
 
-            if stratum.is_recursive && !stratum.recursive.is_empty() {
-                // Seed the deltas with everything currently in full.
+        for (stratum_idx, (stratum_rels, is_recursive)) in strata_meta.iter().enumerate() {
+            // Non-recursive rules: evaluate once over full versions.
+            for pipeline in &pipelines[stratum_idx].non_recursive {
+                self.dispatch(pipeline, &mut stats)?;
+            }
+            let (nr_new, nr_delta) = self.populate_and_merge(stratum_rels, &mut stats)?;
+
+            if *is_recursive && !pipelines[stratum_idx].recursive.is_empty() {
+                // Seed the deltas with everything currently in full. The
+                // seed batch is unordered (full's data array is in storage
+                // order after merges), so set_delta_batch takes the general
+                // sort+dedup build here — only difference() outputs earn
+                // the sorted-unique fast path.
                 let t = Instant::now();
                 let mut seeded = 0usize;
-                for &rel in &stratum.relations {
-                    let flat = self.relations[rel].full.tuples_flat().to_vec();
-                    seeded += self.relations[rel].len();
-                    self.relations[rel].set_delta(&flat)?;
+                for &rel in stratum_rels {
+                    let batch = self.relations[rel].tuples_batch();
+                    seeded += batch.len();
+                    self.relations[rel].set_delta_batch(&batch)?;
                 }
                 stats.add_phase(Phase::IndexDelta, t.elapsed());
                 if seeded == 0 {
                     // Nothing to iterate over; the stratum is already at
                     // fixpoint.
-                    for &rel in &stratum.relations {
+                    for &rel in stratum_rels {
                         self.relations[rel].clear_delta()?;
                     }
                     continue;
@@ -317,11 +621,11 @@ impl GpulogEngine {
                             limit: self.config.max_iterations,
                         });
                     }
-                    for plan in &stratum.recursive {
-                        self.eval_plan(plan, &mut stats)?;
+                    for pipeline in &pipelines[stratum_idx].recursive {
+                        self.dispatch(pipeline, &mut stats)?;
                     }
                     let (new_count, delta_count) =
-                        self.populate_and_merge(&stratum.relations, &mut stats)?;
+                        self.populate_and_merge(stratum_rels, &mut stats)?;
                     stats.iteration_records.push(IterationRecord {
                         stratum: stratum_idx,
                         iteration,
@@ -334,7 +638,7 @@ impl GpulogEngine {
                     }
                 }
                 // Clear deltas so later strata see a clean state.
-                for &rel in &stratum.relations {
+                for &rel in stratum_rels {
                     self.relations[rel].clear_delta()?;
                 }
             }
@@ -359,9 +663,25 @@ impl GpulogEngine {
         Ok(stats)
     }
 
-    /// Deduplicates each relation's `new` buffer against its full version,
-    /// installs the result as the next delta, and merges it into full.
-    /// Returns `(total raw new tuples, total delta tuples)`.
+    /// Executes one lowered pipeline through the configured backend.
+    fn dispatch(
+        &mut self,
+        pipeline: &RaPipeline,
+        stats: &mut RunStats,
+    ) -> EngineResult<PipelineOutcome> {
+        let mut ctx = EvalContext {
+            device: &self.device,
+            relations: &mut self.relations,
+            stats,
+            ebm: self.config.ebm,
+        };
+        self.backend.execute(&mut ctx, pipeline)
+    }
+
+    /// Dispatches one [`crate::ra::op::RaOp::Diff`] pipeline per relation:
+    /// deduplicate its `new` buffer against full, install the result as the
+    /// next delta, and merge it into full. Returns `(total raw new tuples,
+    /// total delta tuples)`.
     fn populate_and_merge(
         &mut self,
         relations: &[usize],
@@ -370,173 +690,17 @@ impl GpulogEngine {
         let mut total_new = 0usize;
         let mut total_delta = 0usize;
         for &rel in relations {
-            let arity = self.relations[rel].arity;
-            let new = self.relations[rel].take_new(&self.config.ebm);
-            total_new += new.len() / arity;
-
-            let t = Instant::now();
-            let delta = {
-                let full = self.relations[rel].full.canonical();
-                difference(&self.device, &new, arity, full)
+            let mut ctx = EvalContext {
+                device: &self.device,
+                relations: &mut self.relations,
+                stats,
+                ebm: self.config.ebm,
             };
-            stats.add_phase(Phase::Deduplication, t.elapsed());
-            total_delta += delta.len() / arity;
-
-            let t = Instant::now();
-            // `difference` emits sorted, deduplicated, full-disjoint rows,
-            // so the delta HISA skips its sort/dedup passes entirely.
-            self.relations[rel].set_delta_sorted_unique(&delta)?;
-            stats.add_phase(Phase::IndexDelta, t.elapsed());
-
-            let t = Instant::now();
-            let ebm = self.config.ebm;
-            self.relations[rel].merge_delta_into_full(&ebm)?;
-            stats.add_phase(Phase::Merge, t.elapsed());
+            let outcome = self.backend.execute(&mut ctx, &self.diff_pipelines[rel])?;
+            total_new += outcome.new_rows;
+            total_delta += outcome.delta_rows;
         }
         Ok((total_new, total_delta))
-    }
-
-    /// Evaluates one rule plan, appending derived head tuples to the head
-    /// relation's `new` buffer.
-    fn eval_plan(&mut self, plan: &RulePlan, stats: &mut RunStats) -> EngineResult<()> {
-        if plan.trivially_empty {
-            return Ok(());
-        }
-        // Scan step.
-        let t = Instant::now();
-        let scan_rel = &self.relations[plan.scan.relation];
-        let (source, source_is_delta) = match plan.scan.version {
-            VersionSel::Full => (&scan_rel.full, false),
-            VersionSel::Delta => (&scan_rel.delta, true),
-        };
-        if source.is_empty() {
-            return Ok(());
-        }
-        let arity = scan_rel.arity;
-        let mut intermediate = scan_select(
-            &self.device,
-            source.tuples_flat(),
-            arity,
-            &plan.scan.const_filters,
-            &plan.scan.eq_filters,
-            &plan.scan.keep_cols,
-        );
-        let mut inter_arity = plan.scan.keep_cols.len();
-        let _ = source_is_delta;
-        if !plan.filters[0].is_empty() {
-            intermediate = filter_rows(&self.device, &intermediate, inter_arity, &plan.filters[0]);
-        }
-        stats.add_phase(Phase::Join, t.elapsed());
-
-        let head_tuples = match self.config.nway {
-            NwayStrategy::TemporarilyMaterialized => {
-                for (k, join) in plan.joins.iter().enumerate() {
-                    if intermediate.is_empty() {
-                        break;
-                    }
-                    // Build or fetch the inner index.
-                    let t = Instant::now();
-                    let index_phase = match join.version {
-                        VersionSel::Full => Phase::IndexFull,
-                        VersionSel::Delta => Phase::IndexDelta,
-                    };
-                    {
-                        let storage = &mut self.relations[join.relation];
-                        let version = match join.version {
-                            VersionSel::Full => &mut storage.full,
-                            VersionSel::Delta => &mut storage.delta,
-                        };
-                        version.index_on(&self.device, &join.inner_key_cols)?;
-                    }
-                    stats.add_phase(index_phase, t.elapsed());
-
-                    let t = Instant::now();
-                    let storage = &self.relations[join.relation];
-                    let version = match join.version {
-                        VersionSel::Full => &storage.full,
-                        VersionSel::Delta => &storage.delta,
-                    };
-                    let inner = version
-                        .existing_index(&join.inner_key_cols)
-                        .expect("index built above");
-                    intermediate = hash_join(
-                        &self.device,
-                        &intermediate,
-                        inter_arity,
-                        &join.outer_key_cols,
-                        inner,
-                        &join.inner_const_filters,
-                        &join.inner_eq_filters,
-                        &join.emit,
-                    );
-                    inter_arity = join.emit.len();
-                    if !plan.filters[k + 1].is_empty() {
-                        intermediate = filter_rows(
-                            &self.device,
-                            &intermediate,
-                            inter_arity,
-                            &plan.filters[k + 1],
-                        );
-                    }
-                    stats.add_phase(Phase::Join, t.elapsed());
-                }
-                if intermediate.is_empty() {
-                    return Ok(());
-                }
-                let t = Instant::now();
-                let head = project_rows(&self.device, &intermediate, inter_arity, &plan.head_proj);
-                stats.add_phase(Phase::Join, t.elapsed());
-                head
-            }
-            NwayStrategy::FusedNestedLoop => {
-                // Pre-build every level's index, then run the fused kernel.
-                let t = Instant::now();
-                for join in &plan.joins {
-                    let storage = &mut self.relations[join.relation];
-                    let version = match join.version {
-                        VersionSel::Full => &mut storage.full,
-                        VersionSel::Delta => &mut storage.delta,
-                    };
-                    version.index_on(&self.device, &join.inner_key_cols)?;
-                }
-                stats.add_phase(Phase::IndexFull, t.elapsed());
-
-                let t = Instant::now();
-                let levels: Vec<FusedLevel<'_>> = plan
-                    .joins
-                    .iter()
-                    .enumerate()
-                    .map(|(k, join)| {
-                        let storage = &self.relations[join.relation];
-                        let version = match join.version {
-                            VersionSel::Full => &storage.full,
-                            VersionSel::Delta => &storage.delta,
-                        };
-                        FusedLevel {
-                            step: join,
-                            inner: version
-                                .existing_index(&join.inner_key_cols)
-                                .expect("index built above"),
-                            filters: &plan.filters[k + 1],
-                        }
-                    })
-                    .collect();
-                let head = fused_rule_join(
-                    &self.device,
-                    &intermediate,
-                    inter_arity,
-                    &levels,
-                    &plan.head_proj,
-                );
-                stats.add_phase(Phase::Join, t.elapsed());
-                head
-            }
-        };
-
-        if !head_tuples.is_empty() {
-            self.relations[plan.head].push_new(&head_tuples);
-        }
-        Ok(())
     }
 }
 
@@ -650,10 +814,7 @@ mod tests {
         let mut mat = GpulogEngine::from_source(&d, SG, EngineConfig::default()).unwrap();
         mat.add_facts("Edge", figure1_edges()).unwrap();
         mat.run().unwrap();
-        let cfg = EngineConfig {
-            nway: NwayStrategy::FusedNestedLoop,
-            ..EngineConfig::default()
-        };
+        let cfg = EngineConfig::new().with_nway(NwayStrategy::FusedNestedLoop);
         let mut fused = GpulogEngine::from_source(&d, SG, cfg).unwrap();
         fused.add_facts("Edge", figure1_edges()).unwrap();
         fused.run().unwrap();
@@ -670,10 +831,7 @@ mod tests {
         let mut on = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
         on.add_facts("Edge", figure1_edges()).unwrap();
         on.run().unwrap();
-        let cfg = EngineConfig {
-            ebm: EbmConfig::disabled(),
-            ..EngineConfig::default()
-        };
+        let cfg = EngineConfig::new().with_ebm(EbmConfig::disabled());
         let mut off = GpulogEngine::from_source(&d, REACH, cfg).unwrap();
         off.add_facts("Edge", figure1_edges()).unwrap();
         off.run().unwrap();
@@ -700,6 +858,35 @@ mod tests {
     }
 
     #[test]
+    fn all_constant_body_atoms_still_derive_head_tuples() {
+        // A scan that binds no variables must not lose the matched rows
+        // (regression: the zero-column intermediate used to come out empty).
+        let src = r"
+            .decl E(x: number, y: number)
+            .decl F(x: number)
+            .decl R(x: number)
+            .output R
+            E(2, 3).
+            F(4).
+            R(1) :- E(2, 3).
+            R(9) :- E(2, 3), F(4).
+            R(5) :- E(7, 7).
+        ";
+        for nway in [
+            NwayStrategy::TemporarilyMaterialized,
+            NwayStrategy::FusedNestedLoop,
+        ] {
+            let d = device();
+            let cfg = EngineConfig::new().with_nway(nway);
+            let mut e = GpulogEngine::from_source(&d, src, cfg).unwrap();
+            e.run().unwrap();
+            let mut tuples = e.relation_tuples("R").unwrap();
+            tuples.sort();
+            assert_eq!(tuples, vec![vec![1], vec![9]], "strategy {nway:?}");
+        }
+    }
+
+    #[test]
     fn bad_facts_are_rejected_with_helpful_errors() {
         let d = device();
         let mut e = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
@@ -712,6 +899,100 @@ mod tests {
         e.add_facts_flat("Edge", &[1, 2]).unwrap();
         e.run().unwrap();
         assert!(e.add_facts("Edge", [[5u32, 6]]).is_err());
+    }
+
+    #[test]
+    fn ragged_flat_facts_get_the_dedicated_error() {
+        let d = device();
+        let mut e = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
+        match e.add_facts_flat("Edge", &[1, 2, 3]) {
+            Err(EngineError::RaggedFacts {
+                relation,
+                len,
+                arity,
+            }) => {
+                assert_eq!(relation, "Edge");
+                assert_eq!(len, 3);
+                assert_eq!(arity, 2);
+            }
+            other => panic!("expected RaggedFacts, got {other:?}"),
+        }
+        // Unknown relations still get BadFacts, even with a ragged buffer.
+        assert!(matches!(
+            e.add_facts_flat("Nope", &[1, 2, 3]),
+            Err(EngineError::BadFacts { .. })
+        ));
+        // A rejected buffer must leave no partial tail in the EDB.
+        e.run().unwrap();
+        assert_eq!(e.relation_size("Edge"), Some(0));
+    }
+
+    #[test]
+    fn builder_constructs_and_runs_like_from_source() {
+        let d = device();
+        let mut e = GpulogEngine::builder(&d)
+            .program(REACH)
+            .nway(NwayStrategy::TemporarilyMaterialized)
+            .max_iterations(100)
+            .build()
+            .unwrap();
+        assert_eq!(e.backend().name(), "serial");
+        assert_eq!(e.config().max_iterations, 100);
+        e.add_facts("Edge", [[0u32, 1], [1, 2]]).unwrap();
+        e.run().unwrap();
+        assert_eq!(e.relation_size("Reach"), Some(3));
+    }
+
+    #[test]
+    fn builder_without_a_program_is_a_validation_error() {
+        let d = device();
+        assert!(matches!(
+            GpulogEngine::builder(&d).build(),
+            Err(EngineError::Validation { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_accepts_ast_compiled_and_custom_backend() {
+        let d = device();
+        let program = crate::parser::parse_program(REACH).unwrap();
+        let mut from_ast = GpulogEngine::builder(&d)
+            .program_ast(&program)
+            .build()
+            .unwrap();
+        from_ast.add_facts("Edge", [[0u32, 1]]).unwrap();
+        from_ast.run().unwrap();
+        assert_eq!(from_ast.relation_size("Reach"), Some(1));
+
+        let compiled = compile(&program).unwrap();
+        let mut from_compiled = GpulogEngine::builder(&d)
+            .compiled(compiled)
+            .backend(Box::new(SerialBackend))
+            .config(EngineConfig::new().with_load_factor(0.7))
+            .build()
+            .unwrap();
+        assert_eq!(from_compiled.config().load_factor, 0.7);
+        from_compiled
+            .add_facts("Edge", [[0u32, 1], [1, 2]])
+            .unwrap();
+        from_compiled.run().unwrap();
+        assert_eq!(from_compiled.relation_size("Reach"), Some(3));
+    }
+
+    #[test]
+    fn relation_accessors_expose_batches_and_borrowed_rows() {
+        let d = device();
+        let mut e = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
+        e.add_facts_batch("Edge", &TupleBatch::from_rows(2, [[0u32, 1], [1, 2]]))
+            .unwrap();
+        e.run().unwrap();
+        let batch = e.relation_batch("Reach").unwrap();
+        assert_eq!(batch.len(), 3);
+        let rows: Vec<&[u32]> = e.relation_tuples_iter("Reach").unwrap().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(e.relation_tuples("Reach").unwrap().len(), 3);
+        assert!(e.relation_batch("Nope").is_none());
+        assert!(e.relation_tuples_iter("Nope").is_none());
     }
 
     #[test]

@@ -27,6 +27,17 @@ pub enum EngineError {
         /// Description of the problem.
         message: String,
     },
+    /// A flat fact buffer's length is not a multiple of the relation's
+    /// arity: accepting it would let a ragged tail slip into the
+    /// extensional database.
+    RaggedFacts {
+        /// Relation the facts were destined for.
+        relation: String,
+        /// Length of the rejected buffer.
+        len: usize,
+        /// The relation's arity.
+        arity: usize,
+    },
     /// The simulated device ran out of memory or rejected an operation.
     Device(DeviceError),
     /// Evaluation exceeded the configured iteration budget.
@@ -45,6 +56,17 @@ impl fmt::Display for EngineError {
             EngineError::Validation { message } => write!(f, "invalid program: {message}"),
             EngineError::BadFacts { relation, message } => {
                 write!(f, "bad facts for relation {relation}: {message}")
+            }
+            EngineError::RaggedFacts {
+                relation,
+                len,
+                arity,
+            } => {
+                write!(
+                    f,
+                    "ragged facts for relation {relation}: buffer length {len} \
+                     is not a multiple of arity {arity}"
+                )
             }
             EngineError::Device(err) => write!(f, "device error: {err}"),
             EngineError::IterationLimit { limit } => {
@@ -89,6 +111,13 @@ mod tests {
         assert!(validation.to_string().contains("Foo"));
         let limit = EngineError::IterationLimit { limit: 10 };
         assert!(limit.to_string().contains("10"));
+        let ragged = EngineError::RaggedFacts {
+            relation: "Edge".into(),
+            len: 5,
+            arity: 2,
+        };
+        assert!(ragged.to_string().contains("Edge"));
+        assert!(ragged.to_string().contains("not a multiple"));
     }
 
     #[test]

@@ -18,32 +18,63 @@
 //! * **Eager buffer management** — merge buffers are retained across
 //!   iterations and over-allocated by a tunable factor ([`ebm`]).
 //!
+//! ## Architecture: Batch → Op → Backend
+//!
+//! Evaluation is layered (see `docs/architecture.md` in the repository for
+//! the full picture):
+//!
+//! 1. **Data** — tuples move between operators as
+//!    [`gpulog_hisa::TupleBatch`]es: owned, arity-tagged, row-major
+//!    buffers whose *sorted + unique* flag turns fast paths (such as the
+//!    sort/dedup-free delta HISA build) from call-site conventions into
+//!    type-driven dispatch.
+//! 2. **Operators** — the planner compiles each rule into a [`planner::RulePlan`]
+//!    and lowers it to an [`ra::RaPipeline`] of [`ra::RaOp`]s
+//!    (`Scan`, `HashJoin`, `FusedJoin`, `Project`, `Diff`).
+//! 3. **Backend** — a [`backend::Backend`] executes pipelines against an
+//!    [`backend::EvalContext`]; the stock [`backend::SerialBackend`] runs
+//!    operator-at-a-time on one simulated device, and sharded or
+//!    async-pipelined backends can slot in behind the same trait.
+//!
 //! ## Quick start
 //!
+//! Build an engine with [`GpulogEngine::builder`], load facts, run to
+//! fixpoint, and read the results back:
+//!
 //! ```
-//! use gpulog::Gpulog;
+//! use gpulog::GpulogEngine;
 //! use gpulog_device::{Device, profile::DeviceProfile};
 //!
 //! # fn main() -> Result<(), gpulog::EngineError> {
 //! let device = Device::new(DeviceProfile::nvidia_h100());
-//! let mut reach = Gpulog::from_source(&device, r"
-//!     .decl Edge(x: number, y: number)
-//!     .input Edge
-//!     .decl Reach(x: number, y: number)
-//!     .output Reach
-//!     Reach(x, y) :- Edge(x, y).
-//!     Reach(x, y) :- Edge(x, z), Reach(z, y).
-//! ")?;
+//! let mut reach = GpulogEngine::builder(&device)
+//!     .program(r"
+//!         .decl Edge(x: number, y: number)
+//!         .input Edge
+//!         .decl Reach(x: number, y: number)
+//!         .output Reach
+//!         Reach(x, y) :- Edge(x, y).
+//!         Reach(x, y) :- Edge(x, z), Reach(z, y).
+//!     ")
+//!     .build()?;
 //! reach.add_facts("Edge", [[0, 1], [1, 2], [2, 3]])?;
 //! let stats = reach.run()?;
-//! assert_eq!(reach.len("Reach"), Some(6));
+//! assert_eq!(reach.relation_size("Reach"), Some(6));
+//! // Results are available as borrowed rows or owned batches.
+//! assert!(reach.relation_tuples_iter("Reach").unwrap().count() == 6);
+//! assert_eq!(reach.relation_batch("Reach").unwrap().len(), 6);
 //! println!("fixpoint in {} iterations", stats.iterations);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The [`Gpulog`] facade remains for the one-liner workflow, and
+//! [`GpulogEngine::from_source`] for constructing with an explicit
+//! [`EngineConfig`].
 
 pub mod analysis;
 pub mod ast;
+pub mod backend;
 pub mod ebm;
 pub mod engine;
 pub mod error;
@@ -55,13 +86,16 @@ pub mod relation;
 pub mod stats;
 
 pub use ast::{Atom, CmpOp, Constraint, Program, ProgramBuilder, RelationDecl, Rule, Term};
+pub use backend::{Backend, EvalContext, PipelineOutcome, SerialBackend};
 pub use ebm::EbmConfig;
-pub use engine::{EngineConfig, GpulogEngine};
+pub use engine::{EngineBuilder, EngineConfig, GpulogEngine};
 pub use error::{EngineError, EngineResult};
 pub use parser::parse_program;
-pub use planner::{compile, CompiledProgram};
+pub use planner::{compile, lower_program, lower_rule_plan, CompiledProgram, LoweredStratum};
 pub use program::Gpulog;
-pub use ra::NwayStrategy;
+pub use ra::{NwayStrategy, RaOp, RaPipeline};
+
+pub use gpulog_hisa::TupleBatch;
 pub use stats::{IterationRecord, Phase, RunStats};
 
 #[cfg(test)]
@@ -75,5 +109,8 @@ mod tests {
         assert_send::<Gpulog>();
         assert_send::<RunStats>();
         assert_send::<EngineConfig>();
+        assert_send::<TupleBatch>();
+        assert_send::<RaPipeline>();
+        assert_send::<SerialBackend>();
     }
 }

@@ -12,6 +12,8 @@
 use crate::analysis::{stratify, StratifiedProgram};
 use crate::ast::{Atom, CmpOp, Program, Rule, Term};
 use crate::error::{EngineError, EngineResult};
+use crate::ra::nway::NwayStrategy;
+use crate::ra::op::{RaOp, RaPipeline};
 use std::collections::HashMap;
 
 /// Relation identifier: an index into [`CompiledProgram::relation_names`].
@@ -157,6 +159,100 @@ impl CompiledProgram {
             .map(|s| s.non_recursive.len() + s.recursive.len())
             .sum()
     }
+}
+
+/// One stratum's rule plans lowered to operator pipelines.
+#[derive(Debug, Clone)]
+pub struct LoweredStratum {
+    /// Pipelines evaluated once, before any fixpoint iteration.
+    pub non_recursive: Vec<RaPipeline>,
+    /// Delta-version pipelines evaluated inside the fixpoint loop.
+    pub recursive: Vec<RaPipeline>,
+}
+
+/// Lowers one rule plan into an executable [`RaPipeline`] under the given
+/// n-way strategy.
+///
+/// The temporarily-materialized strategy becomes `Scan → HashJoin* →
+/// Project`; the fused strategy becomes `Scan → FusedJoin` (the fused
+/// kernel produces head tuples directly). A trivially-empty plan lowers to
+/// an empty pipeline, which every backend must treat as deriving nothing.
+pub fn lower_rule_plan(plan: &RulePlan, strategy: NwayStrategy) -> RaPipeline {
+    let mut ops = Vec::new();
+    if !plan.trivially_empty {
+        // A scan that binds no variables (an all-constant atom, e.g.
+        // `R(1) :- E(2, 3).`) would produce a zero-column intermediate and
+        // lose the matched-row count on the way to the head projection.
+        // Keep one dummy column instead: its values are never referenced
+        // (no variable means no downstream Col/Outer source can exist),
+        // but the multiplicity survives. Joins inherit the dummy through
+        // `emit` for the same reason.
+        let mut scan = plan.scan.clone();
+        if scan.keep_cols.is_empty() {
+            scan.keep_cols.push(0);
+        }
+        ops.push(RaOp::Scan {
+            step: scan,
+            filters: plan.filters[0].clone(),
+        });
+        match strategy {
+            NwayStrategy::TemporarilyMaterialized => {
+                for (k, join) in plan.joins.iter().enumerate() {
+                    let mut join = join.clone();
+                    if join.emit.is_empty() {
+                        // Empty emit implies no variable is bound yet, so
+                        // the outer intermediate is exactly the dummy
+                        // column introduced above.
+                        join.emit.push(EmitSource::Outer(0));
+                    }
+                    ops.push(RaOp::HashJoin {
+                        step: join,
+                        filters: plan.filters[k + 1].clone(),
+                    });
+                }
+                ops.push(RaOp::Project {
+                    columns: plan.head_proj.clone(),
+                });
+            }
+            NwayStrategy::FusedNestedLoop => {
+                ops.push(RaOp::FusedJoin {
+                    levels: plan
+                        .joins
+                        .iter()
+                        .enumerate()
+                        .map(|(k, join)| (join.clone(), plan.filters[k + 1].clone()))
+                        .collect(),
+                    head_proj: plan.head_proj.clone(),
+                });
+            }
+        }
+    }
+    RaPipeline {
+        head: plan.head,
+        ops,
+        text: plan.text.clone(),
+    }
+}
+
+/// Lowers every rule plan of a compiled program, preserving the stratum
+/// structure and evaluation order.
+pub fn lower_program(compiled: &CompiledProgram, strategy: NwayStrategy) -> Vec<LoweredStratum> {
+    compiled
+        .strata
+        .iter()
+        .map(|stratum| LoweredStratum {
+            non_recursive: stratum
+                .non_recursive
+                .iter()
+                .map(|p| lower_rule_plan(p, strategy))
+                .collect(),
+            recursive: stratum
+                .recursive
+                .iter()
+                .map(|p| lower_rule_plan(p, strategy))
+                .collect(),
+        })
+        .collect()
 }
 
 /// Compiles a program: validates, stratifies, and plans every rule.
@@ -657,6 +753,67 @@ mod tests {
         let plan = &stratum.non_recursive[0];
         assert!(plan.joins[0].outer_key_cols.is_empty());
         assert!(plan.joins[0].inner_key_cols.is_empty());
+    }
+
+    #[test]
+    fn lowering_produces_scan_join_project_for_materialized() {
+        let c = compile_src(REACH);
+        let stratum = c.strata.iter().find(|s| s.is_recursive).unwrap();
+        let plan = &stratum.recursive[0];
+        let pipeline = lower_rule_plan(plan, NwayStrategy::TemporarilyMaterialized);
+        assert_eq!(pipeline.head, plan.head);
+        assert_eq!(pipeline.ops.len(), 3);
+        assert!(matches!(pipeline.ops[0], RaOp::Scan { .. }));
+        assert!(matches!(pipeline.ops[1], RaOp::HashJoin { .. }));
+        assert!(matches!(pipeline.ops[2], RaOp::Project { .. }));
+    }
+
+    #[test]
+    fn lowering_produces_scan_fused_for_fused_strategy() {
+        let c = compile_src(REACH);
+        let stratum = c.strata.iter().find(|s| s.is_recursive).unwrap();
+        let plan = &stratum.recursive[0];
+        let pipeline = lower_rule_plan(plan, NwayStrategy::FusedNestedLoop);
+        assert_eq!(pipeline.ops.len(), 2);
+        assert!(matches!(pipeline.ops[0], RaOp::Scan { .. }));
+        match &pipeline.ops[1] {
+            RaOp::FusedJoin { levels, head_proj } => {
+                assert_eq!(levels.len(), plan.joins.len());
+                assert_eq!(head_proj, &plan.head_proj);
+            }
+            other => panic!("expected FusedJoin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trivially_empty_plans_lower_to_empty_pipelines() {
+        let c = compile_src(
+            r"
+            .decl E(x: number)
+            .decl R(x: number)
+            .input E
+            .output R
+            R(x) :- E(x), 1 > 2.
+        ",
+        );
+        let lowered = lower_program(&c, NwayStrategy::TemporarilyMaterialized);
+        let all: Vec<&RaPipeline> = lowered
+            .iter()
+            .flat_map(|s| s.non_recursive.iter().chain(s.recursive.iter()))
+            .collect();
+        assert_eq!(all.len(), 1);
+        assert!(all[0].is_empty());
+    }
+
+    #[test]
+    fn lower_program_mirrors_the_stratum_structure() {
+        let c = compile_src(REACH);
+        let lowered = lower_program(&c, NwayStrategy::TemporarilyMaterialized);
+        assert_eq!(lowered.len(), c.strata.len());
+        for (stratum, low) in c.strata.iter().zip(&lowered) {
+            assert_eq!(stratum.non_recursive.len(), low.non_recursive.len());
+            assert_eq!(stratum.recursive.len(), low.recursive.len());
+        }
     }
 
     #[test]

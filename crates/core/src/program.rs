@@ -101,6 +101,17 @@ impl Gpulog {
         self.engine.relation_tuples(relation)
     }
 
+    /// Borrowed row slices of a relation, without per-row clones (see
+    /// [`GpulogEngine::relation_tuples_iter`]).
+    pub fn tuples_iter(&self, relation: &str) -> Option<impl Iterator<Item = &[u32]> + '_> {
+        self.engine.relation_tuples_iter(relation)
+    }
+
+    /// A relation's tuples as an owned [`gpulog_hisa::TupleBatch`].
+    pub fn batch(&self, relation: &str) -> Option<gpulog_hisa::TupleBatch> {
+        self.engine.relation_batch(relation)
+    }
+
     /// Whether a relation contains a tuple.
     pub fn contains(&self, relation: &str, tuple: &[u32]) -> bool {
         self.engine.contains(relation, tuple)
@@ -142,6 +153,8 @@ mod tests {
         assert_eq!(dl.len("Reach"), Some(6));
         assert!(dl.contains("Reach", &[0, 3]));
         assert_eq!(dl.tuples("Reach").unwrap().len(), 6);
+        assert_eq!(dl.tuples_iter("Reach").unwrap().count(), 6);
+        assert_eq!(dl.batch("Reach").unwrap().len(), 6);
         assert!(stats.iterations > 0);
         assert!(dl.engine().relation_size("Edge").is_some());
     }

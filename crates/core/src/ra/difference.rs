@@ -10,7 +10,7 @@ use gpulog_device::thrust::scan::exclusive_scan_offsets;
 use gpulog_device::thrust::sort::lexicographic_sort_indices;
 use gpulog_device::thrust::transform::adjacent_unique_flags;
 use gpulog_device::Device;
-use gpulog_hisa::Hisa;
+use gpulog_hisa::{Hisa, TupleBatch};
 
 /// Sorts and deduplicates a row-major tuple buffer, returning the distinct
 /// rows in lexicographic order.
@@ -81,6 +81,19 @@ pub fn difference(device: &Device, data: &[u32], arity: usize, existing: &Hisa) 
             }
         });
     out
+}
+
+/// [`difference`] over a [`TupleBatch`]. The result is sorted and
+/// duplicate-free by construction, so the returned batch carries the
+/// sorted-unique flag — which is what lets
+/// [`crate::relation::RelationStorage::set_delta_batch`] build the delta
+/// HISA without re-sorting.
+pub fn difference_batch(device: &Device, batch: &TupleBatch, existing: &Hisa) -> TupleBatch {
+    TupleBatch::new(
+        batch.arity(),
+        difference(device, batch.as_flat(), batch.arity(), existing),
+    )
+    .assert_sorted_unique()
 }
 
 #[cfg(test)]

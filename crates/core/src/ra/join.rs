@@ -8,9 +8,10 @@
 //! and a writing pass into a single dense output buffer.
 
 use crate::planner::EmitSource;
+use crate::ra::project::batch_from_flat;
 use gpulog_device::thrust::scan::exclusive_scan_offsets;
 use gpulog_device::Device;
-use gpulog_hisa::Hisa;
+use gpulog_hisa::{Hisa, TupleBatch};
 
 /// Computes the join of a dense outer buffer with an indexed inner HISA.
 ///
@@ -123,6 +124,32 @@ pub fn hash_join(
             debug_assert_eq!(cursor, out_slice.len());
         });
     output
+}
+
+/// [`hash_join`] with the outer relation carried as a [`TupleBatch`]; the
+/// batch supplies the outer arity the flat form threads by hand.
+pub fn hash_join_batch(
+    device: &Device,
+    outer: &TupleBatch,
+    outer_key_cols: &[usize],
+    inner: &Hisa,
+    inner_const_filters: &[(usize, u32)],
+    inner_eq_filters: &[(usize, usize)],
+    emit: &[EmitSource],
+) -> TupleBatch {
+    batch_from_flat(
+        emit.len(),
+        hash_join(
+            device,
+            outer.as_flat(),
+            outer.arity(),
+            outer_key_cols,
+            inner,
+            inner_const_filters,
+            inner_eq_filters,
+            emit,
+        ),
+    )
 }
 
 #[cfg(test)]

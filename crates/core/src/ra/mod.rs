@@ -5,13 +5,22 @@
 //! ([`project`]), deduplication and set difference for delta population
 //! ([`mod@difference`]), and the fused n-way join used as the ablation
 //! baseline for temporarily-materialized joins ([`nway`]).
+//!
+//! Rule evaluation does not call these kernels directly: the planner lowers
+//! each rule into an [`op::RaPipeline`] of [`op::RaOp`]s, and a
+//! [`crate::backend::Backend`] executes the pipeline, moving
+//! [`gpulog_hisa::TupleBatch`] intermediates between operators. The
+//! flat-slice kernel forms remain public as the reference implementations
+//! the property tests pin the operator pipeline against.
 
 pub mod difference;
 pub mod join;
 pub mod nway;
+pub mod op;
 pub mod project;
 
-pub use difference::{deduplicate_rows, difference};
-pub use join::hash_join;
-pub use nway::{fused_rule_join, NwayStrategy};
-pub use project::{filter_rows, project_rows};
+pub use difference::{deduplicate_rows, difference, difference_batch};
+pub use join::{hash_join, hash_join_batch};
+pub use nway::{fused_rule_join, fused_rule_join_batch, NwayStrategy};
+pub use op::{RaOp, RaPipeline};
+pub use project::{filter_batch, filter_rows, project_batch, project_rows, scan_select_batch};

@@ -11,9 +11,10 @@
 //! bench (`nway_ablation`) can compare them on identical plans.
 
 use crate::planner::{ColumnSource, EmitSource, FilterStep, JoinStep};
+use crate::ra::project::batch_from_flat;
 use gpulog_device::thrust::scan::exclusive_scan_offsets;
 use gpulog_device::Device;
-use gpulog_hisa::Hisa;
+use gpulog_hisa::{Hisa, TupleBatch};
 
 /// Which n-way join strategy the engine uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -164,6 +165,19 @@ pub fn fused_rule_join(
             debug_assert_eq!(cursor, slots.len());
         });
     output
+}
+
+/// [`fused_rule_join`] with the outer relation carried as a [`TupleBatch`].
+pub fn fused_rule_join_batch(
+    device: &Device,
+    outer: &TupleBatch,
+    levels: &[FusedLevel<'_>],
+    head_proj: &[ColumnSource],
+) -> TupleBatch {
+    batch_from_flat(
+        head_proj.len(),
+        fused_rule_join(device, outer.as_flat(), outer.arity(), levels, head_proj),
+    )
 }
 
 #[cfg(test)]

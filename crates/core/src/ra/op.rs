@@ -1,0 +1,111 @@
+//! The relational-algebra operator IR.
+//!
+//! The planner compiles every rule into a [`crate::planner::RulePlan`];
+//! lowering (see
+//! [`crate::planner::lower_rule_plan`]) turns that plan into a flat
+//! [`RaPipeline`] — a `Vec<RaOp>` — that a [`crate::backend::Backend`]
+//! executes over [`gpulog_hisa::TupleBatch`] intermediates. Keeping the IR
+//! explicit (rather than hard-coding the kernel sequence inside the engine)
+//! is what lets alternative backends — sharded, async-pipelined,
+//! multi-device — slot in behind the same interface.
+//!
+//! An op consumes the current intermediate batch and produces the next one:
+//!
+//! ```text
+//! Scan ──batch──▶ HashJoin ──batch──▶ ... ──batch──▶ Project ──▶ head `new`
+//!        └─────────────── or ───────────────┘
+//! Scan ──batch──▶ FusedJoin ──────────────────────────────────▶ head `new`
+//! ```
+//!
+//! [`RaOp::Diff`] is the odd one out: it implements the delta-population
+//! phase (dedup `new`, subtract `full`, install the delta), consuming the
+//! relation's `new` buffer rather than a pipeline intermediate.
+
+use crate::planner::{ColumnSource, FilterStep, JoinStep, RelId, ScanStep};
+
+/// One relational-algebra operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaOp {
+    /// Scan a relation version, applying the atom's constant/equality
+    /// filters and keeping one column per distinct variable; `filters` are
+    /// the cross-atom constraints that become checkable right after the
+    /// scan.
+    Scan {
+        /// The scan parameters (relation, version, filters, kept columns).
+        step: ScanStep,
+        /// Constraint filters applied to the scan's output.
+        filters: Vec<FilterStep>,
+    },
+    /// One binary hash join against an indexed relation version, applying
+    /// `filters` to the joined intermediate.
+    HashJoin {
+        /// The join parameters (inner relation, key columns, emit list).
+        step: JoinStep,
+        /// Constraint filters applied to the join's output.
+        filters: Vec<FilterStep>,
+    },
+    /// The whole join chain evaluated in one fused nested-loop kernel,
+    /// producing head tuples directly (the ablation strategy of paper
+    /// Section 5.2).
+    FusedJoin {
+        /// The join levels in plan order, each with its post-level filters.
+        levels: Vec<(JoinStep, Vec<FilterStep>)>,
+        /// Projection from the final intermediate onto the head.
+        head_proj: Vec<ColumnSource>,
+    },
+    /// Project the final intermediate onto the head relation's columns.
+    Project {
+        /// One source (column or constant) per head column.
+        columns: Vec<ColumnSource>,
+    },
+    /// Delta population for one relation: deduplicate its accumulated `new`
+    /// buffer, subtract `full`, install the result as the next delta, and
+    /// merge it into `full`.
+    Diff {
+        /// The relation whose `new` buffer is consumed.
+        relation: RelId,
+    },
+}
+
+/// An executable operator pipeline, the lowered form of one rule version
+/// (or of one delta-population step).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaPipeline {
+    /// Relation receiving this pipeline's output tuples.
+    pub head: RelId,
+    /// Operators in execution order.
+    pub ops: Vec<RaOp>,
+    /// Human-readable source form (for diagnostics and plan dumps).
+    pub text: String,
+}
+
+impl RaPipeline {
+    /// The delta-population pipeline for one relation: a single
+    /// [`RaOp::Diff`].
+    pub fn diff(relation: RelId) -> Self {
+        RaPipeline {
+            head: relation,
+            ops: vec![RaOp::Diff { relation }],
+            text: format!("diff(relation {relation})"),
+        }
+    }
+
+    /// Whether this pipeline contains no operators (a trivially-empty rule).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_pipeline_targets_its_relation() {
+        let p = RaPipeline::diff(3);
+        assert_eq!(p.head, 3);
+        assert_eq!(p.ops, vec![RaOp::Diff { relation: 3 }]);
+        assert!(!p.is_empty());
+        assert!(p.text.contains('3'));
+    }
+}

@@ -1,8 +1,28 @@
 //! Projection and selection over dense intermediate buffers.
+//!
+//! Each kernel exists in two forms: the legacy flat-slice form
+//! (`&[u32]` + arity) retained as the reference implementation, and a
+//! [`TupleBatch`]-typed form used by the operator pipeline, which keeps the
+//! arity attached to the data instead of threading it alongside.
 
 use crate::planner::{ColumnSource, FilterStep};
 use gpulog_device::thrust::scan::exclusive_scan_offsets;
 use gpulog_device::Device;
+use gpulog_hisa::TupleBatch;
+
+/// Wraps a kernel's flat output as a [`TupleBatch`]. A zero-column output
+/// is represented as an empty one-column batch so it stays constructible;
+/// lowered pipelines never produce one (the planner keeps a dummy column
+/// when an atom binds no variables, precisely so row multiplicity is not
+/// lost — see [`crate::planner::lower_rule_plan`]).
+pub(crate) fn batch_from_flat(arity: usize, flat: Vec<u32>) -> TupleBatch {
+    if arity == 0 {
+        debug_assert!(flat.is_empty(), "zero-arity batch with values");
+        TupleBatch::empty(1)
+    } else {
+        TupleBatch::new(arity, flat)
+    }
+}
 
 /// Resolves a [`ColumnSource`] against one row.
 fn resolve(src: ColumnSource, row: &[u32]) -> u32 {
@@ -127,6 +147,43 @@ pub fn scan_select(
             }
         });
     out
+}
+
+/// [`project_rows`] over a [`TupleBatch`].
+pub fn project_batch(device: &Device, batch: &TupleBatch, out_cols: &[ColumnSource]) -> TupleBatch {
+    batch_from_flat(
+        out_cols.len(),
+        project_rows(device, batch.as_flat(), batch.arity(), out_cols),
+    )
+}
+
+/// [`filter_rows`] over a [`TupleBatch`].
+pub fn filter_batch(device: &Device, batch: &TupleBatch, filters: &[FilterStep]) -> TupleBatch {
+    TupleBatch::new(
+        batch.arity(),
+        filter_rows(device, batch.as_flat(), batch.arity(), filters),
+    )
+}
+
+/// [`scan_select`] over a [`TupleBatch`].
+pub fn scan_select_batch(
+    device: &Device,
+    batch: &TupleBatch,
+    const_filters: &[(usize, u32)],
+    eq_filters: &[(usize, usize)],
+    keep_cols: &[usize],
+) -> TupleBatch {
+    batch_from_flat(
+        keep_cols.len(),
+        scan_select(
+            device,
+            batch.as_flat(),
+            batch.arity(),
+            const_filters,
+            eq_filters,
+            keep_cols,
+        ),
+    )
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 use crate::ebm::EbmConfig;
 use crate::error::EngineResult;
 use gpulog_device::Device;
-use gpulog_hisa::{Hisa, IndexSpec};
+use gpulog_hisa::{Hisa, IndexSpec, TupleBatch};
 use std::collections::HashMap;
 
 /// One version (full or delta) of a relation, with its indices.
@@ -72,6 +72,25 @@ impl RelationVersion {
                 device,
                 IndexSpec::full_key(arity),
                 tuples,
+                load_factor,
+            )?,
+            by_key: HashMap::new(),
+            load_factor,
+        })
+    }
+
+    /// Builds a version from a [`TupleBatch`], letting the batch's
+    /// sorted-unique flag pick between the general build and the
+    /// sort/dedup-free fast path — the type-driven replacement for choosing
+    /// between [`RelationVersion::from_tuples`] and
+    /// [`RelationVersion::from_sorted_unique_tuples`] by hand.
+    fn from_batch(device: &Device, batch: &TupleBatch, load_factor: f64) -> EngineResult<Self> {
+        Ok(RelationVersion {
+            arity: batch.arity(),
+            canonical: Hisa::build_from_batch(
+                device,
+                IndexSpec::full_key(batch.arity()),
+                batch,
                 load_factor,
             )?,
             by_key: HashMap::new(),
@@ -209,10 +228,28 @@ impl RelationStorage {
         self.full.canonical().contains(tuple)
     }
 
+    /// The full relation's tuples as an owned [`TupleBatch`]. The rows are
+    /// duplicate-free (HISA set semantics) but in *storage* order — merges
+    /// concatenate data arrays and keep sortedness in the sorted index — so
+    /// the batch does not carry the sorted-unique flag.
+    pub fn tuples_batch(&self) -> TupleBatch {
+        TupleBatch::new(self.arity, self.full.tuples_flat().to_vec())
+    }
+
     /// Appends raw derived tuples to the `new` buffer.
     pub fn push_new(&mut self, tuples: &[u32]) {
         debug_assert_eq!(tuples.len() % self.arity, 0, "ragged new-tuple buffer");
         self.new_tuples.extend_from_slice(tuples);
+    }
+
+    /// Appends a derived batch to the `new` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's arity differs from the relation's.
+    pub fn push_new_batch(&mut self, batch: &TupleBatch) {
+        assert_eq!(batch.arity(), self.arity, "batch arity mismatch");
+        self.new_tuples.extend_from_slice(batch.as_flat());
     }
 
     /// Replaces the full relation's contents with `tuples` (used when
@@ -241,7 +278,7 @@ impl RelationStorage {
 
     /// [`RelationStorage::set_delta`] for tuples that are additionally
     /// already sorted lexicographically — exactly what
-    /// [`crate::ra::difference`] emits. The delta HISA is built without
+    /// [`crate::ra::difference()`] emits. The delta HISA is built without
     /// re-sorting or re-deduplicating.
     ///
     /// # Errors
@@ -254,6 +291,39 @@ impl RelationStorage {
             tuples,
             self.load_factor,
         )?;
+        Ok(())
+    }
+
+    /// Installs a [`TupleBatch`] as the delta version. The batch's
+    /// sorted-unique flag — not a comment at the call site — decides whether
+    /// the HISA build skips its sort/dedup passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the delta does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's arity differs from the relation's.
+    pub fn set_delta_batch(&mut self, batch: &TupleBatch) -> EngineResult<()> {
+        assert_eq!(batch.arity(), self.arity, "batch arity mismatch");
+        self.delta = RelationVersion::from_batch(&self.device, batch, self.load_factor)?;
+        Ok(())
+    }
+
+    /// Replaces the full relation's contents with a [`TupleBatch`] (the
+    /// batch-typed sibling of [`RelationStorage::load_full`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the relation does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's arity differs from the relation's.
+    pub fn load_full_batch(&mut self, batch: &TupleBatch) -> EngineResult<()> {
+        assert_eq!(batch.arity(), self.arity, "batch arity mismatch");
+        self.full = RelationVersion::from_batch(&self.device, batch, self.load_factor)?;
         Ok(())
     }
 
@@ -476,6 +546,29 @@ mod tests {
         let taken = s.take_new(&EbmConfig::default());
         assert_eq!(taken, vec![1, 2, 3, 4]);
         assert!(s.take_new(&EbmConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn batch_paths_agree_with_slice_paths() {
+        let d = device();
+        let mut a = storage(&d);
+        let mut b = storage(&d);
+        a.load_full(&[5, 6, 1, 2]).unwrap();
+        b.load_full_batch(&TupleBatch::new(2, vec![5, 6, 1, 2]))
+            .unwrap();
+        assert_eq!(a.tuples_batch(), b.tuples_batch());
+        // A sorted-unique batch drives the delta fast path; an unflagged one
+        // drives the general path. Both must land on the same delta.
+        let sorted = TupleBatch::from_sorted_unique_flat(2, vec![0, 9, 3, 3]);
+        let messy = TupleBatch::new(2, vec![3, 3, 0, 9]);
+        a.set_delta_batch(&sorted).unwrap();
+        b.set_delta_batch(&messy).unwrap();
+        assert_eq!(
+            a.delta.canonical().to_sorted_tuples(),
+            b.delta.canonical().to_sorted_tuples()
+        );
+        a.push_new_batch(&TupleBatch::from_rows(2, [[7u32, 7]]));
+        assert_eq!(a.take_new(&EbmConfig::default()), vec![7, 7]);
     }
 
     #[test]

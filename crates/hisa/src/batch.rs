@@ -1,0 +1,222 @@
+//! [`TupleBatch`]: the owned, arity-tagged tuple container that flows
+//! between relational-algebra operators.
+//!
+//! Every intermediate result of rule evaluation — scan output, join
+//! output, the deduplicated delta — is a dense, row-major buffer of
+//! fixed-width [`Value`] tuples. Historically these travelled as bare
+//! `(Vec<u32>, usize)` pairs whose invariants (is the buffer ragged? is it
+//! sorted and duplicate-free?) lived in comments. A `TupleBatch` carries
+//! the arity with the data and records the *sorted + unique* property as a
+//! flag, so fast paths like [`crate::Hisa::build_from_batch`] become
+//! type-driven: a batch that proves it is already canonical skips the
+//! sort/dedup passes, and one that does not gets the general path.
+
+use crate::tuple::Value;
+
+/// An owned batch of fixed-arity tuples in dense row-major layout.
+///
+/// # Examples
+///
+/// ```
+/// use gpulog_hisa::TupleBatch;
+///
+/// let batch = TupleBatch::from_rows(2, [[1u32, 2], [3, 4]]);
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch.arity(), 2);
+/// assert_eq!(batch.as_flat(), &[1, 2, 3, 4]);
+/// assert_eq!(batch.rows().collect::<Vec<_>>(), vec![&[1, 2][..], &[3, 4][..]]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TupleBatch {
+    arity: usize,
+    data: Vec<Value>,
+    sorted_unique: bool,
+}
+
+impl TupleBatch {
+    /// Wraps a flat row-major buffer with its arity. The batch makes no
+    /// claim about sort order or uniqueness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is zero or `data.len()` is not a multiple of it.
+    pub fn new(arity: usize, data: Vec<Value>) -> Self {
+        assert!(arity > 0, "arity must be positive");
+        assert_eq!(
+            data.len() % arity,
+            0,
+            "flat buffer length {} is not a multiple of arity {arity}",
+            data.len()
+        );
+        TupleBatch {
+            arity,
+            data,
+            sorted_unique: false,
+        }
+    }
+
+    /// An empty batch of the given arity. Vacuously sorted and unique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is zero.
+    pub fn empty(arity: usize) -> Self {
+        TupleBatch::new(arity, Vec::new()).assert_sorted_unique()
+    }
+
+    /// Builds a batch from individual rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is zero or any row's length differs from it.
+    pub fn from_rows<I, T>(arity: usize, rows: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[Value]>,
+    {
+        assert!(arity > 0, "arity must be positive");
+        let mut data = Vec::new();
+        for row in rows {
+            let row = row.as_ref();
+            assert_eq!(row.len(), arity, "row arity mismatch");
+            data.extend_from_slice(row);
+        }
+        TupleBatch::new(arity, data)
+    }
+
+    /// Wraps a buffer whose rows are already lexicographically sorted and
+    /// duplicate-free, recording that property in the type. Consumers such
+    /// as [`crate::Hisa::build_from_batch`] use the flag to take their
+    /// sort/dedup-free fast paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is zero or the buffer is ragged. Sorted order and
+    /// uniqueness are the caller's contract, checked only under
+    /// `debug_assertions`.
+    pub fn from_sorted_unique_flat(arity: usize, data: Vec<Value>) -> Self {
+        TupleBatch::new(arity, data).assert_sorted_unique()
+    }
+
+    /// Marks this batch as lexicographically sorted and duplicate-free
+    /// (caller's contract; validated under `debug_assertions` only).
+    #[must_use]
+    pub fn assert_sorted_unique(mut self) -> Self {
+        debug_assert!(
+            rows_are_sorted_unique(&self.data, self.arity),
+            "batch rows must be strictly increasing to carry the sorted-unique flag"
+        );
+        self.sorted_unique = true;
+        self
+    }
+
+    /// Number of columns per tuple.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.arity
+    }
+
+    /// Whether the batch holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Whether the rows are known to be lexicographically sorted and
+    /// duplicate-free. `false` means *unknown*, not *unsorted*.
+    pub fn is_sorted_unique(&self) -> bool {
+        self.sorted_unique
+    }
+
+    /// The dense row-major buffer.
+    pub fn as_flat(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// Consumes the batch, returning the flat buffer.
+    pub fn into_flat(self) -> Vec<Value> {
+        self.data
+    }
+
+    /// Iterates the rows as borrowed slices, in storage order.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        self.data.chunks_exact(self.arity)
+    }
+
+    /// One row by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: usize) -> &[Value] {
+        &self.data[row * self.arity..(row + 1) * self.arity]
+    }
+
+    /// Copies the rows out as owned vectors (convenient for tests and
+    /// host-side export).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        self.rows().map(<[Value]>::to_vec).collect()
+    }
+}
+
+/// Whether the row-major buffer's rows are strictly increasing.
+pub(crate) fn rows_are_sorted_unique(data: &[Value], arity: usize) -> bool {
+    data.chunks_exact(arity)
+        .zip(data.chunks_exact(arity).skip(1))
+        .all(|(a, b)| a < b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_round_trips_through_flat() {
+        let rows = [[5u32, 1], [2, 9], [7, 7]];
+        let batch = TupleBatch::from_rows(2, rows);
+        assert_eq!(batch.as_flat(), &[5, 1, 2, 9, 7, 7]);
+        assert_eq!(batch.to_rows(), vec![vec![5, 1], vec![2, 9], vec![7, 7]]);
+        assert_eq!(batch.row(1), &[2, 9]);
+        assert!(!batch.is_sorted_unique());
+    }
+
+    #[test]
+    fn empty_batch_is_sorted_unique() {
+        let batch = TupleBatch::empty(3);
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+        assert!(batch.is_sorted_unique());
+    }
+
+    #[test]
+    fn sorted_unique_flag_is_carried() {
+        let batch = TupleBatch::from_sorted_unique_flat(2, vec![1, 2, 3, 4]);
+        assert!(batch.is_sorted_unique());
+        assert_eq!(batch.len(), 2);
+        let plain = TupleBatch::new(2, vec![1, 2, 3, 4]);
+        assert!(!plain.is_sorted_unique());
+        assert!(plain.assert_sorted_unique().is_sorted_unique());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of arity")]
+    fn ragged_buffer_is_rejected() {
+        let _ = TupleBatch::new(2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn from_rows_rejects_wrong_arity() {
+        let _ = TupleBatch::from_rows(2, [vec![1u32, 2], vec![3]]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "strictly increasing")]
+    fn sorted_unique_contract_is_checked_in_debug_builds() {
+        let _ = TupleBatch::from_sorted_unique_flat(2, vec![3, 4, 1, 2]);
+    }
+}

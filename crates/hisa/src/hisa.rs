@@ -16,6 +16,7 @@
 //! iteration over dense storage (R2), arbitrary-width join keys via hashed
 //! keys (R3), and sort-based deduplication (R4).
 
+use crate::batch::{rows_are_sorted_unique, TupleBatch};
 use crate::dedup::unique_sorted_positions;
 use crate::hash_table::{HashTable, DEFAULT_LOAD_FACTOR};
 use crate::tuple::{hash_key, IndexSpec, Value};
@@ -213,6 +214,40 @@ impl Hisa {
             hash,
             load_factor,
         })
+    }
+
+    /// Builds a HISA from a [`TupleBatch`], letting the batch's type-level
+    /// invariants pick the construction path: a batch carrying the
+    /// sorted-unique flag, indexed under an identity permutation (where
+    /// original order *is* key-first order), takes the sort/dedup-free
+    /// [`Hisa::build_from_sorted_unique`] fast path; anything else takes
+    /// the general [`Hisa::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpulog_device::DeviceError::OutOfMemory`] when the
+    /// relation does not fit on the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's arity differs from the spec's.
+    pub fn build_from_batch(
+        device: &Device,
+        spec: IndexSpec,
+        batch: &TupleBatch,
+        load_factor: f64,
+    ) -> DeviceResult<Self> {
+        assert_eq!(
+            batch.arity(),
+            spec.arity(),
+            "batch arity must match the index spec"
+        );
+        let identity = spec.permutation().iter().copied().eq(0..spec.arity());
+        if batch.is_sorted_unique() && identity {
+            Self::build_from_sorted_unique(device, spec, batch.as_flat(), load_factor)
+        } else {
+            Self::build_with_load_factor(device, spec, batch.as_flat(), load_factor)
+        }
     }
 
     /// Creates an empty HISA.
@@ -428,14 +463,6 @@ impl Hisa {
         )?;
         Ok(())
     }
-}
-
-/// Whether the row-major buffer's rows are strictly increasing (sorted and
-/// duplicate-free). Debug-build validation for the fast-path constructors.
-fn rows_are_sorted_unique(data: &[Value], arity: usize) -> bool {
-    data.chunks_exact(arity)
-        .zip(data.chunks_exact(arity).skip(1))
-        .all(|(a, b)| a < b)
 }
 
 /// Builds the open-addressing hash layer mapping each key's hash to its
@@ -763,6 +790,24 @@ mod tests {
         let mut expected = sorted.clone();
         expected.sort_by_key(|t| (t[1], t[0]));
         assert_eq!(sorted, expected, "sorted index must follow the key order");
+    }
+
+    #[test]
+    fn build_from_batch_dispatches_on_the_sorted_unique_flag() {
+        let d = device();
+        // Sorted-unique batch + identity permutation: fast path.
+        let sorted = TupleBatch::from_sorted_unique_flat(2, vec![1, 2, 2, 9, 3, 4]);
+        let fast = Hisa::build_from_batch(&d, edge_spec(), &sorted, 0.8).unwrap();
+        // Unsorted batch: general path must sort and deduplicate.
+        let messy = TupleBatch::new(2, vec![3, 4, 1, 2, 2, 9, 1, 2]);
+        let general = Hisa::build_from_batch(&d, edge_spec(), &messy, 0.8).unwrap();
+        assert_eq!(fast.to_sorted_tuples(), general.to_sorted_tuples());
+        // Sorted-unique batch under a *permuted* spec cannot take the fast
+        // path (original order is not key-first order there).
+        let spec = IndexSpec::new(2, vec![1]);
+        let permuted = Hisa::build_from_batch(&d, spec.clone(), &sorted, 0.8).unwrap();
+        let reference = Hisa::build(&d, spec, sorted.as_flat()).unwrap();
+        assert_eq!(permuted.to_sorted_tuples(), reference.to_sorted_tuples());
     }
 
     #[test]

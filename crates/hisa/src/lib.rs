@@ -29,12 +29,14 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod dedup;
 pub mod hash_table;
 #[allow(clippy::module_inception)]
 mod hisa;
 pub mod tuple;
 
+pub use batch::TupleBatch;
 pub use hash_table::{HashTable, DEFAULT_LOAD_FACTOR};
 pub use hisa::{Hisa, RangeQuery};
 pub use tuple::{hash_key, key_eq, IndexSpec, Value};

@@ -44,15 +44,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Tune the engine: larger EBM growth factor, paper's 0.8 load factor,
     // temporarily-materialized joins (the default, spelled out here).
-    let config = EngineConfig {
-        ebm: EbmConfig::with_growth_factor(16.0),
-        load_factor: 0.8,
-        nway: NwayStrategy::TemporarilyMaterialized,
-        ..EngineConfig::default()
-    };
+    let config = EngineConfig::new()
+        .with_ebm(EbmConfig::with_growth_factor(16.0))
+        .with_load_factor(0.8)
+        .with_nway(NwayStrategy::TemporarilyMaterialized);
 
     let device = Device::new(DeviceProfile::nvidia_a100());
-    let mut engine = GpulogEngine::new(&device, &program, config)?;
+    let mut engine = GpulogEngine::builder(&device)
+        .program_ast(&program)
+        .config(config)
+        .build()?;
 
     // Reuse the synthetic DDisasm workload generator from gpulog-queries.
     let input = ddisasm::generate(20_000, 7);

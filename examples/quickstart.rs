@@ -1,11 +1,11 @@
-//! Quickstart: define a Datalog program, load facts, run it to fixpoint,
-//! and inspect results and run statistics.
+//! Quickstart: build an engine with `EngineBuilder`, load facts, run it to
+//! fixpoint, and inspect results and run statistics.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use gpulog::Gpulog;
+use gpulog::GpulogEngine;
 use gpulog_device::{profile::DeviceProfile, Device};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -13,29 +13,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    analytic cost model used for modeled-device-time reporting.
     let device = Device::new(DeviceProfile::nvidia_h100());
 
-    // 2. Write a Datalog program in Soufflé-style syntax.
-    let mut datalog = Gpulog::from_source(
-        &device,
-        r"
-        .decl Edge(x: number, y: number)
-        .input Edge
-        .decl Reach(x: number, y: number)
-        .output Reach
-        Reach(x, y) :- Edge(x, y).
-        Reach(x, y) :- Edge(x, z), Reach(z, y).
-    ",
-    )?;
+    // 2. Build the engine: `GpulogEngine::builder` takes the program as
+    //    Soufflé-style source and exposes every tuning knob (EBM policy,
+    //    join strategy, load factor, iteration cap, evaluation backend)
+    //    as a builder setter. The defaults reproduce the paper's setup.
+    let mut engine = GpulogEngine::builder(&device)
+        .program(
+            r"
+            .decl Edge(x: number, y: number)
+            .input Edge
+            .decl Reach(x: number, y: number)
+            .output Reach
+            Reach(x, y) :- Edge(x, y).
+            Reach(x, y) :- Edge(x, z), Reach(z, y).
+        ",
+        )
+        .max_iterations(100_000)
+        .build()?;
 
     // 3. Load extensional facts (here: a small cycle plus a tail).
-    datalog.add_facts("Edge", [[0u32, 1], [1, 2], [2, 0], [2, 3], [3, 4]])?;
+    engine.add_facts("Edge", [[0u32, 1], [1, 2], [2, 0], [2, 3], [3, 4]])?;
 
-    // 4. Run to fixpoint.
-    let stats = datalog.run()?;
+    // 4. Run to fixpoint. Every rule is lowered to an operator pipeline
+    //    (Scan → HashJoin* → Project) and dispatched through the engine's
+    //    backend — `SerialBackend` unless one was installed on the builder.
+    let stats = engine.run()?;
 
-    // 5. Inspect results.
-    println!("Reach has {} tuples", datalog.len("Reach").unwrap_or(0));
-    println!("0 reaches 4?  {}", datalog.contains("Reach", &[0, 4]));
-    println!("4 reaches 0?  {}", datalog.contains("Reach", &[4, 0]));
+    // 5. Inspect results: indexed point lookups, borrowed row iteration,
+    //    or an owned `TupleBatch` for host-side export.
+    println!(
+        "Reach has {} tuples",
+        engine.relation_size("Reach").unwrap_or(0)
+    );
+    println!("0 reaches 4?  {}", engine.contains("Reach", &[0, 4]));
+    println!("4 reaches 0?  {}", engine.contains("Reach", &[4, 0]));
+    let from_zero = engine
+        .relation_tuples_iter("Reach")
+        .into_iter()
+        .flatten()
+        .filter(|row| row[0] == 0)
+        .count();
+    println!("closure pairs leaving node 0: {from_zero}");
     println!();
     println!("fixpoint iterations : {}", stats.iterations);
     println!("wall time           : {:.3} ms", stats.wall_seconds * 1e3);

@@ -48,7 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             record.iteration, record.new_tuples, record.delta_tuples
         );
     }
-    let mut tuples = engine.relation_tuples("SG").unwrap_or_default();
+    // Borrow the rows straight out of relation storage — no per-row clones.
+    let mut tuples: Vec<&[u32]> = engine
+        .relation_tuples_iter("SG")
+        .into_iter()
+        .flatten()
+        .collect();
     tuples.sort();
     println!("  SG = {tuples:?}");
 
@@ -61,10 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         ("fused nested loop", NwayStrategy::FusedNestedLoop),
     ] {
-        let cfg = EngineConfig {
-            nway: strategy,
-            ..EngineConfig::default()
-        };
+        let cfg = EngineConfig::new().with_nway(strategy);
         let result = sg::run(&device, &big, cfg)?;
         println!(
             "strategy {label:<26}: {} tuples, wall {:.1} ms, modeled {:.2} ms",

@@ -1,0 +1,273 @@
+//! Property tests pinning the lowered `RaOp` pipeline (executed by
+//! `SerialBackend`) against the legacy flat-slice kernels
+//! (`scan_select` / `hash_join` / `project_rows` / `difference`) on random
+//! inputs, plus `TupleBatch` container round-trips. These are the
+//! refactoring guardrails: the operator IR must derive byte-identical
+//! results to composing the free functions by hand.
+
+use gpulog::backend::{Backend, EvalContext, SerialBackend};
+use gpulog::planner::{ColumnSource, EmitSource, JoinStep, ScanStep, VersionSel};
+use gpulog::ra::project::{filter_rows, project_rows, scan_select};
+use gpulog::ra::{difference, hash_join, RaOp, RaPipeline};
+use gpulog::relation::RelationStorage;
+use gpulog::{EbmConfig, RunStats, TupleBatch};
+use gpulog_device::{profile::DeviceProfile, Device};
+use gpulog_hisa::{Hisa, IndexSpec, DEFAULT_LOAD_FACTOR};
+use proptest::prelude::*;
+
+fn device() -> Device {
+    Device::with_workers(DeviceProfile::nvidia_h100(), 4)
+}
+
+fn pairs_strategy(max_value: u32, max_rows: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..max_value, 0..max_value), 0..max_rows)
+}
+
+fn flatten(pairs: &[(u32, u32)]) -> Vec<u32> {
+    pairs.iter().flat_map(|&(a, b)| [a, b]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // `Scan → HashJoin → Project` through `SerialBackend` must equal the
+    // hand-composed `scan_select` → `hash_join` → `project_rows` chain.
+    #[test]
+    fn pipeline_matches_legacy_scan_join_project(
+        outer in pairs_strategy(13, 120),
+        inner in pairs_strategy(13, 80),
+        key_col in 0usize..2,
+    ) {
+        let d = device();
+        let outer_flat = flatten(&outer);
+        let inner_flat = flatten(&inner);
+
+        let inner_hisa = Hisa::build(&d, IndexSpec::new(2, vec![key_col]), &inner_flat).unwrap();
+        let emit = [
+            EmitSource::Outer(0),
+            EmitSource::Outer(1),
+            EmitSource::Inner(1 - key_col),
+        ];
+        let head_proj = [
+            ColumnSource::Col(2),
+            ColumnSource::Col(0),
+            ColumnSource::Const(7),
+        ];
+
+        // The same rule lowered to an operator pipeline.
+        let mut relations = vec![
+            RelationStorage::new(&d, "Outer", 2, DEFAULT_LOAD_FACTOR).unwrap(),
+            RelationStorage::new(&d, "Inner", 2, DEFAULT_LOAD_FACTOR).unwrap(),
+            RelationStorage::new(&d, "Head", 3, DEFAULT_LOAD_FACTOR).unwrap(),
+        ];
+        relations[0].load_full(&outer_flat).unwrap();
+        relations[1].load_full(&inner_flat).unwrap();
+        let pipeline = RaPipeline {
+            head: 2,
+            ops: vec![
+                RaOp::Scan {
+                    step: ScanStep {
+                        relation: 0,
+                        version: VersionSel::Full,
+                        const_filters: vec![],
+                        eq_filters: vec![],
+                        keep_cols: vec![0, 1],
+                    },
+                    filters: vec![],
+                },
+                RaOp::HashJoin {
+                    step: JoinStep {
+                        relation: 1,
+                        version: VersionSel::Full,
+                        outer_key_cols: vec![1],
+                        inner_key_cols: vec![key_col],
+                        inner_const_filters: vec![],
+                        inner_eq_filters: vec![],
+                        emit: emit.to_vec(),
+                    },
+                    filters: vec![],
+                },
+                RaOp::Project {
+                    columns: head_proj.to_vec(),
+                },
+            ],
+            text: "property pipeline".into(),
+        };
+        let mut stats = RunStats::default();
+        let mut ctx = EvalContext {
+            device: &d,
+            relations: &mut relations,
+            stats: &mut stats,
+            ebm: EbmConfig::default(),
+        };
+        let outcome = SerialBackend.execute(&mut ctx, &pipeline).unwrap();
+        let got = relations[2].take_new(&EbmConfig::default());
+
+        // The storage path deduplicates the outer relation (HISA set
+        // semantics), so compare against the legacy composition re-run over
+        // the storage's canonical outer tuples: byte-identical output.
+        let canon_outer = relations[0].full.tuples_flat().to_vec();
+        let canon_scanned = scan_select(&d, &canon_outer, 2, &[], &[], &[0, 1]);
+        let canon_joined = hash_join(&d, &canon_scanned, 2, &[1], &inner_hisa, &[], &[], &emit);
+        let canon_expected = if canon_joined.is_empty() {
+            Vec::new()
+        } else {
+            project_rows(&d, &canon_joined, 3, &head_proj)
+        };
+        prop_assert_eq!(outcome.derived_rows, canon_expected.len() / 3);
+        prop_assert_eq!(got, canon_expected);
+    }
+
+    // A `Scan` op with constant/equality/comparison filters must equal
+    // `scan_select` + `filter_rows`.
+    #[test]
+    fn scan_op_matches_legacy_scan_select(
+        rows in pairs_strategy(6, 150),
+        const_val in 0u32..6,
+    ) {
+        use gpulog::planner::FilterStep;
+        use gpulog::CmpOp;
+
+        let d = device();
+        let flat = flatten(&rows);
+        let filters = vec![FilterStep {
+            left: ColumnSource::Col(0),
+            op: CmpOp::Ne,
+            right: ColumnSource::Col(1),
+        }];
+
+        let mut relations = [
+            RelationStorage::new(&d, "Src", 2, DEFAULT_LOAD_FACTOR).unwrap(),
+            RelationStorage::new(&d, "Head", 1, DEFAULT_LOAD_FACTOR).unwrap(),
+        ];
+        relations[0].load_full(&flat).unwrap();
+        let canon = relations[0].full.tuples_flat().to_vec();
+
+        let scanned = scan_select(&d, &canon, 2, &[(1, const_val)], &[], &[0]);
+        let expected = filter_rows(&d, &scanned, 1, &[]);
+        // keep_cols = [0] drops column 1, so the Ne filter on (0, 1) cannot
+        // be applied post-scan; use a 2-column scan for the filter case.
+        let scanned2 = scan_select(&d, &canon, 2, &[], &[], &[0, 1]);
+        let expected2 = filter_rows(&d, &scanned2, 2, &filters);
+
+        let run_pipeline = |ops: Vec<RaOp>, head: usize, arity: usize| {
+            let mut rels = vec![
+                RelationStorage::new(&d, "Src", 2, DEFAULT_LOAD_FACTOR).unwrap(),
+                RelationStorage::new(&d, "Head", arity, DEFAULT_LOAD_FACTOR).unwrap(),
+            ];
+            rels[0].load_full(&flat).unwrap();
+            let mut stats = RunStats::default();
+            let mut ctx = EvalContext {
+                device: &d,
+                relations: &mut rels,
+                stats: &mut stats,
+                ebm: EbmConfig::default(),
+            };
+            SerialBackend
+                .execute(
+                    &mut ctx,
+                    &RaPipeline {
+                        head,
+                        ops,
+                        text: "scan property".into(),
+                    },
+                )
+                .unwrap();
+            rels[head].take_new(&EbmConfig::default())
+        };
+
+        let got = run_pipeline(
+            vec![
+                RaOp::Scan {
+                    step: ScanStep {
+                        relation: 0,
+                        version: VersionSel::Full,
+                        const_filters: vec![(1, const_val)],
+                        eq_filters: vec![],
+                        keep_cols: vec![0],
+                    },
+                    filters: vec![],
+                },
+                RaOp::Project {
+                    columns: vec![ColumnSource::Col(0)],
+                },
+            ],
+            1,
+            1,
+        );
+        prop_assert_eq!(got, expected);
+
+        let got2 = run_pipeline(
+            vec![
+                RaOp::Scan {
+                    step: ScanStep {
+                        relation: 0,
+                        version: VersionSel::Full,
+                        const_filters: vec![],
+                        eq_filters: vec![],
+                        keep_cols: vec![0, 1],
+                    },
+                    filters,
+                },
+                RaOp::Project {
+                    columns: vec![ColumnSource::Col(0), ColumnSource::Col(1)],
+                },
+            ],
+            1,
+            2,
+        );
+        prop_assert_eq!(got2, expected2);
+    }
+
+    // The `Diff` op must install exactly `difference(new, full)` as the
+    // delta and merge it into full.
+    #[test]
+    fn diff_op_matches_legacy_difference(
+        base in pairs_strategy(15, 120),
+        derived in pairs_strategy(15, 120),
+    ) {
+        let d = device();
+        let base_flat = flatten(&base);
+        let derived_flat = flatten(&derived);
+
+        let mut relations =
+            vec![RelationStorage::new(&d, "R", 2, DEFAULT_LOAD_FACTOR).unwrap()];
+        relations[0].load_full(&base_flat).unwrap();
+        let expected_delta = difference(&d, &derived_flat, 2, relations[0].full.canonical());
+
+        relations[0].push_new(&derived_flat);
+        let mut stats = RunStats::default();
+        let mut ctx = EvalContext {
+            device: &d,
+            relations: &mut relations,
+            stats: &mut stats,
+            ebm: EbmConfig::default(),
+        };
+        let outcome = SerialBackend
+            .execute(&mut ctx, &RaPipeline::diff(0))
+            .unwrap();
+
+        prop_assert_eq!(outcome.new_rows, derived.len());
+        prop_assert_eq!(outcome.delta_rows, expected_delta.len() / 2);
+        prop_assert_eq!(relations[0].delta.tuples_flat(), expected_delta.as_slice());
+        // Full must now be the union.
+        let mut union: std::collections::BTreeSet<(u32, u32)> = base.iter().copied().collect();
+        union.extend(derived.iter().copied());
+        prop_assert_eq!(relations[0].len(), union.len());
+    }
+
+    // `TupleBatch::from_rows` and `as_flat`/`to_rows` are inverses.
+    #[test]
+    fn tuple_batch_round_trips(
+        rows in prop::collection::vec(prop::collection::vec(0u32..1000, 3..4), 0..80),
+    ) {
+        let batch = TupleBatch::from_rows(3, &rows);
+        prop_assert_eq!(batch.len(), rows.len());
+        prop_assert_eq!(batch.arity(), 3);
+        let flat: Vec<u32> = rows.iter().flatten().copied().collect();
+        prop_assert_eq!(batch.as_flat(), flat.as_slice());
+        prop_assert_eq!(batch.to_rows(), rows.clone());
+        let rebuilt = TupleBatch::new(3, batch.clone().into_flat());
+        prop_assert_eq!(rebuilt.to_rows(), rows);
+    }
+}

@@ -139,10 +139,7 @@ fn ebm_configurations_do_not_change_results_only_memory() {
     let graph = PaperDataset::SfCedge.generate(0.12);
     let run = |ebm: EbmConfig| {
         let d = device();
-        let cfg = EngineConfig {
-            ebm,
-            ..EngineConfig::default()
-        };
+        let cfg = EngineConfig::new().with_ebm(ebm);
         let r = reach::run(&d, &graph, cfg).unwrap();
         (r.reach_size, r.stats.peak_device_bytes)
     };
@@ -159,10 +156,7 @@ fn join_strategies_agree_on_cspa() {
     let input = gpulog_datasets::cspa::postgres_like(1.0 / 6000.0);
     let d = device();
     let materialized = cspa::run(&d, &input, EngineConfig::default()).unwrap();
-    let cfg = EngineConfig {
-        nway: NwayStrategy::FusedNestedLoop,
-        ..EngineConfig::default()
-    };
+    let cfg = EngineConfig::new().with_nway(NwayStrategy::FusedNestedLoop);
     let fused = cspa::run(&d, &input, cfg).unwrap();
     assert_eq!(materialized.sizes, fused.sizes);
 }
