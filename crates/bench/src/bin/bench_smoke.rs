@@ -1,0 +1,175 @@
+//! CI bench smoke: runs the Table 2 REACH workload (Gnutella31) and the
+//! Table 3 SG workload (ego-Facebook) in every backend, checks the
+//! backends agree on tuple counts, and writes per-backend medians to a
+//! JSON artifact so every PR records its perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p gpulog-bench --bin bench_smoke -- \
+//!     [--out bench_smoke.json] [--trials 5] [--shards 4]
+//! ```
+
+use gpulog::EngineConfig;
+use gpulog_bench::{banner, gpulog_device, scale_from_env, speedup, TextTable};
+use gpulog_datasets::PaperDataset;
+use gpulog_queries::{reach, sg};
+
+struct SmokeRow {
+    query: &'static str,
+    dataset: String,
+    backend: String,
+    shards: usize,
+    tuples: usize,
+    median_wall_s: f64,
+    median_modeled_s: f64,
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Reads an integer flag, failing loudly on a malformed value — the
+/// artifact must never silently record a configuration other than the one
+/// the command line asked for.
+fn usize_flag(args: &[String], flag: &str, default: usize) -> usize {
+    match args.iter().position(|a| a == flag) {
+        None => default,
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("{flag} needs a positive integer, got {:?}", args.get(i + 1));
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn string_flag(args: &[String], flag: &str, default: &str) -> String {
+    match args.iter().position(|a| a == flag) {
+        None => default.to_string(),
+        Some(i) => match args.get(i + 1) {
+            Some(value) => value.clone(),
+            None => {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trials = usize_flag(&args, "--trials", 5);
+    let shards = usize_flag(&args, "--shards", 4);
+    let out_path = string_flag(&args, "--out", "bench_smoke.json");
+    let scale = scale_from_env();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    banner("bench smoke — serial vs sharded medians", scale);
+    println!("(trials {trials}, sharded leg {shards} shards, host workers {workers})");
+
+    let backends = [
+        ("serial".to_string(), 1usize),
+        (format!("sharded:{shards}"), shards),
+    ];
+    let workloads: [(&str, PaperDataset); 2] = [
+        ("reach", PaperDataset::Gnutella31),
+        ("sg", PaperDataset::EgoFacebook),
+    ];
+
+    let mut rows: Vec<SmokeRow> = Vec::new();
+    for (query, dataset) in workloads {
+        let graph = dataset.generate(scale);
+        let mut tuple_counts: Vec<usize> = Vec::new();
+        for (label, shard_count) in &backends {
+            let config = EngineConfig::default().with_shard_count(*shard_count);
+            let mut walls = Vec::with_capacity(trials);
+            let mut modeled = Vec::with_capacity(trials);
+            let mut tuples = 0usize;
+            for _ in 0..trials {
+                let device = gpulog_device(scale);
+                let (size, stats) = match query {
+                    "reach" => {
+                        let r = reach::run(&device, &graph, config).expect("smoke run failed");
+                        (r.reach_size, r.stats)
+                    }
+                    _ => {
+                        let r = sg::run(&device, &graph, config).expect("smoke run failed");
+                        (r.sg_size, r.stats)
+                    }
+                };
+                tuples = size;
+                walls.push(stats.wall_seconds);
+                modeled.push(stats.modeled_seconds());
+            }
+            tuple_counts.push(tuples);
+            rows.push(SmokeRow {
+                query,
+                dataset: dataset.paper_name().to_string(),
+                backend: label.clone(),
+                shards: *shard_count,
+                tuples,
+                median_wall_s: median(walls),
+                median_modeled_s: median(modeled),
+            });
+        }
+        assert!(
+            tuple_counts.windows(2).all(|w| w[0] == w[1]),
+            "{query}: backends disagree on tuple counts: {tuple_counts:?}"
+        );
+    }
+
+    let mut table = TextTable::new([
+        "Query",
+        "Dataset",
+        "Backend",
+        "Tuples",
+        "Median wall (s)",
+        "Median modeled (s)",
+        "Wall vs serial",
+    ]);
+    let serial_wall = |query: &str| {
+        rows.iter()
+            .find(|r| r.query == query && r.shards == 1)
+            .map(|r| r.median_wall_s)
+            .unwrap_or(f64::NAN)
+    };
+    for row in &rows {
+        table.row([
+            row.query.to_string(),
+            row.dataset.clone(),
+            row.backend.clone(),
+            format!("{}", row.tuples),
+            format!("{:.4}", row.median_wall_s),
+            format!("{:.4}", row.median_modeled_s),
+            speedup(serial_wall(row.query), row.median_wall_s),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"scale\": {scale},\n"));
+    json.push_str(&format!("  \"trials\": {trials},\n"));
+    json.push_str(&format!("  \"host_workers\": {workers},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"query\": \"{}\", \"dataset\": \"{}\", \"backend\": \"{}\", \
+             \"shards\": {}, \"tuples\": {}, \"median_wall_s\": {:.6}, \
+             \"median_modeled_s\": {:.6}}}{}\n",
+            row.query,
+            row.dataset,
+            row.backend,
+            row.shards,
+            row.tuples,
+            row.median_wall_s,
+            row.median_modeled_s,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("failed to write the bench smoke artifact");
+    println!("wrote {out_path}");
+}

@@ -3,16 +3,21 @@
 
 use gpulog::EngineConfig;
 use gpulog_baselines::{cudf_like, gpujoin_like, souffle_like};
-use gpulog_bench::{banner, gpulog_device, scale_from_env, speedup, vram_budget_bytes, TextTable};
+use gpulog_bench::{
+    backend_from_args, banner, gpulog_device, scale_from_env, speedup, vram_budget_bytes, TextTable,
+};
 use gpulog_datasets::PaperDataset;
 use gpulog_queries::reach;
 
 fn main() {
     let scale = scale_from_env();
+    let (backend_label, shards) = backend_from_args();
     banner(
         "Table 2: REACH — GPUlog vs Souffle-like, GPUJoin-like, cuDF-like",
         scale,
     );
+    println!("(GPUlog backend: {backend_label})");
+    let config = EngineConfig::default().with_shard_count(shards);
     let budget = vram_budget_bytes(scale);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -34,7 +39,7 @@ fn main() {
     for dataset in PaperDataset::table2() {
         let graph = dataset.generate(scale);
         let device = gpulog_device(scale);
-        let gpulog_result = reach::prepare(&device, &graph, EngineConfig::default())
+        let gpulog_result = reach::prepare(&device, &graph, config)
             .and_then(|mut engine| engine.run().map(|stats| (engine, stats)));
         let (modeled_cell, wall_cell, modeled, reach_size, checksum_cell) = match &gpulog_result {
             Ok((engine, stats)) => (

@@ -4,17 +4,21 @@
 
 use gpulog::{EbmConfig, EngineConfig};
 use gpulog_baselines::{cudf_like, souffle_like};
-use gpulog_bench::{banner, gpulog_device, scale_from_env, speedup, vram_budget_bytes, TextTable};
+use gpulog_bench::{
+    backend_from_args, banner, gpulog_device, scale_from_env, speedup, vram_budget_bytes, TextTable,
+};
 use gpulog_datasets::PaperDataset;
 use gpulog_device::{Device, DeviceProfile};
 use gpulog_queries::sg;
 
 fn main() {
     let scale = scale_from_env();
+    let (backend_label, shards) = backend_from_args();
     banner(
         "Table 3: SG — GPUlog vs GPUlog-HIP vs Souffle-like vs cuDF-like",
         scale,
     );
+    println!("(GPUlog backend: {backend_label})");
     let budget = vram_budget_bytes(scale);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -36,8 +40,12 @@ fn main() {
 
         // CUDA-like configuration: H100 profile, pooled allocation (EBM on).
         let cuda_device = gpulog_device(scale);
-        let cuda = sg::prepare(&cuda_device, &graph, EngineConfig::default())
-            .and_then(|mut engine| engine.run().map(|stats| (engine, stats)));
+        let cuda = sg::prepare(
+            &cuda_device,
+            &graph,
+            EngineConfig::default().with_shard_count(shards),
+        )
+        .and_then(|mut engine| engine.run().map(|stats| (engine, stats)));
         let (cuda_cell, cuda_wall_cell, cuda_modeled, sg_size) = match &cuda {
             Ok((engine, stats)) => {
                 // Sanity-check the export path over borrowed rows (no
@@ -65,7 +73,9 @@ fn main() {
         let mut hip_profile = DeviceProfile::amd_mi250();
         hip_profile.memory_capacity_bytes = budget;
         let hip_device = Device::new(hip_profile);
-        let hip_cfg = EngineConfig::new().with_ebm(EbmConfig::disabled());
+        let hip_cfg = EngineConfig::new()
+            .with_ebm(EbmConfig::disabled())
+            .with_shard_count(shards);
         let hip_cell = match sg::run(&hip_device, &graph, hip_cfg) {
             Ok(r) => format!("{:.3}", r.stats.modeled_seconds()),
             Err(_) => "OOM".to_string(),

@@ -45,6 +45,56 @@ pub fn gpulog_device(scale: f64) -> Device {
     Device::new(profile)
 }
 
+/// Parses a backend spec: `serial`, `sharded` (4 shards), or `sharded:N`.
+/// Returns `(normalized label, shard count)`.
+///
+/// # Errors
+///
+/// Returns a description of the expected syntax for anything else.
+pub fn parse_backend_spec(spec: &str) -> Result<(String, usize), String> {
+    match spec {
+        "serial" => Ok(("serial".to_string(), 1)),
+        "sharded" => Ok(("sharded:4".to_string(), 4)),
+        other => match other
+            .strip_prefix("sharded:")
+            .and_then(|n| n.parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => Ok((format!("sharded:{n}"), n)),
+            _ => Err(format!(
+                "expected `serial`, `sharded`, or `sharded:N` (N >= 1), got {other:?}"
+            )),
+        },
+    }
+}
+
+/// Reads the `--backend serial|sharded:N` command-line flag (default
+/// `serial`), returning `(label, shard count)` for
+/// [`gpulog::EngineConfig::with_shard_count`]-style plumbing. Exits with a
+/// usage message on a malformed spec so CI failures are self-explanatory.
+pub fn backend_from_args() -> (String, usize) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut spec = "serial".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--backend" {
+            match args.get(i + 1) {
+                Some(value) => spec = value.clone(),
+                None => {
+                    eprintln!("--backend needs a value: serial | sharded | sharded:N");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    parse_backend_spec(&spec).unwrap_or_else(|err| {
+        eprintln!("invalid --backend: {err}");
+        std::process::exit(2);
+    })
+}
+
 /// Formats a ratio as the paper prints speedups, e.g. `37.2x`.
 pub fn speedup(baseline_seconds: f64, system_seconds: f64) -> String {
     if system_seconds <= 0.0 {
@@ -145,6 +195,15 @@ mod tests {
     fn speedup_formats_like_the_paper() {
         assert_eq!(speedup(49.48, 1.33), "37.2x");
         assert_eq!(speedup(1.0, 0.0), "-");
+    }
+
+    #[test]
+    fn backend_specs_parse_and_normalize() {
+        assert_eq!(parse_backend_spec("serial"), Ok(("serial".into(), 1)));
+        assert_eq!(parse_backend_spec("sharded"), Ok(("sharded:4".into(), 4)));
+        assert_eq!(parse_backend_spec("sharded:7"), Ok(("sharded:7".into(), 7)));
+        assert!(parse_backend_spec("sharded:0").is_err());
+        assert!(parse_backend_spec("gpu").is_err());
     }
 
     #[test]

@@ -1,0 +1,480 @@
+//! The hash-partitioned, worker-pool-parallel backend.
+//!
+//! `ShardedBackend` is the ROADMAP's sharded-relations item: every relation
+//! version involved in a join gets a *shard map* — `S` HISAs partitioned by
+//! [`gpulog_hisa::shard_of`] over the join-key hash — and each shardable op
+//! becomes `S` independent per-shard tasks handed to the persistent
+//! [`gpulog_device` worker pool](gpulog_device::Executor) as **one epoch**:
+//!
+//! * [`RaOp::HashJoin`] — the outer batch partitions by the same key hash
+//!   as the inner's shard map, so shard `i` of the outer only probes shard
+//!   `i` of the inner. `S` independent joins, one pool dispatch.
+//! * [`RaOp::FusedJoin`] — the outer partitions by the *first* level's key
+//!   and that level's inner is sharded the same way; deeper levels (whose
+//!   keys are produced mid-kernel) probe their whole index.
+//! * [`RaOp::Diff`] — the `new` buffer partitions by the full-tuple hash;
+//!   each shard deduplicates and subtracts `full` independently, and a
+//!   k-way merge of the per-shard (sorted, disjoint) results reassembles
+//!   the exact byte sequence the serial difference produces. The sharded
+//!   full representations merge their delta slice shard-locally, so the
+//!   serial merge bottleneck disappears from the sharded read path.
+//!
+//! Because per-shard results are reassembled in shard order and the delta
+//! is re-sorted globally, a sharded run is **byte-identical** to a serial
+//! run at every fixpoint — the property tests in
+//! `tests/tests/backend_pipeline.rs` pin exactly that.
+//!
+//! Ops with nothing to shard on (cross products, fused chains whose first
+//! level binds no key) delegate to the serial op bodies.
+
+use super::serial::{self, fused_join_op, hash_join_op, install_derived, project_op, scan_op};
+use super::{Backend, EvalContext, PipelineOutcome};
+use crate::error::{EngineError, EngineResult};
+use crate::planner::{ColumnSource, FilterStep, JoinStep, RelId, VersionSel};
+use crate::ra::difference_batch;
+use crate::ra::hash_join_batch;
+use crate::ra::nway::{fused_rule_join_batch, FusedLevel};
+use crate::ra::op::{RaOp, RaPipeline};
+use crate::ra::project::filter_batch;
+use crate::relation::RelationStorage;
+use crate::stats::Phase;
+use gpulog_device::Device;
+use gpulog_hisa::TupleBatch;
+use std::time::Instant;
+
+/// The hash-partitioned backend: each relation's HISA is sharded by
+/// `hash(join_key) % shards`, and every shardable op runs as one worker-pool
+/// epoch of per-shard tasks. Construct with [`ShardedBackend::new`] or let
+/// [`crate::EngineBuilder`] install it from
+/// [`crate::EngineConfig::with_shard_count`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedBackend {
+    shards: usize,
+}
+
+impl ShardedBackend {
+    /// Creates a backend evaluating over `shards` hash partitions. One
+    /// shard degenerates to the serial evaluation loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidShardCount`] if `shards` is zero.
+    pub fn new(shards: usize) -> EngineResult<Self> {
+        if shards == 0 {
+            return Err(EngineError::InvalidShardCount { shards });
+        }
+        Ok(ShardedBackend { shards })
+    }
+
+    /// The number of hash partitions this backend evaluates over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// [`RaOp::HashJoin`] over the shard map: shard `i` of the outer batch
+    /// probes shard `i` of the inner relation — `S` independent joins
+    /// dispatched to the worker pool as a single epoch.
+    fn sharded_hash_join(
+        &self,
+        ctx: &mut EvalContext<'_>,
+        outer: &TupleBatch,
+        step: &JoinStep,
+        filters: &[FilterStep],
+    ) -> EngineResult<TupleBatch> {
+        let shards = self.shards;
+        let t = Instant::now();
+        let index_phase = match step.version {
+            VersionSel::Full => Phase::IndexFull,
+            VersionSel::Delta => Phase::IndexDelta,
+        };
+        ctx.build_shard_map(step.relation, step.version, &step.inner_key_cols, shards)?;
+        ctx.stats.add_phase(index_phase, t.elapsed());
+
+        let t = Instant::now();
+        let parts = outer.partition_by_key_hash(&step.outer_key_cols, shards);
+        let joined = {
+            let device = ctx.device;
+            let inners = ctx
+                .shard_map(step.relation, step.version, &step.inner_key_cols, shards)
+                .expect("shard map built above");
+            let outs = fan_out_shards(device, parts, |shard, part| {
+                let mut out = hash_join_batch(
+                    device,
+                    part,
+                    &step.outer_key_cols,
+                    &inners[shard],
+                    &step.inner_const_filters,
+                    &step.inner_eq_filters,
+                    &step.emit,
+                );
+                if !filters.is_empty() {
+                    out = filter_batch(device, &out, filters);
+                }
+                out
+            });
+            concat_shard_outputs(step.emit.len(), outs)
+        };
+        ctx.stats.add_phase(Phase::Join, t.elapsed());
+        Ok(joined)
+    }
+
+    /// [`RaOp::FusedJoin`] with the outer batch and the first level's inner
+    /// partition-aligned on the level-0 key; deeper levels probe their
+    /// whole index inside each per-shard fused kernel. One pool epoch of
+    /// `S` fused joins.
+    fn sharded_fused_join(
+        &self,
+        ctx: &mut EvalContext<'_>,
+        outer: &TupleBatch,
+        levels: &[(JoinStep, Vec<FilterStep>)],
+        head_proj: &[ColumnSource],
+    ) -> EngineResult<TupleBatch> {
+        let shards = self.shards;
+        let (level0, _) = &levels[0];
+        let t = Instant::now();
+        ctx.build_shard_map(
+            level0.relation,
+            level0.version,
+            &level0.inner_key_cols,
+            shards,
+        )?;
+        for (step, _) in &levels[1..] {
+            let storage = &mut ctx.relations[step.relation];
+            let version = match step.version {
+                VersionSel::Full => &mut storage.full,
+                VersionSel::Delta => &mut storage.delta,
+            };
+            version.index_on(ctx.device, &step.inner_key_cols)?;
+        }
+        ctx.stats.add_phase(Phase::IndexFull, t.elapsed());
+
+        let t = Instant::now();
+        let parts = outer.partition_by_key_hash(&level0.outer_key_cols, shards);
+        let joined = {
+            let device = ctx.device;
+            let relations: &[RelationStorage] = ctx.relations;
+            let inners0 = ctx
+                .shard_map(
+                    level0.relation,
+                    level0.version,
+                    &level0.inner_key_cols,
+                    shards,
+                )
+                .expect("shard map built above");
+            let outs = fan_out_shards(device, parts, |shard, part| {
+                let fused_levels: Vec<FusedLevel<'_>> = levels
+                    .iter()
+                    .enumerate()
+                    .map(|(depth, (step, step_filters))| {
+                        let inner = if depth == 0 {
+                            &inners0[shard]
+                        } else {
+                            let storage = &relations[step.relation];
+                            let version = match step.version {
+                                VersionSel::Full => &storage.full,
+                                VersionSel::Delta => &storage.delta,
+                            };
+                            version
+                                .existing_index(&step.inner_key_cols)
+                                .expect("index built above")
+                        };
+                        FusedLevel {
+                            step,
+                            inner,
+                            filters: step_filters.as_slice(),
+                        }
+                    })
+                    .collect();
+                fused_rule_join_batch(device, part, &fused_levels, head_proj)
+            });
+            concat_shard_outputs(head_proj.len(), outs)
+        };
+        ctx.stats.add_phase(Phase::Join, t.elapsed());
+        Ok(joined)
+    }
+
+    /// [`RaOp::Diff`] sharded by the full-tuple hash: per-shard
+    /// deduplication and set difference in one pool epoch, then a k-way
+    /// merge of the (sorted, pairwise-disjoint) shard results into the
+    /// globally sorted delta — byte-identical to the serial difference.
+    fn sharded_diff(
+        &self,
+        ctx: &mut EvalContext<'_>,
+        relation: RelId,
+        outcome: &mut PipelineOutcome,
+    ) -> EngineResult<()> {
+        let shards = self.shards;
+        let device = ctx.device;
+        let storage = &mut ctx.relations[relation];
+        let arity = storage.arity;
+        let new = TupleBatch::new(arity, storage.take_new(&ctx.ebm));
+        outcome.new_rows = new.len();
+
+        let t = Instant::now();
+        let full_key: Vec<usize> = (0..arity).collect();
+        let parts = new.partition_by_key_hash(&full_key, shards);
+        let delta = {
+            let full = storage.full.canonical();
+            let outs = fan_out_shards(device, parts, |_, part| {
+                difference_batch(device, part, full)
+            });
+            TupleBatch::merge_sorted_unique(arity, outs)
+        };
+        ctx.stats.add_phase(Phase::Deduplication, t.elapsed());
+        outcome.delta_rows = delta.len();
+
+        let t = Instant::now();
+        storage.set_delta_batch(&delta)?;
+        ctx.stats.add_phase(Phase::IndexDelta, t.elapsed());
+
+        // The canonical full store merges serially (it is the authoritative
+        // unsharded tuple array); every cached shard map merges its own
+        // delta slice in a parallel epoch inside `merge_delta_into_full`.
+        let t = Instant::now();
+        let ebm = ctx.ebm;
+        storage.merge_delta_into_full(&ebm)?;
+        ctx.stats.add_phase(Phase::Merge, t.elapsed());
+        Ok(())
+    }
+}
+
+/// The one fan-out scaffold behind every sharded op: hands `parts` to the
+/// worker pool as a single epoch — one task per shard, each computing its
+/// output batch with `run(shard, part)` — and returns the outputs in shard
+/// order. Kernels called inside `run` execute inline on their worker
+/// (nested dispatches never re-enter the pool).
+fn fan_out_shards<F>(device: &Device, parts: Vec<TupleBatch>, run: F) -> Vec<TupleBatch>
+where
+    F: Fn(usize, &TupleBatch) -> TupleBatch + Sync,
+{
+    let mut outs: Vec<Option<TupleBatch>> = (0..parts.len()).map(|_| None).collect();
+    let jobs: Vec<(usize, TupleBatch, &mut Option<TupleBatch>)> = parts
+        .into_iter()
+        .zip(outs.iter_mut())
+        .enumerate()
+        .map(|(shard, (part, slot))| (shard, part, slot))
+        .collect();
+    device.executor().run_tasks(jobs, |_, (shard, part, slot)| {
+        *slot = Some(run(shard, &part));
+    });
+    outs.into_iter().flatten().collect()
+}
+
+/// Reassembles per-shard op outputs in shard order. A zero-column emit list
+/// keeps the empty one-column sentinel the kernels use (see
+/// `batch_from_flat`).
+fn concat_shard_outputs(arity: usize, outs: Vec<TupleBatch>) -> TupleBatch {
+    if arity == 0 {
+        TupleBatch::empty(1)
+    } else {
+        TupleBatch::concat(arity, outs)
+    }
+}
+
+impl Backend for ShardedBackend {
+    fn name(&self) -> &str {
+        "sharded"
+    }
+
+    fn execute(
+        &self,
+        ctx: &mut EvalContext<'_>,
+        pipeline: &RaPipeline,
+    ) -> EngineResult<PipelineOutcome> {
+        if self.shards == 1 {
+            // One shard is exactly the serial evaluation loop; skip the
+            // partition/merge machinery.
+            return serial::SerialBackend.execute(ctx, pipeline);
+        }
+        let mut outcome = PipelineOutcome::default();
+        let mut batch = TupleBatch::empty(1);
+        for op in &pipeline.ops {
+            match op {
+                RaOp::Scan { step, filters } => {
+                    batch = scan_op(ctx, step, filters);
+                }
+                RaOp::HashJoin { step, filters } => {
+                    if batch.is_empty() {
+                        return Ok(outcome);
+                    }
+                    batch = if step.outer_key_cols.is_empty() {
+                        // Cross product: no key to shard on.
+                        hash_join_op(ctx, &batch, step, filters)?
+                    } else {
+                        self.sharded_hash_join(ctx, &batch, step, filters)?
+                    };
+                }
+                RaOp::FusedJoin { levels, head_proj } => {
+                    if batch.is_empty() {
+                        return Ok(outcome);
+                    }
+                    let shardable = levels
+                        .first()
+                        .is_some_and(|(level0, _)| !level0.outer_key_cols.is_empty());
+                    batch = if shardable {
+                        self.sharded_fused_join(ctx, &batch, levels, head_proj)?
+                    } else {
+                        fused_join_op(ctx, &batch, levels, head_proj)?
+                    };
+                }
+                RaOp::Project { columns } => {
+                    if batch.is_empty() {
+                        return Ok(outcome);
+                    }
+                    batch = project_op(ctx, &batch, columns);
+                }
+                RaOp::Diff { relation } => {
+                    self.sharded_diff(ctx, *relation, &mut outcome)?;
+                }
+            }
+        }
+        install_derived(ctx, pipeline, &batch, &mut outcome);
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::serial::SerialBackend;
+    use super::*;
+    use crate::ebm::EbmConfig;
+    use crate::planner::{EmitSource, ScanStep};
+    use crate::stats::RunStats;
+    use gpulog_device::profile::DeviceProfile;
+    use gpulog_device::Device;
+    use gpulog_hisa::DEFAULT_LOAD_FACTOR;
+
+    fn device() -> Device {
+        Device::with_workers(DeviceProfile::nvidia_h100(), 4)
+    }
+
+    fn join_pipeline() -> RaPipeline {
+        RaPipeline {
+            head: 2,
+            ops: vec![
+                RaOp::Scan {
+                    step: ScanStep {
+                        relation: 0,
+                        version: VersionSel::Full,
+                        const_filters: vec![],
+                        eq_filters: vec![],
+                        keep_cols: vec![0, 1],
+                    },
+                    filters: vec![],
+                },
+                RaOp::HashJoin {
+                    step: JoinStep {
+                        relation: 1,
+                        version: VersionSel::Full,
+                        outer_key_cols: vec![1],
+                        inner_key_cols: vec![0],
+                        inner_const_filters: vec![],
+                        inner_eq_filters: vec![],
+                        emit: vec![
+                            EmitSource::Outer(0),
+                            EmitSource::Outer(1),
+                            EmitSource::Inner(1),
+                        ],
+                    },
+                    filters: vec![],
+                },
+                RaOp::Project {
+                    columns: vec![ColumnSource::Col(0), ColumnSource::Col(2)],
+                },
+            ],
+            text: "H(x, z) :- A(x, y), B(y, z).".into(),
+        }
+    }
+
+    fn storages(d: &Device) -> Vec<RelationStorage> {
+        let mut relations = vec![
+            RelationStorage::new(d, "A", 2, DEFAULT_LOAD_FACTOR).unwrap(),
+            RelationStorage::new(d, "B", 2, DEFAULT_LOAD_FACTOR).unwrap(),
+            RelationStorage::new(d, "H", 2, DEFAULT_LOAD_FACTOR).unwrap(),
+        ];
+        let a: Vec<u32> = (0..60u32).flat_map(|i| [i, i % 11]).collect();
+        let b: Vec<u32> = (0..40u32).flat_map(|i| [i % 11, i * 3]).collect();
+        relations[0].load_full(&a).unwrap();
+        relations[1].load_full(&b).unwrap();
+        relations
+    }
+
+    #[test]
+    fn zero_shards_is_an_invalid_shard_count() {
+        assert!(matches!(
+            ShardedBackend::new(0),
+            Err(EngineError::InvalidShardCount { shards: 0 })
+        ));
+        assert_eq!(ShardedBackend::new(4).unwrap().shards(), 4);
+    }
+
+    #[test]
+    fn sharded_join_matches_serial_as_a_set_for_every_shard_count() {
+        let d = device();
+        let mut serial_rels = storages(&d);
+        let mut stats = RunStats::default();
+        let mut ctx = EvalContext {
+            device: &d,
+            relations: &mut serial_rels,
+            stats: &mut stats,
+            ebm: EbmConfig::default(),
+        };
+        SerialBackend.execute(&mut ctx, &join_pipeline()).unwrap();
+        let mut expected = serial_rels[2].take_new(&EbmConfig::default());
+        sort_rows(&mut expected, 2);
+
+        for shards in [1usize, 2, 3, 7] {
+            let backend = ShardedBackend::new(shards).unwrap();
+            let mut rels = storages(&d);
+            let mut stats = RunStats::default();
+            let mut ctx = EvalContext {
+                device: &d,
+                relations: &mut rels,
+                stats: &mut stats,
+                ebm: EbmConfig::default(),
+            };
+            let outcome = backend.execute(&mut ctx, &join_pipeline()).unwrap();
+            let mut got = rels[2].take_new(&EbmConfig::default());
+            assert_eq!(outcome.derived_rows * 2, got.len());
+            sort_rows(&mut got, 2);
+            assert_eq!(got, expected, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_diff_is_byte_identical_to_serial() {
+        let d = device();
+        let new_rows: Vec<u32> = (0..300u32).flat_map(|i| [i % 37, i % 13]).collect();
+        let run = |backend: &dyn Backend| {
+            let mut rels = vec![RelationStorage::new(&d, "R", 2, DEFAULT_LOAD_FACTOR).unwrap()];
+            rels[0].load_full(&[1, 1, 5, 5, 36, 12]).unwrap();
+            rels[0].push_new(&new_rows);
+            let mut stats = RunStats::default();
+            let mut ctx = EvalContext {
+                device: &d,
+                relations: &mut rels,
+                stats: &mut stats,
+                ebm: EbmConfig::default(),
+            };
+            let outcome = backend.execute(&mut ctx, &RaPipeline::diff(0)).unwrap();
+            (
+                outcome,
+                rels[0].delta.tuples_flat().to_vec(),
+                rels[0].full.tuples_flat().to_vec(),
+            )
+        };
+        let serial = run(&SerialBackend);
+        for shards in [2usize, 3, 7] {
+            let sharded = run(&ShardedBackend::new(shards).unwrap());
+            assert_eq!(sharded, serial, "shards = {shards}");
+        }
+    }
+
+    fn sort_rows(flat: &mut [u32], arity: usize) {
+        let mut rows: Vec<Vec<u32>> = flat.chunks_exact(arity).map(<[u32]>::to_vec).collect();
+        rows.sort();
+        for (chunk, row) in flat.chunks_exact_mut(arity).zip(rows) {
+            chunk.copy_from_slice(&row);
+        }
+    }
+}

@@ -15,7 +15,7 @@
 //! `docs/architecture.md` for the Batch → Op → Backend layering.
 
 use crate::ast::Program;
-use crate::backend::{Backend, EvalContext, PipelineOutcome, SerialBackend};
+use crate::backend::{Backend, EvalContext, PipelineOutcome, SerialBackend, ShardedBackend};
 use crate::ebm::EbmConfig;
 use crate::error::{EngineError, EngineResult};
 use crate::planner::{compile, lower_program, CompiledProgram, LoweredStratum};
@@ -55,6 +55,11 @@ pub struct EngineConfig {
     pub nway: NwayStrategy,
     /// Safety limit on fixpoint iterations per stratum.
     pub max_iterations: usize,
+    /// Number of hash partitions relations are sharded into. `1` (the
+    /// default) evaluates serially; larger counts make engine construction
+    /// install a [`ShardedBackend`] unless an explicit backend is supplied.
+    /// Zero is rejected with [`EngineError::InvalidShardCount`].
+    pub shard_count: usize,
 }
 
 impl Default for EngineConfig {
@@ -64,6 +69,7 @@ impl Default for EngineConfig {
             ebm: EbmConfig::default(),
             nway: NwayStrategy::TemporarilyMaterialized,
             max_iterations: 1_000_000,
+            shard_count: 1,
         }
     }
 }
@@ -99,6 +105,14 @@ impl EngineConfig {
     #[must_use]
     pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
         self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the number of hash partitions relations are sharded into
+    /// (validated at engine construction; zero is rejected there).
+    #[must_use]
+    pub fn with_shard_count(mut self, shard_count: usize) -> Self {
+        self.shard_count = shard_count;
         self
     }
 }
@@ -215,8 +229,20 @@ impl<'d> EngineBuilder<'d> {
         self
     }
 
-    /// Installs a custom evaluation backend (defaults to
-    /// [`SerialBackend`]).
+    /// Sets the number of hash partitions relations are sharded into.
+    /// Counts above one make [`EngineBuilder::build`] install a
+    /// [`ShardedBackend`] (unless an explicit backend was supplied); zero
+    /// is rejected with [`EngineError::InvalidShardCount`].
+    #[must_use]
+    pub fn shard_count(mut self, shard_count: usize) -> Self {
+        self.config.shard_count = shard_count;
+        self
+    }
+
+    /// Installs a custom evaluation backend. Without one, `build` picks
+    /// [`SerialBackend`] — or [`ShardedBackend`] when the configured shard
+    /// count is above one. An explicitly-installed backend always wins over
+    /// the shard-count default.
     #[must_use]
     pub fn backend(mut self, backend: Box<dyn Backend>) -> Self {
         self.backend = Some(backend);
@@ -227,7 +253,8 @@ impl<'d> EngineBuilder<'d> {
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::Validation`] if no program was supplied, and
+    /// Returns [`EngineError::Validation`] if no program was supplied,
+    /// [`EngineError::InvalidShardCount`] for a zero shard count, and
     /// parse, validation, or device errors from compilation and storage
     /// allocation.
     pub fn build(self) -> EngineResult<GpulogEngine> {
@@ -241,8 +268,28 @@ impl<'d> EngineBuilder<'d> {
                 })
             }
         };
-        let backend = self.backend.unwrap_or_else(|| Box::new(SerialBackend));
+        let backend = match self.backend {
+            Some(backend) => backend,
+            None => default_backend(&self.config)?,
+        };
         GpulogEngine::with_backend(self.device, compiled, self.config, backend)
+    }
+}
+
+/// The backend an engine gets when none is installed explicitly:
+/// [`SerialBackend`] for a shard count of one, [`ShardedBackend`] above.
+///
+/// # Errors
+///
+/// Returns [`EngineError::InvalidShardCount`] for a zero shard count.
+fn default_backend(config: &EngineConfig) -> EngineResult<Box<dyn Backend>> {
+    if config.shard_count <= 1 {
+        if config.shard_count == 0 {
+            return Err(EngineError::InvalidShardCount { shards: 0 });
+        }
+        Ok(Box::new(SerialBackend))
+    } else {
+        Ok(Box::new(ShardedBackend::new(config.shard_count)?))
     }
 }
 
@@ -314,18 +361,21 @@ impl GpulogEngine {
         Self::new(device, &program, config)
     }
 
-    /// Builds an engine from a pre-compiled program.
+    /// Builds an engine from a pre-compiled program. The backend follows
+    /// the configured shard count: [`SerialBackend`] for one,
+    /// [`ShardedBackend`] above.
     ///
     /// # Errors
     ///
-    /// Returns device errors if the empty relation storage cannot be
-    /// allocated.
+    /// Returns [`EngineError::InvalidShardCount`] for a zero shard count
+    /// and device errors if the empty relation storage cannot be allocated.
     pub fn from_compiled(
         device: &Device,
         compiled: CompiledProgram,
         config: EngineConfig,
     ) -> EngineResult<Self> {
-        Self::with_backend(device, compiled, config, Box::new(SerialBackend))
+        let backend = default_backend(&config)?;
+        Self::with_backend(device, compiled, config, backend)
     }
 
     /// Builds an engine from a pre-compiled program with an explicit
@@ -333,14 +383,17 @@ impl GpulogEngine {
     ///
     /// # Errors
     ///
-    /// Returns device errors if the empty relation storage cannot be
-    /// allocated.
+    /// Returns [`EngineError::InvalidShardCount`] for a zero shard count
+    /// and device errors if the empty relation storage cannot be allocated.
     pub fn with_backend(
         device: &Device,
         compiled: CompiledProgram,
         config: EngineConfig,
         backend: Box<dyn Backend>,
     ) -> EngineResult<Self> {
+        if config.shard_count == 0 {
+            return Err(EngineError::InvalidShardCount { shards: 0 });
+        }
         let mut relations = Vec::with_capacity(compiled.relation_names.len());
         for (name, &arity) in compiled.relation_names.iter().zip(compiled.arities.iter()) {
             relations.push(RelationStorage::new(
@@ -993,6 +1046,66 @@ mod tests {
         assert_eq!(e.relation_tuples("Reach").unwrap().len(), 3);
         assert!(e.relation_batch("Nope").is_none());
         assert!(e.relation_tuples_iter("Nope").is_none());
+    }
+
+    #[test]
+    fn shard_count_above_one_installs_the_sharded_backend() {
+        let d = device();
+        let e = GpulogEngine::builder(&d)
+            .program(REACH)
+            .shard_count(4)
+            .build()
+            .unwrap();
+        assert_eq!(e.backend().name(), "sharded");
+        assert_eq!(e.config().shard_count, 4);
+        // An explicit backend wins over the shard-count default.
+        let e = GpulogEngine::builder(&d)
+            .program(REACH)
+            .shard_count(4)
+            .backend(Box::new(SerialBackend))
+            .build()
+            .unwrap();
+        assert_eq!(e.backend().name(), "serial");
+    }
+
+    #[test]
+    fn zero_shard_count_is_rejected_at_construction() {
+        let d = device();
+        assert!(matches!(
+            GpulogEngine::builder(&d)
+                .program(REACH)
+                .shard_count(0)
+                .build(),
+            Err(EngineError::InvalidShardCount { shards: 0 })
+        ));
+        let cfg = EngineConfig::new().with_shard_count(0);
+        assert!(matches!(
+            GpulogEngine::from_source(&d, REACH, cfg),
+            Err(EngineError::InvalidShardCount { shards: 0 })
+        ));
+    }
+
+    #[test]
+    fn sharded_fixpoints_are_byte_identical_to_serial() {
+        for (name, src) in [("reach", REACH), ("sg", SG)] {
+            let d = device();
+            let mut serial = GpulogEngine::from_source(&d, src, EngineConfig::default()).unwrap();
+            serial.add_facts("Edge", figure1_edges()).unwrap();
+            let serial_stats = serial.run().unwrap();
+            for shards in [2usize, 4, 7] {
+                let cfg = EngineConfig::new().with_shard_count(shards);
+                let mut sharded = GpulogEngine::from_source(&d, src, cfg).unwrap();
+                sharded.add_facts("Edge", figure1_edges()).unwrap();
+                let stats = sharded.run().unwrap();
+                let out = if src.contains("SG(") { "SG" } else { "Reach" };
+                assert_eq!(
+                    sharded.relation_batch(out).unwrap().as_flat(),
+                    serial.relation_batch(out).unwrap().as_flat(),
+                    "{name} with {shards} shards must match serial byte-for-byte"
+                );
+                assert_eq!(stats.iterations, serial_stats.iterations, "{name}/{shards}");
+            }
+        }
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub enum EngineError {
         /// The relation's arity.
         arity: usize,
     },
+    /// A shard count outside the valid range was configured: sharded
+    /// evaluation needs at least one shard.
+    InvalidShardCount {
+        /// The rejected shard count.
+        shards: usize,
+    },
     /// The simulated device ran out of memory or rejected an operation.
     Device(DeviceError),
     /// Evaluation exceeded the configured iteration budget.
@@ -67,6 +73,9 @@ impl fmt::Display for EngineError {
                     "ragged facts for relation {relation}: buffer length {len} \
                      is not a multiple of arity {arity}"
                 )
+            }
+            EngineError::InvalidShardCount { shards } => {
+                write!(f, "invalid shard count {shards}: must be at least 1")
             }
             EngineError::Device(err) => write!(f, "device error: {err}"),
             EngineError::IterationLimit { limit } => {
@@ -118,6 +127,8 @@ mod tests {
         };
         assert!(ragged.to_string().contains("Edge"));
         assert!(ragged.to_string().contains("not a multiple"));
+        let shards = EngineError::InvalidShardCount { shards: 0 };
+        assert!(shards.to_string().contains("invalid shard count 0"));
     }
 
     #[test]

@@ -33,8 +33,36 @@
 //!    (`Scan`, `HashJoin`, `FusedJoin`, `Project`, `Diff`).
 //! 3. **Backend** — a [`backend::Backend`] executes pipelines against an
 //!    [`backend::EvalContext`]; the stock [`backend::SerialBackend`] runs
-//!    operator-at-a-time on one simulated device, and sharded or
-//!    async-pipelined backends can slot in behind the same trait.
+//!    operator-at-a-time on one simulated device, and
+//!    [`backend::ShardedBackend`] hash-partitions relations by join key
+//!    and fans each join / delta-population op across the persistent
+//!    worker pool as one epoch of per-shard tasks, with fixpoints
+//!    byte-identical to the serial backend's. Select it with
+//!    [`EngineConfig::with_shard_count`] or the builder's
+//!    `.shard_count(..)` knob:
+//!
+//! ```
+//! use gpulog::{EngineConfig, GpulogEngine};
+//! use gpulog_device::{Device, profile::DeviceProfile};
+//!
+//! # fn main() -> Result<(), gpulog::EngineError> {
+//! let device = Device::new(DeviceProfile::nvidia_h100());
+//! let engine = GpulogEngine::builder(&device)
+//!     .program(r"
+//!         .decl Edge(x: number, y: number)
+//!         .input Edge
+//!         .decl Reach(x: number, y: number)
+//!         .output Reach
+//!         Reach(x, y) :- Edge(x, y).
+//!         Reach(x, y) :- Edge(x, z), Reach(z, y).
+//!     ")
+//!     .shard_count(4) // hash-partition relations 4 ways
+//!     .build()?;
+//! assert_eq!(engine.backend().name(), "sharded");
+//! assert_eq!(engine.config().shard_count, 4);
+//! # Ok(())
+//! # }
+//! ```
 //!
 //! ## Quick start
 //!
@@ -86,7 +114,7 @@ pub mod relation;
 pub mod stats;
 
 pub use ast::{Atom, CmpOp, Constraint, Program, ProgramBuilder, RelationDecl, Rule, Term};
-pub use backend::{Backend, EvalContext, PipelineOutcome, SerialBackend};
+pub use backend::{Backend, EvalContext, PipelineOutcome, SerialBackend, ShardedBackend};
 pub use ebm::EbmConfig;
 pub use engine::{EngineBuilder, EngineConfig, GpulogEngine};
 pub use error::{EngineError, EngineResult};

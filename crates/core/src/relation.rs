@@ -5,7 +5,9 @@
 use crate::ebm::EbmConfig;
 use crate::error::EngineResult;
 use gpulog_device::Device;
-use gpulog_hisa::{Hisa, IndexSpec, TupleBatch};
+use gpulog_hisa::{
+    partition_flat_by_key_hash, rows_are_sorted_unique, Hisa, IndexSpec, TupleBatch,
+};
 use std::collections::HashMap;
 
 /// One version (full or delta) of a relation, with its indices.
@@ -19,6 +21,12 @@ pub struct RelationVersion {
     canonical: Hisa,
     /// Secondary indices keyed by specific column sets, built lazily.
     by_key: HashMap<Vec<usize>, Hisa>,
+    /// Hash-sharded indices, keyed by `(key columns, shard count)`: shard
+    /// `i` holds exactly the tuples whose key values satisfy
+    /// [`gpulog_hisa::shard_of`]`(key, shards) == i`, each shard indexed on the key
+    /// columns. Built lazily by the sharded backend; kept consistent across
+    /// delta merges like the flat secondary indices.
+    sharded: HashMap<(Vec<usize>, usize), Vec<Hisa>>,
     load_factor: f64,
 }
 
@@ -33,6 +41,7 @@ impl RelationVersion {
                 load_factor,
             )?,
             by_key: HashMap::new(),
+            sharded: HashMap::new(),
             load_factor,
         })
     }
@@ -52,6 +61,7 @@ impl RelationVersion {
                 load_factor,
             )?,
             by_key: HashMap::new(),
+            sharded: HashMap::new(),
             load_factor,
         })
     }
@@ -75,6 +85,7 @@ impl RelationVersion {
                 load_factor,
             )?,
             by_key: HashMap::new(),
+            sharded: HashMap::new(),
             load_factor,
         })
     }
@@ -94,6 +105,7 @@ impl RelationVersion {
                 load_factor,
             )?,
             by_key: HashMap::new(),
+            sharded: HashMap::new(),
             load_factor,
         })
     }
@@ -153,15 +165,90 @@ impl RelationVersion {
         self.by_key.get(key_cols)
     }
 
-    /// Device bytes attributable to this version (canonical plus secondary
-    /// indices).
-    pub fn device_bytes(&self) -> usize {
-        self.canonical.device_bytes() + self.by_key.values().map(Hisa::device_bytes).sum::<usize>()
+    /// Returns the hash-sharded indices on `key_cols` for the given shard
+    /// count, building them if necessary: the version's tuples are
+    /// partitioned with [`gpulog_hisa::shard_of`] over their key values and each
+    /// partition becomes its own HISA indexed on `key_cols`. All shard
+    /// builds are dispatched to the worker pool as a single epoch, so the
+    /// cost of a sharded index build is one pool hand-off regardless of the
+    /// shard count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if building any shard exhausts device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_cols` is empty (there is no key to shard on) or
+    /// `shards` is zero.
+    pub fn sharded_index_on(
+        &mut self,
+        device: &Device,
+        key_cols: &[usize],
+        shards: usize,
+    ) -> EngineResult<&[Hisa]> {
+        assert!(!key_cols.is_empty(), "sharding requires a join key");
+        assert!(shards > 0, "shard count must be positive");
+        let cache_key = (key_cols.to_vec(), shards);
+        if !self.sharded.contains_key(&cache_key) {
+            let parts =
+                partition_flat_by_key_hash(self.canonical.data(), self.arity, key_cols, shards);
+            let arity = self.arity;
+            let load_factor = self.load_factor;
+            // A delta version's canonical data array is sorted and
+            // duplicate-free (both delta construction paths guarantee it),
+            // and each hash partition is a subsequence of it — so every
+            // shard qualifies for the sort/dedup-free re-index build. A
+            // full version loses that shape on its first merge (merges
+            // concatenate data arrays), hence the linear check rather than
+            // an assumption.
+            let sorted_unique = rows_are_sorted_unique(self.canonical.data(), self.arity);
+            let mut slots: Vec<Option<EngineResult<Hisa>>> = (0..shards).map(|_| None).collect();
+            let jobs: Vec<(Vec<u32>, &mut Option<EngineResult<Hisa>>)> =
+                parts.into_iter().zip(slots.iter_mut()).collect();
+            device.executor().run_tasks(jobs, |_, (data, slot)| {
+                let spec = IndexSpec::new(arity, key_cols.to_vec());
+                let built = if sorted_unique {
+                    Hisa::build_reindexed_from_sorted_unique(device, spec, &data, load_factor)
+                } else {
+                    Hisa::build_with_load_factor(device, spec, &data, load_factor)
+                };
+                *slot = Some(built.map_err(Into::into));
+            });
+            let built: Vec<Hisa> = slots
+                .into_iter()
+                .map(|slot| slot.expect("every shard build ran"))
+                .collect::<EngineResult<_>>()?;
+            self.sharded.insert(cache_key.clone(), built);
+        }
+        Ok(&self.sharded[&cache_key])
     }
 
-    /// Drops all secondary indices (they will be rebuilt lazily).
+    /// Returns already-built sharded indices without building them.
+    pub fn existing_sharded_index(&self, key_cols: &[usize], shards: usize) -> Option<&[Hisa]> {
+        self.sharded
+            .get(&(key_cols.to_vec(), shards))
+            .map(Vec::as_slice)
+    }
+
+    /// Device bytes attributable to this version (canonical plus secondary
+    /// and sharded indices).
+    pub fn device_bytes(&self) -> usize {
+        self.canonical.device_bytes()
+            + self.by_key.values().map(Hisa::device_bytes).sum::<usize>()
+            + self
+                .sharded
+                .values()
+                .flatten()
+                .map(Hisa::device_bytes)
+                .sum::<usize>()
+    }
+
+    /// Drops all secondary and sharded indices (they will be rebuilt
+    /// lazily).
     pub fn clear_secondary_indices(&mut self) {
         self.by_key.clear();
+        self.sharded.clear();
     }
 }
 
@@ -377,9 +464,60 @@ impl RelationStorage {
             }
             target.merge_from(&delta_indexed)?;
         }
+        // Sharded indices stay consistent the same way, but shard-locally:
+        // the delta is partitioned with the same key hash as each cached
+        // entry, so shard i of the delta merges into shard i of the full
+        // representation — independent merges dispatched to the worker pool
+        // as one epoch. Because each delta partition is a subsequence of the
+        // (sorted, duplicate-free) delta data array, every piece keeps the
+        // sorted-unique re-index fast path. Unlike the canonical and
+        // secondary indices above (which each absorb the whole delta), a
+        // shard only absorbs its own slice, so its EBM slack is sized from
+        // the slice — not the full delta — or S shards would reserve S
+        // times the intended headroom.
+        let arity = self.arity;
+        let load_factor = self.load_factor;
+        let device = &self.device;
+        let delta_flat = self.delta.canonical.data();
+        let mut jobs: Vec<(&mut Hisa, Vec<u32>, Vec<usize>, usize)> = Vec::new();
+        for ((key_cols, shards), shard_hisas) in &mut self.full.sharded {
+            let parts = partition_flat_by_key_hash(delta_flat, arity, key_cols, *shards);
+            for (target, rows) in shard_hisas.iter_mut().zip(parts) {
+                if !rows.is_empty() {
+                    let shard_reserve = ebm.reserve_rows(rows.len() / arity);
+                    jobs.push((target, rows, key_cols.clone(), shard_reserve));
+                }
+            }
+        }
+        if !jobs.is_empty() {
+            let mut results: Vec<EngineResult<()>> = jobs.iter().map(|_| Ok(())).collect();
+            let jobs: Vec<_> = jobs.into_iter().zip(results.iter_mut()).collect();
+            device.executor().run_tasks(
+                jobs,
+                |_, ((target, rows, key_cols, shard_reserve), result)| {
+                    *result = (|| -> EngineResult<()> {
+                        let indexed = Hisa::build_reindexed_from_sorted_unique(
+                            device,
+                            IndexSpec::new(arity, key_cols),
+                            &rows,
+                            load_factor,
+                        )?;
+                        if shard_reserve > 0 {
+                            target.reserve_additional_rows(shard_reserve)?;
+                        }
+                        target.merge_from(&indexed)?;
+                        Ok(())
+                    })();
+                },
+            );
+            results.into_iter().collect::<EngineResult<()>>()?;
+        }
         if !ebm.enabled {
             self.full.canonical.shrink_to_fit();
             for idx in self.full.by_key.values_mut() {
+                idx.shrink_to_fit();
+            }
+            for idx in self.full.sharded.values_mut().flatten() {
                 idx.shrink_to_fit();
             }
         }

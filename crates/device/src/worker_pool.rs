@@ -396,6 +396,64 @@ mod tests {
     }
 
     #[test]
+    fn uneven_remainders_run_every_task_exactly_once() {
+        // Shard counts rarely divide worker counts evenly; sweep epochs
+        // whose task counts leave every possible remainder (including
+        // task counts below, equal to, and above the participant count)
+        // and require exactly-once execution throughout.
+        for workers in [2usize, 3, 4, 5] {
+            let pool = WorkerPool::new(workers, None);
+            for tasks in [
+                1usize,
+                workers - 1,
+                workers,
+                workers + 1,
+                2 * workers + 3,
+                97,
+            ] {
+                if tasks == 0 {
+                    continue;
+                }
+                let counts: Vec<TestCounter> = (0..tasks).map(|_| TestCounter::new(0)).collect();
+                pool.run(tasks, &|t| {
+                    counts[t].fetch_add(1, Ordering::Relaxed);
+                });
+                for (t, c) in counts.iter().enumerate() {
+                    assert_eq!(
+                        c.load(Ordering::Relaxed),
+                        1,
+                        "task {t} of {tasks} on {workers} workers"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remainder_heavy_epochs_are_not_drained_by_one_participant() {
+        // Dynamic claiming must spread a 13-task epoch (remainder 1 over a
+        // 4-wide pool) across multiple participants once per-task work is
+        // long enough for the parked workers to wake. A static split that
+        // strands the remainder — or a dispatcher that races through every
+        // task before publishing the epoch — would fail this.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = WorkerPool::new(4, None);
+        let participants: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        pool.run(13, &|_| {
+            participants
+                .lock()
+                .unwrap()
+                .insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        assert!(
+            participants.lock().unwrap().len() >= 2,
+            "a 26ms epoch must be shared with the parked workers"
+        );
+    }
+
+    #[test]
     fn dispatches_are_counted_with_latency() {
         let pool = WorkerPool::new(2, None);
         pool.run(16, &|_| {});

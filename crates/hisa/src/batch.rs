@@ -160,10 +160,102 @@ impl TupleBatch {
     pub fn to_rows(&self) -> Vec<Vec<Value>> {
         self.rows().map(<[Value]>::to_vec).collect()
     }
+
+    /// Hash-partitions the rows into `shards` batches by
+    /// [`crate::shard_of`] over the `key_cols` values, preserving the
+    /// relative row order within each shard. Rows with equal key values
+    /// (and in particular duplicate rows) always land in the same shard.
+    ///
+    /// A sorted-unique batch partitions into sorted-unique shards (each
+    /// shard is a subsequence of the original row order), and the flag is
+    /// carried over accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or any key column is out of range.
+    pub fn partition_by_key_hash(&self, key_cols: &[usize], shards: usize) -> Vec<TupleBatch> {
+        crate::partition_flat_by_key_hash(&self.data, self.arity, key_cols, shards)
+            .into_iter()
+            .map(|data| {
+                let batch = TupleBatch::new(self.arity, data);
+                if self.sorted_unique {
+                    batch.assert_sorted_unique()
+                } else {
+                    batch
+                }
+            })
+            .collect()
+    }
+
+    /// Concatenates batches of the same arity in order. The result makes no
+    /// sortedness claim (shard-ordered concatenation is not row-sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is zero or any part's arity differs from it.
+    pub fn concat<I: IntoIterator<Item = TupleBatch>>(arity: usize, parts: I) -> TupleBatch {
+        let mut data = Vec::new();
+        for part in parts {
+            assert_eq!(part.arity(), arity, "batch arity mismatch in concat");
+            data.extend_from_slice(part.as_flat());
+        }
+        TupleBatch::new(arity, data)
+    }
+
+    /// K-way-merges sorted-unique batches with pairwise-disjoint rows into
+    /// one globally sorted-unique batch — the inverse of
+    /// [`TupleBatch::partition_by_key_hash`] applied to a sorted-unique
+    /// input, and the step that lets per-shard set differences reassemble
+    /// into the exact byte sequence a single global difference produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is zero, any part's arity differs, or a part does
+    /// not carry the sorted-unique flag. Disjointness is the caller's
+    /// contract, checked (with sortedness of the result) only under
+    /// `debug_assertions`.
+    pub fn merge_sorted_unique<I: IntoIterator<Item = TupleBatch>>(
+        arity: usize,
+        parts: I,
+    ) -> TupleBatch {
+        let parts: Vec<TupleBatch> = parts
+            .into_iter()
+            .inspect(|part| {
+                assert_eq!(part.arity(), arity, "batch arity mismatch in merge");
+                assert!(
+                    part.is_sorted_unique(),
+                    "merge_sorted_unique requires sorted-unique parts"
+                );
+            })
+            .filter(|part| !part.is_empty())
+            .collect();
+        let total: usize = parts.iter().map(|p| p.as_flat().len()).sum();
+        let mut data = Vec::with_capacity(total);
+        let mut cursors = vec![0usize; parts.len()];
+        while data.len() < total {
+            let mut min_part: Option<usize> = None;
+            for (p, part) in parts.iter().enumerate() {
+                if cursors[p] >= part.len() {
+                    continue;
+                }
+                let row = part.row(cursors[p]);
+                if min_part.is_none_or(|m| row < parts[m].row(cursors[m])) {
+                    min_part = Some(p);
+                }
+            }
+            let p = min_part.expect("a non-exhausted part must remain");
+            data.extend_from_slice(parts[p].row(cursors[p]));
+            cursors[p] += 1;
+        }
+        TupleBatch::new(arity, data).assert_sorted_unique()
+    }
 }
 
-/// Whether the row-major buffer's rows are strictly increasing.
-pub(crate) fn rows_are_sorted_unique(data: &[Value], arity: usize) -> bool {
+/// Whether the row-major buffer's rows are strictly increasing (i.e.
+/// lexicographically sorted and duplicate-free). One linear pass; callers
+/// use it to choose sort/dedup-free build paths for data whose provenance
+/// is unknown.
+pub fn rows_are_sorted_unique(data: &[Value], arity: usize) -> bool {
     data.chunks_exact(arity)
         .zip(data.chunks_exact(arity).skip(1))
         .all(|(a, b)| a < b)
@@ -218,5 +310,62 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn sorted_unique_contract_is_checked_in_debug_builds() {
         let _ = TupleBatch::from_sorted_unique_flat(2, vec![3, 4, 1, 2]);
+    }
+
+    #[test]
+    fn partition_routes_equal_keys_to_one_shard_and_preserves_order() {
+        let rows: Vec<[u32; 2]> = (0..64).map(|i| [i % 7, i]).collect();
+        let batch = TupleBatch::from_rows(2, &rows);
+        for shards in [1usize, 2, 3, 5] {
+            let parts = batch.partition_by_key_hash(&[0], shards);
+            assert_eq!(parts.len(), shards);
+            assert_eq!(parts.iter().map(TupleBatch::len).sum::<usize>(), 64);
+            for (s, part) in parts.iter().enumerate() {
+                let mut last_seen: Option<u32> = None;
+                for row in part.rows() {
+                    assert_eq!(crate::shard_of(&[row[0]], shards), s);
+                    // Column 1 is globally increasing, so order within a
+                    // shard must be increasing too.
+                    assert!(last_seen.is_none_or(|prev| prev < row[1]));
+                    last_seen = Some(row[1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_sorted_unique_batch_keeps_the_flag() {
+        let batch = TupleBatch::from_sorted_unique_flat(2, vec![0, 1, 1, 0, 2, 2, 3, 9]);
+        let parts = batch.partition_by_key_hash(&[0, 1], 3);
+        assert!(parts.iter().all(TupleBatch::is_sorted_unique));
+        let merged = TupleBatch::merge_sorted_unique(2, parts);
+        assert_eq!(merged, batch);
+    }
+
+    #[test]
+    fn concat_joins_parts_in_order_without_a_sortedness_claim() {
+        let a = TupleBatch::from_rows(2, [[9u32, 9]]);
+        let b = TupleBatch::from_rows(2, [[1u32, 1], [2, 2]]);
+        let joined = TupleBatch::concat(2, [a, b]);
+        assert_eq!(joined.as_flat(), &[9, 9, 1, 1, 2, 2]);
+        assert!(!joined.is_sorted_unique());
+        assert!(TupleBatch::concat(2, Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn merge_sorted_unique_reassembles_a_global_sort() {
+        let a = TupleBatch::from_sorted_unique_flat(1, vec![0, 3, 7]);
+        let b = TupleBatch::from_sorted_unique_flat(1, vec![1, 4]);
+        let c = TupleBatch::from_sorted_unique_flat(1, vec![2, 5, 6]);
+        let merged = TupleBatch::merge_sorted_unique(1, [a, b, c]);
+        assert_eq!(merged.as_flat(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(merged.is_sorted_unique());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires sorted-unique parts")]
+    fn merge_rejects_unflagged_parts() {
+        let plain = TupleBatch::new(1, vec![2, 1]);
+        let _ = TupleBatch::merge_sorted_unique(1, [plain]);
     }
 }

@@ -36,10 +36,10 @@ pub mod hash_table;
 mod hisa;
 pub mod tuple;
 
-pub use batch::TupleBatch;
+pub use batch::{rows_are_sorted_unique, TupleBatch};
 pub use hash_table::{HashTable, DEFAULT_LOAD_FACTOR};
 pub use hisa::{Hisa, RangeQuery};
-pub use tuple::{hash_key, key_eq, IndexSpec, Value};
+pub use tuple::{hash_key, key_eq, partition_flat_by_key_hash, shard_of, IndexSpec, Value};
 
 #[cfg(test)]
 mod tests {

@@ -157,6 +157,56 @@ pub fn key_eq(a: &[Value], b: &[Value], key_arity: usize) -> bool {
     a[..key_arity] == b[..key_arity]
 }
 
+/// Maps a join key to its shard: `hash(key) % shards`.
+///
+/// This is *the* partitioning function of the sharded evaluation path:
+/// every component that hash-partitions relations (sharded HISA indices,
+/// outer-batch partitioning, per-shard delta population) must route through
+/// it so that shard `i` of an outer relation only ever needs to probe shard
+/// `i` of an inner relation built over the same key.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn shard_of(key_values: &[Value], shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    (hash_key(key_values) % shards as u64) as usize
+}
+
+/// Hash-partitions a dense row-major buffer into `shards` buckets by the
+/// [`shard_of`] hash of each row's `key_cols` values, preserving relative
+/// row order within each bucket. This is the one partition loop behind
+/// both [`crate::TupleBatch::partition_by_key_hash`] and the relation
+/// layer's shard maps, so the shard-alignment invariant (shard `i` of an
+/// outer only probes shard `i` of an inner) cannot drift between them.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero, `data` is ragged, or a key column is out of
+/// range.
+pub fn partition_flat_by_key_hash(
+    data: &[Value],
+    arity: usize,
+    key_cols: &[usize],
+    shards: usize,
+) -> Vec<Vec<Value>> {
+    assert!(shards > 0, "shard count must be positive");
+    assert!(arity > 0, "arity must be positive");
+    assert_eq!(data.len() % arity, 0, "ragged row buffer");
+    assert!(
+        key_cols.iter().all(|&c| c < arity),
+        "key column out of range"
+    );
+    let mut parts: Vec<Vec<Value>> = vec![Vec::new(); shards];
+    let mut key = Vec::with_capacity(key_cols.len());
+    for row in data.chunks_exact(arity) {
+        key.clear();
+        key.extend(key_cols.iter().map(|&c| row[c]));
+        parts[shard_of(&key, shards)].extend_from_slice(row);
+    }
+    parts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

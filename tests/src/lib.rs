@@ -1,6 +1,53 @@
 //! Integration-test crate for the GPUlog reproduction workspace.
 //!
-//! This crate intentionally exports nothing; all content lives in its
-//! `tests/` directory and exercises the public APIs of the workspace crates
-//! together (end-to-end Datalog queries, cross-engine agreement, paper
-//! figure traces).
+//! All test content lives in the `tests/` directory and exercises the
+//! public APIs of the workspace crates together (end-to-end Datalog
+//! queries, cross-engine agreement, paper figure traces). This library
+//! exports the one piece of shared harness code: the CI backend matrix's
+//! `GPULOG_TEST_BACKEND` override.
+
+use gpulog::EngineConfig;
+
+/// The shard count selected by the `GPULOG_TEST_BACKEND` environment
+/// variable: `serial` (or unset) means 1, `sharded` means 4, and
+/// `sharded:N` means `N` — the same spec grammar the bench bins'
+/// `--backend` flag accepts, parsed by the same
+/// [`gpulog_bench::parse_backend_spec`] so the two cannot drift apart.
+/// CI runs the workspace test suite once per matrix leg so every
+/// engine-level test exercises every backend.
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — a typo in the CI matrix must fail
+/// loudly, not silently fall back to the serial backend.
+pub fn shard_count_from_env() -> usize {
+    match std::env::var("GPULOG_TEST_BACKEND") {
+        Err(_) => 1,
+        Ok(value) if value.trim().is_empty() => 1,
+        Ok(value) => match gpulog_bench::parse_backend_spec(value.trim()) {
+            Ok((_, shards)) => shards,
+            Err(err) => panic!("invalid GPULOG_TEST_BACKEND: {err}"),
+        },
+    }
+}
+
+/// The engine configuration tests should build engines with: the default
+/// configuration, re-targeted at the backend the `GPULOG_TEST_BACKEND`
+/// matrix leg selects (see [`shard_count_from_env`]).
+pub fn config_from_env() -> EngineConfig {
+    EngineConfig::default().with_shard_count(shard_count_from_env())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_serial() {
+        // The variable is unset in a plain `cargo test` run, and CI's
+        // serial leg sets it to `serial`; both must mean one shard.
+        if std::env::var("GPULOG_TEST_BACKEND").is_err() {
+            assert_eq!(config_from_env().shard_count, 1);
+        }
+    }
+}

@@ -3,14 +3,16 @@
 //! (`scan_select` / `hash_join` / `project_rows` / `difference`) on random
 //! inputs, plus `TupleBatch` container round-trips. These are the
 //! refactoring guardrails: the operator IR must derive byte-identical
-//! results to composing the free functions by hand.
+//! results to composing the free functions by hand — and, since the
+//! sharded backend landed, any backend's fixpoints must be byte-identical
+//! to `SerialBackend`'s on random programs and inputs.
 
-use gpulog::backend::{Backend, EvalContext, SerialBackend};
+use gpulog::backend::{Backend, EvalContext, SerialBackend, ShardedBackend};
 use gpulog::planner::{ColumnSource, EmitSource, JoinStep, ScanStep, VersionSel};
 use gpulog::ra::project::{filter_rows, project_rows, scan_select};
 use gpulog::ra::{difference, hash_join, RaOp, RaPipeline};
 use gpulog::relation::RelationStorage;
-use gpulog::{EbmConfig, RunStats, TupleBatch};
+use gpulog::{EbmConfig, EngineConfig, GpulogEngine, NwayStrategy, RunStats, TupleBatch};
 use gpulog_device::{profile::DeviceProfile, Device};
 use gpulog_hisa::{Hisa, IndexSpec, DEFAULT_LOAD_FACTOR};
 use proptest::prelude::*;
@@ -256,6 +258,60 @@ proptest! {
         prop_assert_eq!(relations[0].len(), union.len());
     }
 
+    // Any shard count must reach a fixpoint byte-identical to the serial
+    // backend's, on random programs (REACH / SG), random inputs, and both
+    // n-way strategies (covering `HashJoin` and `FusedJoin` sharding).
+    #[test]
+    fn sharded_fixpoints_match_serial_on_random_programs(
+        edges in pairs_strategy(18, 80),
+        program_idx in 0usize..2,
+        strategy_idx in 0usize..2,
+    ) {
+        const REACH_SRC: &str = r"
+            .decl Edge(x: number, y: number)
+            .input Edge
+            .decl Reach(x: number, y: number)
+            .output Reach
+            Reach(x, y) :- Edge(x, y).
+            Reach(x, y) :- Edge(x, z), Reach(z, y).
+        ";
+        const SG_SRC: &str = r"
+            .decl Edge(x: number, y: number)
+            .input Edge
+            .decl SG(x: number, y: number)
+            .output SG
+            SG(x, y) :- Edge(p, x), Edge(p, y), x != y.
+            SG(x, y) :- Edge(a, x), SG(a, b), Edge(b, y), x != y.
+        ";
+        let (src, output) = [(REACH_SRC, "Reach"), (SG_SRC, "SG")][program_idx];
+        let nway = [
+            NwayStrategy::TemporarilyMaterialized,
+            NwayStrategy::FusedNestedLoop,
+        ][strategy_idx];
+        let edges: Vec<[u32; 2]> = edges.iter().map(|&(a, b)| [a, b]).collect();
+
+        let run = |shards: usize| {
+            let d = device();
+            let cfg = EngineConfig::new().with_nway(nway).with_shard_count(shards);
+            let mut engine = GpulogEngine::from_source(&d, src, cfg).unwrap();
+            engine.add_facts("Edge", &edges).unwrap();
+            let stats = engine.run().unwrap();
+            (engine.relation_batch(output).unwrap(), stats.iterations)
+        };
+        let (serial_batch, serial_iterations) = run(1);
+        for shards in [2usize, 7] {
+            let (sharded_batch, iterations) = run(shards);
+            prop_assert_eq!(
+                sharded_batch.as_flat(),
+                serial_batch.as_flat(),
+                "{} with {} shards must be byte-identical to serial",
+                output,
+                shards
+            );
+            prop_assert_eq!(iterations, serial_iterations);
+        }
+    }
+
     // `TupleBatch::from_rows` and `as_flat`/`to_rows` are inverses.
     #[test]
     fn tuple_batch_round_trips(
@@ -270,4 +326,88 @@ proptest! {
         let rebuilt = TupleBatch::new(3, batch.clone().into_flat());
         prop_assert_eq!(rebuilt.to_rows(), rows);
     }
+}
+
+/// A sharded op must cost one worker-pool epoch, not one per shard: the
+/// shard-map build is one `run_tasks` hand-off, the per-shard joins are
+/// one, and the per-shard differences are one, with every kernel inside a
+/// shard task running inline on its worker. Executing the identical
+/// pipeline with 2 and with 7 shards must therefore move
+/// `Metrics::pool_dispatches` by exactly the same amount.
+#[test]
+fn sharded_ops_dispatch_one_epoch_per_op_not_one_per_shard() {
+    let join_pipeline = RaPipeline {
+        head: 2,
+        ops: vec![
+            RaOp::Scan {
+                step: ScanStep {
+                    relation: 0,
+                    version: VersionSel::Full,
+                    const_filters: vec![],
+                    eq_filters: vec![],
+                    keep_cols: vec![0, 1],
+                },
+                filters: vec![],
+            },
+            RaOp::HashJoin {
+                step: JoinStep {
+                    relation: 1,
+                    version: VersionSel::Full,
+                    outer_key_cols: vec![1],
+                    inner_key_cols: vec![0],
+                    inner_const_filters: vec![],
+                    inner_eq_filters: vec![],
+                    emit: vec![
+                        EmitSource::Outer(0),
+                        EmitSource::Outer(1),
+                        EmitSource::Inner(1),
+                    ],
+                },
+                filters: vec![],
+            },
+            RaOp::Project {
+                columns: vec![ColumnSource::Col(0), ColumnSource::Col(2)],
+            },
+        ],
+        text: "H(x, z) :- A(x, y), B(y, z).".into(),
+    };
+
+    // 53 distinct key values: every shard of a 2- or 7-way partition is
+    // non-empty, so each epoch really fans out.
+    let dispatches_with = |shards: usize| {
+        let d = device();
+        let backend = ShardedBackend::new(shards).unwrap();
+        let mut relations = vec![
+            RelationStorage::new(&d, "A", 2, DEFAULT_LOAD_FACTOR).unwrap(),
+            RelationStorage::new(&d, "B", 2, DEFAULT_LOAD_FACTOR).unwrap(),
+            RelationStorage::new(&d, "H", 2, DEFAULT_LOAD_FACTOR).unwrap(),
+        ];
+        let a: Vec<u32> = (0..212u32).flat_map(|i| [i, i % 53]).collect();
+        let b: Vec<u32> = (0..159u32)
+            .flat_map(|i| [i % 53, i.wrapping_mul(7)])
+            .collect();
+        relations[0].load_full(&a).unwrap();
+        relations[1].load_full(&b).unwrap();
+        let mut stats = RunStats::default();
+        let mut ctx = EvalContext {
+            device: &d,
+            relations: &mut relations,
+            stats: &mut stats,
+            ebm: EbmConfig::default(),
+        };
+        let before = d.metrics().snapshot();
+        let outcome = backend.execute(&mut ctx, &join_pipeline).unwrap();
+        assert!(outcome.derived_rows > 0, "the join must derive rows");
+        let diff_outcome = backend.execute(&mut ctx, &RaPipeline::diff(2)).unwrap();
+        assert!(diff_outcome.delta_rows > 0, "the diff must install a delta");
+        d.metrics().snapshot().since(&before).pool_dispatches
+    };
+
+    let with_2 = dispatches_with(2);
+    let with_7 = dispatches_with(7);
+    assert!(with_2 > 0, "sharded execution must dispatch to the pool");
+    assert_eq!(
+        with_2, with_7,
+        "pool epochs must not scale with the shard count"
+    );
 }

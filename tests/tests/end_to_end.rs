@@ -2,7 +2,7 @@
 //! HISA → engine → queries) against reference implementations and the
 //! comparator engines, plus the paper's worked examples.
 
-use gpulog::{EbmConfig, EngineConfig, NwayStrategy};
+use gpulog::{EbmConfig, NwayStrategy};
 use gpulog_baselines::{cudf_like, gpujoin_like, souffle_like};
 use gpulog_datasets::generators::{binary_tree, power_law_graph, random_graph, road_network};
 use gpulog_datasets::{EdgeList, PaperDataset};
@@ -39,12 +39,12 @@ fn fixpoint_runs_spawn_zero_threads_after_warmup() {
     // the spawn counter exactly where device creation put it.
     let d = device();
     let spawned_at_creation = d.metrics().threads_spawned();
-    let mut warmup = sg::prepare(&d, &figure1_graph(), EngineConfig::default()).unwrap();
+    let mut warmup = sg::prepare(&d, &figure1_graph(), gpulog_tests::config_from_env()).unwrap();
     warmup.run().unwrap();
     let after_warmup = d.metrics().snapshot();
     assert_eq!(after_warmup.threads_spawned, spawned_at_creation);
 
-    let mut engine = sg::prepare(&d, &figure1_graph(), EngineConfig::default()).unwrap();
+    let mut engine = sg::prepare(&d, &figure1_graph(), gpulog_tests::config_from_env()).unwrap();
     engine.run().unwrap();
     let delta = d.metrics().snapshot().since(&after_warmup);
     assert_eq!(delta.threads_spawned, 0, "post-warmup runs must not spawn");
@@ -60,7 +60,7 @@ fn figure1_sg_trace_matches_the_paper() {
     // graph: iteration 1 derives 8 tuples, iteration 2 adds 6 more, and
     // iteration 3 derives nothing new, ending at 14 tuples.
     let d = device();
-    let mut engine = sg::prepare(&d, &figure1_graph(), EngineConfig::default()).unwrap();
+    let mut engine = sg::prepare(&d, &figure1_graph(), gpulog_tests::config_from_env()).unwrap();
     let stats = engine.run().unwrap();
     assert_eq!(engine.relation_size("SG"), Some(14));
     assert_eq!(stats.iterations, 3);
@@ -83,7 +83,7 @@ fn gpulog_and_all_baselines_agree_on_reach() {
         ("powerlaw", power_law_graph(200, 3, 5)),
     ] {
         let d = device();
-        let gpulog_size = reach::run(&d, &graph, EngineConfig::default())
+        let gpulog_size = reach::run(&d, &graph, gpulog_tests::config_from_env())
             .unwrap()
             .reach_size;
         let reference = reach::reference_closure(&graph).len();
@@ -113,7 +113,7 @@ fn gpulog_and_baselines_agree_on_sg() {
         ("tree", binary_tree(4)),
     ] {
         let d = device();
-        let gpulog_size = sg::run(&d, &graph, EngineConfig::default())
+        let gpulog_size = sg::run(&d, &graph, gpulog_tests::config_from_env())
             .unwrap()
             .sg_size;
         let reference = sg::reference_sg(&graph).len();
@@ -127,7 +127,7 @@ fn gpulog_and_baselines_agree_on_sg() {
 fn gpulog_and_souffle_like_agree_on_cspa_relation_sizes() {
     let input = gpulog_datasets::cspa::httpd_like(1.0 / 3000.0);
     let d = device();
-    let result = cspa::run(&d, &input, EngineConfig::default()).unwrap();
+    let result = cspa::run(&d, &input, gpulog_tests::config_from_env()).unwrap();
     let (_, sizes) = souffle_like::cspa(&input, 4);
     assert_eq!(result.sizes.value_flow, sizes.value_flow, "ValueFlow");
     assert_eq!(result.sizes.memory_alias, sizes.memory_alias, "MemoryAlias");
@@ -139,7 +139,7 @@ fn ebm_configurations_do_not_change_results_only_memory() {
     let graph = PaperDataset::SfCedge.generate(0.12);
     let run = |ebm: EbmConfig| {
         let d = device();
-        let cfg = EngineConfig::new().with_ebm(ebm);
+        let cfg = gpulog_tests::config_from_env().with_ebm(ebm);
         let r = reach::run(&d, &graph, cfg).unwrap();
         (r.reach_size, r.stats.peak_device_bytes)
     };
@@ -155,8 +155,8 @@ fn ebm_configurations_do_not_change_results_only_memory() {
 fn join_strategies_agree_on_cspa() {
     let input = gpulog_datasets::cspa::postgres_like(1.0 / 6000.0);
     let d = device();
-    let materialized = cspa::run(&d, &input, EngineConfig::default()).unwrap();
-    let cfg = EngineConfig::new().with_nway(NwayStrategy::FusedNestedLoop);
+    let materialized = cspa::run(&d, &input, gpulog_tests::config_from_env()).unwrap();
+    let cfg = gpulog_tests::config_from_env().with_nway(NwayStrategy::FusedNestedLoop);
     let fused = cspa::run(&d, &input, cfg).unwrap();
     assert_eq!(materialized.sizes, fused.sizes);
 }
@@ -167,7 +167,7 @@ fn out_of_memory_is_reported_as_an_error_for_gpulog_and_as_oom_for_baselines() {
     let graph = random_graph(300, 8000, 2);
     let budget = 200 * 1024;
     let tiny = Device::with_workers(DeviceProfile::tiny_test_device(budget), 2);
-    match reach::run(&tiny, &graph, EngineConfig::default()) {
+    match reach::run(&tiny, &graph, gpulog_tests::config_from_env()) {
         Err(gpulog::EngineError::Device(DeviceError::OutOfMemory { .. })) => {}
         other => panic!("expected OOM, got {other:?}"),
     }
@@ -179,7 +179,7 @@ fn out_of_memory_is_reported_as_an_error_for_gpulog_and_as_oom_for_baselines() {
 fn run_statistics_are_consistent_with_results() {
     let graph = PaperDataset::FeBody.generate(0.2);
     let d = device();
-    let result = reach::run(&d, &graph, EngineConfig::default()).unwrap();
+    let result = reach::run(&d, &graph, gpulog_tests::config_from_env()).unwrap();
     let stats = &result.stats;
     assert_eq!(stats.iteration_records.len(), stats.iterations);
     assert_eq!(stats.relation_sizes["Reach"], result.reach_size);
@@ -202,7 +202,7 @@ fn modeled_time_orders_paper_gpus_correctly() {
     let graph = PaperDataset::FeSphere.generate(0.2);
     let d = device();
     let before = d.metrics().snapshot();
-    sg::run(&d, &graph, EngineConfig::default()).unwrap();
+    sg::run(&d, &graph, gpulog_tests::config_from_env()).unwrap();
     let work = d.metrics().snapshot().since(&before);
     let times: Vec<f64> = DeviceProfile::paper_gpus()
         .into_iter()
@@ -218,7 +218,7 @@ fn scaled_paper_datasets_run_end_to_end_quickly() {
     let d = device();
     for dataset in PaperDataset::table2() {
         let graph = dataset.generate(0.08);
-        let result = reach::run(&d, &graph, EngineConfig::default()).unwrap();
+        let result = reach::run(&d, &graph, gpulog_tests::config_from_env()).unwrap();
         assert!(result.reach_size >= graph.len(), "{}", dataset.paper_name());
     }
 }

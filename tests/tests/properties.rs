@@ -4,7 +4,7 @@
 //! generated inputs.
 
 use gpulog::relation::RelationStorage;
-use gpulog::{EbmConfig, EngineConfig};
+use gpulog::EbmConfig;
 use gpulog_datasets::EdgeList;
 use gpulog_device::thrust::merge::merge_path_merge;
 use gpulog_device::thrust::sort::{
@@ -162,7 +162,7 @@ proptest! {
     fn reach_agrees_with_bfs_reference(edges in edges_strategy(30, 120)) {
         let graph = EdgeList::new("prop", edges.into_iter().filter(|(a, b)| a != b).collect());
         let d = device();
-        let result = reach::run(&d, &graph, EngineConfig::default()).unwrap();
+        let result = reach::run(&d, &graph, gpulog_tests::config_from_env()).unwrap();
         prop_assert_eq!(result.reach_size, reach::reference_closure(&graph).len());
     }
 
@@ -170,7 +170,7 @@ proptest! {
     fn sg_agrees_with_naive_reference(edges in edges_strategy(16, 40)) {
         let graph = EdgeList::new("prop", edges.into_iter().filter(|(a, b)| a != b).collect());
         let d = device();
-        let result = sg::run(&d, &graph, EngineConfig::default()).unwrap();
+        let result = sg::run(&d, &graph, gpulog_tests::config_from_env()).unwrap();
         prop_assert_eq!(result.sg_size, sg::reference_sg(&graph).len());
     }
 }
