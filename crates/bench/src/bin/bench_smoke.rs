@@ -1,7 +1,10 @@
-//! CI bench smoke: runs the Table 2 REACH workload (Gnutella31) and the
-//! Table 3 SG workload (ego-Facebook) in every backend, checks the
-//! backends agree on tuple counts, and writes per-backend medians to a
-//! JSON artifact so every PR records its perf trajectory.
+//! CI bench smoke: runs the Table 2 REACH workload (Gnutella31), the
+//! Table 3 SG workload (ego-Facebook), and a merge-heavy long-chain REACH
+//! (one iteration per node, tiny deltas — the incremental index-maintenance
+//! hot path) in every backend, checks the backends agree on tuple counts,
+//! and writes per-backend medians **plus index-maintenance counters and the
+//! device phase breakdown** to a JSON artifact so every PR records its perf
+//! trajectory.
 //!
 //! ```text
 //! cargo run --release -p gpulog-bench --bin bench_smoke -- \
@@ -10,7 +13,8 @@
 
 use gpulog::EngineConfig;
 use gpulog_bench::{banner, gpulog_device, scale_from_env, speedup, TextTable};
-use gpulog_datasets::PaperDataset;
+use gpulog_datasets::generators::road_network;
+use gpulog_datasets::{EdgeList, PaperDataset};
 use gpulog_queries::{reach, sg};
 
 struct SmokeRow {
@@ -19,8 +23,15 @@ struct SmokeRow {
     backend: String,
     shards: usize,
     tuples: usize,
+    iterations: usize,
     median_wall_s: f64,
     median_modeled_s: f64,
+    hash_inserts: u64,
+    hash_rebuilds: u64,
+    sort_passes: u64,
+    sort_ns: u64,
+    merge_ns: u64,
+    index_ns: u64,
 }
 
 fn median(mut samples: Vec<f64>) -> f64 {
@@ -74,45 +85,73 @@ fn main() {
         ("serial".to_string(), 1usize),
         (format!("sharded:{shards}"), shards),
     ];
-    let workloads: [(&str, PaperDataset); 2] = [
-        ("reach", PaperDataset::Gnutella31),
-        ("sg", PaperDataset::EgoFacebook),
+    // The chain length scales like the node counts of the named datasets,
+    // so the merge-heavy leg keeps "many iterations, small deltas" at any
+    // scale.
+    let chain_nodes = ((400.0 * scale).round() as u32).max(32);
+    let workloads: Vec<(&'static str, EdgeList)> = vec![
+        ("reach", PaperDataset::Gnutella31.generate(scale)),
+        ("sg", PaperDataset::EgoFacebook.generate(scale)),
+        // Merge-heavy: a pure bidirectional chain runs REACH for one
+        // iteration per node with steadily shrinking deltas, which is the
+        // workload the incremental hash maintenance (zero rebuilds with
+        // EBM headroom) exists for.
+        ("reach-chain", road_network(chain_nodes, 0, 23)),
     ];
 
     let mut rows: Vec<SmokeRow> = Vec::new();
-    for (query, dataset) in workloads {
-        let graph = dataset.generate(scale);
+    for (query, graph) in &workloads {
+        let query = *query;
         let mut tuple_counts: Vec<usize> = Vec::new();
         for (label, shard_count) in &backends {
             let config = EngineConfig::default().with_shard_count(*shard_count);
             let mut walls = Vec::with_capacity(trials);
             let mut modeled = Vec::with_capacity(trials);
             let mut tuples = 0usize;
+            let mut iterations = 0usize;
+            let mut counters = (0u64, 0u64, 0u64);
+            let mut phase_ns = (0u64, 0u64, 0u64);
             for _ in 0..trials {
                 let device = gpulog_device(scale);
                 let (size, stats) = match query {
-                    "reach" => {
-                        let r = reach::run(&device, &graph, config).expect("smoke run failed");
-                        (r.reach_size, r.stats)
+                    "sg" => {
+                        let r = sg::run(&device, graph, config).expect("smoke run failed");
+                        (r.sg_size, r.stats)
                     }
                     _ => {
-                        let r = sg::run(&device, &graph, config).expect("smoke run failed");
-                        (r.sg_size, r.stats)
+                        let r = reach::run(&device, graph, config).expect("smoke run failed");
+                        (r.reach_size, r.stats)
                     }
                 };
                 tuples = size;
+                iterations = stats.iterations;
                 walls.push(stats.wall_seconds);
                 modeled.push(stats.modeled_seconds());
+                // Work counters are deterministic per configuration; the
+                // phase nanos wobble with the wall clock, so the artifact
+                // records the last trial of each.
+                let snap = device.metrics().snapshot();
+                counters = (snap.hash_inserts, snap.hash_rebuilds, snap.sort_passes);
+                let phases = device.metrics().phase_times();
+                let ns = |name: &str| phases.get(name).map_or(0, |d| d.as_nanos() as u64);
+                phase_ns = (ns("sort"), ns("merge"), ns("index"));
             }
             tuple_counts.push(tuples);
             rows.push(SmokeRow {
                 query,
-                dataset: dataset.paper_name().to_string(),
+                dataset: graph.name.clone(),
                 backend: label.clone(),
                 shards: *shard_count,
                 tuples,
+                iterations,
                 median_wall_s: median(walls),
                 median_modeled_s: median(modeled),
+                hash_inserts: counters.0,
+                hash_rebuilds: counters.1,
+                sort_passes: counters.2,
+                sort_ns: phase_ns.0,
+                merge_ns: phase_ns.1,
+                index_ns: phase_ns.2,
             });
         }
         assert!(
@@ -149,6 +188,36 @@ fn main() {
     }
     println!("{}", table.render());
 
+    // Index-maintenance counters and the device phase breakdown: the
+    // numbers that pin delta-proportional merges (rebuilds stay amortised —
+    // far below the iteration count — while inserts track Σ|delta|).
+    let mut phases = TextTable::new([
+        "Query",
+        "Backend",
+        "Iters",
+        "Hash inserts",
+        "Hash rebuilds",
+        "Sort passes",
+        "Sort (ms)",
+        "Merge (ms)",
+        "Index (ms)",
+    ]);
+    for row in &rows {
+        phases.row([
+            row.query.to_string(),
+            row.backend.clone(),
+            format!("{}", row.iterations),
+            format!("{}", row.hash_inserts),
+            format!("{}", row.hash_rebuilds),
+            format!("{}", row.sort_passes),
+            format!("{:.3}", row.sort_ns as f64 / 1e6),
+            format!("{:.3}", row.merge_ns as f64 / 1e6),
+            format!("{:.3}", row.index_ns as f64 / 1e6),
+        ]);
+    }
+    println!("phase breakdown (device-level, last trial)");
+    println!("{}", phases.render());
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"scale\": {scale},\n"));
     json.push_str(&format!("  \"trials\": {trials},\n"));
@@ -157,15 +226,24 @@ fn main() {
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"query\": \"{}\", \"dataset\": \"{}\", \"backend\": \"{}\", \
-             \"shards\": {}, \"tuples\": {}, \"median_wall_s\": {:.6}, \
-             \"median_modeled_s\": {:.6}}}{}\n",
+             \"shards\": {}, \"tuples\": {}, \"iterations\": {}, \
+             \"median_wall_s\": {:.6}, \"median_modeled_s\": {:.6}, \
+             \"hash_inserts\": {}, \"hash_rebuilds\": {}, \"sort_passes\": {}, \
+             \"phase_nanos\": {{\"sort\": {}, \"merge\": {}, \"index\": {}}}}}{}\n",
             row.query,
             row.dataset,
             row.backend,
             row.shards,
             row.tuples,
+            row.iterations,
             row.median_wall_s,
             row.median_modeled_s,
+            row.hash_inserts,
+            row.hash_rebuilds,
+            row.sort_passes,
+            row.sort_ns,
+            row.merge_ns,
+            row.index_ns,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }

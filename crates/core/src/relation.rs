@@ -426,11 +426,17 @@ impl RelationStorage {
 
     /// Merges the current delta into full, honouring the eager-buffer-
     /// management policy: with EBM on, the canonical full buffer reserves
-    /// `k x |delta|` rows of slack before the merge; with EBM off, slack is
-    /// trimmed after every merge (exact-size allocation behaviour).
+    /// `k x |delta|` rows of slack before the merge — which, since
+    /// [`Hisa::reserve_additional_rows`] also pre-reserves hash-layer
+    /// capacity, keeps every following [`Hisa::merge_from`] on the
+    /// incremental index-maintenance path (delta-key inserts only, zero
+    /// hash rebuilds); with EBM off, slack is trimmed after every merge
+    /// (exact-size allocation behaviour).
     ///
     /// Secondary full indices are merged in place with the same delta so the
-    /// next iteration's joins see a consistent full relation.
+    /// next iteration's joins see a consistent full relation. They and the
+    /// sharded shard-local merges below go through the same `merge_from`,
+    /// so they inherit incremental maintenance automatically.
     ///
     /// # Errors
     ///

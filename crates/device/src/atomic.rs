@@ -14,13 +14,13 @@ pub const EMPTY_VALUE: u32 = u32::MAX;
 
 /// Attempts to claim `slot` for `key`.
 ///
-/// Returns `Ok(())` when the slot already held `key` or was empty and is now
-/// claimed; returns `Err(existing)` when the slot is owned by a different
-/// key (the caller should continue linear probing).
-pub fn claim_key_slot(slot: &AtomicU64, key: u64) -> Result<(), u64> {
+/// Returns `Ok(true)` when the slot was empty and is now freshly claimed,
+/// `Ok(false)` when it already held `key`, and `Err(existing)` when the slot
+/// is owned by a different key (the caller should continue linear probing).
+pub fn claim_key_slot(slot: &AtomicU64, key: u64) -> Result<bool, u64> {
     match slot.compare_exchange(EMPTY_KEY, key, Ordering::AcqRel, Ordering::Acquire) {
-        Ok(_) => Ok(()),
-        Err(existing) if existing == key => Ok(()),
+        Ok(_) => Ok(true),
+        Err(existing) if existing == key => Ok(false),
         Err(existing) => Err(existing),
     }
 }
@@ -60,15 +60,15 @@ mod tests {
     #[test]
     fn claim_empty_slot_succeeds() {
         let slot = AtomicU64::new(EMPTY_KEY);
-        assert!(claim_key_slot(&slot, 42).is_ok());
+        assert_eq!(claim_key_slot(&slot, 42), Ok(true));
         assert_eq!(slot.load(Ordering::Relaxed), 42);
     }
 
     #[test]
-    fn claim_same_key_twice_succeeds() {
+    fn claim_same_key_twice_reports_it_was_already_held() {
         let slot = AtomicU64::new(EMPTY_KEY);
-        claim_key_slot(&slot, 7).unwrap();
-        assert!(claim_key_slot(&slot, 7).is_ok());
+        assert_eq!(claim_key_slot(&slot, 7), Ok(true));
+        assert_eq!(claim_key_slot(&slot, 7), Ok(false));
     }
 
     #[test]

@@ -162,6 +162,27 @@ impl<T: DeviceValue> DeviceBuffer<T> {
         self.data.truncate(len);
     }
 
+    /// Resizes to `len` elements, filling any new slots with `value`.
+    /// Reserves exactly `len` when growth is needed (no geometric slack):
+    /// amortisation is the caller's policy — eager buffer management
+    /// over-reserves explicitly via `reserve_total`, and the exact-size
+    /// (EBM-off) discipline must not double allocations behind its back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DeviceError::OutOfMemory`] if growth exceeds device
+    /// capacity.
+    pub fn resize(&mut self, len: usize, value: T) -> DeviceResult<()> {
+        self.reserve_total(len)?;
+        if len > self.data.len() {
+            self.device
+                .metrics()
+                .add_bytes_written(((len - self.data.len()) * std::mem::size_of::<T>()) as u64);
+        }
+        self.data.resize(len, value);
+        Ok(())
+    }
+
     /// Removes all elements (capacity is retained).
     pub fn clear(&mut self) {
         self.data.clear();

@@ -61,7 +61,7 @@ pub use cost::{CostEstimate, CostModel};
 pub use device::Device;
 pub use error::{DeviceError, DeviceResult};
 pub use executor::{Executor, LaunchConfig};
-pub use metrics::{CounterSnapshot, Metrics};
+pub use metrics::{CounterSnapshot, Metrics, PhaseTimer};
 pub use profile::{DeviceKind, DeviceProfile};
 pub use worker_pool::WorkerPool;
 

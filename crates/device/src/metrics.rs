@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A snapshot of the device counters at a point in time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -25,6 +25,17 @@ pub struct CounterSnapshot {
     pub atomic_ops: u64,
     /// Number of kernel launches issued.
     pub kernel_launches: u64,
+    /// Individual hash-table insertions performed by incremental index
+    /// maintenance (delta keys inserted into an existing hash layer).
+    pub hash_inserts: u64,
+    /// Hash-layer rebuilds/rehashes: from-scratch rebuilds triggered by a
+    /// merge exceeding the load factor, plus capacity-growth rehashes
+    /// performed while reserving. Fresh builds of new tables don't count.
+    pub hash_rebuilds: u64,
+    /// Counting-scatter passes executed by the radix sorts, at any bucket
+    /// granularity (one full LSD digit pass and one MSD bucket split each
+    /// count as one pass).
+    pub sort_passes: u64,
     /// Number of parallel dispatches handed to the persistent worker pool
     /// (launches small enough to run inline on the calling thread are not
     /// dispatches).
@@ -65,6 +76,9 @@ impl CounterSnapshot {
             ops: self.ops - earlier.ops,
             atomic_ops: self.atomic_ops - earlier.atomic_ops,
             kernel_launches: self.kernel_launches - earlier.kernel_launches,
+            hash_inserts: self.hash_inserts - earlier.hash_inserts,
+            hash_rebuilds: self.hash_rebuilds - earlier.hash_rebuilds,
+            sort_passes: self.sort_passes - earlier.sort_passes,
             pool_dispatches: self.pool_dispatches - earlier.pool_dispatches,
             dispatch_nanos: self.dispatch_nanos - earlier.dispatch_nanos,
             threads_spawned: self.threads_spawned - earlier.threads_spawned,
@@ -85,6 +99,9 @@ pub struct Metrics {
     ops: AtomicU64,
     atomic_ops: AtomicU64,
     kernel_launches: AtomicU64,
+    hash_inserts: AtomicU64,
+    hash_rebuilds: AtomicU64,
+    sort_passes: AtomicU64,
     pool_dispatches: AtomicU64,
     dispatch_nanos: AtomicU64,
     threads_spawned: AtomicU64,
@@ -125,6 +142,21 @@ impl Metrics {
     /// Records a kernel launch.
     pub fn add_kernel_launch(&self) {
         self.kernel_launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` incremental hash-table insertions.
+    pub fn add_hash_inserts(&self, n: u64) {
+        self.hash_inserts.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one hash-layer rebuild (overflow rebuild or growth rehash).
+    pub fn add_hash_rebuild(&self) {
+        self.hash_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` radix counting-scatter passes.
+    pub fn add_sort_passes(&self, n: u64) {
+        self.sort_passes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records one parallel dispatch to the worker pool and the wall time
@@ -206,6 +238,9 @@ impl Metrics {
             ops: self.ops.load(Ordering::Relaxed),
             atomic_ops: self.atomic_ops.load(Ordering::Relaxed),
             kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            hash_inserts: self.hash_inserts.load(Ordering::Relaxed),
+            hash_rebuilds: self.hash_rebuilds.load(Ordering::Relaxed),
+            sort_passes: self.sort_passes.load(Ordering::Relaxed),
             pool_dispatches: self.pool_dispatches.load(Ordering::Relaxed),
             dispatch_nanos: self.dispatch_nanos.load(Ordering::Relaxed),
             threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
@@ -215,6 +250,35 @@ impl Metrics {
             bytes_in_use: self.bytes_in_use.load(Ordering::Relaxed) as u64,
             peak_bytes_in_use: self.peak_bytes_in_use.load(Ordering::Relaxed) as u64,
         }
+    }
+}
+
+/// RAII guard that adds the wall time of its scope to a named device-level
+/// phase bucket (see [`Metrics::add_phase_time`]) when dropped. Used by the
+/// sort / merge / index-maintenance primitives so the device can report a
+/// phase breakdown without every caller threading timers by hand.
+#[derive(Debug)]
+pub struct PhaseTimer<'a> {
+    metrics: &'a Metrics,
+    phase: &'static str,
+    start: Instant,
+}
+
+impl<'a> PhaseTimer<'a> {
+    /// Starts timing `phase` against `metrics`.
+    pub fn new(metrics: &'a Metrics, phase: &'static str) -> Self {
+        PhaseTimer {
+            metrics,
+            phase,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        self.metrics
+            .add_phase_time(self.phase, self.start.elapsed());
     }
 }
 
@@ -292,6 +356,22 @@ mod tests {
         assert_eq!(delta.dispatch_nanos, 7_000);
         assert_eq!(delta.threads_spawned, 0);
         assert_eq!(m.threads_spawned(), 3);
+    }
+
+    #[test]
+    fn index_maintenance_counters_accumulate_and_subtract() {
+        let m = Metrics::new();
+        m.add_hash_inserts(40);
+        m.add_sort_passes(3);
+        let before = m.snapshot();
+        m.add_hash_inserts(2);
+        m.add_hash_rebuild();
+        m.add_sort_passes(5);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.hash_inserts, 2);
+        assert_eq!(delta.hash_rebuilds, 1);
+        assert_eq!(delta.sort_passes, 5);
+        assert_eq!(m.snapshot().hash_inserts, 42);
     }
 
     #[test]

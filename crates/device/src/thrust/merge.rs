@@ -108,6 +108,117 @@ where
     merge_path_merge(device, a, b, |x, y| key(*x).cmp(&key(*y)))
 }
 
+/// The row slice behind index `idx` of a row-major buffer.
+#[inline]
+fn row_of(data: &[u32], arity: usize, idx: u32) -> &[u32] {
+    let start = idx as usize * arity;
+    &data[start..start + arity]
+}
+
+/// Merge-path split point for [`merge_sorted_index_rows`]: how many elements
+/// `a` contributes to the first `diag` outputs, comparing row slices in
+/// place (ties favour `a`, keeping the merge stable).
+fn merge_path_partition_rows(
+    a: &[u32],
+    b: &[u32],
+    data: &[u32],
+    arity: usize,
+    b_offset: u32,
+    diag: usize,
+) -> (usize, usize) {
+    let mut lo = diag.saturating_sub(b.len());
+    let mut hi = diag.min(a.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let ra = row_of(data, arity, a[mid]);
+        let rb = row_of(data, arity, b[diag - mid - 1] + b_offset);
+        if ra > rb {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    (lo, diag - lo)
+}
+
+/// Merges two sorted index arrays over one shared row-major `data` buffer,
+/// comparing row slices **in place** — the allocation-free sibling of
+/// [`merge_sorted_indices_by_key`] for the HISA merge hot loop, which would
+/// otherwise materialise an owned key per comparison.
+///
+/// `b`'s entries address rows `b[i] + b_offset` of `data` (the delta rows a
+/// caller appended after the first `b_offset` rows); the offset is folded
+/// into both the comparisons and the output, so no shifted copy of `b` is
+/// ever built. The output is the stable merge (ties keep `a` first) with
+/// every `b` entry already offset.
+///
+/// # Panics
+///
+/// Panics if any (offset) index addresses a row outside `data`.
+pub fn merge_sorted_index_rows(
+    device: &Device,
+    a: &[u32],
+    b: &[u32],
+    data: &[u32],
+    arity: usize,
+    b_offset: u32,
+) -> Vec<u32> {
+    assert!(arity > 0, "arity must be positive");
+    let total = a.len() + b.len();
+    device.metrics().add_kernel_launch();
+    // Each output element costs one index write plus (amortised) one
+    // row-pair comparison read on top of the index reads.
+    device
+        .metrics()
+        .add_bytes_read(total as u64 * (4 + 8 * arity as u64));
+    device.metrics().add_bytes_written(total as u64 * 4);
+    device
+        .metrics()
+        .add_ops(total as u64 + (total.max(2) as f64).log2().ceil() as u64);
+    if total == 0 {
+        return Vec::new();
+    }
+    let executor = device.executor();
+    let parts = executor.partitions(total);
+    let splits: Vec<(usize, usize)> = parts
+        .iter()
+        .map(|r| merge_path_partition_rows(a, b, data, arity, b_offset, r.start))
+        .collect();
+    let mut out = vec![0u32; total];
+    {
+        let splits_ref = &splits;
+        let mut slices: Vec<&mut [u32]> = Vec::with_capacity(parts.len());
+        let mut rest: &mut [u32] = out.as_mut_slice();
+        for r in &parts {
+            let (head, tail) = rest.split_at_mut(r.len());
+            slices.push(head);
+            rest = tail;
+        }
+        executor.run_tasks(slices, |p, slice| {
+            let (mut ai, mut bi) = splits_ref[p];
+            for slot in slice.iter_mut() {
+                let take_a = if ai >= a.len() {
+                    false
+                } else if bi >= b.len() {
+                    true
+                } else {
+                    // Stable: take from `a` unless `b`'s row is strictly
+                    // smaller.
+                    row_of(data, arity, b[bi] + b_offset) >= row_of(data, arity, a[ai])
+                };
+                if take_a {
+                    *slot = a[ai];
+                    ai += 1;
+                } else {
+                    *slot = b[bi] + b_offset;
+                    bi += 1;
+                }
+            }
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +282,61 @@ mod tests {
         let merged = merge_sorted_indices_by_key(&d, &a, &b, |i| data[i as usize]);
         let values: Vec<u32> = merged.iter().map(|&i| data[i as usize]).collect();
         assert_eq!(values, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn merge_index_rows_matches_keyed_merge_with_shifted_copy() {
+        let d = device();
+        // Two-column rows; `full` holds rows 0..4 sorted, `delta` rows 4..7.
+        let data: Vec<u32> = vec![
+            1, 9, 5, 0, 2, 2, 9, 9, // full rows (storage order)
+            0, 1, 3, 3, 5, 1, // delta rows (appended)
+        ];
+        let a = vec![0u32, 2, 1, 3]; // full indices sorted by row value
+        let b = vec![0u32, 1, 2]; // delta indices, rows already sorted
+        let got = merge_sorted_index_rows(&d, &a, &b, &data, 2, 4);
+        // Reference: shift b by hand and merge with the allocating key path.
+        let shifted: Vec<u32> = b.iter().map(|&i| i + 4).collect();
+        let expected = merge_sorted_indices_by_key(&d, &a, &shifted, |i| {
+            let r = i as usize * 2;
+            data[r..r + 2].to_vec()
+        });
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn merge_index_rows_is_stable_and_handles_empty_sides() {
+        let d = device();
+        let data = vec![7u32, 7, 7]; // three identical 1-column rows
+        let a = vec![0u32, 1];
+        let b = vec![0u32];
+        // Equal rows: a's entries must precede the (offset) b entry.
+        assert_eq!(merge_sorted_index_rows(&d, &a, &b, &data, 1, 2), [0, 1, 2]);
+        assert_eq!(merge_sorted_index_rows(&d, &a, &[], &data, 1, 2), [0, 1]);
+        assert_eq!(merge_sorted_index_rows(&d, &[], &b, &data, 1, 2), [2]);
+        let empty: Vec<u32> = merge_sorted_index_rows(&d, &[], &[], &data, 1, 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn merge_index_rows_agrees_across_worker_counts() {
+        let d1 = Device::with_workers(DeviceProfile::nvidia_h100(), 1);
+        let d8 = Device::with_workers(DeviceProfile::nvidia_h100(), 8);
+        let rows = 800usize;
+        let data: Vec<u32> = (0..(rows + 200) * 2)
+            .map(|i| (i as u32).wrapping_mul(2_654_435_761) % 97)
+            .collect();
+        let mut a: Vec<u32> = (0..rows as u32).collect();
+        a.sort_by_key(|&i| (data[i as usize * 2], data[i as usize * 2 + 1]));
+        let mut b: Vec<u32> = (0..200u32).collect();
+        b.sort_by_key(|&i| {
+            let r = (i + rows as u32) as usize * 2;
+            (data[r], data[r + 1])
+        });
+        let m1 = merge_sorted_index_rows(&d1, &a, &b, &data, 2, rows as u32);
+        let m8 = merge_sorted_index_rows(&d8, &a, &b, &data, 2, rows as u32);
+        assert_eq!(m1, m8);
+        assert_eq!(m1.len(), rows + 200);
     }
 
     #[test]

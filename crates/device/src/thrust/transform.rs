@@ -37,6 +37,55 @@ pub fn gather_rows(device: &Device, data: &[u32], arity: usize, indices: &[u32])
     out
 }
 
+/// Inverts a permutation into a caller-provided buffer: `out[perm[q]] = q`.
+/// Every destination appears exactly once (it is a permutation), so the
+/// scatter is data-race-free; on a multi-worker device large inputs scatter
+/// in parallel through relaxed atomic cells and are copied back with a
+/// partitioned fill, while small inputs (or a single-worker pool) take one
+/// sequential stream. Memory-bound exactly like the index merge that
+/// produces `perm`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or any entry is out of range (the latter
+/// only under `debug_assertions`).
+pub fn invert_permutation_into(device: &Device, perm: &[u32], out: &mut [u32]) {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    // Below this size the scratch allocation and extra pass of the
+    // parallel path cost more than they save.
+    const PARALLEL_CUTOFF: usize = 1 << 14;
+    assert_eq!(perm.len(), out.len(), "permutation/inverse length mismatch");
+    let n = perm.len();
+    device.metrics().add_kernel_launch();
+    device.metrics().add_bytes_read(n as u64 * 4);
+    device.metrics().add_bytes_written(n as u64 * 4);
+    let executor = device.executor();
+    if executor.workers() > 1 && n >= PARALLEL_CUTOFF {
+        let scratch: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let scratch_ref = &scratch;
+        executor.for_each_partition(n, |_, range| {
+            for q in range {
+                let r = perm[q] as usize;
+                debug_assert!(r < n, "permutation entry out of range");
+                scratch_ref[r].store(q as u32, Ordering::Relaxed);
+            }
+        });
+        executor.fill(out, |i| scratch[i].load(Ordering::Relaxed));
+    } else {
+        for (q, &r) in perm.iter().enumerate() {
+            debug_assert!((r as usize) < out.len(), "permutation entry out of range");
+            out[r as usize] = q as u32;
+        }
+    }
+}
+
+/// [`invert_permutation_into`] with a freshly allocated output.
+pub fn invert_permutation(device: &Device, perm: &[u32]) -> Vec<u32> {
+    let mut out = vec![0u32; perm.len()];
+    invert_permutation_into(device, perm, &mut out);
+    out
+}
+
 /// Parallel compaction (`copy_if`): keeps element `i` when `keep(i)` is true,
 /// preserving order. Returns the kept indices.
 pub fn compact_indices<F>(device: &Device, n: usize, keep: F) -> Vec<u32>

@@ -1,10 +1,15 @@
 //! The open-addressing hash table layer of HISA (paper Section 4.3).
 //!
-//! Keys are 64-bit hashes of a tuple's join-column values; values are the
-//! *smallest* position in the sorted index array holding a tuple with those
-//! join-column values. Construction is lock-free and data-parallel: slots
-//! are claimed with compare-and-swap and values are lowered with an atomic
-//! minimum, exactly as in the paper's Algorithm 2.
+//! Keys are 64-bit hashes of a tuple's join-column values; values are
+//! opaque 32-bit payloads with "keep the minimum" semantics — either raw
+//! positions lowered with an atomic minimum ([`HashTable::insert`], the
+//! paper's Algorithm 2 verbatim), or, as HISA now uses them, stable
+//! data-array row ids ranked through a caller-supplied position closure
+//! ([`HashTable::insert_min_by`]), which is what makes *incremental*
+//! maintenance possible: merged-in deltas insert only their own keys
+//! ([`HashTable::insert_batch_min_by`]) while every existing entry stays
+//! valid. Construction is lock-free and data-parallel: slots are claimed
+//! with compare-and-swap and values lowered with CAS loops.
 
 use gpulog_device::atomic::{atomic_min_u32, claim_key_slot, EMPTY_KEY, EMPTY_VALUE};
 use gpulog_device::{Device, DeviceResult};
@@ -46,9 +51,7 @@ impl HashTable {
             load_factor > 0.0 && load_factor <= 1.0,
             "load factor must be in (0, 1]"
         );
-        let capacity = ((expected_keys.max(1) as f64 / load_factor).ceil() as usize)
-            .next_power_of_two()
-            .max(8);
+        let capacity = Self::capacity_for(expected_keys, load_factor);
         let bytes = capacity * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>());
         device.tracker().allocate(bytes, false)?;
         device.metrics().add_bytes_written(bytes as u64);
@@ -63,6 +66,14 @@ impl HashTable {
             device: device.clone(),
             accounted_bytes: bytes,
         })
+    }
+
+    /// The slot count a table sized for `expected_keys` at `load_factor`
+    /// would use.
+    fn capacity_for(expected_keys: usize, load_factor: f64) -> usize {
+        ((expected_keys.max(1) as f64 / load_factor).ceil() as usize)
+            .next_power_of_two()
+            .max(8)
     }
 
     /// Number of slots in the table.
@@ -94,16 +105,62 @@ impl HashTable {
 
     /// Inserts `(key_hash, position)` — claims a slot for the key if absent
     /// and lowers the stored position to the minimum seen (Algorithm 2).
+    /// Returns whether a fresh slot was claimed (i.e. the key was new).
     ///
     /// Safe to call concurrently from many device threads.
-    pub fn insert(&self, key_hash: u64, position: u32) {
+    pub fn insert(&self, key_hash: u64, position: u32) -> bool {
         let mask = self.capacity - 1;
         let mut slot = (key_hash as usize) & mask;
         loop {
             match claim_key_slot(&self.keys[slot], key_hash) {
-                Ok(()) => {
+                Ok(claimed_new) => {
                     atomic_min_u32(&self.values[slot], position);
-                    return;
+                    return claimed_new;
+                }
+                Err(_other_key) => {
+                    slot = (slot + 1) & mask;
+                }
+            }
+        }
+    }
+
+    /// Inserts `(key_hash, value)` keeping, per key, the value whose
+    /// `pos_of` rank is smallest — the atomic-min insert path of incremental
+    /// index maintenance. HISA stores data-array **row ids** here (stable
+    /// across merges, which only concatenate the data array) and ranks them
+    /// by their *current* sorted-index position, so the comparison is always
+    /// against fresh positions even when the stored value predates many
+    /// merges. Returns whether a fresh slot was claimed.
+    ///
+    /// Safe to call concurrently from many device threads, provided `pos_of`
+    /// is stable for the duration of the call (it is: the engine never
+    /// merges and probes the same HISA concurrently).
+    pub fn insert_min_by<P>(&self, key_hash: u64, value: u32, pos_of: &P) -> bool
+    where
+        P: Fn(u32) -> u32,
+    {
+        let mask = self.capacity - 1;
+        let mut slot = (key_hash as usize) & mask;
+        loop {
+            match claim_key_slot(&self.keys[slot], key_hash) {
+                Ok(claimed_new) => {
+                    let cell = &self.values[slot];
+                    let mut current = cell.load(Ordering::Acquire);
+                    loop {
+                        if current != EMPTY_VALUE && pos_of(current) <= pos_of(value) {
+                            break;
+                        }
+                        match cell.compare_exchange_weak(
+                            current,
+                            value,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(_) => break,
+                            Err(observed) => current = observed,
+                        }
+                    }
+                    return claimed_new;
                 }
                 Err(_other_key) => {
                     slot = (slot + 1) & mask;
@@ -141,10 +198,147 @@ impl HashTable {
         metrics.add_atomic_ops(positions as u64 * 2);
         metrics.add_bytes_read(positions as u64 * 16);
         let this = &*self;
-        self.device.launch("index", positions, |p| {
+        self.device.launch("hash-build", positions, |p| {
             this.insert(key_hash_of(p), p as u32);
         });
         self.recount_entries();
+    }
+
+    /// Data-parallel bulk construction with caller-defined values and
+    /// ranking: for every `p` in `0..positions`, inserts
+    /// `(key_hash_of(p), value_of(p))` keeping per key the value of
+    /// smallest `pos_of` rank (see [`HashTable::insert_min_by`]).
+    pub fn build_parallel_min_by<H, V, P>(
+        &mut self,
+        positions: usize,
+        key_hash_of: H,
+        value_of: V,
+        pos_of: P,
+    ) where
+        H: Fn(usize) -> u64 + Sync,
+        V: Fn(usize) -> u32 + Sync,
+        P: Fn(u32) -> u32 + Sync,
+    {
+        let metrics = self.device.metrics();
+        metrics.add_atomic_ops(positions as u64 * 2);
+        metrics.add_bytes_read(positions as u64 * 16);
+        let this = &*self;
+        self.device.launch("hash-build", positions, |p| {
+            this.insert_min_by(key_hash_of(p), value_of(p), &pos_of);
+        });
+        self.recount_entries();
+    }
+
+    /// Incremental data-parallel insertion of `count` delta entries into an
+    /// **existing** table — the merge-phase fast path that replaces a full
+    /// rebuild. Unlike the `build_parallel*` constructors it never rescans
+    /// the table: newly claimed slots are counted on the fly and folded into
+    /// [`HashTable::entries`], so the whole operation is O(count). Returns
+    /// the number of freshly claimed keys.
+    ///
+    /// The caller is responsible for checking
+    /// [`HashTable::needs_rebuild_for`] first; inserting past the load
+    /// factor still terminates (the table never fills completely) but
+    /// degrades probe lengths.
+    pub fn insert_batch_min_by<H, V, P>(
+        &mut self,
+        count: usize,
+        key_hash_of: H,
+        value_of: V,
+        pos_of: P,
+    ) -> u64
+    where
+        H: Fn(usize) -> u64 + Sync,
+        V: Fn(usize) -> u32 + Sync,
+        P: Fn(u32) -> u32 + Sync,
+    {
+        if count == 0 {
+            return 0;
+        }
+        let metrics = self.device.metrics();
+        metrics.add_hash_inserts(count as u64);
+        metrics.add_atomic_ops(count as u64 * 2);
+        metrics.add_bytes_read(count as u64 * 16);
+        metrics.add_bytes_written(count as u64 * 12);
+        let claimed = std::sync::atomic::AtomicU64::new(0);
+        {
+            let this = &*self;
+            let claimed_ref = &claimed;
+            self.device.launch("hash-build", count, |p| {
+                if this.insert_min_by(key_hash_of(p), value_of(p), &pos_of) {
+                    claimed_ref.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let claimed = claimed.into_inner();
+        self.entries += claimed as usize;
+        claimed
+    }
+
+    /// Ensures the table can absorb `expected_keys` distinct keys in total
+    /// without exceeding its load factor, growing (power-of-two, so repeated
+    /// reservations amortise) and rehashing the existing entries when it
+    /// cannot. Values are carried over verbatim — they are opaque to the
+    /// table, and rehashing moves slots, not values. Returns whether a
+    /// growth rehash happened; the caller decides how to account it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpulog_device::DeviceError::OutOfMemory`] if the grown
+    /// table does not fit on the device (the table is unchanged then).
+    pub fn reserve_for_keys(&mut self, expected_keys: usize) -> DeviceResult<bool> {
+        if expected_keys as f64 <= self.capacity as f64 * self.load_factor {
+            return Ok(false);
+        }
+        self.rehash_sized_for(expected_keys)?;
+        Ok(true)
+    }
+
+    /// Shrinks the table back to the minimal capacity for its current entry
+    /// count, releasing reservation slack — the inverse of
+    /// [`HashTable::reserve_for_keys`]. Best-effort: the table is left
+    /// unchanged when it is already minimal or when the (transiently
+    /// coexisting) smaller table cannot be allocated. Returns whether a
+    /// shrink rehash happened.
+    pub fn shrink_to_entries(&mut self) -> bool {
+        if Self::capacity_for(self.entries, self.load_factor) >= self.capacity {
+            return false;
+        }
+        self.rehash_sized_for(self.entries).is_ok()
+    }
+
+    /// Replaces the table with one sized for `expected_keys`, moving every
+    /// occupied `(key, value)` pair across — the shared body of growth and
+    /// shrink rehashes. Values are opaque to the table and carried over
+    /// verbatim. On error the table is left unchanged.
+    fn rehash_sized_for(&mut self, expected_keys: usize) -> DeviceResult<()> {
+        let next = HashTable::with_capacity(&self.device, expected_keys, self.load_factor)?;
+        for (key, value) in self.iter_entries() {
+            next.rehash_insert(key, value);
+        }
+        let entries = self.entries;
+        *self = next;
+        self.entries = entries;
+        Ok(())
+    }
+
+    /// Moves one `(key, value)` pair into a freshly allocated rehash target.
+    /// Keys coming from [`HashTable::iter_entries`] are unique, so the first
+    /// claim wins and the value is stored directly.
+    fn rehash_insert(&self, key_hash: u64, value: u32) {
+        let mask = self.capacity - 1;
+        let mut slot = (key_hash as usize) & mask;
+        loop {
+            match claim_key_slot(&self.keys[slot], key_hash) {
+                Ok(_) => {
+                    self.values[slot].store(value, Ordering::Release);
+                    return;
+                }
+                Err(_other_key) => {
+                    slot = (slot + 1) & mask;
+                }
+            }
+        }
     }
 
     /// Recounts the number of occupied slots (used after bulk insertion).
@@ -234,6 +428,54 @@ mod tests {
             assert_eq!(t.lookup(k + 1), Some(k as u32));
         }
         assert_eq!(t.entries(), 100);
+    }
+
+    #[test]
+    fn insert_min_by_ranks_with_the_position_closure_not_the_value() {
+        let d = device();
+        let t = HashTable::with_capacity(&d, 10, 0.8).unwrap();
+        // Rank is the *inverse* of the value: larger values win.
+        let pos_of = |v: u32| 100 - v;
+        assert!(t.insert_min_by(5, 20, &pos_of));
+        assert!(!t.insert_min_by(5, 7, &pos_of));
+        assert!(!t.insert_min_by(5, 30, &pos_of));
+        assert_eq!(t.lookup(5), Some(30));
+    }
+
+    #[test]
+    fn insert_batch_min_by_counts_fresh_keys_and_updates_entries() {
+        let d = device();
+        let mut t = HashTable::with_capacity(&d, 100, 0.8).unwrap();
+        t.insert(1, 10);
+        t.recount_entries();
+        let before = d.metrics().snapshot();
+        // Keys 1 (already present) and 2..5 (new), identity ranking.
+        let claimed = t.insert_batch_min_by(5, |p| (p as u64 % 5) + 1, |p| p as u32, |v| v);
+        assert_eq!(claimed, 4);
+        assert_eq!(t.entries(), 5);
+        assert_eq!(d.metrics().snapshot().since(&before).hash_inserts, 5);
+        // Key 1 keeps its smaller original position.
+        assert_eq!(t.lookup(1), Some(0));
+    }
+
+    #[test]
+    fn reserve_for_keys_grows_and_preserves_lookups() {
+        let d = device();
+        let mut t = HashTable::with_capacity(&d, 8, 0.8).unwrap();
+        for k in 0..6u64 {
+            t.insert(k + 1, k as u32 * 3);
+        }
+        t.recount_entries();
+        let cap_before = t.capacity();
+        assert!(!t.reserve_for_keys(6).unwrap(), "fits: no rehash");
+        assert_eq!(t.capacity(), cap_before);
+        assert!(t.reserve_for_keys(1000).unwrap(), "must grow");
+        assert!(t.capacity() >= 1024);
+        assert_eq!(t.entries(), 6);
+        for k in 0..6u64 {
+            assert_eq!(t.lookup(k + 1), Some(k as u32 * 3));
+        }
+        assert!(!t.needs_rebuild_for(900));
     }
 
     #[test]

@@ -6,10 +6,16 @@
 //!    reordered to the front, per Algorithm 1);
 //! 2. a **sorted index array** — tuple positions ordered lexicographically,
 //!    decoupling sort order from physical placement so merges are
-//!    concatenations;
+//!    concatenations — plus its inverse (`pos_in_sorted`), mapping a row
+//!    back to its current sorted position;
 //! 3. an **open-addressing hash table** — mapping the hash of a tuple's key
-//!    (join) columns to the *smallest* sorted-index position holding that
-//!    key, giving O(1) entry into a range of matching tuples.
+//!    (join) columns to the data-array row at the *smallest* sorted-index
+//!    position holding that key (resolved through the inverse permutation
+//!    at query time), giving O(1) entry into a range of matching tuples.
+//!    Storing stable row ids instead of shifting positions is what lets
+//!    [`Hisa::merge_from`] maintain the hash layer *incrementally* —
+//!    inserting only the delta's keys instead of rebuilding over the full
+//!    relation.
 //!
 //! Together the layers provide the four requirements the paper derives for
 //! a GPU relation representation: fast range queries (R1), parallel
@@ -20,10 +26,10 @@ use crate::batch::{rows_are_sorted_unique, TupleBatch};
 use crate::dedup::unique_sorted_positions;
 use crate::hash_table::{HashTable, DEFAULT_LOAD_FACTOR};
 use crate::tuple::{hash_key, IndexSpec, Value};
-use gpulog_device::thrust::merge::merge_sorted_indices_by_key;
+use gpulog_device::thrust::merge::merge_sorted_index_rows;
 use gpulog_device::thrust::sort::lexicographic_sort_indices;
-use gpulog_device::thrust::transform::gather_rows;
-use gpulog_device::{Device, DeviceBuffer, DeviceResult};
+use gpulog_device::thrust::transform::{gather_rows, invert_permutation, invert_permutation_into};
+use gpulog_device::{Device, DeviceBuffer, DeviceResult, PhaseTimer};
 
 /// A relation stored as a hash-indexed sorted array.
 ///
@@ -53,6 +59,12 @@ pub struct Hisa {
     data: DeviceBuffer<Value>,
     /// Positions into `data` rows, ordered lexicographically by tuple value.
     sorted_index: DeviceBuffer<u32>,
+    /// Inverse of `sorted_index`: `pos_in_sorted[row]` is the sorted-index
+    /// position holding `row`. Lets the hash layer store stable data-array
+    /// row ids (rows never move — merges concatenate) while range queries
+    /// still start at exact, current sorted positions; the key enabler of
+    /// incremental hash maintenance.
+    pos_in_sorted: DeviceBuffer<u32>,
     hash: HashTable,
     load_factor: f64,
 }
@@ -103,13 +115,23 @@ impl Hisa {
         let rows = unique.len();
         let data = device.buffer_from_vec(compacted)?;
         let sorted_index = device.buffer_from_vec((0..rows as u32).collect())?;
+        // Data is stored in sorted order, so position == row.
+        let pos_in_sorted = device.buffer_from_vec((0..rows as u32).collect())?;
         // Layer 3: hash table over the key columns.
-        let hash = build_hash_layer(device, &spec, &data, &sorted_index, load_factor)?;
+        let hash = build_hash_layer(
+            device,
+            &spec,
+            &data,
+            &sorted_index,
+            pos_in_sorted.as_slice(),
+            load_factor,
+        )?;
         Ok(Hisa {
             spec,
             device: device.clone(),
             data,
             sorted_index,
+            pos_in_sorted,
             hash,
             load_factor,
         })
@@ -151,12 +173,21 @@ impl Hisa {
         let rows = reordered.len() / arity;
         let data = device.buffer_from_slice(reordered)?;
         let sorted_index = device.buffer_from_vec((0..rows as u32).collect())?;
-        let hash = build_hash_layer(device, &spec, &data, &sorted_index, load_factor)?;
+        let pos_in_sorted = device.buffer_from_vec((0..rows as u32).collect())?;
+        let hash = build_hash_layer(
+            device,
+            &spec,
+            &data,
+            &sorted_index,
+            pos_in_sorted.as_slice(),
+            load_factor,
+        )?;
         Ok(Hisa {
             spec,
             device: device.clone(),
             data,
             sorted_index,
+            pos_in_sorted,
             hash,
             load_factor,
         })
@@ -204,13 +235,22 @@ impl Hisa {
         // ties keep the identity-sorted input order.
         let order = lexicographic_sort_indices(device, tuples, arity, spec.key_columns());
         let data = device.buffer_from_vec(spec.reorder_rows(tuples))?;
+        let pos_in_sorted = device.buffer_from_vec(invert_permutation(device, &order))?;
         let sorted_index = device.buffer_from_vec(order)?;
-        let hash = build_hash_layer(device, &spec, &data, &sorted_index, load_factor)?;
+        let hash = build_hash_layer(
+            device,
+            &spec,
+            &data,
+            &sorted_index,
+            pos_in_sorted.as_slice(),
+            load_factor,
+        )?;
         Ok(Hisa {
             spec,
             device: device.clone(),
             data,
             sorted_index,
+            pos_in_sorted,
             hash,
             load_factor,
         })
@@ -295,6 +335,7 @@ impl Hisa {
     pub fn device_bytes(&self) -> usize {
         self.data.accounted_bytes()
             + self.sorted_index.accounted_bytes()
+            + self.pos_in_sorted.accounted_bytes()
             + self.hash.accounted_bytes()
     }
 
@@ -346,12 +387,30 @@ impl Hisa {
     /// Panics if `key.len()` differs from the spec's key arity.
     pub fn range_query<'a>(&'a self, key: &[Value]) -> RangeQuery<'a> {
         assert_eq!(key.len(), self.spec.key_arity(), "key arity mismatch");
-        let start = self.hash.lookup(hash_key(key)).unwrap_or(u32::MAX);
         RangeQuery {
             hisa: self,
             key: key.to_vec(),
-            position: start as usize,
+            position: self
+                .key_start_position(key)
+                .map_or(usize::MAX, |p| p as usize),
         }
+    }
+
+    /// The sorted-index position where a range query for `key` enters the
+    /// relation: the hash layer's stored row resolved through the inverse
+    /// permutation. For a present key this is the smallest position holding
+    /// it (or, under a 64-bit hash collision, the smallest position of any
+    /// colliding key — queries scan forward from there). `None` when the
+    /// hash layer has no entry for the key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` differs from the spec's key arity.
+    pub fn key_start_position(&self, key: &[Value]) -> Option<u32> {
+        assert_eq!(key.len(), self.spec.key_arity(), "key arity mismatch");
+        self.hash
+            .lookup(hash_key(key))
+            .map(|row| self.pos_in_sorted.as_slice()[row as usize])
     }
 
     /// Whether the relation contains `tuple` (given in original column order).
@@ -378,10 +437,12 @@ impl Hisa {
     }
 
     /// Reserves device capacity for `additional_rows` more tuples in the
-    /// data array, so a subsequent [`Hisa::merge_from`] of up to that many
-    /// rows does not need to grow the buffer. This is the hook eager buffer
+    /// data array, sorted-index/inverse arrays, **and the hash layer**, so a
+    /// subsequent [`Hisa::merge_from`] of up to that many rows neither grows
+    /// a buffer nor rebuilds the hash table. This is the hook eager buffer
     /// management uses (paper Section 5.3): reserve `k x |delta|` rows once
-    /// and amortize the allocation over the following iterations.
+    /// and amortize allocation *and* rehashing over the following
+    /// iterations.
     ///
     /// # Errors
     ///
@@ -393,27 +454,61 @@ impl Hisa {
         self.data.reserve_total(target_values)?;
         self.sorted_index
             .reserve_total(self.sorted_index.len() + additional_rows)?;
+        self.pos_in_sorted
+            .reserve_total(self.pos_in_sorted.len() + additional_rows)?;
+        // Worst case every reserved row introduces a distinct key; growing
+        // now (power-of-two) keeps the merge itself rebuild-free. The hash
+        // reservation is best-effort: it is purely an optimization, so on a
+        // memory-constrained device it degrades to the overflow-rebuild
+        // path inside `merge_from` (exact-size tables) instead of failing
+        // a run that would otherwise fit.
+        if let Ok(true) = self
+            .hash
+            .reserve_for_keys(self.hash.entries() + additional_rows)
+        {
+            self.device.metrics().add_hash_rebuild();
+        }
         Ok(())
     }
 
     /// Releases all slack capacity back to the device — the behaviour of a
     /// non-pooled allocator that sizes every buffer exactly (the
-    /// eager-buffer-management-off configuration of Table 1).
+    /// eager-buffer-management-off configuration of Table 1). The hash
+    /// layer shrinks back to its minimal size too (a rehash, counted as a
+    /// hash rebuild) when a reservation left it over-provisioned.
     pub fn shrink_to_fit(&mut self) {
         self.data.shrink_to_fit();
         self.sorted_index.shrink_to_fit();
+        self.pos_in_sorted.shrink_to_fit();
+        if self.hash.shrink_to_entries() {
+            self.device.metrics().add_hash_rebuild();
+        }
     }
 
     /// Merges another HISA (typically a delta relation already known to be
-    /// disjoint from `self`) into this one: the data arrays are
-    /// concatenated, the sorted index arrays are merged with the parallel
-    /// merge-path algorithm, and the hash index is rebuilt over the merged
-    /// order (the "Indexing Full" phase of the paper's Figure 6).
+    /// disjoint from `self`) into this one with cost proportional to the
+    /// *delta* wherever possible — the "Indexing Full" phase of the paper's
+    /// Figure 6, without its O(|full|) hash rebuild:
+    ///
+    /// 1. the data arrays are concatenated (rows never move, so data-array
+    ///    row ids stay valid);
+    /// 2. the sorted index arrays are merged with the parallel merge-path
+    ///    algorithm, comparing row slices in place and folding the delta's
+    ///    row offset into the merge (no shifted index copy, no per-
+    ///    comparison key materialisation);
+    /// 3. the inverse permutation is rewritten (same streaming cost as the
+    ///    index merge it follows);
+    /// 4. the hash layer absorbs **only the delta's keys** through the
+    ///    atomic-min insert path — every pre-existing entry stores a row id
+    ///    whose current position step 3 already refreshed. A full rebuild
+    ///    happens only when [`HashTable::needs_rebuild_for`] says the load
+    ///    factor would be exceeded (and is avoided entirely when
+    ///    [`Hisa::reserve_additional_rows`] pre-reserved hash capacity).
     ///
     /// # Errors
     ///
     /// Returns [`gpulog_device::DeviceError::OutOfMemory`] when the merged
-    /// relation or its rebuilt hash table does not fit on the device.
+    /// relation or a rebuilt hash table does not fit on the device.
     ///
     /// # Panics
     ///
@@ -428,51 +523,83 @@ impl Hisa {
         }
         let arity = self.arity();
         let old_rows = self.len();
+        let delta_rows = other.len();
         // Concatenate data arrays (no deduplication needed: semi-naive
         // evaluation guarantees delta and full are disjoint).
         self.data.extend_from_slice(other.data.as_slice())?;
-        // Merge sorted index arrays; other's indices shift by old_rows.
-        let shifted: Vec<u32> = other
-            .sorted_index
-            .as_slice()
-            .iter()
-            .map(|&i| i + old_rows as u32)
-            .collect();
-        let data_slice = self.data.as_slice();
-        let merged = merge_sorted_indices_by_key(
-            &self.device,
-            self.sorted_index.as_slice(),
-            &shifted,
-            |i| {
-                let row = i as usize * arity;
-                data_slice[row..row + arity].to_vec()
-            },
-        );
+        // Merge sorted index arrays; other's rows live at offset old_rows,
+        // which the row-slice merge folds into comparisons and output.
+        let merged = {
+            let _phase = PhaseTimer::new(self.device.metrics(), "merge");
+            merge_sorted_index_rows(
+                &self.device,
+                self.sorted_index.as_slice(),
+                other.sorted_index.as_slice(),
+                self.data.as_slice(),
+                arity,
+                old_rows as u32,
+            )
+        };
         let merged_len = merged.len();
+        debug_assert_eq!(merged_len * arity, self.data.len());
         let mut new_index = self.device.buffer_from_vec(merged)?;
         std::mem::swap(&mut self.sorted_index, &mut new_index);
         drop(new_index);
-        // Rebuild the hash index over the merged order.
-        debug_assert_eq!(merged_len * arity, self.data.len());
-        self.hash = build_hash_layer(
+        let _phase = PhaseTimer::new(self.device.metrics(), "index");
+        // Every position at or after the first delta insertion shifted, so
+        // the inverse permutation is rewritten wholesale — an O(|full|)
+        // streaming pass, like the index merge above, but confined to the
+        // sorted-index layer.
+        self.pos_in_sorted.resize(merged_len, 0)?;
+        invert_permutation_into(
             &self.device,
-            &self.spec,
-            &self.data,
-            &self.sorted_index,
-            self.load_factor,
-        )?;
+            self.sorted_index.as_slice(),
+            self.pos_in_sorted.as_mut_slice(),
+        );
+        // Hash maintenance: delta keys only, unless the load factor would
+        // be exceeded (then a from-scratch rebuild resizes the table).
+        if self.hash.needs_rebuild_for(delta_rows) {
+            self.device.metrics().add_hash_rebuild();
+            self.hash = build_hash_layer(
+                &self.device,
+                &self.spec,
+                &self.data,
+                &self.sorted_index,
+                self.pos_in_sorted.as_slice(),
+                self.load_factor,
+            )?;
+        } else {
+            let key_arity = self.spec.key_arity();
+            let data_slice = self.data.as_slice();
+            let pos_slice = self.pos_in_sorted.as_slice();
+            self.hash.insert_batch_min_by(
+                delta_rows,
+                |i| {
+                    let row = (old_rows + i) * arity;
+                    hash_key(&data_slice[row..row + key_arity])
+                },
+                |i| (old_rows + i) as u32,
+                |row| pos_slice[row as usize],
+            );
+        }
         Ok(())
     }
 }
 
-/// Builds the open-addressing hash layer mapping each key's hash to its
-/// smallest sorted-index position (paper Algorithm 2), shared by every
-/// construction path.
+/// Builds the open-addressing hash layer mapping each key's hash to the
+/// data-array row holding its smallest sorted-index position (paper
+/// Algorithm 2 with row-id values), shared by every construction path.
+///
+/// Values are row ids rather than positions so that later *incremental*
+/// merges ([`Hisa::merge_from`]) can leave every pre-existing entry
+/// untouched: rows are stable across merges, and the entry's current
+/// position is recovered through `pos_in_sorted` at query time.
 fn build_hash_layer(
     device: &Device,
     spec: &IndexSpec,
     data: &DeviceBuffer<Value>,
     sorted_index: &DeviceBuffer<u32>,
+    pos_in_sorted: &[u32],
     load_factor: f64,
 ) -> DeviceResult<HashTable> {
     let rows = sorted_index.len();
@@ -481,10 +608,15 @@ fn build_hash_layer(
     let mut hash = HashTable::with_capacity(device, rows, load_factor)?;
     let data_slice = data.as_slice();
     let sorted_slice = sorted_index.as_slice();
-    hash.build_parallel(rows, |p| {
-        let row = sorted_slice[p] as usize;
-        hash_key(&data_slice[row * arity..row * arity + key_arity])
-    });
+    hash.build_parallel_min_by(
+        rows,
+        |p| {
+            let row = sorted_slice[p] as usize;
+            hash_key(&data_slice[row * arity..row * arity + key_arity])
+        },
+        |p| sorted_slice[p],
+        |row| pos_in_sorted[row as usize],
+    );
     Ok(hash)
 }
 
@@ -808,6 +940,116 @@ mod tests {
         let permuted = Hisa::build_from_batch(&d, spec.clone(), &sorted, 0.8).unwrap();
         let reference = Hisa::build(&d, spec, sorted.as_flat()).unwrap();
         assert_eq!(permuted.to_sorted_tuples(), reference.to_sorted_tuples());
+    }
+
+    #[test]
+    fn merge_with_reserved_headroom_performs_zero_hash_rebuilds() {
+        let d = device();
+        let mut full = Hisa::build(&d, edge_spec(), &[1, 2, 3, 4]).unwrap();
+        // Headroom for every delta below: the merge loop must stay on the
+        // incremental path, inserting exactly Σ|delta| keys.
+        full.reserve_additional_rows(64).unwrap();
+        let before = d.metrics().snapshot();
+        let mut merged_rows = 0u64;
+        for step in 0..8u32 {
+            let delta = Hisa::build(
+                &d,
+                edge_spec(),
+                &[100 + step, step, 200 + step, step], // 2 rows per delta
+            )
+            .unwrap();
+            merged_rows += delta.len() as u64;
+            full.merge_from(&delta).unwrap();
+        }
+        let spent = d.metrics().snapshot().since(&before);
+        assert_eq!(spent.hash_rebuilds, 0, "headroom must avoid all rebuilds");
+        assert_eq!(
+            spent.hash_inserts, merged_rows,
+            "hash writes must be proportional to Σ|delta|"
+        );
+        assert_eq!(full.len(), 2 + merged_rows as usize);
+        for step in 0..8u32 {
+            assert!(full.contains(&[100 + step, step]));
+            assert!(full.contains(&[200 + step, step]));
+        }
+    }
+
+    #[test]
+    fn overloaded_merge_rebuilds_the_hash_layer_and_stays_correct() {
+        let d = device();
+        // Tiny full: its hash table is minimal (8 slots), so a 100-row
+        // delta must trip the load factor and take the rebuild path.
+        let mut full = Hisa::build(&d, edge_spec(), &[1, 2]).unwrap();
+        let delta_tuples: Vec<u32> = (0..100u32).flat_map(|i| [i + 10, i]).collect();
+        let delta = Hisa::build(&d, edge_spec(), &delta_tuples).unwrap();
+        let before = d.metrics().snapshot();
+        full.merge_from(&delta).unwrap();
+        assert!(
+            d.metrics().snapshot().since(&before).hash_rebuilds >= 1,
+            "an overflowing merge must rebuild"
+        );
+        // The rebuilt layer answers exactly like a fresh general build.
+        let mut union = vec![1u32, 2];
+        union.extend_from_slice(&delta_tuples);
+        let fresh = Hisa::build(&d, edge_spec(), &union).unwrap();
+        assert_eq!(full.to_sorted_tuples(), fresh.to_sorted_tuples());
+        for key in 0..120u32 {
+            assert_eq!(
+                full.key_start_position(&[key]),
+                fresh.key_start_position(&[key]),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_merges_are_lookup_for_lookup_identical_to_fresh_builds() {
+        let d = device();
+        // Interleave same-key tuples across full and deltas so merges both
+        // add new keys and lower existing keys' first positions.
+        let mut full = Hisa::build(&d, edge_spec(), &[5, 0, 9, 1]).unwrap();
+        full.reserve_additional_rows(256).unwrap();
+        let mut union: Vec<u32> = vec![5, 0, 9, 1];
+        for step in 1..6u32 {
+            let delta_tuples: Vec<u32> = (0..10u32)
+                .flat_map(|i| [(i * 7 + step) % 13, 50 + step * 10 + i])
+                .collect();
+            // Deduplicate against what's already merged (semi-naive
+            // contract: delta and full are disjoint).
+            let fresh_rows: Vec<u32> = delta_tuples
+                .chunks(2)
+                .filter(|row| !full.contains(row))
+                .flatten()
+                .copied()
+                .collect();
+            if fresh_rows.is_empty() {
+                continue;
+            }
+            let delta = Hisa::build(&d, edge_spec(), &fresh_rows).unwrap();
+            full.merge_from(&delta).unwrap();
+            union.extend_from_slice(&fresh_rows);
+        }
+        let fresh = Hisa::build(&d, edge_spec(), &union).unwrap();
+        assert_eq!(full.to_sorted_tuples(), fresh.to_sorted_tuples());
+        for key in 0..16u32 {
+            assert_eq!(
+                full.key_start_position(&[key]),
+                fresh.key_start_position(&[key]),
+                "start position for key {key}"
+            );
+            let a: Vec<Vec<u32>> = full
+                .range_query(&[key])
+                .map(|r| full.row(r as usize))
+                .collect();
+            let b: Vec<Vec<u32>> = fresh
+                .range_query(&[key])
+                .map(|r| fresh.row(r as usize))
+                .collect();
+            let (mut a, mut b) = (a, b);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "range query for key {key}");
+        }
     }
 
     #[test]

@@ -55,6 +55,47 @@ fn fixpoint_runs_spawn_zero_threads_after_warmup() {
 }
 
 #[test]
+fn merge_heavy_chain_fixpoint_keeps_index_maintenance_delta_proportional() {
+    // A pure chain drives REACH through one iteration per node with steadily
+    // shrinking deltas — the merge-heavy long tail where the old per-merge
+    // hash rebuild was O(|full|). With EBM reserving headroom, the hash
+    // layer must absorb every delta through incremental inserts, with
+    // rebuilds limited to the (amortised, geometric) capacity growths —
+    // far fewer than one per iteration.
+    // config_from_env keeps this under the CI backend matrix: the sharded
+    // legs validate that shard-local merges inherit incremental
+    // maintenance (per-shard tables grow amortised too).
+    let d = device();
+    let chain = road_network(60, 0, 1);
+    let before = d.metrics().snapshot();
+    let result = reach::run(&d, &chain, gpulog_tests::config_from_env()).unwrap();
+    let spent = d.metrics().snapshot().since(&before);
+    assert_eq!(result.reach_size, reach::reference_closure(&chain).len());
+    let total_delta: usize = result
+        .stats
+        .iteration_records
+        .iter()
+        .map(|r| r.delta_tuples)
+        .sum();
+    assert!(
+        result.stats.iterations >= 50,
+        "chain must run many iterations"
+    );
+    assert!(
+        spent.hash_inserts >= total_delta as u64,
+        "every merged delta tuple must go through the incremental insert path \
+         (inserts {}, delta tuples {total_delta})",
+        spent.hash_inserts,
+    );
+    assert!(
+        (spent.hash_rebuilds as usize) < result.stats.iterations,
+        "rebuilds ({}) must stay amortised, not once per iteration ({})",
+        spent.hash_rebuilds,
+        result.stats.iterations,
+    );
+}
+
+#[test]
 fn figure1_sg_trace_matches_the_paper() {
     // Figure 1 of the paper walks SG through three iterations on a 9-node
     // graph: iteration 1 derives 8 tuples, iteration 2 adds 6 more, and

@@ -8,7 +8,8 @@ use gpulog::EbmConfig;
 use gpulog_datasets::EdgeList;
 use gpulog_device::thrust::merge::merge_path_merge;
 use gpulog_device::thrust::sort::{
-    lexicographic_sort_indices, lexicographic_sort_indices_by_comparison, stable_sort_by,
+    lexicographic_sort_indices, lexicographic_sort_indices_by_comparison,
+    lexicographic_sort_indices_lsd, lexicographic_sort_indices_msd, stable_sort_by,
 };
 use gpulog_device::{profile::DeviceProfile, Device};
 use gpulog_hisa::{Hisa, IndexSpec, DEFAULT_LOAD_FACTOR};
@@ -61,6 +62,95 @@ proptest! {
             let radix = lexicographic_sort_indices(&d, &flat, 3, &order);
             let comparison = lexicographic_sort_indices_by_comparison(&d, &flat, 3, &order);
             prop_assert_eq!(&radix, &comparison, "column order {:?}", &order);
+        }
+    }
+
+    #[test]
+    fn msd_lsd_and_comparison_sorts_agree_on_random_skewed_and_dense_keys(
+        uniform in prop::collection::vec((0u32..u32::MAX, 0u32..50_000), 0..500),
+        dense in prop::collection::vec((0u32..64, 0u32..16), 0..500),
+        hub in prop::collection::vec(prop::bool::weighted(0.9), 0..500),
+    ) {
+        let d = device();
+        // Three distributions: wide uniform, dense ids, and a skewed set
+        // where 90% of keys collapse onto one hub value.
+        let skewed: Vec<(u32, u32)> = hub
+            .iter()
+            .enumerate()
+            .map(|(i, &is_hub)| if is_hub { (7, i as u32) } else { (i as u32 * 131, 1) })
+            .collect();
+        for tuples in [&uniform, &dense, &skewed] {
+            let flat: Vec<u32> = tuples.iter().flat_map(|&(a, b)| [a, b]).collect();
+            for order in [vec![0usize, 1], vec![1, 0], vec![0]] {
+                let msd = lexicographic_sort_indices_msd(&d, &flat, 2, &order);
+                let lsd = lexicographic_sort_indices_lsd(&d, &flat, 2, &order);
+                let cmp = lexicographic_sort_indices_by_comparison(&d, &flat, 2, &order);
+                prop_assert_eq!(&msd, &lsd, "MSD vs LSD, order {:?}", &order);
+                prop_assert_eq!(&lsd, &cmp, "LSD vs comparison, order {:?}", &order);
+            }
+        }
+    }
+
+    #[test]
+    fn random_merge_sequences_match_a_fresh_hash_layer_lookup_for_lookup(
+        base in edges_strategy(40, 80),
+        deltas in prop::collection::vec(edges_strategy(40, 30), 1..5),
+        reserve in prop::bool::ANY,
+    ) {
+        let d = device();
+        let spec = IndexSpec::new(2, vec![0]);
+        let base_flat: Vec<u32> = base.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let mut full = Hisa::build(&d, spec.clone(), &base_flat).unwrap();
+        if reserve {
+            // Headroom: every merge below must stay on the incremental
+            // insert path (no rebuilds).
+            full.reserve_additional_rows(256).unwrap();
+        }
+        let before = d.metrics().snapshot();
+        let mut union: BTreeSet<(u32, u32)> = base.iter().copied().collect();
+        for delta_edges in &deltas {
+            let fresh: Vec<(u32, u32)> = delta_edges
+                .iter()
+                .copied()
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .filter(|t| !union.contains(t))
+                .collect();
+            if fresh.is_empty() {
+                continue;
+            }
+            let flat: Vec<u32> = fresh.iter().flat_map(|&(a, b)| [a, b]).collect();
+            let delta = Hisa::build(&d, spec.clone(), &flat).unwrap();
+            full.merge_from(&delta).unwrap();
+            union.extend(fresh);
+        }
+        if reserve {
+            prop_assert_eq!(
+                d.metrics().snapshot().since(&before).hash_rebuilds, 0,
+                "with reserved capacity every merge must be incremental"
+            );
+        }
+        // The merged hash layer must answer lookup-for-lookup identically
+        // to one built from scratch over the union: same entry positions,
+        // same range-query results, same membership.
+        let union_flat: Vec<u32> = union.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let fresh = Hisa::build(&d, spec, &union_flat).unwrap();
+        prop_assert_eq!(full.to_sorted_tuples(), fresh.to_sorted_tuples());
+        for key in 0..41u32 {
+            prop_assert_eq!(
+                full.key_start_position(&[key]),
+                fresh.key_start_position(&[key]),
+                "hash entry position for key {}", key
+            );
+            let got: BTreeSet<u32> = full
+                .range_query(&[key])
+                .map(|r| full.row(r as usize)[1])
+                .collect();
+            let expected: BTreeSet<u32> = fresh
+                .range_query(&[key])
+                .map(|r| fresh.row(r as usize)[1])
+                .collect();
+            prop_assert_eq!(got, expected, "range query for key {}", key);
         }
     }
 

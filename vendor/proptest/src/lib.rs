@@ -84,6 +84,43 @@ pub mod collection {
     }
 }
 
+/// Boolean strategies. Subset of `proptest::bool`.
+pub mod bool {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Uniformly random booleans (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    /// Strategy behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut SmallRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    /// Strategy yielding `true` with the given probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted(f64);
+
+    /// `true` with probability `probability_true`.
+    pub fn weighted(probability_true: f64) -> Weighted {
+        Weighted(probability_true)
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn generate(&self, rng: &mut SmallRng) -> bool {
+            rng.gen_bool(self.0)
+        }
+    }
+}
+
 /// Per-test configuration. Subset of `proptest::test_runner::Config`.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
