@@ -1,18 +1,25 @@
 //! CI bench smoke: runs the Table 2 REACH workload (Gnutella31), the
 //! Table 3 SG workload (ego-Facebook), and a merge-heavy long-chain REACH
 //! (one iteration per node, tiny deltas — the incremental index-maintenance
-//! hot path) in every backend, checks the backends agree on tuple counts,
-//! and writes per-backend medians **plus index-maintenance counters and the
-//! device phase breakdown** to a JSON artifact so every PR records its perf
-//! trajectory.
+//! hot path) in every backend — serial, sharded, and the simulated
+//! multi-GPU topologies (1 / 2 / 4 NVLink-like devices) — checks that all
+//! backends agree on tuple counts, and writes per-backend medians **plus
+//! index-maintenance counters, the device phase breakdown, and the
+//! multi-GPU modeling columns** (per-device modeled time, cross-device
+//! exchange bytes, modeled critical path and speedup) to a JSON artifact so
+//! every PR records its perf trajectory.
 //!
 //! ```text
 //! cargo run --release -p gpulog-bench --bin bench_smoke -- \
 //!     [--out bench_smoke.json] [--trials 5] [--shards 4]
+//! cargo run --release -p gpulog-bench --bin bench_smoke -- --check bench_smoke.json
 //! ```
+//!
+//! `--check` re-validates an existing artifact against the schema (used by
+//! CI so new fields cannot silently regress).
 
-use gpulog::EngineConfig;
-use gpulog_bench::{banner, gpulog_device, scale_from_env, speedup, TextTable};
+use gpulog::{EngineConfig, TopologyReport};
+use gpulog_bench::{banner, gpulog_device, scale_from_env, speedup, BackendSpec, TextTable};
 use gpulog_datasets::generators::road_network;
 use gpulog_datasets::{EdgeList, PaperDataset};
 use gpulog_queries::{reach, sg};
@@ -32,6 +39,8 @@ struct SmokeRow {
     sort_ns: u64,
     merge_ns: u64,
     index_ns: u64,
+    /// Multi-GPU modeling report (topology legs only).
+    topology: Option<TopologyReport>,
 }
 
 fn median(mut samples: Vec<f64>) -> f64 {
@@ -68,8 +77,121 @@ fn string_flag(args: &[String], flag: &str, default: &str) -> String {
     }
 }
 
+/// The per-result keys every artifact row must carry, and the additional
+/// keys every `multigpu:*` row must carry. CI's schema-assert step (and
+/// the self-check after writing) fails if any row drops one, so new
+/// topology fields cannot silently regress.
+const ROW_KEYS: [&str; 12] = [
+    "\"query\"",
+    "\"dataset\"",
+    "\"backend\"",
+    "\"shards\"",
+    "\"tuples\"",
+    "\"iterations\"",
+    "\"median_wall_s\"",
+    "\"median_modeled_s\"",
+    "\"hash_inserts\"",
+    "\"hash_rebuilds\"",
+    "\"sort_passes\"",
+    "\"phase_nanos\"",
+];
+const TOPOLOGY_KEYS: [&str; 6] = [
+    "\"link\"",
+    "\"devices\"",
+    "\"modeled_compute_s\"",
+    "\"total_exchange_bytes\"",
+    "\"modeled_critical_path_s\"",
+    "\"modeled_speedup\"",
+];
+
+/// Validates the artifact's schema: the top-level fields, at least one
+/// result row, every row carrying every required key, and every topology
+/// row carrying the multi-GPU modeling fields. The writer emits one result
+/// object per line, which is what keeps this check dependency-free.
+fn validate_schema(json: &str) -> Result<(), String> {
+    for key in ["\"scale\"", "\"trials\"", "\"host_workers\"", "\"results\""] {
+        if !json.contains(key) {
+            return Err(format!("missing top-level key {key}"));
+        }
+    }
+    let rows: Vec<&str> = json.lines().filter(|l| l.contains("\"query\"")).collect();
+    if rows.is_empty() {
+        return Err("no result rows".to_string());
+    }
+    for row in rows {
+        for key in ROW_KEYS {
+            if !row.contains(key) {
+                return Err(format!("result row missing {key}: {row}"));
+            }
+        }
+        if row.contains("\"backend\": \"multigpu:") {
+            for key in TOPOLOGY_KEYS {
+                if !row.contains(key) {
+                    return Err(format!("multigpu row missing {key}: {row}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn topology_json(topology: &Option<TopologyReport>) -> String {
+    match topology {
+        None => "null".to_string(),
+        Some(report) => {
+            let devices: Vec<String> = report
+                .devices
+                .iter()
+                .map(|lane| {
+                    format!(
+                        "{{\"device\": \"{}\", \"modeled_compute_s\": {:.9}, \
+                         \"exchange_in_bytes\": {}, \"exchange_out_bytes\": {}, \
+                         \"exchange_in_messages\": {}}}",
+                        lane.device,
+                        lane.modeled_compute_sec,
+                        lane.exchange_in_bytes,
+                        lane.exchange_out_bytes,
+                        lane.exchange_in_messages,
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"link\": \"{}\", \"devices\": [{}], \"total_exchange_bytes\": {}, \
+                 \"total_exchange_messages\": {}, \"modeled_critical_path_s\": {:.9}, \
+                 \"modeled_speedup\": {:.4}}}",
+                report.link,
+                devices.join(", "),
+                report.total_exchange_bytes,
+                report.total_exchange_messages,
+                report.modeled_critical_path_sec,
+                report.modeled_speedup(),
+            )
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--check needs a path to an artifact");
+            std::process::exit(2);
+        });
+        let json = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+            eprintln!("cannot read {path}: {err}");
+            std::process::exit(1);
+        });
+        match validate_schema(&json) {
+            Ok(()) => {
+                println!("{path}: schema ok");
+                return;
+            }
+            Err(err) => {
+                eprintln!("{path}: schema violation: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
     let trials = usize_flag(&args, "--trials", 5);
     let shards = usize_flag(&args, "--shards", 4);
     let out_path = string_flag(&args, "--out", "bench_smoke.json");
@@ -78,12 +200,15 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(4);
 
-    banner("bench smoke — serial vs sharded medians", scale);
+    banner("bench smoke — serial / sharded / multi-GPU medians", scale);
     println!("(trials {trials}, sharded leg {shards} shards, host workers {workers})");
 
     let backends = [
-        ("serial".to_string(), 1usize),
-        (format!("sharded:{shards}"), shards),
+        BackendSpec::Serial,
+        BackendSpec::Sharded(shards),
+        BackendSpec::MultiGpu(1),
+        BackendSpec::MultiGpu(2),
+        BackendSpec::MultiGpu(4),
     ];
     // The chain length scales like the node counts of the named datasets,
     // so the merge-heavy leg keeps "many iterations, small deltas" at any
@@ -103,23 +228,25 @@ fn main() {
     for (query, graph) in &workloads {
         let query = *query;
         let mut tuple_counts: Vec<usize> = Vec::new();
-        for (label, shard_count) in &backends {
-            let config = EngineConfig::default().with_shard_count(*shard_count);
+        for spec in &backends {
+            let config = spec.configure(EngineConfig::default());
             let mut walls = Vec::with_capacity(trials);
             let mut modeled = Vec::with_capacity(trials);
             let mut tuples = 0usize;
             let mut iterations = 0usize;
             let mut counters = (0u64, 0u64, 0u64);
             let mut phase_ns = (0u64, 0u64, 0u64);
+            let mut topology: Option<TopologyReport> = None;
             for _ in 0..trials {
                 let device = gpulog_device(scale);
                 let (size, stats) = match query {
                     "sg" => {
-                        let r = sg::run(&device, graph, config).expect("smoke run failed");
+                        let r = sg::run(&device, graph, config.clone()).expect("smoke run failed");
                         (r.sg_size, r.stats)
                     }
                     _ => {
-                        let r = reach::run(&device, graph, config).expect("smoke run failed");
+                        let r =
+                            reach::run(&device, graph, config.clone()).expect("smoke run failed");
                         (r.reach_size, r.stats)
                     }
                 };
@@ -127,9 +254,11 @@ fn main() {
                 iterations = stats.iterations;
                 walls.push(stats.wall_seconds);
                 modeled.push(stats.modeled_seconds());
-                // Work counters are deterministic per configuration; the
-                // phase nanos wobble with the wall clock, so the artifact
-                // records the last trial of each.
+                // Work counters (and the topology modeling, which is
+                // derived from deterministic counters) are deterministic
+                // per configuration; the phase nanos wobble with the wall
+                // clock, so the artifact records the last trial of each.
+                topology = stats.topology;
                 let snap = device.metrics().snapshot();
                 counters = (snap.hash_inserts, snap.hash_rebuilds, snap.sort_passes);
                 let phases = device.metrics().phase_times();
@@ -140,8 +269,8 @@ fn main() {
             rows.push(SmokeRow {
                 query,
                 dataset: graph.name.clone(),
-                backend: label.clone(),
-                shards: *shard_count,
+                backend: spec.label(),
+                shards: spec.shards(),
                 tuples,
                 iterations,
                 median_wall_s: median(walls),
@@ -152,6 +281,7 @@ fn main() {
                 sort_ns: phase_ns.0,
                 merge_ns: phase_ns.1,
                 index_ns: phase_ns.2,
+                topology,
             });
         }
         assert!(
@@ -159,6 +289,21 @@ fn main() {
             "{query}: backends disagree on tuple counts: {tuple_counts:?}"
         );
     }
+
+    // The multi-GPU model must actually show multi-device leverage on the
+    // memory-bound REACH workload: the 4-device NVLink-like preset's
+    // aggregate-over-critical-path speedup is derived from deterministic
+    // counters, so a regression here is a modeling bug, not noise.
+    let reach_4dev = rows
+        .iter()
+        .find(|r| r.query == "reach" && r.backend == "multigpu:4")
+        .and_then(|r| r.topology.as_ref())
+        .expect("the multigpu:4 REACH leg reports a topology");
+    assert!(
+        reach_4dev.modeled_speedup() > 1.0,
+        "modeled 4-device NVLink speedup on REACH must exceed 1.0, got {:.2}",
+        reach_4dev.modeled_speedup()
+    );
 
     let mut table = TextTable::new([
         "Query",
@@ -171,7 +316,7 @@ fn main() {
     ]);
     let serial_wall = |query: &str| {
         rows.iter()
-            .find(|r| r.query == query && r.shards == 1)
+            .find(|r| r.query == query && r.backend == "serial")
             .map(|r| r.median_wall_s)
             .unwrap_or(f64::NAN)
     };
@@ -218,6 +363,43 @@ fn main() {
     println!("phase breakdown (device-level, last trial)");
     println!("{}", phases.render());
 
+    // The multi-GPU modeling columns: per-iteration critical path (max over
+    // devices of compute + incoming transfer, summed over pipelines),
+    // cross-device exchange traffic, and the aggregate-over-critical-path
+    // modeled speedup.
+    let mut topo_table = TextTable::new([
+        "Query",
+        "Topology",
+        "Link",
+        "Modeled CP (s)",
+        "Model speedup",
+        "Exchange (KiB)",
+        "Exchange msgs",
+        "Per-device modeled (s)",
+    ]);
+    for row in &rows {
+        let Some(report) = &row.topology else {
+            continue;
+        };
+        let per_device: Vec<String> = report
+            .devices
+            .iter()
+            .map(|lane| format!("{:.6}", lane.modeled_compute_sec))
+            .collect();
+        topo_table.row([
+            row.query.to_string(),
+            row.backend.clone(),
+            report.link.clone(),
+            format!("{:.6}", report.modeled_critical_path_sec),
+            format!("{:.2}x", report.modeled_speedup()),
+            format!("{:.1}", report.total_exchange_bytes as f64 / 1024.0),
+            format!("{}", report.total_exchange_messages),
+            per_device.join(" "),
+        ]);
+    }
+    println!("multi-GPU simulation (modeled, last trial)");
+    println!("{}", topo_table.render());
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"scale\": {scale},\n"));
     json.push_str(&format!("  \"trials\": {trials},\n"));
@@ -229,7 +411,8 @@ fn main() {
              \"shards\": {}, \"tuples\": {}, \"iterations\": {}, \
              \"median_wall_s\": {:.6}, \"median_modeled_s\": {:.6}, \
              \"hash_inserts\": {}, \"hash_rebuilds\": {}, \"sort_passes\": {}, \
-             \"phase_nanos\": {{\"sort\": {}, \"merge\": {}, \"index\": {}}}}}{}\n",
+             \"phase_nanos\": {{\"sort\": {}, \"merge\": {}, \"index\": {}}}, \
+             \"topology\": {}}}{}\n",
             row.query,
             row.dataset,
             row.backend,
@@ -244,10 +427,12 @@ fn main() {
             row.sort_ns,
             row.merge_ns,
             row.index_ns,
+            topology_json(&row.topology),
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
     json.push_str("  ]\n}\n");
+    validate_schema(&json).expect("generated artifact must satisfy its own schema");
     std::fs::write(&out_path, &json).expect("failed to write the bench smoke artifact");
     println!("wrote {out_path}");
 }

@@ -11,13 +11,13 @@ use gpulog_queries::reach;
 
 fn main() {
     let scale = scale_from_env();
-    let (backend_label, shards) = backend_from_args();
+    let backend = backend_from_args();
     banner(
         "Table 2: REACH — GPUlog vs Souffle-like, GPUJoin-like, cuDF-like",
         scale,
     );
-    println!("(GPUlog backend: {backend_label})");
-    let config = EngineConfig::default().with_shard_count(shards);
+    println!("(GPUlog backend: {})", backend.label());
+    let config = backend.configure(EngineConfig::default());
     let budget = vram_budget_bytes(scale);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -39,7 +39,7 @@ fn main() {
     for dataset in PaperDataset::table2() {
         let graph = dataset.generate(scale);
         let device = gpulog_device(scale);
-        let gpulog_result = reach::prepare(&device, &graph, config)
+        let gpulog_result = reach::prepare(&device, &graph, config.clone())
             .and_then(|mut engine| engine.run().map(|stats| (engine, stats)));
         let (modeled_cell, wall_cell, modeled, reach_size, checksum_cell) = match &gpulog_result {
             Ok((engine, stats)) => (

@@ -13,12 +13,12 @@ use gpulog_queries::sg;
 
 fn main() {
     let scale = scale_from_env();
-    let (backend_label, shards) = backend_from_args();
+    let backend = backend_from_args();
     banner(
         "Table 3: SG — GPUlog vs GPUlog-HIP vs Souffle-like vs cuDF-like",
         scale,
     );
-    println!("(GPUlog backend: {backend_label})");
+    println!("(GPUlog backend: {})", backend.label());
     let budget = vram_budget_bytes(scale);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -43,7 +43,7 @@ fn main() {
         let cuda = sg::prepare(
             &cuda_device,
             &graph,
-            EngineConfig::default().with_shard_count(shards),
+            backend.configure(EngineConfig::default()),
         )
         .and_then(|mut engine| engine.run().map(|stats| (engine, stats)));
         let (cuda_cell, cuda_wall_cell, cuda_modeled, sg_size) = match &cuda {
@@ -73,9 +73,7 @@ fn main() {
         let mut hip_profile = DeviceProfile::amd_mi250();
         hip_profile.memory_capacity_bytes = budget;
         let hip_device = Device::new(hip_profile);
-        let hip_cfg = EngineConfig::new()
-            .with_ebm(EbmConfig::disabled())
-            .with_shard_count(shards);
+        let hip_cfg = backend.configure(EngineConfig::new().with_ebm(EbmConfig::disabled()));
         let hip_cell = match sg::run(&hip_device, &graph, hip_cfg) {
             Ok(r) => format!("{:.3}", r.stats.modeled_seconds()),
             Err(_) => "OOM".to_string(),

@@ -16,7 +16,10 @@
 //! `0.35`) scaling the synthetic datasets, and print plain-text tables in
 //! the same row/column layout as the paper.
 
+use gpulog::EngineConfig;
+use gpulog_device::topology::DeviceTopology;
 use gpulog_device::{Device, DeviceProfile};
+use std::num::NonZeroUsize;
 
 /// Reads the dataset scale factor from `GPULOG_SCALE` (default 0.35).
 pub fn scale_from_env() -> f64 {
@@ -45,33 +48,87 @@ pub fn gpulog_device(scale: f64) -> Device {
     Device::new(profile)
 }
 
-/// Parses a backend spec: `serial`, `sharded` (4 shards), or `sharded:N`.
-/// Returns `(normalized label, shard count)`.
+/// A parsed backend selection shared by the bench bins' `--backend` flag
+/// and the CI matrix's `GPULOG_TEST_BACKEND` variable (via
+/// `gpulog_tests::config_from_env`), so the two spec grammars cannot
+/// drift apart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// The serial single-device backend.
+    Serial,
+    /// The hash-partitioned `ShardedBackend` with `N` shards.
+    Sharded(usize),
+    /// The `MultiGpuBackend` over an `N`-device NVLink-like topology.
+    MultiGpu(usize),
+}
+
+impl BackendSpec {
+    /// The normalized label (`serial`, `sharded:N`, `multigpu:N`) used in
+    /// tables and artifacts.
+    pub fn label(&self) -> String {
+        match self {
+            BackendSpec::Serial => "serial".to_string(),
+            BackendSpec::Sharded(n) => format!("sharded:{n}"),
+            BackendSpec::MultiGpu(n) => format!("multigpu:{n}"),
+        }
+    }
+
+    /// The number of hash partitions the spec evaluates over (1 for
+    /// serial; the device count for a topology).
+    pub fn shards(&self) -> usize {
+        match self {
+            BackendSpec::Serial => 1,
+            BackendSpec::Sharded(n) | BackendSpec::MultiGpu(n) => *n,
+        }
+    }
+
+    /// Re-targets an engine configuration at this backend: sets the shard
+    /// count, and for `multigpu:N` installs an `N`-device NVLink-like
+    /// [`DeviceTopology`].
+    pub fn configure(&self, config: EngineConfig) -> EngineConfig {
+        match self {
+            BackendSpec::Serial => config.with_shard_count(1),
+            BackendSpec::Sharded(n) => config.with_shard_count(*n),
+            BackendSpec::MultiGpu(n) => {
+                let devices = NonZeroUsize::new(*n).expect("parse rejects zero devices");
+                config
+                    .with_shard_count(1)
+                    .with_device_topology(DeviceTopology::nvlink_like(devices))
+            }
+        }
+    }
+}
+
+/// Parses a backend spec: `serial`, `sharded` (4 shards), `sharded:N`, or
+/// `multigpu:N` (an `N`-device simulated NVLink-like topology).
 ///
 /// # Errors
 ///
 /// Returns a description of the expected syntax for anything else.
-pub fn parse_backend_spec(spec: &str) -> Result<(String, usize), String> {
+pub fn parse_backend_spec(spec: &str) -> Result<BackendSpec, String> {
+    let parse_count = |n: &str| n.parse::<usize>().ok().filter(|n| *n >= 1);
     match spec {
-        "serial" => Ok(("serial".to_string(), 1)),
-        "sharded" => Ok(("sharded:4".to_string(), 4)),
-        other => match other
-            .strip_prefix("sharded:")
-            .and_then(|n| n.parse::<usize>().ok())
-        {
-            Some(n) if n >= 1 => Ok((format!("sharded:{n}"), n)),
-            _ => Err(format!(
-                "expected `serial`, `sharded`, or `sharded:N` (N >= 1), got {other:?}"
-            )),
-        },
+        "serial" => Ok(BackendSpec::Serial),
+        "sharded" => Ok(BackendSpec::Sharded(4)),
+        other => {
+            if let Some(n) = other.strip_prefix("sharded:").and_then(parse_count) {
+                Ok(BackendSpec::Sharded(n))
+            } else if let Some(n) = other.strip_prefix("multigpu:").and_then(parse_count) {
+                Ok(BackendSpec::MultiGpu(n))
+            } else {
+                Err(format!(
+                    "expected `serial`, `sharded`, `sharded:N`, or `multigpu:N` \
+                     (N >= 1), got {other:?}"
+                ))
+            }
+        }
     }
 }
 
-/// Reads the `--backend serial|sharded:N` command-line flag (default
-/// `serial`), returning `(label, shard count)` for
-/// [`gpulog::EngineConfig::with_shard_count`]-style plumbing. Exits with a
-/// usage message on a malformed spec so CI failures are self-explanatory.
-pub fn backend_from_args() -> (String, usize) {
+/// Reads the `--backend serial|sharded:N|multigpu:N` command-line flag
+/// (default `serial`). Exits with a usage message on a malformed spec so
+/// CI failures are self-explanatory.
+pub fn backend_from_args() -> BackendSpec {
     let args: Vec<String> = std::env::args().collect();
     let mut spec = "serial".to_string();
     let mut i = 1;
@@ -80,7 +137,7 @@ pub fn backend_from_args() -> (String, usize) {
             match args.get(i + 1) {
                 Some(value) => spec = value.clone(),
                 None => {
-                    eprintln!("--backend needs a value: serial | sharded | sharded:N");
+                    eprintln!("--backend needs a value: serial | sharded | sharded:N | multigpu:N");
                     std::process::exit(2);
                 }
             }
@@ -199,11 +256,32 @@ mod tests {
 
     #[test]
     fn backend_specs_parse_and_normalize() {
-        assert_eq!(parse_backend_spec("serial"), Ok(("serial".into(), 1)));
-        assert_eq!(parse_backend_spec("sharded"), Ok(("sharded:4".into(), 4)));
-        assert_eq!(parse_backend_spec("sharded:7"), Ok(("sharded:7".into(), 7)));
+        assert_eq!(parse_backend_spec("serial"), Ok(BackendSpec::Serial));
+        assert_eq!(parse_backend_spec("sharded"), Ok(BackendSpec::Sharded(4)));
+        assert_eq!(parse_backend_spec("sharded:7"), Ok(BackendSpec::Sharded(7)));
+        assert_eq!(
+            parse_backend_spec("multigpu:2"),
+            Ok(BackendSpec::MultiGpu(2))
+        );
+        assert_eq!(
+            parse_backend_spec("multigpu:2").unwrap().label(),
+            "multigpu:2"
+        );
         assert!(parse_backend_spec("sharded:0").is_err());
+        assert!(parse_backend_spec("multigpu:0").is_err());
         assert!(parse_backend_spec("gpu").is_err());
+    }
+
+    #[test]
+    fn backend_specs_configure_engine_configs() {
+        let sharded = BackendSpec::Sharded(4).configure(EngineConfig::default());
+        assert_eq!(sharded.shard_count, 4);
+        assert!(sharded.device_topology.is_none());
+        let multi = BackendSpec::MultiGpu(2).configure(EngineConfig::default());
+        let topology = multi.device_topology.expect("topology installed");
+        assert_eq!(topology.device_count().get(), 2);
+        assert_eq!(topology.link().name, "NVLink-like");
+        assert_eq!(BackendSpec::MultiGpu(2).shards(), 2);
     }
 
     #[test]

@@ -14,6 +14,14 @@
 //!   tasks dispatched to the persistent worker pool in a single epoch —
 //!   the ROADMAP's sharded-relations item, landed entirely behind this
 //!   trait.
+//! * [`MultiGpuBackend`] pins each hash shard to one device of a simulated
+//!   [`gpulog_device::topology::DeviceTopology`], attributes per-shard
+//!   work to that device's counters, and explicitly models the
+//!   end-of-iteration delta exchange against the topology's link model —
+//!   producing per-device modeled time, cross-device exchange bytes, and a
+//!   modeled critical path (surfaced through
+//!   [`Backend::topology_report`]), while computing fixpoints
+//!   byte-identical to the serial backend.
 //!
 //! The same seam accommodates the remaining scaling items: an
 //! async-pipelining backend can overlap the join/dedup/merge phases of
@@ -26,13 +34,17 @@ use crate::planner::{RelId, VersionSel};
 use crate::ra::op::RaPipeline;
 use crate::relation::RelationStorage;
 use crate::stats::RunStats;
+use gpulog_device::topology::TopologyReport;
 use gpulog_device::Device;
 use gpulog_hisa::Hisa;
 use std::fmt;
+use std::num::NonZeroUsize;
 
+mod multigpu;
 mod serial;
 mod sharded;
 
+pub use multigpu::MultiGpuBackend;
 pub use serial::SerialBackend;
 pub use sharded::ShardedBackend;
 
@@ -68,7 +80,7 @@ impl EvalContext<'_> {
         relation: RelId,
         version: VersionSel,
         key_cols: &[usize],
-        shards: usize,
+        shards: NonZeroUsize,
     ) -> EngineResult<()> {
         let storage = &mut self.relations[relation];
         let version = match version {
@@ -88,7 +100,7 @@ impl EvalContext<'_> {
         relation: RelId,
         version: VersionSel,
         key_cols: &[usize],
-        shards: usize,
+        shards: NonZeroUsize,
     ) -> Option<&[Hisa]> {
         let storage = &self.relations[relation];
         let version = match version {
@@ -134,4 +146,12 @@ pub trait Backend: fmt::Debug + Send {
         ctx: &mut EvalContext<'_>,
         pipeline: &RaPipeline,
     ) -> EngineResult<PipelineOutcome>;
+
+    /// The cumulative multi-device modeling report, for backends that pin
+    /// work to a simulated [`gpulog_device::topology::DeviceTopology`]
+    /// ([`MultiGpuBackend`]); `None` for single-device backends. The
+    /// engine copies it into [`crate::RunStats::topology`] after a run.
+    fn topology_report(&self) -> Option<TopologyReport> {
+        None
+    }
 }

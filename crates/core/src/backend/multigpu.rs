@@ -1,0 +1,869 @@
+//! The simulated multi-GPU backend: hash shards pinned to modeled devices,
+//! with an explicitly costed delta exchange.
+//!
+//! `MultiGpuBackend` executes the *same computation* as
+//! [`ShardedBackend`](super::ShardedBackend) — every shardable op fans out
+//! as per-shard tasks on the host worker pool, and fixpoints stay
+//! byte-identical to [`SerialBackend`](super::SerialBackend) — but it
+//! additionally *models* where each shard's data lives: shard `i` is
+//! pinned to device `i` of a [`DeviceTopology`], per-shard work is
+//! attributed to that device's own [`Metrics`] counters, and every row
+//! that crosses a device boundary is charged to the topology's
+//! [`LinkProfile`].
+//!
+//! ## The residency model
+//!
+//! Intermediate batches travel as one part per device. A row's home is
+//! deterministic:
+//!
+//! * a relation's tuples (and therefore scan outputs) live on the device
+//!   owning them by **full-row hash** — the same `shard_of` that the diff
+//!   op partitions by, so ownership and delta population agree;
+//! * a keyed join re-partitions the in-flight parts by the join key:
+//!   rows whose key hashes to a different device move across the link
+//!   (**join exchange**);
+//! * ops with nothing to shard on (cross products, fused chains whose
+//!   first level binds no key) gather to device 0, run the serial op body
+//!   there, and the gather is charged.
+//!
+//! ## The delta exchange
+//!
+//! At the end of each iteration the `Diff` op moves rows twice:
+//!
+//! 1. **producer → owner**: each device's freshly derived rows (recorded
+//!    per rule pipeline as producer segments) are partitioned by full-row
+//!    hash and shipped to their owners, which deduplicate and subtract
+//!    `full` shard-locally;
+//! 2. **owner → index partitions**: the resulting delta is pushed to every
+//!    cached shard map on the relation's full version (each map's shard
+//!    `i` needs exactly the delta rows whose *key* hashes to `i`), and a
+//!    fresh delta-version shard-map build charges the same distribution.
+//!
+//! Every pipeline is a bulk-synchronous step, so the run's **modeled
+//! critical path** accumulates, per executed pipeline, the slowest
+//! device's modeled compute plus its incoming transfer time
+//! (`messages x latency + bytes / bandwidth`). The cumulative report —
+//! per-device modeled seconds, exchange bytes and messages, critical path,
+//! and the aggregate-over-critical-path modeled speedup — is surfaced
+//! through [`Backend::topology_report`] and lands in
+//! [`crate::RunStats::topology`].
+
+use super::serial::{fused_join_op, hash_join_op, scan_op};
+use super::sharded::fan_out_shards;
+use super::{Backend, EvalContext, PipelineOutcome};
+use crate::error::EngineResult;
+use crate::planner::{ColumnSource, FilterStep, JoinStep, RelId, VersionSel};
+use crate::ra::difference_batch;
+use crate::ra::hash_join_batch;
+use crate::ra::nway::{fused_rule_join_batch, FusedLevel};
+use crate::ra::op::{RaOp, RaPipeline};
+use crate::ra::project::{filter_batch, project_batch};
+use crate::relation::RelationStorage;
+use crate::stats::Phase;
+use gpulog_device::cost::CostModel;
+use gpulog_device::metrics::{CounterSnapshot, Metrics};
+use gpulog_device::topology::{DeviceLaneReport, DeviceTopology, LinkProfile, TopologyReport};
+use gpulog_hisa::{shard_of, TupleBatch};
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Bytes of one tuple value (relations are dense `u32` columns).
+const VALUE_BYTES: usize = 4;
+
+/// The cumulative modeling state of one topology: per-device counters,
+/// link-traffic tallies, the accumulated critical path, and the producer
+/// ledger recording which device derived each segment of every relation's
+/// `new` buffer (consumed by the next `Diff` on that relation).
+#[derive(Debug)]
+struct TopologySim {
+    metrics: Vec<Metrics>,
+    in_bytes: Vec<AtomicU64>,
+    out_bytes: Vec<AtomicU64>,
+    in_messages: Vec<AtomicU64>,
+    critical_path_sec: Mutex<f64>,
+    producers: Mutex<HashMap<RelId, Vec<(usize, usize)>>>,
+}
+
+impl TopologySim {
+    fn new(devices: usize) -> Self {
+        TopologySim {
+            metrics: (0..devices).map(|_| Metrics::new()).collect(),
+            in_bytes: (0..devices).map(|_| AtomicU64::new(0)).collect(),
+            out_bytes: (0..devices).map(|_| AtomicU64::new(0)).collect(),
+            in_messages: (0..devices).map(|_| AtomicU64::new(0)).collect(),
+            critical_path_sec: Mutex::new(0.0),
+            producers: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// The multi-GPU simulation backend. Construct with
+/// [`MultiGpuBackend::new`] or let [`crate::EngineBuilder`] install it from
+/// [`crate::EngineConfig::with_device_topology`].
+#[derive(Debug)]
+pub struct MultiGpuBackend {
+    topology: DeviceTopology,
+    models: Vec<CostModel>,
+    sim: TopologySim,
+}
+
+impl MultiGpuBackend {
+    /// Creates a backend pinning shard `i` to device `i` of `topology`.
+    pub fn new(topology: DeviceTopology) -> Self {
+        let models = topology
+            .devices()
+            .iter()
+            .map(|profile| CostModel::new(profile.clone()))
+            .collect();
+        let sim = TopologySim::new(topology.device_count().get());
+        MultiGpuBackend {
+            topology,
+            models,
+            sim,
+        }
+    }
+
+    /// The topology this backend models.
+    pub fn topology(&self) -> &DeviceTopology {
+        &self.topology
+    }
+
+    /// Number of modeled devices (= hash shards).
+    fn devices(&self) -> NonZeroUsize {
+        self.topology.device_count()
+    }
+
+    /// The cumulative modeling report: per-device modeled compute, link
+    /// traffic, critical path, and modeled speedup.
+    pub fn report(&self) -> TopologyReport {
+        let devices = (0..self.devices().get())
+            .map(|d| DeviceLaneReport {
+                device: format!("{} #{d}", self.topology.devices()[d].name),
+                modeled_compute_sec: self.models[d]
+                    .estimate(&self.sim.metrics[d].snapshot())
+                    .total_sec(),
+                exchange_in_bytes: self.sim.in_bytes[d].load(Ordering::Relaxed),
+                exchange_out_bytes: self.sim.out_bytes[d].load(Ordering::Relaxed),
+                exchange_in_messages: self.sim.in_messages[d].load(Ordering::Relaxed),
+            })
+            .collect::<Vec<_>>();
+        TopologyReport {
+            link: self.topology.link().name.clone(),
+            total_exchange_bytes: devices.iter().map(|d| d.exchange_in_bytes).sum(),
+            total_exchange_messages: devices.iter().map(|d| d.exchange_in_messages).sum(),
+            modeled_critical_path_sec: *self
+                .sim
+                .critical_path_sec
+                .lock()
+                .expect("critical-path lock poisoned"),
+            devices,
+        }
+    }
+
+    /// Attributes one device's share of an op: bytes moved through its
+    /// modeled memory, simple ops, and (when it actually ran a task) one
+    /// kernel launch.
+    fn charge(&self, device: usize, bytes_read: u64, bytes_written: u64, ops: u64, launch: bool) {
+        let m = &self.sim.metrics[device];
+        m.add_bytes_read(bytes_read);
+        m.add_bytes_written(bytes_written);
+        m.add_ops(ops);
+        if launch {
+            m.add_kernel_launch();
+        }
+    }
+
+    /// Applies an `S x S` byte matrix of cross-device traffic to the link
+    /// tallies: one message per (producer, destination) pair that moved
+    /// bytes.
+    fn apply_exchange(&self, matrix: &[u64]) {
+        let s = self.devices().get();
+        for p in 0..s {
+            for d in 0..s {
+                let bytes = matrix[p * s + d];
+                if bytes > 0 && p != d {
+                    self.sim.out_bytes[p].fetch_add(bytes, Ordering::Relaxed);
+                    self.sim.in_bytes[d].fetch_add(bytes, Ordering::Relaxed);
+                    self.sim.in_messages[d].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Distributes a freshly produced batch to its owning devices by
+    /// full-row hash. Initial placement — scan outputs read where the
+    /// relation's tuples already live — is free; only *re*-partitioning
+    /// charges the link.
+    fn distribute_by_row_hash(&self, batch: TupleBatch) -> Vec<TupleBatch> {
+        let cols: Vec<usize> = (0..batch.arity()).collect();
+        batch.partition_by_key_hash(&cols, self.devices())
+    }
+
+    /// Re-partitions resident parts by a join key, charging every row that
+    /// lands on a different device. Destination parts concatenate the
+    /// producers' sub-parts in producer order — exactly the row sequence
+    /// the sharded backend's single global partition produces.
+    fn exchange_repartition(&self, parts: Vec<TupleBatch>, key_cols: &[usize]) -> Vec<TupleBatch> {
+        let shards = self.devices();
+        let s = shards.get();
+        let arity = parts.first().map_or(1, TupleBatch::arity);
+        let mut matrix = vec![0u64; s * s];
+        let mut per_dest: Vec<Vec<TupleBatch>> = (0..s).map(|_| Vec::with_capacity(s)).collect();
+        for (p, part) in parts.into_iter().enumerate() {
+            for (d, sub) in part
+                .partition_by_key_hash(key_cols, shards)
+                .into_iter()
+                .enumerate()
+            {
+                if d != p {
+                    matrix[p * s + d] += (sub.as_flat().len() * VALUE_BYTES) as u64;
+                }
+                per_dest[d].push(sub);
+            }
+        }
+        self.apply_exchange(&matrix);
+        per_dest
+            .into_iter()
+            .map(|subs| TupleBatch::concat(arity, subs))
+            .collect()
+    }
+
+    /// The one charging loop behind both delta-exchange legs: for every
+    /// row, `producer_of(row)` names the device the row currently lives on
+    /// (`None` = already resident, charge nothing) and the row's
+    /// destination is `shard_of` over its `key_cols` values; rows whose
+    /// producer and destination differ are charged to the link.
+    fn charge_keyed_exchange<P>(
+        &self,
+        rows: &[u32],
+        arity: usize,
+        key_cols: &[usize],
+        mut producer_of: P,
+    ) where
+        P: FnMut(&[u32]) -> Option<usize>,
+    {
+        if rows.is_empty() {
+            return;
+        }
+        let shards = self.devices();
+        let s = shards.get();
+        let row_bytes = (arity * VALUE_BYTES) as u64;
+        let mut matrix = vec![0u64; s * s];
+        let mut key = Vec::with_capacity(key_cols.len());
+        for row in rows.chunks_exact(arity) {
+            let Some(producer) = producer_of(row) else {
+                continue;
+            };
+            key.clear();
+            key.extend(key_cols.iter().map(|&c| row[c]));
+            let dest = shard_of(&key, shards);
+            if producer != dest {
+                matrix[producer * s + dest] += row_bytes;
+            }
+        }
+        self.apply_exchange(&matrix);
+    }
+
+    /// Charges the producer → destination traffic of partitioning `batch`
+    /// by `key_cols`, where each row's producer comes from the recorded
+    /// `(device, rows)` segments. Rows beyond the recorded segments (none
+    /// in engine-driven runs) are treated as already resident.
+    fn charge_segmented_exchange(
+        &self,
+        batch: &TupleBatch,
+        segments: &[(usize, usize)],
+        key_cols: &[usize],
+    ) {
+        if segments.is_empty() {
+            return;
+        }
+        let mut producer_of_row = segments
+            .iter()
+            .flat_map(|&(device, rows)| std::iter::repeat_n(device, rows));
+        self.charge_keyed_exchange(batch.as_flat(), batch.arity(), key_cols, |_| {
+            producer_of_row.next()
+        });
+    }
+
+    /// Charges moving `rows` (owned by full-row hash) into a partitioning
+    /// by `key_cols` — the cost of building or feeding one shard map whose
+    /// key differs from the ownership hash.
+    fn charge_owner_to_key_exchange(&self, rows: &[u32], arity: usize, key_cols: &[usize]) {
+        let shards = self.devices();
+        self.charge_keyed_exchange(rows, arity, key_cols, |row| Some(shard_of(row, shards)));
+    }
+
+    /// Gathers every part onto device 0 for a serial op body, charging the
+    /// gather. Used by ops with no key to shard on.
+    fn gather_to_device_zero(&self, parts: Vec<TupleBatch>) -> TupleBatch {
+        let s = self.devices().get();
+        let arity = parts.first().map_or(1, TupleBatch::arity);
+        let mut matrix = vec![0u64; s * s];
+        for (p, part) in parts.iter().enumerate() {
+            if p != 0 && !part.is_empty() {
+                matrix[p * s] += (part.as_flat().len() * VALUE_BYTES) as u64;
+            }
+        }
+        self.apply_exchange(&matrix);
+        TupleBatch::concat(arity, parts)
+    }
+
+    /// Wraps a batch produced serially on device 0 back into parts form.
+    fn parts_on_device_zero(&self, batch: TupleBatch) -> Vec<TupleBatch> {
+        let arity = batch.arity();
+        let mut parts = vec![batch];
+        parts.resize_with(self.devices().get(), || TupleBatch::empty(arity));
+        parts
+    }
+
+    /// Builds (or refreshes) one inner relation's shard map, charging the
+    /// owner-to-key distribution when the build is fresh (see
+    /// [`MultiGpuBackend::charge_index_build`]) — the shared prologue of
+    /// both join ops, so their modeled index-build cost cannot diverge.
+    fn ensure_charged_shard_map(
+        &self,
+        ctx: &mut EvalContext<'_>,
+        step: &JoinStep,
+    ) -> EngineResult<()> {
+        let shards = self.devices();
+        let fresh = ctx
+            .shard_map(step.relation, step.version, &step.inner_key_cols, shards)
+            .is_none();
+        ctx.build_shard_map(step.relation, step.version, &step.inner_key_cols, shards)?;
+        if fresh {
+            self.charge_index_build(ctx, step.relation, step.version, &step.inner_key_cols);
+        }
+        Ok(())
+    }
+
+    /// [`RaOp::HashJoin`] over pinned shards: re-partition the outer parts
+    /// by the join key (charged), then shard `i` of the outer probes shard
+    /// `i` of the inner on device `i`.
+    fn multi_hash_join(
+        &self,
+        ctx: &mut EvalContext<'_>,
+        parts: Vec<TupleBatch>,
+        step: &JoinStep,
+        filters: &[FilterStep],
+    ) -> EngineResult<Vec<TupleBatch>> {
+        let shards = self.devices();
+        let t = Instant::now();
+        let index_phase = match step.version {
+            VersionSel::Full => Phase::IndexFull,
+            VersionSel::Delta => Phase::IndexDelta,
+        };
+        self.ensure_charged_shard_map(ctx, step)?;
+        ctx.stats.add_phase(index_phase, t.elapsed());
+
+        let t = Instant::now();
+        let dest = self.exchange_repartition(parts, &step.outer_key_cols);
+        let outer_arity = dest.first().map_or(1, |p| p.arity().max(1));
+        let in_sizes: Vec<usize> = dest.iter().map(|p| p.as_flat().len()).collect();
+        let outs = {
+            let device = ctx.device;
+            let inners = ctx
+                .shard_map(step.relation, step.version, &step.inner_key_cols, shards)
+                .expect("shard map built above");
+            fan_out_shards(device, dest, |shard, part| {
+                let mut out = hash_join_batch(
+                    device,
+                    part,
+                    &step.outer_key_cols,
+                    &inners[shard],
+                    &step.inner_const_filters,
+                    &step.inner_eq_filters,
+                    &step.emit,
+                );
+                if !filters.is_empty() {
+                    out = filter_batch(device, &out, filters);
+                }
+                out
+            })
+        };
+        for (d, (&in_values, out)) in in_sizes.iter().zip(&outs).enumerate() {
+            if in_values == 0 {
+                continue;
+            }
+            let in_bytes = (in_values * VALUE_BYTES) as u64;
+            let out_bytes = (out.as_flat().len() * VALUE_BYTES) as u64;
+            // Each outer row performs one hash probe (~16 bytes of table
+            // reads); matched inner rows are read at output size.
+            let probe_rows = (in_values / outer_arity) as u64;
+            self.charge(
+                d,
+                in_bytes + 16 * probe_rows + out_bytes,
+                out_bytes,
+                probe_rows + out.len() as u64,
+                true,
+            );
+        }
+        ctx.stats.add_phase(Phase::Join, t.elapsed());
+        Ok(outs)
+    }
+
+    /// [`RaOp::FusedJoin`] with the level-0 inner pinned per device;
+    /// deeper levels probe whole (replicated) indices, so only the level-0
+    /// re-partition crosses the link.
+    fn multi_fused_join(
+        &self,
+        ctx: &mut EvalContext<'_>,
+        parts: Vec<TupleBatch>,
+        levels: &[(JoinStep, Vec<FilterStep>)],
+        head_proj: &[ColumnSource],
+    ) -> EngineResult<Vec<TupleBatch>> {
+        let shards = self.devices();
+        let (level0, _) = &levels[0];
+        let t = Instant::now();
+        self.ensure_charged_shard_map(ctx, level0)?;
+        for (step, _) in &levels[1..] {
+            let storage = &mut ctx.relations[step.relation];
+            let version = match step.version {
+                VersionSel::Full => &mut storage.full,
+                VersionSel::Delta => &mut storage.delta,
+            };
+            version.index_on(ctx.device, &step.inner_key_cols)?;
+        }
+        ctx.stats.add_phase(Phase::IndexFull, t.elapsed());
+
+        let t = Instant::now();
+        let dest = self.exchange_repartition(parts, &level0.outer_key_cols);
+        let in_sizes: Vec<usize> = dest.iter().map(|p| p.as_flat().len()).collect();
+        let outs = {
+            let device = ctx.device;
+            let relations: &[RelationStorage] = ctx.relations;
+            let inners0 = ctx
+                .shard_map(
+                    level0.relation,
+                    level0.version,
+                    &level0.inner_key_cols,
+                    shards,
+                )
+                .expect("shard map built above");
+            fan_out_shards(device, dest, |shard, part| {
+                let fused_levels: Vec<FusedLevel<'_>> = levels
+                    .iter()
+                    .enumerate()
+                    .map(|(depth, (step, step_filters))| {
+                        let inner = if depth == 0 {
+                            &inners0[shard]
+                        } else {
+                            let storage = &relations[step.relation];
+                            let version = match step.version {
+                                VersionSel::Full => &storage.full,
+                                VersionSel::Delta => &storage.delta,
+                            };
+                            version
+                                .existing_index(&step.inner_key_cols)
+                                .expect("index built above")
+                        };
+                        FusedLevel {
+                            step,
+                            inner,
+                            filters: step_filters.as_slice(),
+                        }
+                    })
+                    .collect();
+                fused_rule_join_batch(device, part, &fused_levels, head_proj)
+            })
+        };
+        for (d, (&in_values, out)) in in_sizes.iter().zip(&outs).enumerate() {
+            if in_values == 0 {
+                continue;
+            }
+            let in_bytes = (in_values * VALUE_BYTES) as u64;
+            let out_bytes = (out.as_flat().len() * VALUE_BYTES) as u64;
+            self.charge(
+                d,
+                in_bytes + out_bytes,
+                out_bytes,
+                (in_values + out.as_flat().len()) as u64,
+                true,
+            );
+        }
+        ctx.stats.add_phase(Phase::Join, t.elapsed());
+        Ok(outs)
+    }
+
+    /// Charges the distribution cost of a freshly built delta shard map:
+    /// the delta's rows move from their owners (full-row hash) to the
+    /// key-hash partitions. Full-version builds are initial placement and
+    /// stay free (steady-state maintenance goes through the delta
+    /// exchange).
+    fn charge_index_build(
+        &self,
+        ctx: &EvalContext<'_>,
+        relation: RelId,
+        version: VersionSel,
+        key_cols: &[usize],
+    ) {
+        if version != VersionSel::Delta {
+            return;
+        }
+        let storage = &ctx.relations[relation];
+        self.charge_owner_to_key_exchange(storage.delta.tuples_flat(), storage.arity, key_cols);
+    }
+
+    /// [`RaOp::Diff`] with the modeled delta exchange: producer → owner by
+    /// full-row hash (leg 1), per-owner dedup + difference, then owner →
+    /// key-partition pushes for every cached full shard map (leg 2).
+    fn multi_diff(
+        &self,
+        ctx: &mut EvalContext<'_>,
+        relation: RelId,
+        outcome: &mut PipelineOutcome,
+    ) -> EngineResult<()> {
+        let shards = self.devices();
+        let device = ctx.device;
+        let storage = &mut ctx.relations[relation];
+        let arity = storage.arity;
+        let new = TupleBatch::new(arity, storage.take_new(&ctx.ebm));
+        outcome.new_rows = new.len();
+        let segments = self
+            .sim
+            .producers
+            .lock()
+            .expect("producer ledger lock poisoned")
+            .remove(&relation)
+            .unwrap_or_default();
+
+        let t = Instant::now();
+        let full_key: Vec<usize> = (0..arity).collect();
+        // Exchange leg 1: freshly derived rows travel from the device that
+        // produced them to the device that owns them.
+        self.charge_segmented_exchange(&new, &segments, &full_key);
+        let parts = new.partition_by_key_hash(&full_key, shards);
+        let in_sizes: Vec<usize> = parts.iter().map(|p| p.as_flat().len()).collect();
+        let delta = {
+            let full = storage.full.canonical();
+            let outs = fan_out_shards(device, parts, |_, part| {
+                difference_batch(device, part, full)
+            });
+            for (d, (&in_values, out)) in in_sizes.iter().zip(&outs).enumerate() {
+                if in_values == 0 {
+                    continue;
+                }
+                let in_bytes = (in_values * VALUE_BYTES) as u64;
+                let out_bytes = (out.as_flat().len() * VALUE_BYTES) as u64;
+                // Dedup sorts its part (read + write) and probes full once
+                // per row; the delta slice is written back and later merged.
+                self.charge(
+                    d,
+                    2 * in_bytes,
+                    in_bytes + 2 * out_bytes,
+                    (in_values / arity) as u64,
+                    true,
+                );
+            }
+            TupleBatch::merge_sorted_unique(arity, outs)
+        };
+        ctx.stats.add_phase(Phase::Deduplication, t.elapsed());
+        outcome.delta_rows = delta.len();
+
+        // Exchange leg 2: push each owner's delta slice into every cached
+        // shard-map partitioning of the full version, so the shard-local
+        // merges below find their rows on-device.
+        for (key_cols, map_shards) in storage.full.sharded_index_specs() {
+            if map_shards == shards.get() {
+                self.charge_owner_to_key_exchange(delta.as_flat(), arity, &key_cols);
+            }
+        }
+
+        let t = Instant::now();
+        storage.set_delta_batch(&delta)?;
+        ctx.stats.add_phase(Phase::IndexDelta, t.elapsed());
+
+        let t = Instant::now();
+        let ebm = ctx.ebm;
+        storage.merge_delta_into_full(&ebm)?;
+        ctx.stats.add_phase(Phase::Merge, t.elapsed());
+        Ok(())
+    }
+
+    /// Runs the ops of one pipeline over per-device parts, returning early
+    /// (like the serial backend) when the intermediate goes empty.
+    fn execute_pipeline(
+        &self,
+        ctx: &mut EvalContext<'_>,
+        pipeline: &RaPipeline,
+    ) -> EngineResult<PipelineOutcome> {
+        let mut outcome = PipelineOutcome::default();
+        let mut parts: Vec<TupleBatch> = vec![TupleBatch::empty(1); self.devices().get()];
+        for op in &pipeline.ops {
+            match op {
+                RaOp::Scan { step, filters } => {
+                    let batch = scan_op(ctx, step, filters);
+                    parts = self.distribute_by_row_hash(batch);
+                    for (d, part) in parts.iter().enumerate() {
+                        if !part.is_empty() {
+                            let bytes = (part.as_flat().len() * VALUE_BYTES) as u64;
+                            self.charge(d, bytes, bytes, part.len() as u64, true);
+                        }
+                    }
+                }
+                RaOp::HashJoin { step, filters } => {
+                    if parts.iter().all(TupleBatch::is_empty) {
+                        return Ok(outcome);
+                    }
+                    parts = if step.outer_key_cols.is_empty() {
+                        // Cross product: no key to shard on — gather to
+                        // device 0 and run the serial op body there.
+                        let batch = self.gather_to_device_zero(parts);
+                        let joined = hash_join_op(ctx, &batch, step, filters)?;
+                        let bytes = |b: &TupleBatch| (b.as_flat().len() * VALUE_BYTES) as u64;
+                        self.charge(0, bytes(&batch), bytes(&joined), joined.len() as u64, true);
+                        self.parts_on_device_zero(joined)
+                    } else {
+                        self.multi_hash_join(ctx, parts, step, filters)?
+                    };
+                }
+                RaOp::FusedJoin { levels, head_proj } => {
+                    if parts.iter().all(TupleBatch::is_empty) {
+                        return Ok(outcome);
+                    }
+                    let shardable = levels
+                        .first()
+                        .is_some_and(|(level0, _)| !level0.outer_key_cols.is_empty());
+                    parts = if shardable {
+                        self.multi_fused_join(ctx, parts, levels, head_proj)?
+                    } else {
+                        let batch = self.gather_to_device_zero(parts);
+                        let joined = fused_join_op(ctx, &batch, levels, head_proj)?;
+                        let bytes = |b: &TupleBatch| (b.as_flat().len() * VALUE_BYTES) as u64;
+                        self.charge(0, bytes(&batch), bytes(&joined), joined.len() as u64, true);
+                        self.parts_on_device_zero(joined)
+                    };
+                }
+                RaOp::Project { columns } => {
+                    if parts.iter().all(TupleBatch::is_empty) {
+                        return Ok(outcome);
+                    }
+                    let t = Instant::now();
+                    let device = ctx.device;
+                    let out_arity = columns.len().max(1);
+                    let in_sizes: Vec<usize> = parts.iter().map(|p| p.as_flat().len()).collect();
+                    parts = fan_out_shards(device, parts, |_, part| {
+                        if part.is_empty() {
+                            TupleBatch::empty(out_arity)
+                        } else {
+                            project_batch(device, part, columns)
+                        }
+                    });
+                    for (d, (&in_values, out)) in in_sizes.iter().zip(&parts).enumerate() {
+                        if in_values == 0 {
+                            continue;
+                        }
+                        let in_bytes = (in_values * VALUE_BYTES) as u64;
+                        let out_bytes = (out.as_flat().len() * VALUE_BYTES) as u64;
+                        self.charge(d, in_bytes, out_bytes, out.len() as u64, true);
+                    }
+                    ctx.stats.add_phase(Phase::Join, t.elapsed());
+                }
+                RaOp::Diff { relation } => {
+                    self.multi_diff(ctx, *relation, &mut outcome)?;
+                }
+            }
+        }
+        self.install_parts(ctx, pipeline, &parts, &mut outcome);
+        Ok(outcome)
+    }
+
+    /// Appends a rule pipeline's per-device output parts to the head
+    /// relation's `new` buffer and records the producer segments the next
+    /// `Diff` uses to cost exchange leg 1.
+    fn install_parts(
+        &self,
+        ctx: &mut EvalContext<'_>,
+        pipeline: &RaPipeline,
+        parts: &[TupleBatch],
+        outcome: &mut PipelineOutcome,
+    ) {
+        if pipeline.ops.is_empty() || matches!(pipeline.ops.last(), Some(RaOp::Diff { .. })) {
+            return;
+        }
+        let total: usize = parts.iter().map(TupleBatch::len).sum();
+        outcome.derived_rows = total;
+        if total == 0 {
+            return;
+        }
+        let mut producers = self
+            .sim
+            .producers
+            .lock()
+            .expect("producer ledger lock poisoned");
+        let segments = producers.entry(pipeline.head).or_default();
+        for (d, part) in parts.iter().enumerate() {
+            if !part.is_empty() {
+                segments.push((d, part.len()));
+                ctx.relations[pipeline.head].push_new_batch(part);
+            }
+        }
+    }
+}
+
+impl Backend for MultiGpuBackend {
+    fn name(&self) -> &str {
+        "multigpu"
+    }
+
+    fn execute(
+        &self,
+        ctx: &mut EvalContext<'_>,
+        pipeline: &RaPipeline,
+    ) -> EngineResult<PipelineOutcome> {
+        let s = self.devices().get();
+        let compute_before: Vec<CounterSnapshot> =
+            self.sim.metrics.iter().map(Metrics::snapshot).collect();
+        let in_bytes_before: Vec<u64> = self
+            .sim
+            .in_bytes
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        let in_msgs_before: Vec<u64> = self
+            .sim
+            .in_messages
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+
+        let result = self.execute_pipeline(ctx, pipeline);
+
+        // Each pipeline is a bulk-synchronous step: its modeled latency is
+        // the slowest device's compute plus that device's incoming link
+        // transfer.
+        let link: &LinkProfile = self.topology.link();
+        let mut worst = 0.0f64;
+        for d in 0..s {
+            let work = self.sim.metrics[d].snapshot().since(&compute_before[d]);
+            let compute = self.models[d].estimate(&work).total_sec();
+            let bytes = self.sim.in_bytes[d].load(Ordering::Relaxed) - in_bytes_before[d];
+            let messages = self.sim.in_messages[d].load(Ordering::Relaxed) - in_msgs_before[d];
+            let lane = compute + link.transfer_sec(bytes, messages);
+            worst = worst.max(lane);
+        }
+        *self
+            .sim
+            .critical_path_sec
+            .lock()
+            .expect("critical-path lock poisoned") += worst;
+        result
+    }
+
+    fn topology_report(&self) -> Option<TopologyReport> {
+        Some(self.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::serial::SerialBackend;
+    use super::*;
+    use crate::ebm::EbmConfig;
+    use crate::relation::RelationStorage;
+    use crate::stats::RunStats;
+    use gpulog_device::profile::DeviceProfile;
+    use gpulog_device::Device;
+    use gpulog_hisa::DEFAULT_LOAD_FACTOR;
+
+    fn device() -> Device {
+        Device::with_workers(DeviceProfile::nvidia_h100(), 4)
+    }
+
+    fn nz(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    fn backend(devices: usize) -> MultiGpuBackend {
+        MultiGpuBackend::new(DeviceTopology::nvlink_like(nz(devices)))
+    }
+
+    #[test]
+    fn diff_is_byte_identical_to_serial_and_counts_exchange() {
+        let d = device();
+        let new_rows: Vec<u32> = (0..300u32).flat_map(|i| [i % 37, i % 13]).collect();
+        let run = |backend: &dyn Backend| {
+            let mut rels = vec![RelationStorage::new(&d, "R", 2, DEFAULT_LOAD_FACTOR).unwrap()];
+            rels[0].load_full(&[1, 1, 5, 5, 36, 12]).unwrap();
+            rels[0].push_new(&new_rows);
+            let mut stats = RunStats::default();
+            let mut ctx = EvalContext {
+                device: &d,
+                relations: &mut rels,
+                stats: &mut stats,
+                ebm: EbmConfig::default(),
+            };
+            let outcome = backend.execute(&mut ctx, &RaPipeline::diff(0)).unwrap();
+            (
+                outcome,
+                rels[0].delta.tuples_flat().to_vec(),
+                rels[0].full.tuples_flat().to_vec(),
+            )
+        };
+        let serial = run(&SerialBackend);
+        for devices in [1usize, 2, 3, 7] {
+            let multi = backend(devices);
+            assert_eq!(run(&multi), serial, "devices = {devices}");
+            let report = multi.report();
+            assert_eq!(report.devices.len(), devices);
+            if devices == 1 {
+                assert_eq!(report.total_exchange_bytes, 0, "one device never exchanges");
+            }
+        }
+    }
+
+    #[test]
+    fn single_device_topology_reports_speedup_of_one() {
+        let d = device();
+        let multi = backend(1);
+        let mut rels = vec![RelationStorage::new(&d, "R", 2, DEFAULT_LOAD_FACTOR).unwrap()];
+        rels[0].push_new(&[1, 2, 3, 4, 5, 6]);
+        let mut stats = RunStats::default();
+        let mut ctx = EvalContext {
+            device: &d,
+            relations: &mut rels,
+            stats: &mut stats,
+            ebm: EbmConfig::default(),
+        };
+        multi.execute(&mut ctx, &RaPipeline::diff(0)).unwrap();
+        let report = multi.report();
+        assert!(report.modeled_critical_path_sec > 0.0);
+        assert!((report.modeled_speedup() - 1.0).abs() < 1e-9);
+        assert_eq!(report.total_exchange_messages, 0);
+    }
+
+    #[test]
+    fn producer_segments_drive_the_delta_exchange_charges() {
+        let d = device();
+        let multi = backend(4);
+        let mut rels = vec![RelationStorage::new(&d, "R", 2, DEFAULT_LOAD_FACTOR).unwrap()];
+        // 64 distinct rows, all recorded as produced on device 0: roughly
+        // three quarters of them must cross the link to their owners.
+        let rows: Vec<u32> = (0..64u32).flat_map(|i| [i, i + 1000]).collect();
+        rels[0].push_new(&rows);
+        multi.sim.producers.lock().unwrap().insert(0, vec![(0, 64)]);
+        let mut stats = RunStats::default();
+        let mut ctx = EvalContext {
+            device: &d,
+            relations: &mut rels,
+            stats: &mut stats,
+            ebm: EbmConfig::default(),
+        };
+        multi.execute(&mut ctx, &RaPipeline::diff(0)).unwrap();
+        let report = multi.report();
+        assert!(
+            report.total_exchange_bytes > 0,
+            "cross-device rows must be charged"
+        );
+        assert_eq!(
+            report.devices[0].exchange_in_bytes, 0,
+            "device 0 produced everything, it receives nothing in leg 1"
+        );
+        assert!(report.devices[0].exchange_out_bytes > 0);
+        // Every byte sent was received by someone.
+        let sent: u64 = report.devices.iter().map(|l| l.exchange_out_bytes).sum();
+        assert_eq!(sent, report.total_exchange_bytes);
+    }
+}

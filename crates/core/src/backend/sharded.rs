@@ -40,6 +40,7 @@ use crate::relation::RelationStorage;
 use crate::stats::Phase;
 use gpulog_device::Device;
 use gpulog_hisa::TupleBatch;
+use std::num::NonZeroUsize;
 use std::time::Instant;
 
 /// The hash-partitioned backend: each relation's HISA is sharded by
@@ -49,7 +50,9 @@ use std::time::Instant;
 /// [`crate::EngineConfig::with_shard_count`].
 #[derive(Debug, Clone, Copy)]
 pub struct ShardedBackend {
-    shards: usize,
+    /// Non-zero by construction, so the data layer's partitioning calls
+    /// are panic-free without re-validating.
+    shards: NonZeroUsize,
 }
 
 impl ShardedBackend {
@@ -60,15 +63,15 @@ impl ShardedBackend {
     ///
     /// Returns [`EngineError::InvalidShardCount`] if `shards` is zero.
     pub fn new(shards: usize) -> EngineResult<Self> {
-        if shards == 0 {
-            return Err(EngineError::InvalidShardCount { shards });
+        match NonZeroUsize::new(shards) {
+            Some(shards) => Ok(ShardedBackend { shards }),
+            None => Err(EngineError::InvalidShardCount { shards }),
         }
-        Ok(ShardedBackend { shards })
     }
 
     /// The number of hash partitions this backend evaluates over.
     pub fn shards(&self) -> usize {
-        self.shards
+        self.shards.get()
     }
 
     /// [`RaOp::HashJoin`] over the shard map: shard `i` of the outer batch
@@ -242,8 +245,9 @@ impl ShardedBackend {
 /// worker pool as a single epoch — one task per shard, each computing its
 /// output batch with `run(shard, part)` — and returns the outputs in shard
 /// order. Kernels called inside `run` execute inline on their worker
-/// (nested dispatches never re-enter the pool).
-fn fan_out_shards<F>(device: &Device, parts: Vec<TupleBatch>, run: F) -> Vec<TupleBatch>
+/// (nested dispatches never re-enter the pool). Shared with the multi-GPU
+/// backend, whose per-device tasks are exactly these per-shard tasks.
+pub(super) fn fan_out_shards<F>(device: &Device, parts: Vec<TupleBatch>, run: F) -> Vec<TupleBatch>
 where
     F: Fn(usize, &TupleBatch) -> TupleBatch + Sync,
 {
@@ -263,7 +267,7 @@ where
 /// Reassembles per-shard op outputs in shard order. A zero-column emit list
 /// keeps the empty one-column sentinel the kernels use (see
 /// `batch_from_flat`).
-fn concat_shard_outputs(arity: usize, outs: Vec<TupleBatch>) -> TupleBatch {
+pub(super) fn concat_shard_outputs(arity: usize, outs: Vec<TupleBatch>) -> TupleBatch {
     if arity == 0 {
         TupleBatch::empty(1)
     } else {
@@ -281,7 +285,7 @@ impl Backend for ShardedBackend {
         ctx: &mut EvalContext<'_>,
         pipeline: &RaPipeline,
     ) -> EngineResult<PipelineOutcome> {
-        if self.shards == 1 {
+        if self.shards.get() == 1 {
             // One shard is exactly the serial evaluation loop; skip the
             // partition/merge machinery.
             return serial::SerialBackend.execute(ctx, pipeline);

@@ -15,7 +15,9 @@
 //! `docs/architecture.md` for the Batch → Op → Backend layering.
 
 use crate::ast::Program;
-use crate::backend::{Backend, EvalContext, PipelineOutcome, SerialBackend, ShardedBackend};
+use crate::backend::{
+    Backend, EvalContext, MultiGpuBackend, PipelineOutcome, SerialBackend, ShardedBackend,
+};
 use crate::ebm::EbmConfig;
 use crate::error::{EngineError, EngineResult};
 use crate::planner::{compile, lower_program, CompiledProgram, LoweredStratum};
@@ -23,6 +25,7 @@ use crate::ra::nway::NwayStrategy;
 use crate::ra::op::RaPipeline;
 use crate::relation::RelationStorage;
 use crate::stats::{IterationRecord, Phase, RunStats};
+use gpulog_device::topology::DeviceTopology;
 use gpulog_device::Device;
 use gpulog_hisa::TupleBatch;
 use std::time::Instant;
@@ -44,7 +47,7 @@ use std::time::Instant;
 ///     .with_max_iterations(10_000);
 /// assert_eq!(config.nway, NwayStrategy::FusedNestedLoop);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct EngineConfig {
     /// HISA hash-table load factor (the paper runs 0.8).
@@ -60,6 +63,13 @@ pub struct EngineConfig {
     /// install a [`ShardedBackend`] unless an explicit backend is supplied.
     /// Zero is rejected with [`EngineError::InvalidShardCount`].
     pub shard_count: usize,
+    /// Simulated multi-device topology. When set, engine construction
+    /// installs a [`MultiGpuBackend`] pinning one hash shard per modeled
+    /// device (unless an explicit backend is supplied); the run's
+    /// [`RunStats::topology`] then carries per-device modeled time,
+    /// cross-device exchange bytes, and the modeled critical path. A
+    /// `shard_count` above one must match the topology's device count.
+    pub device_topology: Option<DeviceTopology>,
 }
 
 impl Default for EngineConfig {
@@ -70,6 +80,7 @@ impl Default for EngineConfig {
             nway: NwayStrategy::TemporarilyMaterialized,
             max_iterations: 1_000_000,
             shard_count: 1,
+            device_topology: None,
         }
     }
 }
@@ -113,6 +124,15 @@ impl EngineConfig {
     #[must_use]
     pub fn with_shard_count(mut self, shard_count: usize) -> Self {
         self.shard_count = shard_count;
+        self
+    }
+
+    /// Sets the simulated multi-device topology; engine construction then
+    /// installs a [`MultiGpuBackend`] over it (validated there: a
+    /// conflicting `shard_count` is rejected).
+    #[must_use]
+    pub fn with_device_topology(mut self, topology: DeviceTopology) -> Self {
+        self.device_topology = Some(topology);
         self
     }
 }
@@ -239,6 +259,15 @@ impl<'d> EngineBuilder<'d> {
         self
     }
 
+    /// Sets a simulated multi-device topology. [`EngineBuilder::build`]
+    /// installs a [`MultiGpuBackend`] over it (unless an explicit backend
+    /// was supplied), pinning one hash shard per modeled device.
+    #[must_use]
+    pub fn device_topology(mut self, topology: DeviceTopology) -> Self {
+        self.config.device_topology = Some(topology);
+        self
+    }
+
     /// Installs a custom evaluation backend. Without one, `build` picks
     /// [`SerialBackend`] — or [`ShardedBackend`] when the configured shard
     /// count is above one. An explicitly-installed backend always wins over
@@ -277,16 +306,32 @@ impl<'d> EngineBuilder<'d> {
 }
 
 /// The backend an engine gets when none is installed explicitly:
+/// [`MultiGpuBackend`] when a device topology is configured,
 /// [`SerialBackend`] for a shard count of one, [`ShardedBackend`] above.
 ///
 /// # Errors
 ///
-/// Returns [`EngineError::InvalidShardCount`] for a zero shard count.
+/// Returns [`EngineError::InvalidShardCount`] for a zero shard count and
+/// [`EngineError::Validation`] when an explicit shard count conflicts with
+/// the topology's device count (each shard pins to exactly one device).
 fn default_backend(config: &EngineConfig) -> EngineResult<Box<dyn Backend>> {
-    if config.shard_count <= 1 {
-        if config.shard_count == 0 {
-            return Err(EngineError::InvalidShardCount { shards: 0 });
+    if config.shard_count == 0 {
+        return Err(EngineError::InvalidShardCount { shards: 0 });
+    }
+    if let Some(topology) = &config.device_topology {
+        let devices = topology.device_count().get();
+        if config.shard_count > 1 && config.shard_count != devices {
+            return Err(EngineError::Validation {
+                message: format!(
+                    "shard count {} conflicts with the {devices}-device topology \
+                     (each shard pins to exactly one device)",
+                    config.shard_count
+                ),
+            });
         }
+        return Ok(Box::new(MultiGpuBackend::new(topology.clone())));
+    }
+    if config.shard_count == 1 {
         Ok(Box::new(SerialBackend))
     } else {
         Ok(Box::new(ShardedBackend::new(config.shard_count)?))
@@ -601,6 +646,9 @@ impl GpulogEngine {
     pub fn run(&mut self) -> EngineResult<RunStats> {
         let wall_start = Instant::now();
         let counters_before = self.device.metrics().snapshot();
+        // Topology-aware backends accumulate across runs; snapshot so the
+        // stats report only this run's share, like every other field.
+        let topology_before = self.backend.topology_report();
         let mut stats = RunStats::default();
 
         // Load the extensional database (program facts + added facts).
@@ -704,6 +752,10 @@ impl GpulogEngine {
             .device
             .cost_model()
             .estimate(&counters_after.since(&counters_before));
+        stats.topology = match (topology_before, self.backend.topology_report()) {
+            (Some(before), Some(after)) => Some(after.since(&before)),
+            (_, after) => after,
+        };
         stats.peak_device_bytes = self.device.metrics().peak_bytes_in_use();
         stats.allocations = counters_after.allocations - counters_before.allocations;
         stats.pool_reuses = counters_after.pool_reuses - counters_before.pool_reuses;
@@ -1083,6 +1135,109 @@ mod tests {
             GpulogEngine::from_source(&d, REACH, cfg),
             Err(EngineError::InvalidShardCount { shards: 0 })
         ));
+    }
+
+    #[test]
+    fn device_topology_installs_the_multigpu_backend() {
+        use gpulog_device::topology::DeviceTopology;
+        use std::num::NonZeroUsize;
+        let d = device();
+        let topology = DeviceTopology::nvlink_like(NonZeroUsize::new(2).unwrap());
+        let e = GpulogEngine::builder(&d)
+            .program(REACH)
+            .device_topology(topology.clone())
+            .build()
+            .unwrap();
+        assert_eq!(e.backend().name(), "multigpu");
+        // A matching explicit shard count is accepted; a conflicting one
+        // is rejected (each shard pins to exactly one device).
+        let ok = GpulogEngine::builder(&d)
+            .program(REACH)
+            .shard_count(2)
+            .device_topology(topology.clone())
+            .build();
+        assert!(ok.is_ok());
+        let conflict = GpulogEngine::builder(&d)
+            .program(REACH)
+            .shard_count(3)
+            .device_topology(topology.clone())
+            .build();
+        assert!(matches!(conflict, Err(EngineError::Validation { .. })));
+        // An explicit backend still wins over the topology default.
+        let explicit = GpulogEngine::builder(&d)
+            .program(REACH)
+            .device_topology(topology)
+            .backend(Box::new(SerialBackend))
+            .build()
+            .unwrap();
+        assert_eq!(explicit.backend().name(), "serial");
+    }
+
+    #[test]
+    fn multigpu_run_reports_topology_stats() {
+        use gpulog_device::topology::DeviceTopology;
+        use std::num::NonZeroUsize;
+        let d = device();
+        let cfg = EngineConfig::new()
+            .with_device_topology(DeviceTopology::nvlink_like(NonZeroUsize::new(4).unwrap()));
+        let mut e = GpulogEngine::from_source(&d, REACH, cfg).unwrap();
+        e.add_facts("Edge", figure1_edges()).unwrap();
+        let stats = e.run().unwrap();
+        let report = stats.topology.expect("multigpu runs report a topology");
+        assert_eq!(report.devices.len(), 4);
+        assert_eq!(report.link, "NVLink-like");
+        assert!(report.modeled_critical_path_sec > 0.0);
+        assert!(
+            report.total_exchange_bytes > 0,
+            "the delta exchange moves bytes"
+        );
+        // Serial runs report none.
+        let mut serial = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
+        serial.add_facts("Edge", figure1_edges()).unwrap();
+        assert!(serial.run().unwrap().topology.is_none());
+    }
+
+    #[test]
+    fn degenerate_load_factor_is_a_typed_engine_error() {
+        let d = device();
+        for bad in [0.0, -1.0, f64::NAN, 2.0] {
+            let cfg = EngineConfig::new().with_load_factor(bad);
+            match GpulogEngine::from_source(&d, REACH, cfg) {
+                Err(EngineError::Device(gpulog_device::DeviceError::InvalidLoadFactor {
+                    ..
+                })) => {}
+                other => panic!("load factor {bad}: expected InvalidLoadFactor, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn multigpu_fixpoints_are_byte_identical_to_serial() {
+        use gpulog_device::topology::DeviceTopology;
+        use std::num::NonZeroUsize;
+        for (name, src) in [("reach", REACH), ("sg", SG)] {
+            let d = device();
+            let mut serial = GpulogEngine::from_source(&d, src, EngineConfig::default()).unwrap();
+            serial.add_facts("Edge", figure1_edges()).unwrap();
+            let serial_stats = serial.run().unwrap();
+            for devices in [1usize, 2, 7] {
+                let topology = DeviceTopology::nvlink_like(NonZeroUsize::new(devices).unwrap());
+                let cfg = EngineConfig::new().with_device_topology(topology);
+                let mut multi = GpulogEngine::from_source(&d, src, cfg).unwrap();
+                multi.add_facts("Edge", figure1_edges()).unwrap();
+                let stats = multi.run().unwrap();
+                let out = if src.contains("SG(") { "SG" } else { "Reach" };
+                assert_eq!(
+                    multi.relation_batch(out).unwrap().as_flat(),
+                    serial.relation_batch(out).unwrap().as_flat(),
+                    "{name} on {devices} devices must match serial byte-for-byte"
+                );
+                assert_eq!(
+                    stats.iterations, serial_stats.iterations,
+                    "{name}/{devices}"
+                );
+            }
+        }
     }
 
     #[test]

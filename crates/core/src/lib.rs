@@ -33,11 +33,16 @@
 //!    (`Scan`, `HashJoin`, `FusedJoin`, `Project`, `Diff`).
 //! 3. **Backend** — a [`backend::Backend`] executes pipelines against an
 //!    [`backend::EvalContext`]; the stock [`backend::SerialBackend`] runs
-//!    operator-at-a-time on one simulated device, and
+//!    operator-at-a-time on one simulated device,
 //!    [`backend::ShardedBackend`] hash-partitions relations by join key
 //!    and fans each join / delta-population op across the persistent
-//!    worker pool as one epoch of per-shard tasks, with fixpoints
-//!    byte-identical to the serial backend's. Select it with
+//!    worker pool as one epoch of per-shard tasks, and
+//!    [`backend::MultiGpuBackend`] pins those shards to the modeled
+//!    devices of a [`DeviceTopology`]
+//!    ([`EngineConfig::with_device_topology`]), attributing per-shard
+//!    work to per-device counters and charging the delta exchange to the
+//!    topology's link model ([`RunStats::topology`]) — all with fixpoints
+//!    byte-identical to the serial backend's. Select sharding with
 //!    [`EngineConfig::with_shard_count`] or the builder's
 //!    `.shard_count(..)` knob:
 //!
@@ -114,7 +119,9 @@ pub mod relation;
 pub mod stats;
 
 pub use ast::{Atom, CmpOp, Constraint, Program, ProgramBuilder, RelationDecl, Rule, Term};
-pub use backend::{Backend, EvalContext, PipelineOutcome, SerialBackend, ShardedBackend};
+pub use backend::{
+    Backend, EvalContext, MultiGpuBackend, PipelineOutcome, SerialBackend, ShardedBackend,
+};
 pub use ebm::EbmConfig;
 pub use engine::{EngineBuilder, EngineConfig, GpulogEngine};
 pub use error::{EngineError, EngineResult};
@@ -123,6 +130,7 @@ pub use planner::{compile, lower_program, lower_rule_plan, CompiledProgram, Lowe
 pub use program::Gpulog;
 pub use ra::{NwayStrategy, RaOp, RaPipeline};
 
+pub use gpulog_device::topology::{DeviceTopology, LinkProfile, TopologyReport};
 pub use gpulog_hisa::TupleBatch;
 pub use stats::{IterationRecord, Phase, RunStats};
 

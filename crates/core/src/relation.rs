@@ -9,6 +9,7 @@ use gpulog_hisa::{
     partition_flat_by_key_hash, rows_are_sorted_unique, Hisa, IndexSpec, TupleBatch,
 };
 use std::collections::HashMap;
+use std::num::NonZeroUsize;
 
 /// One version (full or delta) of a relation, with its indices.
 #[derive(Debug)]
@@ -179,17 +180,16 @@ impl RelationVersion {
     ///
     /// # Panics
     ///
-    /// Panics if `key_cols` is empty (there is no key to shard on) or
-    /// `shards` is zero.
+    /// Panics if `key_cols` is empty (there is no key to shard on); a zero
+    /// shard count is unrepresentable ([`NonZeroUsize`]).
     pub fn sharded_index_on(
         &mut self,
         device: &Device,
         key_cols: &[usize],
-        shards: usize,
+        shards: NonZeroUsize,
     ) -> EngineResult<&[Hisa]> {
         assert!(!key_cols.is_empty(), "sharding requires a join key");
-        assert!(shards > 0, "shard count must be positive");
-        let cache_key = (key_cols.to_vec(), shards);
+        let cache_key = (key_cols.to_vec(), shards.get());
         if !self.sharded.contains_key(&cache_key) {
             let parts =
                 partition_flat_by_key_hash(self.canonical.data(), self.arity, key_cols, shards);
@@ -203,7 +203,8 @@ impl RelationVersion {
             // concatenate data arrays), hence the linear check rather than
             // an assumption.
             let sorted_unique = rows_are_sorted_unique(self.canonical.data(), self.arity);
-            let mut slots: Vec<Option<EngineResult<Hisa>>> = (0..shards).map(|_| None).collect();
+            let mut slots: Vec<Option<EngineResult<Hisa>>> =
+                (0..shards.get()).map(|_| None).collect();
             let jobs: Vec<(Vec<u32>, &mut Option<EngineResult<Hisa>>)> =
                 parts.into_iter().zip(slots.iter_mut()).collect();
             device.executor().run_tasks(jobs, |_, (data, slot)| {
@@ -225,10 +226,22 @@ impl RelationVersion {
     }
 
     /// Returns already-built sharded indices without building them.
-    pub fn existing_sharded_index(&self, key_cols: &[usize], shards: usize) -> Option<&[Hisa]> {
+    pub fn existing_sharded_index(
+        &self,
+        key_cols: &[usize],
+        shards: NonZeroUsize,
+    ) -> Option<&[Hisa]> {
         self.sharded
-            .get(&(key_cols.to_vec(), shards))
+            .get(&(key_cols.to_vec(), shards.get()))
             .map(Vec::as_slice)
+    }
+
+    /// The `(key columns, shard count)` specs of every cached shard map on
+    /// this version — the partitionings a delta exchange must feed (each
+    /// cached map's shard `i` needs exactly the delta rows whose key hashes
+    /// to `i`).
+    pub fn sharded_index_specs(&self) -> Vec<(Vec<usize>, usize)> {
+        self.sharded.keys().cloned().collect()
     }
 
     /// Device bytes attributable to this version (canonical plus secondary
@@ -487,7 +500,8 @@ impl RelationStorage {
         let delta_flat = self.delta.canonical.data();
         let mut jobs: Vec<(&mut Hisa, Vec<u32>, Vec<usize>, usize)> = Vec::new();
         for ((key_cols, shards), shard_hisas) in &mut self.full.sharded {
-            let parts = partition_flat_by_key_hash(delta_flat, arity, key_cols, *shards);
+            let shards = NonZeroUsize::new(*shards).expect("cached shard maps are non-empty");
+            let parts = partition_flat_by_key_hash(delta_flat, arity, key_cols, shards);
             for (target, rows) in shard_hisas.iter_mut().zip(parts) {
                 if !rows.is_empty() {
                     let shard_reserve = ebm.reserve_rows(rows.len() / arity);

@@ -3,6 +3,7 @@
 //! (iterations, runtime, memory), Figure 6 (phase breakdown), and the
 //! speedup columns of Tables 2-5.
 
+use gpulog_device::topology::TopologyReport;
 use gpulog_device::CostEstimate;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -85,6 +86,12 @@ pub struct RunStats {
     pub pool_reuses: u64,
     /// Final sizes of all relations.
     pub relation_sizes: HashMap<String, usize>,
+    /// Multi-device modeling report — per-device modeled compute,
+    /// cross-device exchange traffic, and the modeled critical path — when
+    /// the run executed on a topology-aware backend
+    /// ([`crate::backend::MultiGpuBackend`]); `None` on single-device
+    /// backends.
+    pub topology: Option<TopologyReport>,
 }
 
 impl RunStats {

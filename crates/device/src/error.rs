@@ -28,6 +28,13 @@ pub enum DeviceError {
         /// Human-readable description of the invalid configuration.
         what: String,
     },
+    /// A hash-table load factor outside `(0, 1]` (including NaN) was
+    /// supplied: sizing a table from it would produce a zero-slot or
+    /// absurdly oversized allocation.
+    InvalidLoadFactor {
+        /// The rejected value, formatted for display.
+        value: String,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -43,6 +50,9 @@ impl fmt::Display for DeviceError {
             ),
             DeviceError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
             DeviceError::InvalidLaunch { what } => write!(f, "invalid launch: {what}"),
+            DeviceError::InvalidLoadFactor { value } => {
+                write!(f, "invalid load factor {value}: must be in (0, 1]")
+            }
         }
     }
 }
@@ -67,6 +77,16 @@ mod tests {
         assert!(text.contains("128"));
         assert!(text.contains("64"));
         assert!(text.contains("100"));
+    }
+
+    #[test]
+    fn display_invalid_load_factor_mentions_range() {
+        let err = DeviceError::InvalidLoadFactor {
+            value: "NaN".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("NaN"));
+        assert!(text.contains("(0, 1]"));
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod metrics;
 pub mod pool;
 pub mod profile;
 pub mod thrust;
+pub mod topology;
 pub mod worker_pool;
 
 pub use buffer::{DeviceBuffer, DeviceValue};
@@ -63,6 +64,7 @@ pub use error::{DeviceError, DeviceResult};
 pub use executor::{Executor, LaunchConfig};
 pub use metrics::{CounterSnapshot, Metrics, PhaseTimer};
 pub use profile::{DeviceKind, DeviceProfile};
+pub use topology::{DeviceLaneReport, DeviceTopology, LinkProfile, TopologyReport};
 pub use worker_pool::WorkerPool;
 
 #[cfg(test)]

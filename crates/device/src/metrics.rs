@@ -110,7 +110,31 @@ pub struct Metrics {
     bytes_allocated: AtomicU64,
     bytes_in_use: AtomicUsize,
     peak_bytes_in_use: AtomicUsize,
-    phase_times: Mutex<HashMap<String, Duration>>,
+    phase_times: Mutex<PhaseTable>,
+}
+
+/// The phase buckets plus a generation counter bumped by
+/// [`Metrics::reset_phase_times`]: a [`PhaseTimer`] that outlives a reset
+/// carries the old generation, so its exit is ignored instead of closing a
+/// span some newer timer opened.
+#[derive(Debug, Default)]
+struct PhaseTable {
+    generation: u64,
+    slots: HashMap<String, PhaseSlot>,
+}
+
+/// Per-phase accumulator: a completed-time total plus the currently open
+/// span. [`PhaseTimer`]s accumulate the *union* of their intervals — the
+/// span opens when the first timer for the phase starts and closes when the
+/// last one drops — so timers nested in one another or running concurrently
+/// on worker-pool threads (sharded ops run `S` tasks per epoch) never count
+/// the same wall nanosecond twice. Without the union, a 4-worker sharded
+/// sort would report ~4x its wall time in the `sort` bucket.
+#[derive(Debug, Default)]
+struct PhaseSlot {
+    total: Duration,
+    active: usize,
+    span_start: Option<Instant>,
 }
 
 impl Metrics {
@@ -208,26 +232,72 @@ impl Metrics {
     }
 
     /// Adds `elapsed` wall time to the named phase bucket (e.g. `"join"`,
-    /// `"merge"`, `"dedup"`). Phase buckets feed Figure 6.
+    /// `"merge"`, `"dedup"`). Phase buckets feed Figure 6. This is a flat
+    /// add with no overlap coalescing; scoped timing should use
+    /// [`PhaseTimer`], whose concurrent spans count each wall nanosecond
+    /// once.
     pub fn add_phase_time(&self, phase: &str, elapsed: Duration) {
         let mut phases = self.phase_times.lock().expect("phase timer lock poisoned");
-        *phases.entry(phase.to_string()).or_default() += elapsed;
+        phases.slots.entry(phase.to_string()).or_default().total += elapsed;
     }
 
-    /// Returns the accumulated wall time per phase.
+    /// Opens a [`PhaseTimer`] span for `phase`: the phase's wall clock
+    /// starts when its first concurrent span opens. Returns the current
+    /// phase-table generation, which the matching [`Metrics::phase_exit`]
+    /// must present.
+    fn phase_enter(&self, phase: &str) -> u64 {
+        let mut phases = self.phase_times.lock().expect("phase timer lock poisoned");
+        let generation = phases.generation;
+        let slot = phases.slots.entry(phase.to_string()).or_default();
+        slot.active += 1;
+        if slot.active == 1 {
+            slot.span_start = Some(Instant::now());
+        }
+        generation
+    }
+
+    /// Closes a [`PhaseTimer`] span for `phase`: the elapsed union is
+    /// accumulated when the last concurrent span closes. A timer whose
+    /// `generation` predates a `reset_phase_times` is ignored — it must
+    /// not decrement (and prematurely close) a span opened after the
+    /// reset.
+    fn phase_exit(&self, phase: &str, generation: u64) {
+        let mut phases = self.phase_times.lock().expect("phase timer lock poisoned");
+        if phases.generation != generation {
+            return;
+        }
+        let Some(slot) = phases.slots.get_mut(phase) else {
+            return;
+        };
+        if slot.active == 0 {
+            return;
+        }
+        slot.active -= 1;
+        if slot.active == 0 {
+            if let Some(start) = slot.span_start.take() {
+                slot.total += start.elapsed();
+            }
+        }
+    }
+
+    /// Returns the accumulated wall time per phase (completed spans only).
     pub fn phase_times(&self) -> HashMap<String, Duration> {
         self.phase_times
             .lock()
             .expect("phase timer lock poisoned")
-            .clone()
+            .slots
+            .iter()
+            .map(|(phase, slot)| (phase.clone(), slot.total))
+            .collect()
     }
 
-    /// Clears the per-phase timers (counter totals are left untouched).
+    /// Clears the per-phase timers (counter totals are left untouched) and
+    /// bumps the generation so still-open [`PhaseTimer`]s from before the
+    /// reset are ignored at exit.
     pub fn reset_phase_times(&self) {
-        self.phase_times
-            .lock()
-            .expect("phase timer lock poisoned")
-            .clear();
+        let mut phases = self.phase_times.lock().expect("phase timer lock poisoned");
+        phases.generation += 1;
+        phases.slots.clear();
     }
 
     /// Takes a consistent-enough snapshot of all counters.
@@ -254,31 +324,37 @@ impl Metrics {
 }
 
 /// RAII guard that adds the wall time of its scope to a named device-level
-/// phase bucket (see [`Metrics::add_phase_time`]) when dropped. Used by the
-/// sort / merge / index-maintenance primitives so the device can report a
-/// phase breakdown without every caller threading timers by hand.
+/// phase bucket when dropped. Used by the sort / merge / index-maintenance
+/// primitives so the device can report a phase breakdown without every
+/// caller threading timers by hand.
+///
+/// Overlapping timers for the same phase — nested scopes, or the `S`
+/// concurrent shard tasks of a sharded-op epoch — accumulate the **union**
+/// of their intervals, not the sum: the phase's accumulated nanos can never
+/// exceed the wall time that actually elapsed while at least one timer was
+/// open.
 #[derive(Debug)]
 pub struct PhaseTimer<'a> {
     metrics: &'a Metrics,
     phase: &'static str,
-    start: Instant,
+    generation: u64,
 }
 
 impl<'a> PhaseTimer<'a> {
     /// Starts timing `phase` against `metrics`.
     pub fn new(metrics: &'a Metrics, phase: &'static str) -> Self {
+        let generation = metrics.phase_enter(phase);
         PhaseTimer {
             metrics,
             phase,
-            start: Instant::now(),
+            generation,
         }
     }
 }
 
 impl Drop for PhaseTimer<'_> {
     fn drop(&mut self) {
-        self.metrics
-            .add_phase_time(self.phase, self.start.elapsed());
+        self.metrics.phase_exit(self.phase, self.generation);
     }
 }
 
@@ -342,6 +418,84 @@ mod tests {
         assert_eq!(phases["merge"], Duration::from_millis(3));
         m.reset_phase_times();
         assert!(m.phase_times().is_empty());
+    }
+
+    #[test]
+    fn concurrent_phase_timers_never_exceed_wall_time() {
+        // Regression: sharded ops run S tasks per worker-pool epoch, each
+        // opening a PhaseTimer for the same phase. Summing per-task spans
+        // reported ~S x the wall time; the union accounting must keep the
+        // phase total at or below the elapsed wall clock.
+        let m = std::sync::Arc::new(Metrics::new());
+        let wall_start = Instant::now();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let _t = PhaseTimer::new(&m, "sort");
+                    std::thread::sleep(Duration::from_millis(30));
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let wall = wall_start.elapsed();
+        let sort = m.phase_times()["sort"];
+        assert!(
+            sort <= wall,
+            "phase nanos ({sort:?}) must not exceed wall nanos ({wall:?})"
+        );
+        // And the union still measures real time: all four spans overlap,
+        // so the total is at least one sleep long.
+        assert!(sort >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn nested_phase_timers_count_their_union_once() {
+        let m = Metrics::new();
+        let wall_start = Instant::now();
+        {
+            let _outer = PhaseTimer::new(&m, "merge");
+            std::thread::sleep(Duration::from_millis(5));
+            {
+                let _inner = PhaseTimer::new(&m, "merge");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let wall = wall_start.elapsed();
+        let merge = m.phase_times()["merge"];
+        assert!(merge <= wall, "nested spans must not double-count");
+        assert!(merge >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn phase_exit_after_reset_is_ignored() {
+        let m = Metrics::new();
+        let timer = PhaseTimer::new(&m, "sort");
+        m.reset_phase_times();
+        drop(timer);
+        assert!(!m.phase_times().contains_key("sort"));
+    }
+
+    #[test]
+    fn stale_timer_from_before_a_reset_cannot_close_a_newer_span() {
+        let m = Metrics::new();
+        let stale = PhaseTimer::new(&m, "sort");
+        m.reset_phase_times();
+        let fresh = PhaseTimer::new(&m, "sort");
+        std::thread::sleep(Duration::from_millis(5));
+        // The stale timer's exit carries the old generation: it must not
+        // decrement the fresh span's active count or credit its time.
+        drop(stale);
+        std::thread::sleep(Duration::from_millis(5));
+        drop(fresh);
+        let sort = m.phase_times()["sort"];
+        assert!(
+            sort >= Duration::from_millis(10),
+            "the fresh span must cover its full lifetime, got {sort:?}"
+        );
     }
 
     #[test]

@@ -528,8 +528,8 @@ fn parallel_msd_split(
 
 /// Hybrid MSD radix implementation of [`lexicographic_sort_indices`].
 ///
-/// Buckets above [`MSD_SEQUENTIAL_CUTOFF`] are split 256 ways with
-/// data-parallel stable counting passes ([`parallel_msd_split`]), worklist
+/// Buckets above `MSD_SEQUENTIAL_CUTOFF` are split 256 ways with
+/// data-parallel stable counting passes (`parallel_msd_split`), worklist
 /// style — so a skewed distribution whose dominant bucket swallows most
 /// rows keeps every worker busy on the next split instead of serializing
 /// on one task. Buckets at or below the cutoff then recurse independently

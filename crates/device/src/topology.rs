@@ -1,0 +1,312 @@
+//! Simulated multi-device topologies: N device profiles wired together by
+//! an inter-device link model.
+//!
+//! The paper's scaling argument (Section 6.6) is that Datalog fixpoints are
+//! memory-bandwidth-bound, which makes multi-GPU scaling a *data-movement*
+//! question: the compute side partitions cleanly by key hash, so what
+//! decides scalability is how many bytes cross the inter-device links at
+//! each delta exchange and how expensive a link crossing is. A
+//! [`DeviceTopology`] captures exactly that — a set of
+//! [`DeviceProfile`]s plus one [`LinkProfile`] (per-message latency and
+//! bandwidth, with NVLink-like and PCIe-like presets) — and the
+//! [`TopologyReport`] types carry the per-device modeled attribution the
+//! multi-GPU backend produces back to callers.
+//!
+//! Nothing in this module executes anything: the topology is a *model*.
+//! The multi-GPU backend in `gpulog` pins each hash shard to one modeled
+//! device, attributes per-shard work to that device's
+//! [`crate::metrics::Metrics`], and charges every cross-device row moved
+//! during the delta exchange to the link via
+//! [`LinkProfile::transfer_sec`].
+
+use crate::profile::DeviceProfile;
+use serde::{Deserialize, Serialize};
+use std::num::NonZeroUsize;
+
+/// The inter-device interconnect of a [`DeviceTopology`]: a fixed
+/// per-message latency plus a sustained point-to-point bandwidth.
+///
+/// A *message* is one producer-to-destination transfer within one exchange
+/// (a real implementation would issue one `cudaMemcpyPeer`/NCCL send per
+/// such pair), so an all-to-all exchange over `S` devices costs up to
+/// `S - 1` message latencies per receiving device plus its incoming bytes
+/// over the link bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Reporting name, e.g. `"NVLink-like"`.
+    pub name: String,
+    /// Fixed latency charged per message, in seconds.
+    pub latency_sec: f64,
+    /// Sustained point-to-point bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl LinkProfile {
+    /// An NVLink-class link: ~450 GB/s per direction, microsecond-scale
+    /// peer-copy launch latency.
+    pub fn nvlink_like() -> Self {
+        LinkProfile {
+            name: "NVLink-like".to_string(),
+            latency_sec: 1.5e-6,
+            bandwidth_bytes_per_sec: 4.5e11,
+        }
+    }
+
+    /// A PCIe-class link: ~25 GB/s effective (Gen4 x16 with protocol
+    /// overhead), higher per-copy latency through the host root complex.
+    pub fn pcie_like() -> Self {
+        LinkProfile {
+            name: "PCIe-like".to_string(),
+            latency_sec: 8.0e-6,
+            bandwidth_bytes_per_sec: 2.5e10,
+        }
+    }
+
+    /// Modeled seconds to move `bytes` split across `messages` transfers:
+    /// `messages * latency + bytes / bandwidth`.
+    pub fn transfer_sec(&self, bytes: u64, messages: u64) -> f64 {
+        messages as f64 * self.latency_sec + bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+}
+
+/// A simulated multi-device topology: one [`DeviceProfile`] per modeled
+/// device plus the [`LinkProfile`] connecting every pair. Non-empty by
+/// construction — every constructor takes a [`NonZeroUsize`] count or
+/// rejects an empty device list — so consumers never face a zero-device
+/// topology.
+///
+/// # Examples
+///
+/// ```
+/// use gpulog_device::topology::DeviceTopology;
+/// use std::num::NonZeroUsize;
+///
+/// let four = NonZeroUsize::new(4).unwrap();
+/// let topo = DeviceTopology::nvlink_like(four);
+/// assert_eq!(topo.device_count().get(), 4);
+/// assert!(topo.link().bandwidth_bytes_per_sec > 1e11);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceTopology {
+    devices: Vec<DeviceProfile>,
+    link: LinkProfile,
+}
+
+impl DeviceTopology {
+    /// Builds a topology from an explicit device list, or `None` if the
+    /// list is empty (an empty topology is unrepresentable).
+    pub fn new(devices: Vec<DeviceProfile>, link: LinkProfile) -> Option<Self> {
+        if devices.is_empty() {
+            None
+        } else {
+            Some(DeviceTopology { devices, link })
+        }
+    }
+
+    /// `count` identical devices behind one link model.
+    pub fn homogeneous(profile: DeviceProfile, count: NonZeroUsize, link: LinkProfile) -> Self {
+        DeviceTopology {
+            devices: vec![profile; count.get()],
+            link,
+        }
+    }
+
+    /// `count` H100s on an NVLink-like interconnect — the DGX-style preset.
+    pub fn nvlink_like(count: NonZeroUsize) -> Self {
+        Self::homogeneous(
+            DeviceProfile::nvidia_h100(),
+            count,
+            LinkProfile::nvlink_like(),
+        )
+    }
+
+    /// `count` H100s on a PCIe-like interconnect — the commodity-server
+    /// preset, where the exchange dominates much earlier.
+    pub fn pcie_like(count: NonZeroUsize) -> Self {
+        Self::homogeneous(
+            DeviceProfile::nvidia_h100(),
+            count,
+            LinkProfile::pcie_like(),
+        )
+    }
+
+    /// The modeled devices, in pinning order (shard `i` pins to device `i`).
+    pub fn devices(&self) -> &[DeviceProfile] {
+        &self.devices
+    }
+
+    /// Number of modeled devices (always at least one).
+    pub fn device_count(&self) -> NonZeroUsize {
+        NonZeroUsize::new(self.devices.len()).expect("topology is non-empty by construction")
+    }
+
+    /// The inter-device link model.
+    pub fn link(&self) -> &LinkProfile {
+        &self.link
+    }
+}
+
+/// Per-device modeled attribution produced by a topology-aware backend:
+/// the modeled compute seconds of the work pinned to this device plus its
+/// share of the exchange traffic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceLaneReport {
+    /// Device name plus pinning index, e.g. `"NVIDIA H100 #2"`.
+    pub device: String,
+    /// Modeled seconds of compute attributed to this device (roofline
+    /// estimate over its attributed counters).
+    pub modeled_compute_sec: f64,
+    /// Bytes this device received over the link.
+    pub exchange_in_bytes: u64,
+    /// Bytes this device sent over the link.
+    pub exchange_out_bytes: u64,
+    /// Incoming link messages (per-message latency charges).
+    pub exchange_in_messages: u64,
+}
+
+/// What a topology-aware backend modeled over one run: per-device lanes,
+/// total exchange traffic, and the modeled critical path (each pipeline is
+/// a bulk-synchronous step, so the run's critical path is the sum over
+/// pipelines of the slowest device's compute plus its incoming transfer).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TopologyReport {
+    /// The link model's reporting name.
+    pub link: String,
+    /// One lane per modeled device, in pinning order.
+    pub devices: Vec<DeviceLaneReport>,
+    /// Total bytes that crossed the inter-device link.
+    pub total_exchange_bytes: u64,
+    /// Total link messages (latency charges).
+    pub total_exchange_messages: u64,
+    /// Modeled critical-path seconds: Σ over pipelines of
+    /// `max over devices (compute + incoming transfer)`.
+    pub modeled_critical_path_sec: f64,
+}
+
+impl TopologyReport {
+    /// Aggregate modeled device-seconds across every lane.
+    pub fn total_compute_sec(&self) -> f64 {
+        self.devices.iter().map(|d| d.modeled_compute_sec).sum()
+    }
+
+    /// Modeled multi-device speedup: aggregate device-seconds over the
+    /// critical path. `1.0` for a single device (the two quantities
+    /// coincide); above `1.0` whenever pinning actually overlaps work, and
+    /// it degrades toward `1.0` (or below, on exchange-dominated
+    /// workloads) as link traffic grows — the sRSP-style "synchronization
+    /// cost decides scalability" term made visible.
+    pub fn modeled_speedup(&self) -> f64 {
+        if self.modeled_critical_path_sec > 0.0 {
+            self.total_compute_sec() / self.modeled_critical_path_sec
+        } else {
+            1.0
+        }
+    }
+
+    /// Difference of two cumulative reports (`self` taken after
+    /// `earlier`): every monotonic total — per-lane compute and exchange
+    /// tallies, link traffic, critical path — is subtracted, so a backend
+    /// that accumulates across runs can report exactly one run's share.
+    /// Falls back to `self` unchanged if the reports describe different
+    /// topologies.
+    #[must_use]
+    pub fn since(&self, earlier: &TopologyReport) -> TopologyReport {
+        if earlier.devices.len() != self.devices.len() || earlier.link != self.link {
+            return self.clone();
+        }
+        TopologyReport {
+            link: self.link.clone(),
+            devices: self
+                .devices
+                .iter()
+                .zip(&earlier.devices)
+                .map(|(now, then)| DeviceLaneReport {
+                    device: now.device.clone(),
+                    modeled_compute_sec: (now.modeled_compute_sec - then.modeled_compute_sec)
+                        .max(0.0),
+                    exchange_in_bytes: now.exchange_in_bytes - then.exchange_in_bytes,
+                    exchange_out_bytes: now.exchange_out_bytes - then.exchange_out_bytes,
+                    exchange_in_messages: now.exchange_in_messages - then.exchange_in_messages,
+                })
+                .collect(),
+            total_exchange_bytes: self.total_exchange_bytes - earlier.total_exchange_bytes,
+            total_exchange_messages: self.total_exchange_messages - earlier.total_exchange_messages,
+            modeled_critical_path_sec: (self.modeled_critical_path_sec
+                - earlier.modeled_critical_path_sec)
+                .max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nz(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    #[test]
+    fn presets_have_the_expected_relative_costs() {
+        let nvlink = LinkProfile::nvlink_like();
+        let pcie = LinkProfile::pcie_like();
+        assert!(nvlink.bandwidth_bytes_per_sec > 10.0 * pcie.bandwidth_bytes_per_sec);
+        assert!(nvlink.latency_sec < pcie.latency_sec);
+        // Moving 1 GiB: bandwidth dominates, so PCIe is much slower.
+        let bytes = 1u64 << 30;
+        assert!(pcie.transfer_sec(bytes, 1) > 10.0 * nvlink.transfer_sec(bytes, 1));
+    }
+
+    #[test]
+    fn transfer_sec_charges_latency_per_message() {
+        let link = LinkProfile::nvlink_like();
+        let one = link.transfer_sec(0, 1);
+        let three = link.transfer_sec(0, 3);
+        assert!((three - 3.0 * one).abs() < 1e-15);
+        assert_eq!(link.transfer_sec(0, 0), 0.0);
+    }
+
+    #[test]
+    fn topology_constructors_respect_counts() {
+        let topo = DeviceTopology::nvlink_like(nz(4));
+        assert_eq!(topo.device_count().get(), 4);
+        assert_eq!(topo.devices().len(), 4);
+        assert!(topo.devices().iter().all(|d| d.name == "NVIDIA H100"));
+        assert_eq!(topo.link().name, "NVLink-like");
+        let pcie = DeviceTopology::pcie_like(nz(2));
+        assert_eq!(pcie.link().name, "PCIe-like");
+    }
+
+    #[test]
+    fn empty_device_list_is_unrepresentable() {
+        assert!(DeviceTopology::new(Vec::new(), LinkProfile::nvlink_like()).is_none());
+        let one = DeviceTopology::new(vec![DeviceProfile::nvidia_a100()], LinkProfile::pcie_like())
+            .unwrap();
+        assert_eq!(one.device_count().get(), 1);
+    }
+
+    #[test]
+    fn report_speedup_is_aggregate_over_critical_path() {
+        let report = TopologyReport {
+            link: "NVLink-like".into(),
+            devices: vec![
+                DeviceLaneReport {
+                    device: "a".into(),
+                    modeled_compute_sec: 2.0,
+                    ..Default::default()
+                },
+                DeviceLaneReport {
+                    device: "b".into(),
+                    modeled_compute_sec: 2.0,
+                    ..Default::default()
+                },
+            ],
+            total_exchange_bytes: 0,
+            total_exchange_messages: 0,
+            modeled_critical_path_sec: 2.5,
+        };
+        assert!((report.total_compute_sec() - 4.0).abs() < 1e-12);
+        assert!((report.modeled_speedup() - 1.6).abs() < 1e-12);
+        assert_eq!(TopologyReport::default().modeled_speedup(), 1.0);
+    }
+}

@@ -12,6 +12,7 @@
 //! sort/dedup passes, and one that does not gets the general path.
 
 use crate::tuple::Value;
+use std::num::NonZeroUsize;
 
 /// An owned batch of fixed-arity tuples in dense row-major layout.
 ///
@@ -172,8 +173,13 @@ impl TupleBatch {
     ///
     /// # Panics
     ///
-    /// Panics if `shards` is zero or any key column is out of range.
-    pub fn partition_by_key_hash(&self, key_cols: &[usize], shards: usize) -> Vec<TupleBatch> {
+    /// Panics if any key column is out of range; a zero shard count is
+    /// unrepresentable ([`NonZeroUsize`]).
+    pub fn partition_by_key_hash(
+        &self,
+        key_cols: &[usize],
+        shards: NonZeroUsize,
+    ) -> Vec<TupleBatch> {
         crate::partition_flat_by_key_hash(&self.data, self.arity, key_cols, shards)
             .into_iter()
             .map(|data| {
@@ -317,8 +323,9 @@ mod tests {
         let rows: Vec<[u32; 2]> = (0..64).map(|i| [i % 7, i]).collect();
         let batch = TupleBatch::from_rows(2, &rows);
         for shards in [1usize, 2, 3, 5] {
+            let shards = NonZeroUsize::new(shards).unwrap();
             let parts = batch.partition_by_key_hash(&[0], shards);
-            assert_eq!(parts.len(), shards);
+            assert_eq!(parts.len(), shards.get());
             assert_eq!(parts.iter().map(TupleBatch::len).sum::<usize>(), 64);
             for (s, part) in parts.iter().enumerate() {
                 let mut last_seen: Option<u32> = None;
@@ -336,7 +343,7 @@ mod tests {
     #[test]
     fn partition_of_sorted_unique_batch_keeps_the_flag() {
         let batch = TupleBatch::from_sorted_unique_flat(2, vec![0, 1, 1, 0, 2, 2, 3, 9]);
-        let parts = batch.partition_by_key_hash(&[0, 1], 3);
+        let parts = batch.partition_by_key_hash(&[0, 1], NonZeroUsize::new(3).unwrap());
         assert!(parts.iter().all(TupleBatch::is_sorted_unique));
         let merged = TupleBatch::merge_sorted_unique(2, parts);
         assert_eq!(merged, batch);

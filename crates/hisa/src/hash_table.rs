@@ -36,21 +36,23 @@ impl HashTable {
     ///
     /// # Errors
     ///
-    /// Returns [`gpulog_device::DeviceError::OutOfMemory`] if the table does
-    /// not fit on the device.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `load_factor` is not in `(0, 1]`.
+    /// Returns [`gpulog_device::DeviceError::InvalidLoadFactor`] if
+    /// `load_factor` is outside `(0, 1]` — including zero, negatives, NaN,
+    /// and infinities, any of which would size a zero-slot or absurdly
+    /// oversized table — and
+    /// [`gpulog_device::DeviceError::OutOfMemory`] if the table does not
+    /// fit on the device.
     pub fn with_capacity(
         device: &Device,
         expected_keys: usize,
         load_factor: f64,
     ) -> DeviceResult<Self> {
-        assert!(
-            load_factor > 0.0 && load_factor <= 1.0,
-            "load factor must be in (0, 1]"
-        );
+        // NaN fails both comparisons, so it lands here too.
+        if !(load_factor > 0.0 && load_factor <= 1.0) {
+            return Err(gpulog_device::DeviceError::InvalidLoadFactor {
+                value: format!("{load_factor}"),
+            });
+        }
         let capacity = Self::capacity_for(expected_keys, load_factor);
         let bytes = capacity * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>());
         device.tracker().allocate(bytes, false)?;
@@ -69,11 +71,15 @@ impl HashTable {
     }
 
     /// The slot count a table sized for `expected_keys` at `load_factor`
-    /// would use.
+    /// would use. The raw ratio is clamped below `2^62` before the
+    /// power-of-two round-up so an extreme `expected_keys / load_factor`
+    /// ratio saturates into an allocation the memory tracker rejects as
+    /// out-of-memory instead of overflowing `next_power_of_two`.
     fn capacity_for(expected_keys: usize, load_factor: f64) -> usize {
-        ((expected_keys.max(1) as f64 / load_factor).ceil() as usize)
-            .next_power_of_two()
-            .max(8)
+        // Low enough that `capacity * 12` bytes cannot overflow `usize`.
+        const MAX_SLOTS: f64 = (1u64 << 58) as f64;
+        let raw = (expected_keys.max(1) as f64 / load_factor).ceil();
+        (raw.min(MAX_SLOTS) as usize).next_power_of_two().max(8)
     }
 
     /// Number of slots in the table.
@@ -501,6 +507,38 @@ mod tests {
     fn oversized_table_is_oom() {
         let d = Device::new(DeviceProfile::tiny_test_device(1 << 10));
         assert!(HashTable::with_capacity(&d, 1 << 20, 0.8).is_err());
+    }
+
+    #[test]
+    fn degenerate_load_factors_are_typed_errors_not_panics() {
+        use gpulog_device::DeviceError;
+        let d = device();
+        // Each degenerate input from the sizing expression
+        // `(expected_keys.max(1) / load_factor).ceil()`: zero and negatives
+        // flip or zero the table size, NaN poisons it, and anything above
+        // 1.0 under-sizes the table below its entry count.
+        for bad in [0.0, -0.5, f64::NAN, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            match HashTable::with_capacity(&d, 100, bad) {
+                Err(DeviceError::InvalidLoadFactor { value }) => {
+                    assert_eq!(value, format!("{bad}"), "load factor {bad}");
+                }
+                other => panic!("load factor {bad}: expected InvalidLoadFactor, got {other:?}"),
+            }
+        }
+        // The upper boundary of (0, 1] still constructs.
+        assert!(HashTable::with_capacity(&d, 100, 1.0).is_ok());
+    }
+
+    #[test]
+    fn tiny_positive_load_factor_saturates_to_oom_not_overflow() {
+        // A subnormal-but-valid load factor must not overflow the
+        // power-of-two round-up; the saturated allocation is rejected by
+        // the device's memory tracker instead.
+        let d = Device::new(DeviceProfile::tiny_test_device(1 << 16));
+        match HashTable::with_capacity(&d, 1000, 1e-300) {
+            Err(gpulog_device::DeviceError::OutOfMemory { .. }) => {}
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
     }
 
     #[test]

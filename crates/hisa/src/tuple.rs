@@ -1,5 +1,7 @@
 //! Tuple and index-specification types shared across the HISA layers.
 
+use std::num::NonZeroUsize;
+
 /// The column value type.
 ///
 /// GPUlog relations are over dense 32-bit identifiers (node ids, program
@@ -165,12 +167,13 @@ pub fn key_eq(a: &[Value], b: &[Value], key_arity: usize) -> bool {
 /// it so that shard `i` of an outer relation only ever needs to probe shard
 /// `i` of an inner relation built over the same key.
 ///
-/// # Panics
-///
-/// Panics if `shards` is zero.
-pub fn shard_of(key_values: &[Value], shards: usize) -> usize {
-    assert!(shards > 0, "shard count must be positive");
-    (hash_key(key_values) % shards as u64) as usize
+/// The shard count is a [`NonZeroUsize`], so the zero-shard division that
+/// used to abort via `assert!` is unrepresentable: library users convert
+/// (and validate) their count exactly once at the boundary — the engine
+/// maps zero to `EngineError::InvalidShardCount` there — and every data-
+/// layer call below is panic-free by construction.
+pub fn shard_of(key_values: &[Value], shards: NonZeroUsize) -> usize {
+    (hash_key(key_values) % shards.get() as u64) as usize
 }
 
 /// Hash-partitions a dense row-major buffer into `shards` buckets by the
@@ -182,22 +185,21 @@ pub fn shard_of(key_values: &[Value], shards: usize) -> usize {
 ///
 /// # Panics
 ///
-/// Panics if `shards` is zero, `data` is ragged, or a key column is out of
-/// range.
+/// Panics if `data` is ragged or a key column is out of range (programmer
+/// errors on internal buffers); a zero shard count is unrepresentable.
 pub fn partition_flat_by_key_hash(
     data: &[Value],
     arity: usize,
     key_cols: &[usize],
-    shards: usize,
+    shards: NonZeroUsize,
 ) -> Vec<Vec<Value>> {
-    assert!(shards > 0, "shard count must be positive");
     assert!(arity > 0, "arity must be positive");
     assert_eq!(data.len() % arity, 0, "ragged row buffer");
     assert!(
         key_cols.iter().all(|&c| c < arity),
         "key column out of range"
     );
-    let mut parts: Vec<Vec<Value>> = vec![Vec::new(); shards];
+    let mut parts: Vec<Vec<Value>> = vec![Vec::new(); shards.get()];
     let mut key = Vec::with_capacity(key_cols.len());
     for row in data.chunks_exact(arity) {
         key.clear();
@@ -258,5 +260,20 @@ mod tests {
     fn key_eq_compares_prefix_only() {
         assert!(key_eq(&[1, 2, 99], &[1, 2, 3], 2));
         assert!(!key_eq(&[1, 2, 3], &[1, 3, 3], 2));
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1usize, 2, 7, 64] {
+            let shards = NonZeroUsize::new(shards).unwrap();
+            for key in 0..100u32 {
+                let s = shard_of(&[key, key * 3], shards);
+                assert!(s < shards.get());
+                assert_eq!(s, shard_of(&[key, key * 3], shards));
+            }
+        }
+        // One shard maps everything to shard zero.
+        let one = NonZeroUsize::new(1).unwrap();
+        assert_eq!(shard_of(&[123, 456], one), 0);
     }
 }

@@ -7,11 +7,12 @@
 //! `GPULOG_TEST_BACKEND` override.
 
 use gpulog::EngineConfig;
+use gpulog_bench::BackendSpec;
 
-/// The shard count selected by the `GPULOG_TEST_BACKEND` environment
-/// variable: `serial` (or unset) means 1, `sharded` means 4, and
-/// `sharded:N` means `N` — the same spec grammar the bench bins'
-/// `--backend` flag accepts, parsed by the same
+/// The backend selected by the `GPULOG_TEST_BACKEND` environment variable:
+/// `serial` (or unset), `sharded` / `sharded:N`, or `multigpu:N` (an
+/// `N`-device simulated NVLink-like topology) — the same spec grammar the
+/// bench bins' `--backend` flag accepts, parsed by the same
 /// [`gpulog_bench::parse_backend_spec`] so the two cannot drift apart.
 /// CI runs the workspace test suite once per matrix leg so every
 /// engine-level test exercises every backend.
@@ -20,12 +21,12 @@ use gpulog::EngineConfig;
 ///
 /// Panics on an unrecognized value — a typo in the CI matrix must fail
 /// loudly, not silently fall back to the serial backend.
-pub fn shard_count_from_env() -> usize {
+pub fn backend_from_env() -> BackendSpec {
     match std::env::var("GPULOG_TEST_BACKEND") {
-        Err(_) => 1,
-        Ok(value) if value.trim().is_empty() => 1,
+        Err(_) => BackendSpec::Serial,
+        Ok(value) if value.trim().is_empty() => BackendSpec::Serial,
         Ok(value) => match gpulog_bench::parse_backend_spec(value.trim()) {
-            Ok((_, shards)) => shards,
+            Ok(spec) => spec,
             Err(err) => panic!("invalid GPULOG_TEST_BACKEND: {err}"),
         },
     }
@@ -33,9 +34,9 @@ pub fn shard_count_from_env() -> usize {
 
 /// The engine configuration tests should build engines with: the default
 /// configuration, re-targeted at the backend the `GPULOG_TEST_BACKEND`
-/// matrix leg selects (see [`shard_count_from_env`]).
+/// matrix leg selects (see [`backend_from_env`]).
 pub fn config_from_env() -> EngineConfig {
-    EngineConfig::default().with_shard_count(shard_count_from_env())
+    backend_from_env().configure(EngineConfig::default())
 }
 
 #[cfg(test)]
@@ -45,9 +46,12 @@ mod tests {
     #[test]
     fn default_config_is_serial() {
         // The variable is unset in a plain `cargo test` run, and CI's
-        // serial leg sets it to `serial`; both must mean one shard.
+        // serial leg sets it to `serial`; both must mean one shard and no
+        // topology.
         if std::env::var("GPULOG_TEST_BACKEND").is_err() {
-            assert_eq!(config_from_env().shard_count, 1);
+            let config = config_from_env();
+            assert_eq!(config.shard_count, 1);
+            assert!(config.device_topology.is_none());
         }
     }
 }

@@ -55,6 +55,31 @@ fn fixpoint_runs_spawn_zero_threads_after_warmup() {
 }
 
 #[test]
+fn device_phase_nanos_never_exceed_run_wall_time() {
+    // Regression for the PhaseTimer double-count: sharded and multi-GPU
+    // ops run S concurrent shard tasks per epoch, each timing the same
+    // sort / merge / index phases. With per-task spans summed, a phase
+    // bucket could report S x its wall time; the union accounting pins
+    // every per-phase total at or below the run's wall clock. Runs under
+    // the CI backend matrix so the concurrent legs exercise it for real.
+    let d = device();
+    let graph = PaperDataset::Gnutella31.generate(0.1);
+    let start = std::time::Instant::now();
+    let result = reach::run(&d, &graph, gpulog_tests::config_from_env()).unwrap();
+    let wall = start.elapsed();
+    assert!(result.reach_size > 0);
+    let phases = d.metrics().phase_times();
+    for phase in ["sort", "merge", "index"] {
+        if let Some(spent) = phases.get(phase) {
+            assert!(
+                *spent <= wall,
+                "{phase} phase nanos ({spent:?}) exceed run wall time ({wall:?})"
+            );
+        }
+    }
+}
+
+#[test]
 fn merge_heavy_chain_fixpoint_keeps_index_maintenance_delta_proportional() {
     // A pure chain drives REACH through one iteration per node with steadily
     // shrinking deltas — the merge-heavy long tail where the old per-merge
