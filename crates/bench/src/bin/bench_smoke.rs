@@ -1,13 +1,16 @@
 //! CI bench smoke: runs the Table 2 REACH workload (Gnutella31), the
 //! Table 3 SG workload (ego-Facebook), and a merge-heavy long-chain REACH
 //! (one iteration per node, tiny deltas — the incremental index-maintenance
-//! hot path) in every backend — serial, sharded, and the simulated
-//! multi-GPU topologies (1 / 2 / 4 NVLink-like devices) — checks that all
-//! backends agree on tuple counts, and writes per-backend medians **plus
-//! index-maintenance counters, the device phase breakdown, and the
-//! multi-GPU modeling columns** (per-device modeled time, cross-device
-//! exchange bytes, modeled critical path and speedup) to a JSON artifact so
-//! every PR records its perf trajectory.
+//! hot path) in every backend — serial, sharded, pipelined (iteration
+//! overlap), and the simulated multi-GPU topologies (1 / 2 / 4 NVLink-like
+//! devices) — checks that all backends agree on tuple counts, and writes
+//! per-backend medians **plus index-maintenance counters, the device phase
+//! breakdown, the pipelined overlap counters, and the multi-GPU modeling
+//! columns** (per-device modeled time, cross-device exchange bytes, modeled
+//! BSP and pipelined critical paths, and speedup) to a JSON artifact so
+//! every PR records its perf trajectory. The merge-heavy chain leg doubles
+//! as a gate: the pipelined median wall time must beat the sharded median
+//! at the same shard count.
 //!
 //! ```text
 //! cargo run --release -p gpulog-bench --bin bench_smoke -- \
@@ -39,6 +42,11 @@ struct SmokeRow {
     sort_ns: u64,
     merge_ns: u64,
     index_ns: u64,
+    /// Window during which a background merge was outstanding (pipelined
+    /// legs only; 0 elsewhere).
+    overlap_ns: u64,
+    /// Time spent blocked waiting on a deferred merge (pipelined legs only).
+    stall_ns: u64,
     /// Multi-GPU modeling report (topology legs only).
     topology: Option<TopologyReport>,
 }
@@ -81,7 +89,7 @@ fn string_flag(args: &[String], flag: &str, default: &str) -> String {
 /// keys every `multigpu:*` row must carry. CI's schema-assert step (and
 /// the self-check after writing) fails if any row drops one, so new
 /// topology fields cannot silently regress.
-const ROW_KEYS: [&str; 12] = [
+const ROW_KEYS: [&str; 14] = [
     "\"query\"",
     "\"dataset\"",
     "\"backend\"",
@@ -94,13 +102,16 @@ const ROW_KEYS: [&str; 12] = [
     "\"hash_rebuilds\"",
     "\"sort_passes\"",
     "\"phase_nanos\"",
+    "\"overlap_nanos\"",
+    "\"pipeline_stall_nanos\"",
 ];
-const TOPOLOGY_KEYS: [&str; 6] = [
+const TOPOLOGY_KEYS: [&str; 7] = [
     "\"link\"",
     "\"devices\"",
     "\"modeled_compute_s\"",
     "\"total_exchange_bytes\"",
     "\"modeled_critical_path_s\"",
+    "\"modeled_pipelined_critical_path_s\"",
     "\"modeled_speedup\"",
 ];
 
@@ -158,12 +169,14 @@ fn topology_json(topology: &Option<TopologyReport>) -> String {
             format!(
                 "{{\"link\": \"{}\", \"devices\": [{}], \"total_exchange_bytes\": {}, \
                  \"total_exchange_messages\": {}, \"modeled_critical_path_s\": {:.9}, \
+                 \"modeled_pipelined_critical_path_s\": {:.9}, \
                  \"modeled_speedup\": {:.4}}}",
                 report.link,
                 devices.join(", "),
                 report.total_exchange_bytes,
                 report.total_exchange_messages,
                 report.modeled_critical_path_sec,
+                report.modeled_pipelined_critical_path_sec,
                 report.modeled_speedup(),
             )
         }
@@ -206,14 +219,18 @@ fn main() {
     let backends = [
         BackendSpec::Serial,
         BackendSpec::Sharded(shards),
+        BackendSpec::Pipelined(shards),
         BackendSpec::MultiGpu(1),
         BackendSpec::MultiGpu(2),
         BackendSpec::MultiGpu(4),
     ];
     // The chain length scales like the node counts of the named datasets,
     // so the merge-heavy leg keeps "many iterations, small deltas" at any
-    // scale.
-    let chain_nodes = ((400.0 * scale).round() as u32).max(32);
+    // scale. The multiplier is sized so that at the default scale the
+    // O(|full|) streaming merges dominate the leg's wall time: this leg
+    // gates the pipelined-vs-sharded comparison below, and on a short
+    // chain the merge saving drowns in scheduler noise.
+    let chain_nodes = ((1000.0 * scale).round() as u32).max(64);
     let workloads: Vec<(&'static str, EdgeList)> = vec![
         ("reach", PaperDataset::Gnutella31.generate(scale)),
         ("sg", PaperDataset::EgoFacebook.generate(scale)),
@@ -236,6 +253,7 @@ fn main() {
             let mut iterations = 0usize;
             let mut counters = (0u64, 0u64, 0u64);
             let mut phase_ns = (0u64, 0u64, 0u64);
+            let mut overlap = (0u64, 0u64);
             let mut topology: Option<TopologyReport> = None;
             for _ in 0..trials {
                 let device = gpulog_device(scale);
@@ -258,6 +276,7 @@ fn main() {
                 // derived from deterministic counters) are deterministic
                 // per configuration; the phase nanos wobble with the wall
                 // clock, so the artifact records the last trial of each.
+                overlap = (stats.overlap_nanos, stats.pipeline_stall_nanos);
                 topology = stats.topology;
                 let snap = device.metrics().snapshot();
                 counters = (snap.hash_inserts, snap.hash_rebuilds, snap.sort_passes);
@@ -281,6 +300,8 @@ fn main() {
                 sort_ns: phase_ns.0,
                 merge_ns: phase_ns.1,
                 index_ns: phase_ns.2,
+                overlap_ns: overlap.0,
+                stall_ns: overlap.1,
                 topology,
             });
         }
@@ -303,6 +324,47 @@ fn main() {
         reach_4dev.modeled_speedup() > 1.0,
         "modeled 4-device NVLink speedup on REACH must exceed 1.0, got {:.2}",
         reach_4dev.modeled_speedup()
+    );
+    // Hiding each device's merge share behind the next step's compute must
+    // shorten the modeled schedule: the pipelined critical path is priced
+    // through the same per-device cost models, so on a multi-round fixpoint
+    // it has to land strictly below the bulk-synchronous one.
+    assert!(
+        reach_4dev.modeled_pipelined_critical_path_sec < reach_4dev.modeled_critical_path_sec,
+        "modeled pipelined critical path ({:.6}s) must beat the BSP critical path ({:.6}s)",
+        reach_4dev.modeled_pipelined_critical_path_sec,
+        reach_4dev.modeled_critical_path_sec
+    );
+
+    // The measured gate: on the merge-heavy chain, deferring and batching
+    // full merges (fewer O(|full|) streaming passes) must beat the
+    // barrier-per-iteration sharded backend at the same shard count.
+    let chain_wall = |backend: &str| {
+        rows.iter()
+            .find(|r| r.query == "reach-chain" && r.backend == backend)
+            .map(|r| r.median_wall_s)
+            .expect("the chain leg runs every backend")
+    };
+    let pipelined_label = format!("pipelined:{shards}");
+    let sharded_label = format!("sharded:{shards}");
+    let (pipelined_wall, sharded_wall) = (chain_wall(&pipelined_label), chain_wall(&sharded_label));
+    println!(
+        "chain-REACH wall medians: {pipelined_label} {pipelined_wall:.4}s vs \
+         {sharded_label} {sharded_wall:.4}s ({:.2}x)",
+        sharded_wall / pipelined_wall
+    );
+    assert!(
+        pipelined_wall < sharded_wall,
+        "pipelined median wall ({pipelined_wall:.4}s) must beat sharded ({sharded_wall:.4}s) \
+         on the merge-heavy chain"
+    );
+    let chain_pipelined = rows
+        .iter()
+        .find(|r| r.query == "reach-chain" && r.backend == pipelined_label)
+        .expect("the chain leg runs the pipelined backend");
+    assert!(
+        chain_pipelined.overlap_ns > 0,
+        "the pipelined chain leg must report a non-zero overlap window"
     );
 
     let mut table = TextTable::new([
@@ -346,6 +408,8 @@ fn main() {
         "Sort (ms)",
         "Merge (ms)",
         "Index (ms)",
+        "Overlap (ms)",
+        "Stall (ms)",
     ]);
     for row in &rows {
         phases.row([
@@ -358,6 +422,8 @@ fn main() {
             format!("{:.3}", row.sort_ns as f64 / 1e6),
             format!("{:.3}", row.merge_ns as f64 / 1e6),
             format!("{:.3}", row.index_ns as f64 / 1e6),
+            format!("{:.3}", row.overlap_ns as f64 / 1e6),
+            format!("{:.3}", row.stall_ns as f64 / 1e6),
         ]);
     }
     println!("phase breakdown (device-level, last trial)");
@@ -412,6 +478,7 @@ fn main() {
              \"median_wall_s\": {:.6}, \"median_modeled_s\": {:.6}, \
              \"hash_inserts\": {}, \"hash_rebuilds\": {}, \"sort_passes\": {}, \
              \"phase_nanos\": {{\"sort\": {}, \"merge\": {}, \"index\": {}}}, \
+             \"overlap_nanos\": {}, \"pipeline_stall_nanos\": {}, \
              \"topology\": {}}}{}\n",
             row.query,
             row.dataset,
@@ -427,6 +494,8 @@ fn main() {
             row.sort_ns,
             row.merge_ns,
             row.index_ns,
+            row.overlap_ns,
+            row.stall_ns,
             topology_json(&row.topology),
             if i + 1 == rows.len() { "" } else { "," },
         ));

@@ -60,16 +60,19 @@ pub enum BackendSpec {
     Sharded(usize),
     /// The `MultiGpuBackend` over an `N`-device NVLink-like topology.
     MultiGpu(usize),
+    /// The iteration-overlapping `PipelinedBackend` with `N` shards.
+    Pipelined(usize),
 }
 
 impl BackendSpec {
-    /// The normalized label (`serial`, `sharded:N`, `multigpu:N`) used in
-    /// tables and artifacts.
+    /// The normalized label (`serial`, `sharded:N`, `multigpu:N`,
+    /// `pipelined:N`) used in tables and artifacts.
     pub fn label(&self) -> String {
         match self {
             BackendSpec::Serial => "serial".to_string(),
             BackendSpec::Sharded(n) => format!("sharded:{n}"),
             BackendSpec::MultiGpu(n) => format!("multigpu:{n}"),
+            BackendSpec::Pipelined(n) => format!("pipelined:{n}"),
         }
     }
 
@@ -78,13 +81,14 @@ impl BackendSpec {
     pub fn shards(&self) -> usize {
         match self {
             BackendSpec::Serial => 1,
-            BackendSpec::Sharded(n) | BackendSpec::MultiGpu(n) => *n,
+            BackendSpec::Sharded(n) | BackendSpec::MultiGpu(n) | BackendSpec::Pipelined(n) => *n,
         }
     }
 
     /// Re-targets an engine configuration at this backend: sets the shard
-    /// count, and for `multigpu:N` installs an `N`-device NVLink-like
-    /// [`DeviceTopology`].
+    /// count, for `multigpu:N` installs an `N`-device NVLink-like
+    /// [`DeviceTopology`], and for `pipelined:N` enables iteration overlap
+    /// over `N` shards.
     pub fn configure(&self, config: EngineConfig) -> EngineConfig {
         match self {
             BackendSpec::Serial => config.with_shard_count(1),
@@ -95,12 +99,14 @@ impl BackendSpec {
                     .with_shard_count(1)
                     .with_device_topology(DeviceTopology::nvlink_like(devices))
             }
+            BackendSpec::Pipelined(n) => config.with_shard_count(1).with_pipelined(*n),
         }
     }
 }
 
-/// Parses a backend spec: `serial`, `sharded` (4 shards), `sharded:N`, or
-/// `multigpu:N` (an `N`-device simulated NVLink-like topology).
+/// Parses a backend spec: `serial`, `sharded` (4 shards), `sharded:N`,
+/// `multigpu:N` (an `N`-device simulated NVLink-like topology), or
+/// `pipelined:N` (iteration overlap over `N` shards).
 ///
 /// # Errors
 ///
@@ -115,19 +121,21 @@ pub fn parse_backend_spec(spec: &str) -> Result<BackendSpec, String> {
                 Ok(BackendSpec::Sharded(n))
             } else if let Some(n) = other.strip_prefix("multigpu:").and_then(parse_count) {
                 Ok(BackendSpec::MultiGpu(n))
+            } else if let Some(n) = other.strip_prefix("pipelined:").and_then(parse_count) {
+                Ok(BackendSpec::Pipelined(n))
             } else {
                 Err(format!(
-                    "expected `serial`, `sharded`, `sharded:N`, or `multigpu:N` \
-                     (N >= 1), got {other:?}"
+                    "expected `serial`, `sharded`, `sharded:N`, `multigpu:N`, or \
+                     `pipelined:N` (N >= 1), got {other:?}"
                 ))
             }
         }
     }
 }
 
-/// Reads the `--backend serial|sharded:N|multigpu:N` command-line flag
-/// (default `serial`). Exits with a usage message on a malformed spec so
-/// CI failures are self-explanatory.
+/// Reads the `--backend serial|sharded:N|multigpu:N|pipelined:N`
+/// command-line flag (default `serial`). Exits with a usage message on a
+/// malformed spec so CI failures are self-explanatory.
 pub fn backend_from_args() -> BackendSpec {
     let args: Vec<String> = std::env::args().collect();
     let mut spec = "serial".to_string();
@@ -137,7 +145,9 @@ pub fn backend_from_args() -> BackendSpec {
             match args.get(i + 1) {
                 Some(value) => spec = value.clone(),
                 None => {
-                    eprintln!("--backend needs a value: serial | sharded | sharded:N | multigpu:N");
+                    eprintln!(
+                        "--backend needs a value: serial | sharded | sharded:N | multigpu:N | pipelined:N"
+                    );
                     std::process::exit(2);
                 }
             }
@@ -267,8 +277,18 @@ mod tests {
             parse_backend_spec("multigpu:2").unwrap().label(),
             "multigpu:2"
         );
+        assert_eq!(
+            parse_backend_spec("pipelined:4"),
+            Ok(BackendSpec::Pipelined(4))
+        );
+        assert_eq!(
+            parse_backend_spec("pipelined:4").unwrap().label(),
+            "pipelined:4"
+        );
         assert!(parse_backend_spec("sharded:0").is_err());
         assert!(parse_backend_spec("multigpu:0").is_err());
+        assert!(parse_backend_spec("pipelined:0").is_err());
+        assert!(parse_backend_spec("pipelined").is_err());
         assert!(parse_backend_spec("gpu").is_err());
     }
 
@@ -282,6 +302,11 @@ mod tests {
         assert_eq!(topology.device_count().get(), 2);
         assert_eq!(topology.link().name, "NVLink-like");
         assert_eq!(BackendSpec::MultiGpu(2).shards(), 2);
+        let pipelined = BackendSpec::Pipelined(4).configure(EngineConfig::default());
+        assert_eq!(pipelined.pipelined, 4);
+        assert_eq!(pipelined.shard_count, 1);
+        assert!(pipelined.device_topology.is_none());
+        assert_eq!(BackendSpec::Pipelined(4).shards(), 4);
     }
 
     #[test]

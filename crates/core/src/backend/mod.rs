@@ -23,10 +23,12 @@
 //!   [`Backend::topology_report`]), while computing fixpoints
 //!   byte-identical to the serial backend.
 //!
-//! The same seam accommodates the remaining scaling items: an
-//! async-pipelining backend can overlap the join/dedup/merge phases of
-//! consecutive iterations behind the same `execute` call, with no change
-//! to the engine or the planner.
+//! * [`PipelinedBackend`] wraps the sharded execution path but breaks the
+//!   per-iteration merge barrier: deltas install immediately while the
+//!   O(|full|) merge passes coalesce and drain on the device's background
+//!   lane, overlapping with the next iteration's joins. The engine's only
+//!   concession is [`Backend::fence`], called wherever it reads relation
+//!   storage directly.
 
 use crate::ebm::EbmConfig;
 use crate::error::EngineResult;
@@ -41,10 +43,12 @@ use std::fmt;
 use std::num::NonZeroUsize;
 
 mod multigpu;
+mod pipelined;
 mod serial;
 mod sharded;
 
 pub use multigpu::MultiGpuBackend;
+pub use pipelined::PipelinedBackend;
 pub use serial::SerialBackend;
 pub use sharded::ShardedBackend;
 
@@ -153,5 +157,20 @@ pub trait Backend: fmt::Debug + Send {
     /// engine copies it into [`crate::RunStats::topology`] after a run.
     fn topology_report(&self) -> Option<TopologyReport> {
         None
+    }
+
+    /// Settles every deferred effect the backend may still have in flight,
+    /// leaving each relation's stored state exactly as a bulk-synchronous
+    /// backend would. The engine calls this wherever it is about to read
+    /// relation storage directly (fixpoint seeding, end of a stratum);
+    /// backends that complete every pipeline eagerly — all of them except
+    /// [`PipelinedBackend`] — keep this default no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns device errors raised while draining deferred work.
+    fn fence(&self, ctx: &mut EvalContext<'_>) -> EngineResult<()> {
+        let _ = ctx;
+        Ok(())
     }
 }

@@ -85,6 +85,16 @@ struct TopologySim {
     in_messages: Vec<AtomicU64>,
     critical_path_sec: Mutex<f64>,
     producers: Mutex<HashMap<RelId, Vec<(usize, usize)>>>,
+    /// Per-device merge share of the pipeline currently executing: the
+    /// modeled seconds of delta-merge work folded into the charges that a
+    /// pipelined schedule would defer behind the next pipeline's compute.
+    pending_merge_sec: Mutex<Vec<f64>>,
+    /// Per-device merge debt carried from the previous pipeline: deferred
+    /// merge work that must finish under (or extend) the current step.
+    merge_debt_sec: Mutex<Vec<f64>>,
+    /// Accumulated critical path of the pipelined schedule (the BSP path
+    /// stays in `critical_path_sec`, untouched).
+    pipelined_critical_path_sec: Mutex<f64>,
 }
 
 impl TopologySim {
@@ -96,6 +106,9 @@ impl TopologySim {
             in_messages: (0..devices).map(|_| AtomicU64::new(0)).collect(),
             critical_path_sec: Mutex::new(0.0),
             producers: Mutex::new(HashMap::new()),
+            pending_merge_sec: Mutex::new(vec![0.0; devices]),
+            merge_debt_sec: Mutex::new(vec![0.0; devices]),
+            pipelined_critical_path_sec: Mutex::new(0.0),
         }
     }
 }
@@ -150,15 +163,34 @@ impl MultiGpuBackend {
                 exchange_in_messages: self.sim.in_messages[d].load(Ordering::Relaxed),
             })
             .collect::<Vec<_>>();
+        let critical_path_sec = *self
+            .sim
+            .critical_path_sec
+            .lock()
+            .expect("critical-path lock poisoned");
+        // The pipelined path still owes the merges deferred by the last
+        // diff: drain the outstanding debt into the report, then clamp to
+        // the BSP path (deferring work never makes the schedule slower).
+        let final_debt = self
+            .sim
+            .merge_debt_sec
+            .lock()
+            .expect("merge-debt lock poisoned")
+            .iter()
+            .fold(0.0f64, |acc, &d| acc.max(d));
+        let pipelined_sec = (*self
+            .sim
+            .pipelined_critical_path_sec
+            .lock()
+            .expect("pipelined-path lock poisoned")
+            + final_debt)
+            .min(critical_path_sec);
         TopologyReport {
             link: self.topology.link().name.clone(),
             total_exchange_bytes: devices.iter().map(|d| d.exchange_in_bytes).sum(),
             total_exchange_messages: devices.iter().map(|d| d.exchange_in_messages).sum(),
-            modeled_critical_path_sec: *self
-                .sim
-                .critical_path_sec
-                .lock()
-                .expect("critical-path lock poisoned"),
+            modeled_critical_path_sec: critical_path_sec,
+            modeled_pipelined_critical_path_sec: pipelined_sec,
             devices,
         }
     }
@@ -556,6 +588,20 @@ impl MultiGpuBackend {
                     (in_values / arity) as u64,
                     true,
                 );
+                // The merge's share of that charge — reading the delta
+                // slice back and writing it into full — is what a pipelined
+                // schedule defers behind the next pipeline's compute.
+                // Record it so `execute` can price the pipelined path.
+                if out_bytes > 0 {
+                    let merge = Metrics::new();
+                    merge.add_bytes_read(out_bytes);
+                    merge.add_bytes_written(out_bytes);
+                    let sec = self.models[d].estimate(&merge.snapshot()).total_sec();
+                    self.sim
+                        .pending_merge_sec
+                        .lock()
+                        .expect("merge-share lock poisoned")[d] += sec;
+                }
             }
             TupleBatch::merge_sorted_unique(arity, outs)
         };
@@ -735,20 +781,51 @@ impl Backend for MultiGpuBackend {
         // the slowest device's compute plus that device's incoming link
         // transfer.
         let link: &LinkProfile = self.topology.link();
+        let mut lanes = vec![0.0f64; s];
         let mut worst = 0.0f64;
-        for d in 0..s {
+        for (d, lane) in lanes.iter_mut().enumerate() {
             let work = self.sim.metrics[d].snapshot().since(&compute_before[d]);
             let compute = self.models[d].estimate(&work).total_sec();
             let bytes = self.sim.in_bytes[d].load(Ordering::Relaxed) - in_bytes_before[d];
             let messages = self.sim.in_messages[d].load(Ordering::Relaxed) - in_msgs_before[d];
-            let lane = compute + link.transfer_sec(bytes, messages);
-            worst = worst.max(lane);
+            *lane = compute + link.transfer_sec(bytes, messages);
+            worst = worst.max(*lane);
         }
         *self
             .sim
             .critical_path_sec
             .lock()
             .expect("critical-path lock poisoned") += worst;
+
+        // The pipelined schedule prices the same step differently: this
+        // step's merge share is deferred (subtracted from the lane), while
+        // the previous step's deferred merges run concurrently and bound
+        // the step from below — a merge slower than the compute it hides
+        // behind surfaces as residual step time.
+        let merge_now: Vec<f64> = {
+            let mut pending = self
+                .sim
+                .pending_merge_sec
+                .lock()
+                .expect("merge-share lock poisoned");
+            std::mem::replace(&mut *pending, vec![0.0; s])
+        };
+        let mut debt = self
+            .sim
+            .merge_debt_sec
+            .lock()
+            .expect("merge-debt lock poisoned");
+        let mut pipelined_worst = 0.0f64;
+        for d in 0..s {
+            let lane = (lanes[d] - merge_now[d]).max(0.0).max(debt[d]);
+            pipelined_worst = pipelined_worst.max(lane);
+            debt[d] = merge_now[d];
+        }
+        *self
+            .sim
+            .pipelined_critical_path_sec
+            .lock()
+            .expect("pipelined-path lock poisoned") += pipelined_worst;
         result
     }
 
@@ -832,6 +909,36 @@ mod tests {
         assert!(report.modeled_critical_path_sec > 0.0);
         assert!((report.modeled_speedup() - 1.0).abs() < 1e-9);
         assert_eq!(report.total_exchange_messages, 0);
+    }
+
+    #[test]
+    fn pipelined_schedule_is_priced_below_the_bsp_critical_path() {
+        let d = device();
+        let multi = backend(2);
+        let mut rels = vec![RelationStorage::new(&d, "R", 2, DEFAULT_LOAD_FACTOR).unwrap()];
+        let mut stats = RunStats::default();
+        // Several merge-carrying diff rounds: every round's merge share is
+        // deferred behind the next round, so the pipelined path must price
+        // strictly below the bulk-synchronous one.
+        for round in 0..4u32 {
+            let rows: Vec<u32> = (0..2000u32).flat_map(|i| [round * 10_000 + i, i]).collect();
+            rels[0].push_new(&rows);
+            let mut ctx = EvalContext {
+                device: &d,
+                relations: &mut rels,
+                stats: &mut stats,
+                ebm: EbmConfig::default(),
+            };
+            multi.execute(&mut ctx, &RaPipeline::diff(0)).unwrap();
+        }
+        let report = multi.report();
+        assert!(report.modeled_pipelined_critical_path_sec > 0.0);
+        assert!(
+            report.modeled_pipelined_critical_path_sec < report.modeled_critical_path_sec,
+            "pipelined {} must beat BSP {}",
+            report.modeled_pipelined_critical_path_sec,
+            report.modeled_critical_path_sec
+        );
     }
 
     #[test]

@@ -16,7 +16,8 @@
 
 use crate::ast::Program;
 use crate::backend::{
-    Backend, EvalContext, MultiGpuBackend, PipelineOutcome, SerialBackend, ShardedBackend,
+    Backend, EvalContext, MultiGpuBackend, PipelineOutcome, PipelinedBackend, SerialBackend,
+    ShardedBackend,
 };
 use crate::ebm::EbmConfig;
 use crate::error::{EngineError, EngineResult};
@@ -70,6 +71,14 @@ pub struct EngineConfig {
     /// cross-device exchange bytes, and the modeled critical path. A
     /// `shard_count` above one must match the topology's device count.
     pub device_topology: Option<DeviceTopology>,
+    /// Shard count of the iteration-overlapping [`PipelinedBackend`]. Zero
+    /// (the default) keeps bulk-synchronous evaluation; a positive count
+    /// makes engine construction install a `PipelinedBackend` over that
+    /// many hash partitions (unless an explicit backend is supplied),
+    /// double-buffering delta merges behind the next iteration's joins. A
+    /// `shard_count` above one must match, and a device topology cannot be
+    /// combined with overlap.
+    pub pipelined: usize,
 }
 
 impl Default for EngineConfig {
@@ -81,6 +90,7 @@ impl Default for EngineConfig {
             max_iterations: 1_000_000,
             shard_count: 1,
             device_topology: None,
+            pipelined: 0,
         }
     }
 }
@@ -133,6 +143,15 @@ impl EngineConfig {
     #[must_use]
     pub fn with_device_topology(mut self, topology: DeviceTopology) -> Self {
         self.device_topology = Some(topology);
+        self
+    }
+
+    /// Enables iteration overlap: engine construction installs a
+    /// [`PipelinedBackend`] over `shards` hash partitions (validated there;
+    /// zero keeps bulk-synchronous evaluation).
+    #[must_use]
+    pub fn with_pipelined(mut self, shards: usize) -> Self {
+        self.pipelined = shards;
         self
     }
 }
@@ -268,6 +287,16 @@ impl<'d> EngineBuilder<'d> {
         self
     }
 
+    /// Enables iteration overlap over `shards` hash partitions.
+    /// [`EngineBuilder::build`] then installs a [`PipelinedBackend`]
+    /// (unless an explicit backend was supplied); zero keeps
+    /// bulk-synchronous evaluation.
+    #[must_use]
+    pub fn pipelined(mut self, shards: usize) -> Self {
+        self.config.pipelined = shards;
+        self
+    }
+
     /// Installs a custom evaluation backend. Without one, `build` picks
     /// [`SerialBackend`] — or [`ShardedBackend`] when the configured shard
     /// count is above one. An explicitly-installed backend always wins over
@@ -306,6 +335,7 @@ impl<'d> EngineBuilder<'d> {
 }
 
 /// The backend an engine gets when none is installed explicitly:
+/// [`PipelinedBackend`] when iteration overlap is configured,
 /// [`MultiGpuBackend`] when a device topology is configured,
 /// [`SerialBackend`] for a shard count of one, [`ShardedBackend`] above.
 ///
@@ -313,10 +343,29 @@ impl<'d> EngineBuilder<'d> {
 ///
 /// Returns [`EngineError::InvalidShardCount`] for a zero shard count and
 /// [`EngineError::Validation`] when an explicit shard count conflicts with
-/// the topology's device count (each shard pins to exactly one device).
+/// the topology's device count (each shard pins to exactly one device) or
+/// the pipelined shard count, or when overlap is combined with a topology.
 fn default_backend(config: &EngineConfig) -> EngineResult<Box<dyn Backend>> {
     if config.shard_count == 0 {
         return Err(EngineError::InvalidShardCount { shards: 0 });
+    }
+    if config.pipelined > 0 {
+        if config.device_topology.is_some() {
+            return Err(EngineError::Validation {
+                message: "a device topology cannot be combined with pipelined overlap \
+                          (the exchange is bulk-synchronous by construction)"
+                    .into(),
+            });
+        }
+        if config.shard_count > 1 && config.shard_count != config.pipelined {
+            return Err(EngineError::Validation {
+                message: format!(
+                    "shard count {} conflicts with pipelined shard count {}",
+                    config.shard_count, config.pipelined
+                ),
+            });
+        }
+        return Ok(Box::new(PipelinedBackend::new(config.pipelined)?));
     }
     if let Some(topology) = &config.device_topology {
         let devices = topology.device_count().get();
@@ -681,6 +730,10 @@ impl GpulogEngine {
                 self.dispatch(pipeline, &mut stats)?;
             }
             let (nr_new, nr_delta) = self.populate_and_merge(stratum_rels, &mut stats)?;
+            // The engine is about to read relation storage directly (delta
+            // seeding below, or the next stratum's scans of this one's
+            // outputs): settle any merges the backend still has in flight.
+            self.fence_backend(&mut stats)?;
 
             if *is_recursive && !pipelines[stratum_idx].recursive.is_empty() {
                 // Seed the deltas with everything currently in full. The
@@ -738,6 +791,9 @@ impl GpulogEngine {
                         break;
                     }
                 }
+                // The fixpoint is reached; drain every merge still deferred
+                // or in flight before storage is read again.
+                self.fence_backend(&mut stats)?;
                 // Clear deltas so later strata see a clean state.
                 for &rel in stratum_rels {
                     self.relations[rel].clear_delta()?;
@@ -748,10 +804,11 @@ impl GpulogEngine {
         // Finalize statistics.
         stats.wall_seconds = wall_start.elapsed().as_secs_f64();
         let counters_after = self.device.metrics().snapshot();
-        stats.modeled = self
-            .device
-            .cost_model()
-            .estimate(&counters_after.since(&counters_before));
+        let run_counters = counters_after.since(&counters_before);
+        stats.modeled = self.device.cost_model().estimate(&run_counters);
+        stats.epochs_in_flight = run_counters.peak_epochs_in_flight;
+        stats.overlap_nanos = run_counters.overlap_nanos;
+        stats.pipeline_stall_nanos = run_counters.pipeline_stall_nanos;
         stats.topology = match (topology_before, self.backend.topology_report()) {
             (Some(before), Some(after)) => Some(after.since(&before)),
             (_, after) => after,
@@ -766,6 +823,18 @@ impl GpulogEngine {
         }
         self.has_run = true;
         Ok(stats)
+    }
+
+    /// Settles every deferred backend effect ([`Backend::fence`]) so the
+    /// engine can read relation storage directly.
+    fn fence_backend(&mut self, stats: &mut RunStats) -> EngineResult<()> {
+        let mut ctx = EvalContext {
+            device: &self.device,
+            relations: &mut self.relations,
+            stats,
+            ebm: self.config.ebm,
+        };
+        self.backend.fence(&mut ctx)
     }
 
     /// Executes one lowered pipeline through the configured backend.
@@ -1135,6 +1204,75 @@ mod tests {
             GpulogEngine::from_source(&d, REACH, cfg),
             Err(EngineError::InvalidShardCount { shards: 0 })
         ));
+    }
+
+    #[test]
+    fn pipelined_config_installs_the_pipelined_backend() {
+        let d = device();
+        let e = GpulogEngine::builder(&d)
+            .program(REACH)
+            .pipelined(4)
+            .build()
+            .unwrap();
+        assert_eq!(e.backend().name(), "pipelined");
+        assert_eq!(e.config().pipelined, 4);
+        // Zero pipelined shards keep the bulk-synchronous default.
+        let e = GpulogEngine::builder(&d)
+            .program(REACH)
+            .pipelined(0)
+            .build()
+            .unwrap();
+        assert_eq!(e.backend().name(), "serial");
+        // A matching explicit shard count is accepted; a conflicting one
+        // and a topology combination are rejected.
+        let ok = GpulogEngine::builder(&d)
+            .program(REACH)
+            .shard_count(4)
+            .pipelined(4)
+            .build();
+        assert!(ok.is_ok());
+        let conflict = GpulogEngine::builder(&d)
+            .program(REACH)
+            .shard_count(2)
+            .pipelined(4)
+            .build();
+        assert!(matches!(conflict, Err(EngineError::Validation { .. })));
+        use gpulog_device::topology::DeviceTopology;
+        use std::num::NonZeroUsize;
+        let with_topology = GpulogEngine::builder(&d)
+            .program(REACH)
+            .pipelined(2)
+            .device_topology(DeviceTopology::nvlink_like(NonZeroUsize::new(2).unwrap()))
+            .build();
+        assert!(matches!(with_topology, Err(EngineError::Validation { .. })));
+    }
+
+    #[test]
+    fn pipelined_fixpoints_match_serial_and_report_overlap() {
+        let d = device();
+        let mut serial = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
+        serial
+            .add_facts("Edge", [[0u32, 1], [1, 2], [2, 3], [3, 4], [4, 5]])
+            .unwrap();
+        let serial_stats = serial.run().unwrap();
+        let cfg = EngineConfig::new().with_pipelined(2);
+        let mut pipelined = GpulogEngine::from_source(&d, REACH, cfg).unwrap();
+        pipelined
+            .add_facts("Edge", [[0u32, 1], [1, 2], [2, 3], [3, 4], [4, 5]])
+            .unwrap();
+        let stats = pipelined.run().unwrap();
+        assert_eq!(
+            pipelined.relation_batch("Reach").unwrap().as_flat(),
+            serial.relation_batch("Reach").unwrap().as_flat(),
+            "pipelined fixpoint must match serial byte-for-byte"
+        );
+        assert_eq!(stats.iterations, serial_stats.iterations);
+        // The chain needs enough iterations to defer at least one merge
+        // behind the next iteration's joins.
+        assert!(stats.overlap_nanos > 0, "a merge must have been deferred");
+        assert!(stats.epochs_in_flight >= 1);
+        assert_eq!(serial_stats.overlap_nanos, 0);
+        assert_eq!(serial_stats.epochs_in_flight, 0);
     }
 
     #[test]

@@ -41,8 +41,16 @@
 //!    devices of a [`DeviceTopology`]
 //!    ([`EngineConfig::with_device_topology`]), attributing per-shard
 //!    work to per-device counters and charging the delta exchange to the
-//!    topology's link model ([`RunStats::topology`]) — all with fixpoints
-//!    byte-identical to the serial backend's. Select sharding with
+//!    topology's link model ([`RunStats::topology`]).
+//!    [`backend::PipelinedBackend`] breaks the per-iteration barrier on
+//!    top of sharded execution: delta merges are double-buffered and run
+//!    on the device's background lane so iteration *k+1*'s joins overlap
+//!    iteration *k*'s merge ([`EngineConfig::with_pipelined`] or the
+//!    builder's `.pipelined(..)`; overlap is reported through
+//!    [`RunStats`]'s `overlap_nanos` / `pipeline_stall_nanos` /
+//!    `epochs_in_flight`, and the bench harness selects it with a
+//!    `pipelined:N` backend spec) — all with fixpoints byte-identical to
+//!    the serial backend's. Select sharding with
 //!    [`EngineConfig::with_shard_count`] or the builder's
 //!    `.shard_count(..)` knob:
 //!
@@ -52,19 +60,27 @@
 //!
 //! # fn main() -> Result<(), gpulog::EngineError> {
 //! let device = Device::new(DeviceProfile::nvidia_h100());
+//! let src = r"
+//!     .decl Edge(x: number, y: number)
+//!     .input Edge
+//!     .decl Reach(x: number, y: number)
+//!     .output Reach
+//!     Reach(x, y) :- Edge(x, y).
+//!     Reach(x, y) :- Edge(x, z), Reach(z, y).
+//! ";
 //! let engine = GpulogEngine::builder(&device)
-//!     .program(r"
-//!         .decl Edge(x: number, y: number)
-//!         .input Edge
-//!         .decl Reach(x: number, y: number)
-//!         .output Reach
-//!         Reach(x, y) :- Edge(x, y).
-//!         Reach(x, y) :- Edge(x, z), Reach(z, y).
-//!     ")
+//!     .program(src)
 //!     .shard_count(4) // hash-partition relations 4 ways
 //!     .build()?;
 //! assert_eq!(engine.backend().name(), "sharded");
 //! assert_eq!(engine.config().shard_count, 4);
+//! // Or overlap iterations: delta merges run in the background while the
+//! // next iteration's joins execute.
+//! let overlapped = GpulogEngine::builder(&device)
+//!     .program(src)
+//!     .pipelined(4)
+//!     .build()?;
+//! assert_eq!(overlapped.backend().name(), "pipelined");
 //! # Ok(())
 //! # }
 //! ```
@@ -120,7 +136,8 @@ pub mod stats;
 
 pub use ast::{Atom, CmpOp, Constraint, Program, ProgramBuilder, RelationDecl, Rule, Term};
 pub use backend::{
-    Backend, EvalContext, MultiGpuBackend, PipelineOutcome, SerialBackend, ShardedBackend,
+    Backend, EvalContext, MultiGpuBackend, PipelineOutcome, PipelinedBackend, SerialBackend,
+    ShardedBackend,
 };
 pub use ebm::EbmConfig;
 pub use engine::{EngineBuilder, EngineConfig, GpulogEngine};
@@ -148,5 +165,6 @@ mod tests {
         assert_send::<TupleBatch>();
         assert_send::<RaPipeline>();
         assert_send::<SerialBackend>();
+        assert_send::<PipelinedBackend>();
     }
 }

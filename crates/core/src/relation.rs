@@ -32,7 +32,7 @@ pub struct RelationVersion {
 }
 
 impl RelationVersion {
-    fn empty(device: &Device, arity: usize, load_factor: f64) -> EngineResult<Self> {
+    pub(crate) fn empty(device: &Device, arity: usize, load_factor: f64) -> EngineResult<Self> {
         Ok(RelationVersion {
             arity,
             canonical: Hisa::build_with_load_factor(
@@ -124,6 +124,11 @@ impl RelationVersion {
     /// The canonical (all-columns) index.
     pub fn canonical(&self) -> &Hisa {
         &self.canonical
+    }
+
+    /// The hash-table load factor this version's indices were built with.
+    pub(crate) fn load_factor(&self) -> f64 {
+        self.load_factor
     }
 
     /// Dense row-major tuples in declared column order.
@@ -263,7 +268,141 @@ impl RelationVersion {
         self.by_key.clear();
         self.sharded.clear();
     }
+
+    /// Merges a batch of deferred delta runs (each sorted-unique, pairwise
+    /// disjoint, and disjoint from this version) into this **full** version
+    /// in one pass — the coalesced sibling of
+    /// [`RelationStorage::merge_delta_into_full`], used by the pipelined
+    /// backend to drain its double buffer. For every maintained layer
+    /// (canonical, each secondary index, each cached shard map) the runs
+    /// are combined with [`Hisa::build_from_sorted_unique_runs`] and merged
+    /// with a single [`Hisa::merge_from`], so the O(|full|) sorted-index
+    /// and inverse-permutation streaming passes are paid once per drain
+    /// instead of once per delta. Merge associativity (the runs' rows are
+    /// globally distinct) keeps the result byte-identical to merging the
+    /// runs one at a time.
+    ///
+    /// This takes `&mut self` on the version — not the storage — so the
+    /// backend can move the full version onto the device's background lane
+    /// while the foreground keeps evaluating.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the merged relation does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any run's arity differs or a run does not carry the
+    /// sorted-unique flag.
+    pub(crate) fn merge_sorted_unique_runs(
+        &mut self,
+        device: &Device,
+        runs: &[TupleBatch],
+        ebm: &EbmConfig,
+    ) -> EngineResult<()> {
+        for run in runs {
+            assert_eq!(run.arity(), self.arity, "delta run arity mismatch");
+            assert!(
+                run.is_sorted_unique(),
+                "merge_sorted_unique_runs requires sorted-unique runs"
+            );
+        }
+        let total_rows: usize = runs.iter().map(TupleBatch::len).sum();
+        if total_rows == 0 {
+            return Ok(());
+        }
+        let arity = self.arity;
+        let load_factor = self.load_factor;
+        let flats: Vec<&[u32]> = runs.iter().map(TupleBatch::as_flat).collect();
+        let reserve = ebm.reserve_rows(total_rows);
+        let combined = Hisa::build_from_sorted_unique_runs(
+            device,
+            IndexSpec::full_key(arity),
+            &flats,
+            load_factor,
+        )?;
+        if reserve > 0 {
+            self.canonical.reserve_additional_rows(reserve)?;
+        }
+        self.canonical.merge_from(&combined)?;
+        let keys: Vec<Vec<usize>> = self.by_key.keys().cloned().collect();
+        for key in keys {
+            let combined = Hisa::build_from_sorted_unique_runs(
+                device,
+                IndexSpec::new(arity, key.clone()),
+                &flats,
+                load_factor,
+            )?;
+            let target = self.by_key.get_mut(&key).expect("index exists");
+            if reserve > 0 {
+                target.reserve_additional_rows(reserve)?;
+            }
+            target.merge_from(&combined)?;
+        }
+        // Shard maps drain shard-locally, exactly like
+        // `merge_delta_into_full`: every run partitions by the cached
+        // entry's key hash, so shard i absorbs only its own slices of the
+        // runs — one worker-pool epoch over all (entry, shard) pairs.
+        let mut jobs: Vec<ShardMergeJob<'_>> = Vec::new();
+        for ((key_cols, shards), shard_hisas) in &mut self.sharded {
+            let shards = NonZeroUsize::new(*shards).expect("cached shard maps are non-empty");
+            let mut per_shard: Vec<Vec<Vec<u32>>> = (0..shards.get()).map(|_| Vec::new()).collect();
+            for flat in &flats {
+                let parts = partition_flat_by_key_hash(flat, arity, key_cols, shards);
+                for (shard, rows) in parts.into_iter().enumerate() {
+                    if !rows.is_empty() {
+                        per_shard[shard].push(rows);
+                    }
+                }
+            }
+            for (target, slices) in shard_hisas.iter_mut().zip(per_shard) {
+                if !slices.is_empty() {
+                    let slice_rows: usize = slices.iter().map(|s| s.len() / arity).sum();
+                    let shard_reserve = ebm.reserve_rows(slice_rows);
+                    jobs.push((target, slices, key_cols.clone(), shard_reserve));
+                }
+            }
+        }
+        if !jobs.is_empty() {
+            let mut results: Vec<EngineResult<()>> = jobs.iter().map(|_| Ok(())).collect();
+            let jobs: Vec<_> = jobs.into_iter().zip(results.iter_mut()).collect();
+            device.executor().run_tasks(
+                jobs,
+                |_, ((target, slices, key_cols, shard_reserve), result)| {
+                    *result = (|| -> EngineResult<()> {
+                        let slice_refs: Vec<&[u32]> = slices.iter().map(Vec::as_slice).collect();
+                        let combined = Hisa::build_from_sorted_unique_runs(
+                            device,
+                            IndexSpec::new(arity, key_cols),
+                            &slice_refs,
+                            load_factor,
+                        )?;
+                        if shard_reserve > 0 {
+                            target.reserve_additional_rows(shard_reserve)?;
+                        }
+                        target.merge_from(&combined)?;
+                        Ok(())
+                    })();
+                },
+            );
+            results.into_iter().collect::<EngineResult<()>>()?;
+        }
+        if !ebm.enabled {
+            self.canonical.shrink_to_fit();
+            for idx in self.by_key.values_mut() {
+                idx.shrink_to_fit();
+            }
+            for idx in self.sharded.values_mut().flatten() {
+                idx.shrink_to_fit();
+            }
+        }
+        Ok(())
+    }
 }
+
+/// One shard-map drain job: the target shard HISA, the run slices routed
+/// to it, the map's key columns, and the rows to pre-reserve.
+type ShardMergeJob<'a> = (&'a mut Hisa, Vec<Vec<u32>>, Vec<usize>, usize);
 
 /// Whether `key_cols` is served by the canonical (identity full-key)
 /// index: an empty key (plain scan) or exactly `[0, 1, ..., arity - 1]`.
@@ -727,6 +866,64 @@ mod tests {
         );
         a.push_new_batch(&TupleBatch::from_rows(2, [[7u32, 7]]));
         assert_eq!(a.take_new(&EbmConfig::default()), vec![7, 7]);
+    }
+
+    #[test]
+    fn coalesced_run_merge_is_byte_identical_to_per_delta_merges() {
+        let d = device();
+        // Serial reference: merge two deltas one at a time, maintaining a
+        // secondary index and a cached shard map throughout.
+        let mut serial = storage(&d);
+        serial.load_full(&[1, 2, 8, 0]).unwrap();
+        let _ = serial.full.index_on(&d, &[1]).unwrap();
+        let _ = serial
+            .full
+            .sharded_index_on(&d, &[0], NonZeroUsize::new(3).unwrap())
+            .unwrap();
+        let d1: &[u32] = &[0, 7, 3, 3, 9, 1];
+        let d2: &[u32] = &[2, 2, 4, 8];
+        for delta in [d1, d2] {
+            serial.set_delta_sorted_unique(delta).unwrap();
+            serial.merge_delta_into_full(&EbmConfig::default()).unwrap();
+        }
+        // Coalesced: same deltas as one deferred drain.
+        let mut coalesced = storage(&d);
+        coalesced.load_full(&[1, 2, 8, 0]).unwrap();
+        let _ = coalesced.full.index_on(&d, &[1]).unwrap();
+        let _ = coalesced
+            .full
+            .sharded_index_on(&d, &[0], NonZeroUsize::new(3).unwrap())
+            .unwrap();
+        let runs = vec![
+            TupleBatch::from_sorted_unique_flat(2, d1.to_vec()),
+            TupleBatch::from_sorted_unique_flat(2, d2.to_vec()),
+        ];
+        coalesced
+            .full
+            .merge_sorted_unique_runs(&d, &runs, &EbmConfig::default())
+            .unwrap();
+        assert_eq!(serial.full.tuples_flat(), coalesced.full.tuples_flat());
+        assert_eq!(
+            serial.full.canonical().sorted_index(),
+            coalesced.full.canonical().sorted_index()
+        );
+        let s_idx = serial.full.existing_index(&[1]).unwrap();
+        let c_idx = coalesced.full.existing_index(&[1]).unwrap();
+        assert_eq!(s_idx.data(), c_idx.data());
+        assert_eq!(s_idx.sorted_index(), c_idx.sorted_index());
+        let shards = NonZeroUsize::new(3).unwrap();
+        let s_map = serial.full.existing_sharded_index(&[0], shards).unwrap();
+        let c_map = coalesced.full.existing_sharded_index(&[0], shards).unwrap();
+        for (s, c) in s_map.iter().zip(c_map) {
+            assert_eq!(s.data(), c.data());
+            assert_eq!(s.sorted_index(), c.sorted_index());
+        }
+        // An all-empty drain is a no-op.
+        coalesced
+            .full
+            .merge_sorted_unique_runs(&d, &[TupleBatch::empty(2)], &EbmConfig::default())
+            .unwrap();
+        assert_eq!(serial.full.tuples_flat(), coalesced.full.tuples_flat());
     }
 
     #[test]

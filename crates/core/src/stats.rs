@@ -92,6 +92,18 @@ pub struct RunStats {
     /// ([`crate::backend::MultiGpuBackend`]); `None` on single-device
     /// backends.
     pub topology: Option<TopologyReport>,
+    /// Peak number of background merge jobs outstanding at once during the
+    /// run. Zero on bulk-synchronous backends; at most one per relation on
+    /// [`crate::backend::PipelinedBackend`].
+    pub epochs_in_flight: u64,
+    /// Nanoseconds of background-merge outstanding windows (submission to
+    /// drain start): the time deferred merges spent overlapped behind
+    /// foreground evaluation. Zero on bulk-synchronous backends.
+    pub overlap_nanos: u64,
+    /// Nanoseconds the foreground spent blocked waiting for an in-flight
+    /// background merge to finish. The pipeline hid its merges completely
+    /// when this is small relative to [`RunStats::overlap_nanos`].
+    pub pipeline_stall_nanos: u64,
 }
 
 impl RunStats {

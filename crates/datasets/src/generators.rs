@@ -129,6 +129,36 @@ pub fn power_law_graph(nodes: u32, edges_per_node: u32, seed: u64) -> EdgeList {
     g
 }
 
+/// Hub-and-spoke graph: `hubs` high-degree centers, each spoke node wired to
+/// a random hub in both directions, and a hub-to-hub ring so everything is
+/// mutually reachable. Unlike [`power_law_graph`] (a smooth preferential-
+/// attachment degree *distribution*), this is the airline-network extreme:
+/// a hard two-tier topology where nearly every path is spoke → hub → spoke.
+/// REACH converges in very few iterations but the hub joins are maximally
+/// skewed — the worst case for hash-partition balance and the best case for
+/// overlapping the resulting fat merges behind compute.
+pub fn hub_graph(nodes: u32, hubs: u32, seed: u64) -> EdgeList {
+    let mut rng = rng(seed);
+    let hubs = hubs.max(1).min(nodes.max(1));
+    let mut edges = Vec::new();
+    // Hub-to-hub ring (nodes 0..hubs are the hubs).
+    for h in 0..hubs {
+        let next = (h + 1) % hubs;
+        if next != h {
+            edges.push((h, next));
+        }
+    }
+    // Each spoke attaches to one random hub, bidirectionally.
+    for v in hubs..nodes {
+        let h = rng.gen_range(0..hubs);
+        edges.push((v, h));
+        edges.push((h, v));
+    }
+    let mut g = EdgeList::new(format!("hub-{nodes}n-{hubs}h"), edges);
+    g.dedup();
+    g
+}
+
 /// Layered random DAG: the peer-to-peer overlay shape (`Gnutella31`) and a
 /// convenient acyclic workload for SG (bounded generation depth).
 pub fn layered_dag(layers: u32, width: u32, fanout: u32, seed: u64) -> EdgeList {
@@ -211,6 +241,25 @@ mod tests {
     }
 
     #[test]
+    fn hub_graph_concentrates_degree_on_the_hubs() {
+        let g = hub_graph(500, 4, 5);
+        assert_eq!(hub_graph(500, 4, 5), g); // deterministic per seed
+        let mut degree = vec![0usize; g.id_bound() as usize];
+        for &(a, b) in &g.edges {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        // Every non-hub node touches exactly one hub (two directed edges).
+        assert!(degree[4..].iter().all(|&d| d == 2));
+        // Hubs carry everything else: ~496 spokes split across 4 hubs.
+        assert!(degree[..4].iter().all(|&d| d > 50));
+        // The ring keeps the hub tier strongly connected.
+        for h in 0..4u32 {
+            assert!(g.edges.contains(&(h, (h + 1) % 4)));
+        }
+    }
+
+    #[test]
     fn layered_dag_is_acyclic_by_construction() {
         let g = layered_dag(5, 10, 2, 9);
         assert!(g.edges.iter().all(|&(a, b)| b / 10 == a / 10 + 1));
@@ -230,6 +279,7 @@ mod tests {
             road_network(200, 20, 2),
             mesh_graph(8, 8, 2),
             power_law_graph(200, 3, 2),
+            hub_graph(200, 3, 2),
             layered_dag(4, 8, 3, 2),
         ] {
             let mut seen = std::collections::HashSet::new();

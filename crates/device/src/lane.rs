@@ -1,0 +1,249 @@
+//! The device's background merge lane.
+//!
+//! CUDA overlaps work by putting it on a second stream; this simulated
+//! device gets the same capability from one long-lived **lane thread** per
+//! device, spawned eagerly at device construction (so fixpoint runs still
+//! spawn zero threads after warmup) and handed closures through a channel.
+//! The pipelined backend uses it to push delta merges off the foreground
+//! iteration path: a [`JobHandle`] remembers when the job was submitted, so
+//! draining it later can attribute the elapsed window to the
+//! `overlap_nanos` counter and any blocking wait to `pipeline_stall_nanos`.
+//!
+//! The lane thread marks itself as inside the worker-pool context, so any
+//! kernel the job launches runs inline on the lane instead of contending
+//! with foreground epochs for the pool's dispatch lock.
+
+use crate::metrics::Metrics;
+use crate::worker_pool::enter_pool_context_forever;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A closure shipped to the lane thread.
+type LaneJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// One background-execution lane: a single thread draining a job queue in
+/// submission order. Dropping the lane closes the queue and joins the
+/// thread, so every submitted job completes before the device is gone.
+pub struct BackgroundLane {
+    sender: Option<Sender<LaneJob>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for BackgroundLane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackgroundLane").finish()
+    }
+}
+
+impl BackgroundLane {
+    /// Spawns the lane thread, recording the spawn in `metrics`.
+    pub fn new(metrics: &Arc<Metrics>) -> Self {
+        let (sender, receiver) = channel::<LaneJob>();
+        let thread = std::thread::Builder::new()
+            .name("gpulog-device-lane".to_string())
+            .spawn(move || {
+                enter_pool_context_forever();
+                while let Ok(job) = receiver.recv() {
+                    job();
+                }
+            })
+            .expect("failed to spawn device lane thread");
+        metrics.add_threads_spawned(1);
+        BackgroundLane {
+            sender: Some(sender),
+            thread: Some(thread),
+        }
+    }
+
+    /// Submits `job` for background execution and returns a handle to its
+    /// result. The job runs on the lane thread in submission order; a panic
+    /// inside it is contained there (the lane survives) and re-raised on
+    /// the thread that eventually [`JobHandle::wait`]s. Dropping the handle
+    /// without waiting is allowed — the job still runs to completion before
+    /// the lane shuts down.
+    ///
+    /// `metrics` tracks the epoch gauge: submission raises
+    /// `epochs_in_flight` (and its peak); the gauge drops when the job
+    /// finishes executing, whether or not anyone waits for it.
+    pub fn submit<T, F>(&self, metrics: &Arc<Metrics>, job: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let slot: Arc<JobSlot<T>> = Arc::new(JobSlot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        metrics.epoch_submitted();
+        let lane_slot = Arc::clone(&slot);
+        let lane_metrics = Arc::clone(metrics);
+        let boxed: LaneJob = Box::new(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(job));
+            lane_metrics.epoch_retired();
+            let mut result = lane_slot
+                .result
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *result = Some(outcome);
+            lane_slot.done.notify_all();
+        });
+        self.sender
+            .as_ref()
+            .expect("lane sender lives until drop")
+            .send(boxed)
+            .expect("lane thread lives until drop");
+        JobHandle {
+            slot,
+            submitted_at: Instant::now(),
+        }
+    }
+}
+
+impl Drop for BackgroundLane {
+    fn drop(&mut self) {
+        // Closing the channel ends the receive loop after the queue drains.
+        drop(self.sender.take());
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Where a lane job parks its result for the waiting thread.
+struct JobSlot<T> {
+    result: Mutex<Option<std::thread::Result<T>>>,
+    done: Condvar,
+}
+
+/// A handle to one in-flight background job (see [`BackgroundLane::submit`]).
+pub struct JobHandle<T> {
+    slot: Arc<JobSlot<T>>,
+    submitted_at: Instant,
+}
+
+impl<T> std::fmt::Debug for JobHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("submitted_at", &self.submitted_at)
+            .finish()
+    }
+}
+
+impl<T> JobHandle<T> {
+    /// When the job was handed to the lane — the start of the window
+    /// `overlap_nanos` measures.
+    pub fn submitted_at(&self) -> Instant {
+        self.submitted_at
+    }
+
+    /// Whether the job has finished executing (a non-blocking probe).
+    pub fn is_done(&self) -> bool {
+        self.slot
+            .result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .is_some()
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the job's panic, if it panicked.
+    pub fn wait(self) -> T {
+        let mut result = self
+            .slot
+            .result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while result.is_none() {
+            result = self
+                .slot
+                .done
+                .wait(result)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        match result.take().expect("checked above") {
+            Ok(value) => value,
+            Err(panic) => resume_unwind(panic),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn metrics() -> Arc<Metrics> {
+        Arc::new(Metrics::new())
+    }
+
+    #[test]
+    fn jobs_run_in_submission_order_and_return_results() {
+        let m = metrics();
+        let lane = BackgroundLane::new(&m);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<JobHandle<usize>> = (0..5)
+            .map(|i| {
+                let log = Arc::clone(&log);
+                lane.submit(&m, move || {
+                    log.lock().unwrap().push(i);
+                    i * 10
+                })
+            })
+            .collect();
+        let results: Vec<usize> = handles.into_iter().map(JobHandle::wait).collect();
+        assert_eq!(results, vec![0, 10, 20, 30, 40]);
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn epoch_gauge_rises_on_submit_and_falls_on_completion() {
+        let m = metrics();
+        let lane = BackgroundLane::new(&m);
+        let handle = lane.submit(&m, || std::thread::sleep(Duration::from_millis(5)));
+        assert!(m.snapshot().peak_epochs_in_flight >= 1);
+        handle.wait();
+        assert_eq!(m.snapshot().epochs_in_flight, 0);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_lane() {
+        let m = metrics();
+        let lane = BackgroundLane::new(&m);
+        let bad = lane.submit(&m, || panic!("boom"));
+        let good = lane.submit(&m, || 7usize);
+        let caught = catch_unwind(AssertUnwindSafe(|| bad.wait()));
+        assert!(caught.is_err());
+        assert_eq!(good.wait(), 7);
+        assert_eq!(m.snapshot().epochs_in_flight, 0);
+    }
+
+    #[test]
+    fn dropping_a_handle_still_runs_the_job_before_shutdown() {
+        let m = metrics();
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let lane = BackgroundLane::new(&m);
+            let ran = Arc::clone(&ran);
+            drop(lane.submit(&m, move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            }));
+            // Dropping the lane joins the thread, draining the queue.
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+        assert_eq!(m.snapshot().epochs_in_flight, 0);
+    }
+
+    #[test]
+    fn spawning_the_lane_is_counted_once() {
+        let m = metrics();
+        let _lane = BackgroundLane::new(&m);
+        assert_eq!(m.threads_spawned(), 1);
+    }
+}

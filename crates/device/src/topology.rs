@@ -181,6 +181,14 @@ pub struct TopologyReport {
     /// Modeled critical-path seconds: Σ over pipelines of
     /// `max over devices (compute + incoming transfer)`.
     pub modeled_critical_path_sec: f64,
+    /// Modeled critical-path seconds of the *pipelined* schedule, where
+    /// each delta merge is deferred and overlaps the next pipeline's
+    /// compute: Σ over pipelines of `max over devices (max(compute +
+    /// transfer − deferred merge share, carried merge debt))`, plus the
+    /// final debt drain. Never above
+    /// [`TopologyReport::modeled_critical_path_sec`]; the gap is the
+    /// modeled win of hiding merges behind compute.
+    pub modeled_pipelined_critical_path_sec: f64,
 }
 
 impl TopologyReport {
@@ -233,6 +241,9 @@ impl TopologyReport {
             total_exchange_messages: self.total_exchange_messages - earlier.total_exchange_messages,
             modeled_critical_path_sec: (self.modeled_critical_path_sec
                 - earlier.modeled_critical_path_sec)
+                .max(0.0),
+            modeled_pipelined_critical_path_sec: (self.modeled_pipelined_critical_path_sec
+                - earlier.modeled_pipelined_critical_path_sec)
                 .max(0.0),
         }
     }
@@ -304,9 +315,39 @@ mod tests {
             total_exchange_bytes: 0,
             total_exchange_messages: 0,
             modeled_critical_path_sec: 2.5,
+            modeled_pipelined_critical_path_sec: 2.0,
         };
         assert!((report.total_compute_sec() - 4.0).abs() < 1e-12);
         assert!((report.modeled_speedup() - 1.6).abs() < 1e-12);
         assert_eq!(TopologyReport::default().modeled_speedup(), 1.0);
+    }
+
+    #[test]
+    fn since_subtracts_both_critical_paths() {
+        let lane = |sec: f64| DeviceLaneReport {
+            device: "a".into(),
+            modeled_compute_sec: sec,
+            ..Default::default()
+        };
+        let earlier = TopologyReport {
+            link: "NVLink-like".into(),
+            devices: vec![lane(1.0)],
+            total_exchange_bytes: 10,
+            total_exchange_messages: 1,
+            modeled_critical_path_sec: 1.0,
+            modeled_pipelined_critical_path_sec: 0.75,
+        };
+        let later = TopologyReport {
+            link: "NVLink-like".into(),
+            devices: vec![lane(3.0)],
+            total_exchange_bytes: 30,
+            total_exchange_messages: 3,
+            modeled_critical_path_sec: 3.0,
+            modeled_pipelined_critical_path_sec: 2.25,
+        };
+        let run = later.since(&earlier);
+        assert!((run.modeled_critical_path_sec - 2.0).abs() < 1e-12);
+        assert!((run.modeled_pipelined_critical_path_sec - 1.5).abs() < 1e-12);
+        assert_eq!(run.total_exchange_bytes, 20);
     }
 }

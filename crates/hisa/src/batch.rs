@@ -255,6 +255,39 @@ impl TupleBatch {
         }
         TupleBatch::new(arity, data).assert_sorted_unique()
     }
+
+    /// Set difference of two sorted-unique batches: the rows of `self` that
+    /// do not appear in `other`, as one merge-walk over both inputs. The
+    /// result keeps `self`'s row order, so it stays sorted-unique — this is
+    /// how the pipelined backend subtracts a not-yet-merged pending delta
+    /// run from a freshly deduplicated delta, reproducing exactly the rows
+    /// a serial difference against the fully merged relation would keep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ or either batch does not carry the
+    /// sorted-unique flag.
+    pub fn subtract_sorted_unique(&self, other: &TupleBatch) -> TupleBatch {
+        assert_eq!(self.arity, other.arity, "batch arity mismatch in subtract");
+        assert!(
+            self.is_sorted_unique() && other.is_sorted_unique(),
+            "subtract_sorted_unique requires sorted-unique operands"
+        );
+        if self.is_empty() || other.is_empty() {
+            return self.clone();
+        }
+        let mut data = Vec::with_capacity(self.data.len());
+        let mut o = 0usize;
+        for row in self.rows() {
+            while o < other.len() && other.row(o) < row {
+                o += 1;
+            }
+            if o >= other.len() || other.row(o) != row {
+                data.extend_from_slice(row);
+            }
+        }
+        TupleBatch::new(self.arity, data).assert_sorted_unique()
+    }
 }
 
 /// Whether the row-major buffer's rows are strictly increasing (i.e.
@@ -374,5 +407,28 @@ mod tests {
     fn merge_rejects_unflagged_parts() {
         let plain = TupleBatch::new(1, vec![2, 1]);
         let _ = TupleBatch::merge_sorted_unique(1, [plain]);
+    }
+
+    #[test]
+    fn subtract_removes_exactly_the_shared_rows() {
+        let a = TupleBatch::from_sorted_unique_flat(2, vec![0, 1, 2, 2, 3, 0, 5, 9]);
+        let b = TupleBatch::from_sorted_unique_flat(2, vec![1, 1, 2, 2, 5, 9, 7, 0]);
+        let diff = a.subtract_sorted_unique(&b);
+        assert_eq!(diff.as_flat(), &[0, 1, 3, 0]);
+        assert!(diff.is_sorted_unique());
+        // Edge cases: empty operands on either side.
+        assert_eq!(a.subtract_sorted_unique(&TupleBatch::empty(2)), a);
+        assert!(TupleBatch::empty(2).subtract_sorted_unique(&a).is_empty());
+        // Disjoint operands subtract to the original.
+        let c = TupleBatch::from_sorted_unique_flat(2, vec![9, 9]);
+        assert_eq!(a.subtract_sorted_unique(&c), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires sorted-unique operands")]
+    fn subtract_rejects_unflagged_operands() {
+        let plain = TupleBatch::new(1, vec![2, 1]);
+        let sorted = TupleBatch::from_sorted_unique_flat(1, vec![1]);
+        let _ = plain.subtract_sorted_unique(&sorted);
     }
 }

@@ -256,6 +256,50 @@ impl Hisa {
         })
     }
 
+    /// Builds one HISA covering several identity-sorted, duplicate-free,
+    /// pairwise-disjoint delta runs under `spec` — the coalesced form of
+    /// building each run with [`Hisa::build_reindexed_from_sorted_unique`]
+    /// and merging them in order, which is exactly how it is implemented.
+    /// The pipelined backend uses this to pay the O(|full|) streaming
+    /// passes of the *final* [`Hisa::merge_from`] once for a batch of
+    /// deferred deltas instead of once per delta.
+    ///
+    /// Merging is associative here: every run's rows are globally distinct,
+    /// so the merged sorted order is determined by tuple content alone and
+    /// the chained result is byte-identical to merging each run into the
+    /// destination one at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpulog_device::DeviceError::OutOfMemory`] when the
+    /// combined relation does not fit on the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any run's length is not a multiple of the arity. Sorted
+    /// order, uniqueness, and disjointness are the caller's contract
+    /// (sortedness checked under `debug_assertions`).
+    pub fn build_from_sorted_unique_runs(
+        device: &Device,
+        spec: IndexSpec,
+        runs: &[&[Value]],
+        load_factor: f64,
+    ) -> DeviceResult<Self> {
+        let mut combined: Option<Hisa> = None;
+        for run in runs.iter().filter(|run| !run.is_empty()) {
+            let part =
+                Self::build_reindexed_from_sorted_unique(device, spec.clone(), run, load_factor)?;
+            match combined.as_mut() {
+                None => combined = Some(part),
+                Some(hisa) => hisa.merge_from(&part)?,
+            }
+        }
+        match combined {
+            Some(hisa) => Ok(hisa),
+            None => Self::empty(device, spec),
+        }
+    }
+
     /// Builds a HISA from a [`TupleBatch`], letting the batch's type-level
     /// invariants pick the construction path: a batch carrying the
     /// sorted-unique flag, indexed under an identity permutation (where
@@ -905,6 +949,45 @@ mod tests {
         let general = Hisa::build(&d, spec, &tuples).unwrap();
         assert_eq!(fast.to_sorted_tuples(), general.to_sorted_tuples());
         assert_eq!(fast.range_query(&[1, 2]).count(), 2);
+    }
+
+    #[test]
+    fn run_coalesced_build_is_byte_identical_to_chained_merges() {
+        let d = device();
+        for key in [vec![0usize], vec![1], vec![1, 0]] {
+            let spec = IndexSpec::new(2, key.clone());
+            // Disjoint identity-sorted runs, as the pipelined diff produces.
+            let r1: &[u32] = &[0, 5, 2, 1, 7, 7];
+            let r2: &[u32] = &[1, 1, 3, 9];
+            let r3: &[u32] = &[4, 0, 6, 2, 8, 8];
+            let coalesced =
+                Hisa::build_from_sorted_unique_runs(&d, spec.clone(), &[r1, &[], r2, r3], 0.8)
+                    .unwrap();
+            let mut chained =
+                Hisa::build_reindexed_from_sorted_unique(&d, spec.clone(), r1, 0.8).unwrap();
+            for run in [r2, r3] {
+                let part =
+                    Hisa::build_reindexed_from_sorted_unique(&d, spec.clone(), run, 0.8).unwrap();
+                chained.merge_from(&part).unwrap();
+            }
+            assert_eq!(coalesced.data(), chained.data(), "key {key:?}");
+            assert_eq!(
+                coalesced.sorted_index(),
+                chained.sorted_index(),
+                "key {key:?}"
+            );
+            for probe in 0..10u32 {
+                let probe_key: Vec<u32> = key.iter().map(|_| probe).collect();
+                assert_eq!(
+                    coalesced.key_start_position(&probe_key),
+                    chained.key_start_position(&probe_key),
+                    "key {key:?} probe {probe}"
+                );
+            }
+        }
+        // All-empty input degenerates to an empty HISA.
+        let empty = Hisa::build_from_sorted_unique_runs(&d, edge_spec(), &[&[], &[]], 0.8).unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

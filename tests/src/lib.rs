@@ -10,8 +10,9 @@ use gpulog::EngineConfig;
 use gpulog_bench::BackendSpec;
 
 /// The backend selected by the `GPULOG_TEST_BACKEND` environment variable:
-/// `serial` (or unset), `sharded` / `sharded:N`, or `multigpu:N` (an
-/// `N`-device simulated NVLink-like topology) — the same spec grammar the
+/// `serial` (or unset), `sharded` / `sharded:N`, `multigpu:N` (an
+/// `N`-device simulated NVLink-like topology), or `pipelined:N`
+/// (iteration overlap over `N` shards) — the same spec grammar the
 /// bench bins' `--backend` flag accepts, parsed by the same
 /// [`gpulog_bench::parse_backend_spec`] so the two cannot drift apart.
 /// CI runs the workspace test suite once per matrix leg so every

@@ -313,6 +313,66 @@ proptest! {
         }
     }
 
+    // Deferring and batching full-merges must never change results: the
+    // pipelined backend's fixpoints are byte-identical to the serial
+    // backend's for S ∈ {1, 2, 7} shards, on random programs (REACH / SG),
+    // random inputs, and both n-way strategies. This is the property that
+    // licenses breaking the per-iteration barrier at all.
+    #[test]
+    fn pipelined_fixpoints_match_serial_on_random_programs(
+        edges in pairs_strategy(18, 80),
+        program_idx in 0usize..2,
+        strategy_idx in 0usize..2,
+    ) {
+        const REACH_SRC: &str = r"
+            .decl Edge(x: number, y: number)
+            .input Edge
+            .decl Reach(x: number, y: number)
+            .output Reach
+            Reach(x, y) :- Edge(x, y).
+            Reach(x, y) :- Edge(x, z), Reach(z, y).
+        ";
+        const SG_SRC: &str = r"
+            .decl Edge(x: number, y: number)
+            .input Edge
+            .decl SG(x: number, y: number)
+            .output SG
+            SG(x, y) :- Edge(p, x), Edge(p, y), x != y.
+            SG(x, y) :- Edge(a, x), SG(a, b), Edge(b, y), x != y.
+        ";
+        let (src, output) = [(REACH_SRC, "Reach"), (SG_SRC, "SG")][program_idx];
+        let nway = [
+            NwayStrategy::TemporarilyMaterialized,
+            NwayStrategy::FusedNestedLoop,
+        ][strategy_idx];
+        let edges: Vec<[u32; 2]> = edges.iter().map(|&(a, b)| [a, b]).collect();
+
+        let run = |pipelined: usize| {
+            let d = device();
+            let mut cfg = EngineConfig::new().with_nway(nway);
+            if pipelined > 0 {
+                cfg = cfg.with_pipelined(pipelined);
+            }
+            let mut engine = GpulogEngine::from_source(&d, src, cfg).unwrap();
+            engine.add_facts("Edge", &edges).unwrap();
+            let stats = engine.run().unwrap();
+            (engine.relation_batch(output).unwrap(), stats)
+        };
+        let (serial_batch, serial_stats) = run(0);
+        prop_assert_eq!(serial_stats.overlap_nanos, 0);
+        for shards in [1usize, 2, 7] {
+            let (pipelined_batch, stats) = run(shards);
+            prop_assert_eq!(
+                pipelined_batch.as_flat(),
+                serial_batch.as_flat(),
+                "{} pipelined over {} shards must be byte-identical to serial",
+                output,
+                shards
+            );
+            prop_assert_eq!(stats.iterations, serial_stats.iterations);
+        }
+    }
+
     // The delta exchange is lossless and order-stable at the data layer:
     // partitioning a sorted-unique delta by destination shard (the
     // exchange) and k-way-merging the per-destination pieces back (the
@@ -505,5 +565,35 @@ fn sharded_ops_dispatch_one_epoch_per_op_not_one_per_shard() {
     assert_eq!(
         with_2, with_7,
         "pool epochs must not scale with the shard count"
+    );
+}
+
+/// On a merge-heavy chain-REACH workload (one iteration per node, tiny
+/// deltas) the pipelined backend must actually overlap: background merges
+/// stay outstanding across iterations (`overlap_nanos`, `epochs_in_flight`)
+/// while the fixpoint stays exactly the serial one.
+#[test]
+fn pipelined_overlap_is_reported_on_chain_reach() {
+    use gpulog_datasets::generators::road_network;
+    use gpulog_queries::reach;
+
+    let chain = road_network(160, 0, 23);
+    let d_serial = device();
+    let serial = reach::run(&d_serial, &chain, EngineConfig::new()).unwrap();
+    assert_eq!(serial.stats.overlap_nanos, 0);
+    assert_eq!(serial.stats.epochs_in_flight, 0);
+
+    let d_pipelined = device();
+    let pipelined =
+        reach::run(&d_pipelined, &chain, EngineConfig::new().with_pipelined(4)).unwrap();
+    assert_eq!(pipelined.reach_size, serial.reach_size);
+    assert_eq!(pipelined.stats.iterations, serial.stats.iterations);
+    assert!(
+        pipelined.stats.overlap_nanos > 0,
+        "deferred merges must stay outstanding across iterations"
+    );
+    assert!(
+        pipelined.stats.epochs_in_flight >= 1,
+        "the high-water mark must record at least one in-flight merge"
     );
 }
