@@ -88,7 +88,7 @@ impl EvalContext<'_> {
     ) -> EngineResult<()> {
         let storage = &mut self.relations[relation];
         let version = match version {
-            VersionSel::Full => &mut storage.full,
+            VersionSel::Full => storage.full_mut()?,
             VersionSel::Delta => &mut storage.delta,
         };
         version
@@ -108,7 +108,7 @@ impl EvalContext<'_> {
     ) -> Option<&[Hisa]> {
         let storage = &self.relations[relation];
         let version = match version {
-            VersionSel::Full => &storage.full,
+            VersionSel::Full => storage.full(),
             VersionSel::Delta => &storage.delta,
         };
         version.existing_sharded_index(key_cols, shards)

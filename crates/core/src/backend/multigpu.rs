@@ -453,7 +453,7 @@ impl MultiGpuBackend {
         for (step, _) in &levels[1..] {
             let storage = &mut ctx.relations[step.relation];
             let version = match step.version {
-                VersionSel::Full => &mut storage.full,
+                VersionSel::Full => storage.full_mut()?,
                 VersionSel::Delta => &mut storage.delta,
             };
             version.index_on(ctx.device, &step.inner_key_cols)?;
@@ -484,7 +484,7 @@ impl MultiGpuBackend {
                         } else {
                             let storage = &relations[step.relation];
                             let version = match step.version {
-                                VersionSel::Full => &storage.full,
+                                VersionSel::Full => storage.full(),
                                 VersionSel::Delta => &storage.delta,
                             };
                             version
@@ -569,7 +569,7 @@ impl MultiGpuBackend {
         let parts = new.partition_by_key_hash(&full_key, shards);
         let in_sizes: Vec<usize> = parts.iter().map(|p| p.as_flat().len()).collect();
         let delta = {
-            let full = storage.full.canonical();
+            let full = storage.full().canonical();
             let outs = fan_out_shards(device, parts, |_, part| {
                 difference_batch(device, part, full)
             });
@@ -611,7 +611,7 @@ impl MultiGpuBackend {
         // Exchange leg 2: push each owner's delta slice into every cached
         // shard-map partitioning of the full version, so the shard-local
         // merges below find their rows on-device.
-        for (key_cols, map_shards) in storage.full.sharded_index_specs() {
+        for (key_cols, map_shards) in storage.full().sharded_index_specs() {
             if map_shards == shards.get() {
                 self.charge_owner_to_key_exchange(delta.as_flat(), arity, &key_cols);
             }
@@ -876,7 +876,7 @@ mod tests {
             (
                 outcome,
                 rels[0].delta.tuples_flat().to_vec(),
-                rels[0].full.tuples_flat().to_vec(),
+                rels[0].full().tuples_flat().to_vec(),
             )
         };
         let serial = run(&SerialBackend);

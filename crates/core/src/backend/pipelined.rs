@@ -6,8 +6,9 @@
 //! double-buffered: a [`crate::ra::op::RaOp::Diff`] installs the next delta
 //! immediately (so iteration N+1's join probes can start) but defers the
 //! O(|full|) merge passes, parking the sorted-unique delta in a per-relation
-//! `pending` buffer. Once [`MERGE_BATCH`] runs accumulate, the full version
-//! is moved onto the device's background lane
+//! `pending` buffer. Once [`MERGE_BATCH`] runs accumulate — more when the
+//! pending rows are still tiny relative to |full|, see [`ADAPTIVE_RATIO`] —
+//! the full version is moved onto the device's background lane
 //! ([`gpulog_device::Device::submit_background`]) and all pending runs are
 //! merged in a single coalesced pass
 //! ([`crate::relation::RelationVersion::merge_sorted_unique_runs`]) while
@@ -44,6 +45,18 @@ use std::time::Instant;
 /// drain halves the number of O(|full|) merge passes while keeping at most
 /// one iteration's delta un-probed-against-full at any time.
 const MERGE_BATCH: usize = 2;
+
+/// Upper bound on deferred runs when the adaptive policy keeps batching.
+/// Diff subtracts every pending run on the foreground path, so unbounded
+/// deferral would trade O(|full|) merge passes for O(runs · |delta|)
+/// subtractions.
+const MAX_MERGE_BATCH: usize = 8;
+
+/// The adaptive threshold: keep deferring while the pending rows are more
+/// than this factor smaller than |full|. Each drain streams the whole full
+/// version, so a drain is only worth its cost once the pending payload is a
+/// meaningful fraction of it.
+const ADAPTIVE_RATIO: usize = 8;
 
 /// Deferred merge state for one relation.
 struct RelState {
@@ -136,7 +149,7 @@ impl PipelinedBackend {
         let stall = drain_begin.elapsed();
         metrics.add_pipeline_stall_nanos(stall.as_nanos() as u64);
         ctx.stats.add_phase(Phase::Merge, stall);
-        ctx.relations[relation].full = full;
+        ctx.relations[relation].install_full(full);
         Ok(())
     }
 
@@ -153,7 +166,7 @@ impl PipelinedBackend {
             let ebm = ctx.ebm;
             let t = Instant::now();
             ctx.relations[relation]
-                .full
+                .full_mut()?
                 .merge_sorted_unique_runs(device, &runs, &ebm)?;
             ctx.stats.add_phase(Phase::Merge, t.elapsed());
         }
@@ -222,7 +235,7 @@ impl PipelinedBackend {
         // each pending run: together that is exactly "minus the serial
         // full", since serial full = stored full ∪ pending runs.
         let t = Instant::now();
-        let mut delta = difference_batch(device, &new, storage.full.canonical());
+        let mut delta = difference_batch(device, &new, storage.full().canonical());
         for run in &state.pending {
             if delta.is_empty() {
                 break;
@@ -241,14 +254,25 @@ impl PipelinedBackend {
         }
 
         if state.pending.len() >= MERGE_BATCH {
-            let runs = std::mem::take(&mut state.pending);
-            let placeholder = RelationVersion::empty(device, arity, storage.full.load_factor())?;
-            let mut full = std::mem::replace(&mut storage.full, placeholder);
-            let lane_device = device.clone();
-            state.inflight = Some(device.submit_background(move || {
-                full.merge_sorted_unique_runs(&lane_device, &runs, &ebm)
-                    .map(|()| full)
-            }));
+            // Adaptive batching: when the pending payload is still tiny
+            // relative to |full|, a drain would stream the whole full
+            // version to fold in almost nothing — keep deferring (up to
+            // MAX_MERGE_BATCH runs) until the batch is worth the pass.
+            let pending_rows: usize = state.pending.iter().map(TupleBatch::len).sum();
+            let full_rows = storage.full().len();
+            if state.pending.len() < MAX_MERGE_BATCH
+                && pending_rows.saturating_mul(ADAPTIVE_RATIO) < full_rows
+            {
+                device.metrics().add_adaptive_merge_batch();
+            } else {
+                let runs = std::mem::take(&mut state.pending);
+                let mut full = storage.take_full()?;
+                let lane_device = device.clone();
+                state.inflight = Some(device.submit_background(move || {
+                    full.merge_sorted_unique_runs(&lane_device, &runs, &ebm)
+                        .map(|()| full)
+                }));
+            }
         }
 
         self.put_state(relation, state);
@@ -316,8 +340,12 @@ mod tests {
         let mut serial_rels = storage(&d);
         let mut pipe_rels = storage(&d);
         // Maintain a secondary index so the deferred merge path covers it.
-        serial_rels[0].full.index_on(&d, &[1]).unwrap();
-        pipe_rels[0].full.index_on(&d, &[1]).unwrap();
+        serial_rels[0]
+            .full_mut()
+            .unwrap()
+            .index_on(&d, &[1])
+            .unwrap();
+        pipe_rels[0].full_mut().unwrap().index_on(&d, &[1]).unwrap();
         let serial = SerialBackend;
         let pipelined = PipelinedBackend::new(2).unwrap();
         let mut serial_stats = RunStats::default();
@@ -360,15 +388,15 @@ mod tests {
             "fence left deferred state"
         );
         assert_eq!(
-            serial_rels[0].full.tuples_flat(),
-            pipe_rels[0].full.tuples_flat()
+            serial_rels[0].full().tuples_flat(),
+            pipe_rels[0].full().tuples_flat()
         );
         assert_eq!(
-            serial_rels[0].full.canonical().sorted_index(),
-            pipe_rels[0].full.canonical().sorted_index()
+            serial_rels[0].full().canonical().sorted_index(),
+            pipe_rels[0].full().canonical().sorted_index()
         );
-        let serial_secondary = serial_rels[0].full.existing_index(&[1]).unwrap();
-        let pipe_secondary = pipe_rels[0].full.existing_index(&[1]).unwrap();
+        let serial_secondary = serial_rels[0].full().existing_index(&[1]).unwrap();
+        let pipe_secondary = pipe_rels[0].full().existing_index(&[1]).unwrap();
         assert_eq!(serial_secondary.data(), pipe_secondary.data());
         assert_eq!(
             serial_secondary.sorted_index(),

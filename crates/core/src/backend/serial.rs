@@ -79,7 +79,7 @@ pub(super) fn scan_op(
     let t = Instant::now();
     let storage = &ctx.relations[step.relation];
     let source = match step.version {
-        VersionSel::Full => &storage.full,
+        VersionSel::Full => storage.full(),
         VersionSel::Delta => &storage.delta,
     };
     let batch = if source.is_empty() {
@@ -121,7 +121,7 @@ pub(super) fn hash_join_op(
     {
         let storage = &mut ctx.relations[step.relation];
         let version = match step.version {
-            VersionSel::Full => &mut storage.full,
+            VersionSel::Full => storage.full_mut()?,
             VersionSel::Delta => &mut storage.delta,
         };
         version.index_on(ctx.device, &step.inner_key_cols)?;
@@ -131,7 +131,7 @@ pub(super) fn hash_join_op(
     let t = Instant::now();
     let storage = &ctx.relations[step.relation];
     let version = match step.version {
-        VersionSel::Full => &storage.full,
+        VersionSel::Full => storage.full(),
         VersionSel::Delta => &storage.delta,
     };
     let inner = version
@@ -167,7 +167,7 @@ pub(super) fn fused_join_op(
     for (step, _) in levels {
         let storage = &mut ctx.relations[step.relation];
         let version = match step.version {
-            VersionSel::Full => &mut storage.full,
+            VersionSel::Full => storage.full_mut()?,
             VersionSel::Delta => &mut storage.delta,
         };
         version.index_on(ctx.device, &step.inner_key_cols)?;
@@ -180,7 +180,7 @@ pub(super) fn fused_join_op(
         .map(|(step, filters)| {
             let storage = &ctx.relations[step.relation];
             let version = match step.version {
-                VersionSel::Full => &storage.full,
+                VersionSel::Full => storage.full(),
                 VersionSel::Delta => &storage.delta,
             };
             FusedLevel {
@@ -223,7 +223,7 @@ pub(super) fn diff_op(
     outcome.new_rows = new.len();
 
     let t = Instant::now();
-    let delta = difference_batch(ctx.device, &new, storage.full.canonical());
+    let delta = difference_batch(ctx.device, &new, storage.full().canonical());
     ctx.stats.add_phase(Phase::Deduplication, t.elapsed());
     outcome.delta_rows = delta.len();
 

@@ -144,7 +144,7 @@ impl ShardedBackend {
         for (step, _) in &levels[1..] {
             let storage = &mut ctx.relations[step.relation];
             let version = match step.version {
-                VersionSel::Full => &mut storage.full,
+                VersionSel::Full => storage.full_mut()?,
                 VersionSel::Delta => &mut storage.delta,
             };
             version.index_on(ctx.device, &step.inner_key_cols)?;
@@ -174,7 +174,7 @@ impl ShardedBackend {
                         } else {
                             let storage = &relations[step.relation];
                             let version = match step.version {
-                                VersionSel::Full => &storage.full,
+                                VersionSel::Full => storage.full(),
                                 VersionSel::Delta => &storage.delta,
                             };
                             version
@@ -217,7 +217,7 @@ impl ShardedBackend {
         let full_key: Vec<usize> = (0..arity).collect();
         let parts = new.partition_by_key_hash(&full_key, shards);
         let delta = {
-            let full = storage.full.canonical();
+            let full = storage.full().canonical();
             let outs = fan_out_shards(device, parts, |_, part| {
                 difference_batch(device, part, full)
             });
@@ -464,7 +464,7 @@ mod tests {
             (
                 outcome,
                 rels[0].delta.tuples_flat().to_vec(),
-                rels[0].full.tuples_flat().to_vec(),
+                rels[0].full().tuples_flat().to_vec(),
             )
         };
         let serial = run(&SerialBackend);

@@ -22,9 +22,11 @@ use crate::backend::{
 use crate::ebm::EbmConfig;
 use crate::error::{EngineError, EngineResult};
 use crate::planner::{compile, lower_program, CompiledProgram, LoweredStratum};
+use crate::ra::difference_batch;
 use crate::ra::nway::NwayStrategy;
 use crate::ra::op::RaPipeline;
 use crate::relation::RelationStorage;
+use crate::snapshot::FixpointSnapshot;
 use crate::stats::{IterationRecord, Phase, RunStats};
 use gpulog_device::topology::DeviceTopology;
 use gpulog_device::Device;
@@ -426,6 +428,8 @@ pub struct GpulogEngine {
     pending_facts: Vec<Vec<u32>>,
     config: EngineConfig,
     has_run: bool,
+    /// Completed fixpoints so far (the generation stamped on snapshots).
+    generation: u64,
 }
 
 impl GpulogEngine {
@@ -512,6 +516,7 @@ impl GpulogEngine {
             pending_facts,
             config,
             has_run: false,
+            generation: 0,
         })
     }
 
@@ -645,6 +650,74 @@ impl GpulogEngine {
         Ok(())
     }
 
+    /// Stages extensional facts for the *next* run. Unlike
+    /// [`GpulogEngine::add_facts_batch`] this is allowed after the engine
+    /// has run: it is the serving writer's path for growing the extensional
+    /// database between fixpoints. The facts take effect on the next
+    /// [`GpulogEngine::run`], which merges them into the existing full
+    /// versions (deduplicated) and re-evaluates to the enlarged fixpoint —
+    /// the program being monotone, re-running from the previous fixpoint
+    /// converges to exactly the from-scratch result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadFacts`] for unknown relations or arity
+    /// mismatches.
+    pub fn insert_facts_batch(&mut self, relation: &str, batch: &TupleBatch) -> EngineResult<()> {
+        let id = self
+            .compiled
+            .relation_id(relation)
+            .ok_or_else(|| EngineError::BadFacts {
+                relation: relation.to_string(),
+                message: "unknown relation".into(),
+            })?;
+        let arity = self.compiled.arities[id];
+        if batch.arity() != arity {
+            return Err(EngineError::BadFacts {
+                relation: relation.to_string(),
+                message: format!("expected arity {arity}, got {}", batch.arity()),
+            });
+        }
+        self.pending_facts[id].extend_from_slice(batch.as_flat());
+        Ok(())
+    }
+
+    /// Whether at least one fixpoint has been materialized.
+    pub fn has_run(&self) -> bool {
+        self.has_run
+    }
+
+    /// Completed fixpoints so far (0 before the first run).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Publishes the latest completed fixpoint as an immutable, shareable
+    /// [`FixpointSnapshot`]. The snapshot shares the relations' full
+    /// versions by reference (no data copy); a later run's merges
+    /// copy-on-write the engine's own versions, so the snapshot stays
+    /// exactly the fixpoint it captured.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoFixpoint`] before the first completed run.
+    pub fn snapshot(&self) -> EngineResult<FixpointSnapshot> {
+        if !self.has_run {
+            return Err(EngineError::NoFixpoint);
+        }
+        let relations = self
+            .relations
+            .iter()
+            .map(RelationStorage::share_full)
+            .collect();
+        Ok(FixpointSnapshot::new(
+            self.generation,
+            self.compiled.relation_names.clone(),
+            self.compiled.arities.clone(),
+            relations,
+        ))
+    }
+
     /// Number of tuples in a relation's full version.
     pub fn relation_size(&self, relation: &str) -> Option<usize> {
         self.compiled
@@ -700,15 +773,36 @@ impl GpulogEngine {
         let topology_before = self.backend.topology_report();
         let mut stats = RunStats::default();
 
-        // Load the extensional database (program facts + added facts).
+        // Load the extensional database. First run: program facts + added
+        // facts replace the (empty) full versions wholesale. Re-runs keep
+        // every relation's previous fixpoint and merge the newly staged
+        // facts in (deduplicated against full) — the monotone re-evaluation
+        // below then grows the derived relations to the enlarged fixpoint.
         let t = Instant::now();
         let mut fact_buffers: Vec<Vec<u32>> = std::mem::take(&mut self.pending_facts);
-        for (rel, tuple) in &self.compiled.facts {
-            fact_buffers[*rel].extend_from_slice(tuple);
-        }
-        for (rel, buffer) in fact_buffers.iter().enumerate() {
-            if !buffer.is_empty() || self.compiled.inputs[rel] {
-                self.relations[rel].load_full(buffer)?;
+        if self.has_run {
+            for (rel, buffer) in fact_buffers.iter().enumerate() {
+                if buffer.is_empty() {
+                    continue;
+                }
+                let batch = TupleBatch::new(self.compiled.arities[rel], buffer.clone());
+                let delta =
+                    difference_batch(&self.device, &batch, self.relations[rel].full().canonical());
+                if delta.is_empty() {
+                    continue;
+                }
+                self.relations[rel].set_delta_batch(&delta)?;
+                self.relations[rel].merge_delta_into_full(&self.config.ebm)?;
+                self.relations[rel].clear_delta()?;
+            }
+        } else {
+            for (rel, tuple) in &self.compiled.facts {
+                fact_buffers[*rel].extend_from_slice(tuple);
+            }
+            for (rel, buffer) in fact_buffers.iter().enumerate() {
+                if !buffer.is_empty() || self.compiled.inputs[rel] {
+                    self.relations[rel].load_full(buffer)?;
+                }
             }
         }
         self.pending_facts = vec![Vec::new(); self.relations.len()];
@@ -809,6 +903,7 @@ impl GpulogEngine {
         stats.epochs_in_flight = run_counters.peak_epochs_in_flight;
         stats.overlap_nanos = run_counters.overlap_nanos;
         stats.pipeline_stall_nanos = run_counters.pipeline_stall_nanos;
+        stats.adaptive_merge_batches = run_counters.adaptive_merge_batches;
         stats.topology = match (topology_before, self.backend.topology_report()) {
             (Some(before), Some(after)) => Some(after.since(&before)),
             (_, after) => after,
@@ -822,6 +917,7 @@ impl GpulogEngine {
                 .insert(self.compiled.relation_names[rel].clone(), storage.len());
         }
         self.has_run = true;
+        self.generation += 1;
         Ok(stats)
     }
 
@@ -1433,6 +1529,91 @@ mod tests {
             }
             other => panic!("expected an out-of-memory error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn snapshot_before_any_run_is_a_typed_error() {
+        let d = device();
+        let e = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
+        assert!(!e.has_run());
+        assert_eq!(e.generation(), 0);
+        assert!(matches!(e.snapshot(), Err(EngineError::NoFixpoint)));
+    }
+
+    #[test]
+    fn insert_facts_and_rerun_grow_the_fixpoint_while_old_snapshots_hold() {
+        let d = device();
+        let mut e = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
+        e.add_facts("Edge", [[0u32, 1], [1, 2]]).unwrap();
+        e.run().unwrap();
+        let first = e.snapshot().unwrap();
+        assert_eq!(first.generation(), 1);
+        assert_eq!(first.relation_size("Reach"), Some(3));
+
+        // The strict pre-run path still rejects post-run additions, but the
+        // serving writer's insert path accepts them.
+        assert!(e.add_facts("Edge", [[2u32, 3]]).is_err());
+        e.insert_facts_batch("Edge", &TupleBatch::from_rows(2, [[2u32, 3]]))
+            .unwrap();
+        e.run().unwrap();
+        let second = e.snapshot().unwrap();
+        assert_eq!(second.generation(), 2);
+        assert_eq!(second.relation_size("Reach"), Some(6));
+        // The first snapshot still holds its own complete fixpoint.
+        assert_eq!(first.relation_size("Reach"), Some(3));
+        assert!(!first.contains("Reach", &[0, 3]));
+
+        // The incremental re-run is byte-identical to computing the
+        // enlarged fixpoint from scratch.
+        let mut scratch = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
+        scratch
+            .add_facts("Edge", [[0u32, 1], [1, 2], [2, 3]])
+            .unwrap();
+        scratch.run().unwrap();
+        assert_eq!(
+            second.sorted_tuples_flat("Reach"),
+            scratch.snapshot().unwrap().sorted_tuples_flat("Reach")
+        );
+        // Duplicate inserts are deduplicated, not double-counted.
+        e.insert_facts_batch("Edge", &TupleBatch::from_rows(2, [[2u32, 3]]))
+            .unwrap();
+        e.run().unwrap();
+        assert_eq!(e.relation_size("Edge"), Some(3));
+        assert_eq!(e.relation_size("Reach"), Some(6));
+        // Unknown relations and arity mismatches stay typed errors.
+        assert!(matches!(
+            e.insert_facts_batch("Nope", &TupleBatch::from_rows(2, [[1u32, 2]])),
+            Err(EngineError::BadFacts { .. })
+        ));
+        assert!(e
+            .insert_facts_batch("Edge", &TupleBatch::from_rows(3, [[1u32, 2, 3]]))
+            .is_err());
+    }
+
+    #[test]
+    fn adaptive_merge_batching_engages_on_chain_reach() {
+        let d = device();
+        let chain: Vec<[u32; 2]> = (0..30u32).map(|i| [i, i + 1]).collect();
+        let mut serial = GpulogEngine::from_source(&d, REACH, EngineConfig::default()).unwrap();
+        serial.add_facts("Edge", chain.clone()).unwrap();
+        let serial_stats = serial.run().unwrap();
+        assert_eq!(serial_stats.adaptive_merge_batches, 0);
+
+        let cfg = EngineConfig::new().with_pipelined(2);
+        let mut pipelined = GpulogEngine::from_source(&d, REACH, cfg).unwrap();
+        pipelined.add_facts("Edge", chain).unwrap();
+        let stats = pipelined.run().unwrap();
+        // Late chain iterations derive a handful of pairs against a large
+        // full — exactly the regime the adaptive policy batches harder in.
+        assert!(
+            stats.adaptive_merge_batches > 0,
+            "adaptive batching must engage on chain-REACH, stats: {stats:?}"
+        );
+        assert_eq!(
+            pipelined.relation_batch("Reach").unwrap().as_flat(),
+            serial.relation_batch("Reach").unwrap().as_flat(),
+            "adaptive batching must not change the fixpoint"
+        );
     }
 
     #[test]

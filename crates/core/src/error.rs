@@ -44,6 +44,9 @@ pub enum EngineError {
         /// The rejected shard count.
         shards: usize,
     },
+    /// A snapshot was requested before any fixpoint had been materialized:
+    /// there is nothing consistent to publish yet.
+    NoFixpoint,
     /// The simulated device ran out of memory or rejected an operation.
     Device(DeviceError),
     /// Evaluation exceeded the configured iteration budget.
@@ -76,6 +79,13 @@ impl fmt::Display for EngineError {
             }
             EngineError::InvalidShardCount { shards } => {
                 write!(f, "invalid shard count {shards}: must be at least 1")
+            }
+            EngineError::NoFixpoint => {
+                write!(
+                    f,
+                    "snapshot requested before any fixpoint was materialized: \
+                     run the engine once before calling snapshot()"
+                )
             }
             EngineError::Device(err) => write!(f, "device error: {err}"),
             EngineError::IterationLimit { limit } => {
@@ -129,6 +139,8 @@ mod tests {
         assert!(ragged.to_string().contains("not a multiple"));
         let shards = EngineError::InvalidShardCount { shards: 0 };
         assert!(shards.to_string().contains("invalid shard count 0"));
+        let no_fixpoint = EngineError::NoFixpoint;
+        assert!(no_fixpoint.to_string().contains("before any fixpoint"));
     }
 
     #[test]

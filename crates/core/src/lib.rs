@@ -120,6 +120,61 @@
 //! The [`Gpulog`] facade remains for the one-liner workflow, and
 //! [`GpulogEngine::from_source`] for constructing with an explicit
 //! [`EngineConfig`].
+//!
+//! ## Serving a fixpoint
+//!
+//! A completed fixpoint publishes as an immutable, cheaply-clonable
+//! [`FixpointSnapshot`] via [`GpulogEngine::snapshot`] (a typed
+//! [`EngineError::NoFixpoint`] before the first run). Snapshots share the
+//! engine's relation storage by `Arc`; the engine's *next* run
+//! copy-on-write-detaches anything a live snapshot still holds, so a
+//! snapshot is byte-stable forever:
+//!
+//! ```
+//! # use gpulog::GpulogEngine;
+//! # use gpulog_device::{Device, profile::DeviceProfile};
+//! # fn main() -> Result<(), gpulog::EngineError> {
+//! # let device = Device::new(DeviceProfile::nvidia_h100());
+//! # let mut reach = GpulogEngine::builder(&device)
+//! #     .program(r"
+//! #         .decl Edge(x: number, y: number)
+//! #         .input Edge
+//! #         .decl Reach(x: number, y: number)
+//! #         .output Reach
+//! #         Reach(x, y) :- Edge(x, y).
+//! #         Reach(x, y) :- Edge(x, z), Reach(z, y).
+//! #     ")
+//! #     .build()?;
+//! # reach.add_facts("Edge", [[0, 1], [1, 2], [2, 3]])?;
+//! # reach.run()?;
+//! let snapshot = reach.snapshot()?; // generation 1
+//! assert!(snapshot.contains("Reach", &[0, 3]));
+//! assert_eq!(
+//!     snapshot.lookup("Reach", &[1]).unwrap(), // prefix = point lookup
+//!     vec![vec![1, 2], vec![1, 3]],
+//! );
+//! // Grow the EDB and re-run: the old snapshot still serves generation 1.
+//! reach.insert_facts_batch("Edge", &gpulog::TupleBatch::from_rows(2, [[3u32, 4]]))?;
+//! reach.run()?;
+//! assert_eq!(snapshot.relation_size("Reach"), Some(6));
+//! assert_eq!(reach.snapshot()?.relation_size("Reach"), Some(10));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The `gpulog-serve` crate wraps this into a concurrent serving layer —
+//! a `ServeWriter` owns the engine and publishes each fixpoint, while any
+//! number of reader threads query through clonable `ServeHandle`s:
+//!
+//! ```rust,ignore
+//! use gpulog_serve::ServeWriter;
+//!
+//! let mut writer = ServeWriter::new(engine)?;   // runs + publishes gen 1
+//! let handle = writer.handle();                  // clone one per reader
+//! std::thread::spawn(move || handle.point_lookup("Reach", &[0]));
+//! writer.insert_facts_batch("Edge", &batch)?;    // stage the next EDB
+//! writer.refresh()?;                             // re-run, swap atomically
+//! ```
 
 pub mod analysis;
 pub mod ast;
@@ -132,6 +187,7 @@ pub mod planner;
 pub mod program;
 pub mod ra;
 pub mod relation;
+pub mod snapshot;
 pub mod stats;
 
 pub use ast::{Atom, CmpOp, Constraint, Program, ProgramBuilder, RelationDecl, Rule, Term};
@@ -146,6 +202,7 @@ pub use parser::parse_program;
 pub use planner::{compile, lower_program, lower_rule_plan, CompiledProgram, LoweredStratum};
 pub use program::Gpulog;
 pub use ra::{NwayStrategy, RaOp, RaPipeline};
+pub use snapshot::FixpointSnapshot;
 
 pub use gpulog_device::topology::{DeviceTopology, LinkProfile, TopologyReport};
 pub use gpulog_hisa::TupleBatch;
@@ -166,5 +223,7 @@ mod tests {
         assert_send::<RaPipeline>();
         assert_send::<SerialBackend>();
         assert_send::<PipelinedBackend>();
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FixpointSnapshot>();
     }
 }

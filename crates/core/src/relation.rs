@@ -10,6 +10,7 @@ use gpulog_hisa::{
 };
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 
 /// One version (full or delta) of a relation, with its indices.
 #[derive(Debug)]
@@ -124,11 +125,6 @@ impl RelationVersion {
     /// The canonical (all-columns) index.
     pub fn canonical(&self) -> &Hisa {
         &self.canonical
-    }
-
-    /// The hash-table load factor this version's indices were built with.
-    pub(crate) fn load_factor(&self) -> f64 {
-        self.load_factor
     }
 
     /// Dense row-major tuples in declared column order.
@@ -267,6 +263,144 @@ impl RelationVersion {
     pub fn clear_secondary_indices(&mut self) {
         self.by_key.clear();
         self.sharded.clear();
+    }
+
+    /// Deep-copies the version — canonical index, secondary indices, and
+    /// cached shard maps — onto fresh device buffers. This is the
+    /// copy-on-write detach behind snapshot publication: once a full
+    /// version has been shared with readers (see
+    /// [`RelationStorage::share_full`]), the writer clones it before the
+    /// next merge instead of mutating the published data.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the device cannot hold a second copy.
+    pub(crate) fn try_clone(&self) -> EngineResult<Self> {
+        let canonical = self.canonical.try_clone()?;
+        let mut by_key = HashMap::with_capacity(self.by_key.len());
+        for (key, hisa) in &self.by_key {
+            by_key.insert(key.clone(), hisa.try_clone()?);
+        }
+        let mut sharded = HashMap::with_capacity(self.sharded.len());
+        for (key, hisas) in &self.sharded {
+            let copies: Vec<Hisa> = hisas
+                .iter()
+                .map(|h| h.try_clone().map_err(Into::into))
+                .collect::<EngineResult<_>>()?;
+            sharded.insert(key.clone(), copies);
+        }
+        Ok(RelationVersion {
+            arity: self.arity,
+            canonical,
+            by_key,
+            sharded,
+            load_factor: self.load_factor,
+        })
+    }
+
+    /// Merges `delta` (sorted, duplicate-free, disjoint from this version)
+    /// into this **full** version, honouring the eager-buffer-management
+    /// policy — the version-level body of
+    /// [`RelationStorage::merge_delta_into_full`], which detaches any
+    /// published snapshot first and then delegates here. Secondary indices
+    /// and cached shard maps are kept consistent (shard-locally, one
+    /// worker-pool epoch) exactly as documented on the storage method.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the merged relation does not fit.
+    pub(crate) fn merge_delta(
+        &mut self,
+        device: &Device,
+        delta: &RelationVersion,
+        ebm: &EbmConfig,
+    ) -> EngineResult<()> {
+        let delta_rows = delta.len();
+        if delta_rows == 0 {
+            return Ok(());
+        }
+        let reserve = ebm.reserve_rows(delta_rows);
+        if reserve > 0 {
+            self.canonical.reserve_additional_rows(reserve)?;
+        }
+        self.canonical.merge_from(delta.canonical())?;
+        // Keep secondary indices consistent: merge the delta (re-indexed on
+        // each secondary key) into every existing secondary index. The
+        // delta's canonical data array is always sorted and duplicate-free
+        // (both delta construction paths guarantee it), so each re-index is
+        // a key-column-only permutation sort — no dedup, no full rebuild.
+        let keys: Vec<Vec<usize>> = self.by_key.keys().cloned().collect();
+        for key in keys {
+            let delta_indexed = Hisa::build_reindexed_from_sorted_unique(
+                device,
+                IndexSpec::new(self.arity, key.clone()),
+                delta.tuples_flat(),
+                self.load_factor,
+            )?;
+            let target = self.by_key.get_mut(&key).expect("index exists");
+            if reserve > 0 {
+                target.reserve_additional_rows(reserve)?;
+            }
+            target.merge_from(&delta_indexed)?;
+        }
+        // Sharded indices stay consistent the same way, but shard-locally:
+        // the delta is partitioned with the same key hash as each cached
+        // entry, so shard i of the delta merges into shard i of the full
+        // representation — independent merges dispatched to the worker pool
+        // as one epoch. Because each delta partition is a subsequence of the
+        // (sorted, duplicate-free) delta data array, every piece keeps the
+        // sorted-unique re-index fast path. Unlike the canonical and
+        // secondary indices above (which each absorb the whole delta), a
+        // shard only absorbs its own slice, so its EBM slack is sized from
+        // the slice — not the full delta — or S shards would reserve S
+        // times the intended headroom.
+        let arity = self.arity;
+        let load_factor = self.load_factor;
+        let delta_flat = delta.canonical.data();
+        let mut jobs: Vec<(&mut Hisa, Vec<u32>, Vec<usize>, usize)> = Vec::new();
+        for ((key_cols, shards), shard_hisas) in &mut self.sharded {
+            let shards = NonZeroUsize::new(*shards).expect("cached shard maps are non-empty");
+            let parts = partition_flat_by_key_hash(delta_flat, arity, key_cols, shards);
+            for (target, rows) in shard_hisas.iter_mut().zip(parts) {
+                if !rows.is_empty() {
+                    let shard_reserve = ebm.reserve_rows(rows.len() / arity);
+                    jobs.push((target, rows, key_cols.clone(), shard_reserve));
+                }
+            }
+        }
+        if !jobs.is_empty() {
+            let mut results: Vec<EngineResult<()>> = jobs.iter().map(|_| Ok(())).collect();
+            let jobs: Vec<_> = jobs.into_iter().zip(results.iter_mut()).collect();
+            device.executor().run_tasks(
+                jobs,
+                |_, ((target, rows, key_cols, shard_reserve), result)| {
+                    *result = (|| -> EngineResult<()> {
+                        let indexed = Hisa::build_reindexed_from_sorted_unique(
+                            device,
+                            IndexSpec::new(arity, key_cols),
+                            &rows,
+                            load_factor,
+                        )?;
+                        if shard_reserve > 0 {
+                            target.reserve_additional_rows(shard_reserve)?;
+                        }
+                        target.merge_from(&indexed)?;
+                        Ok(())
+                    })();
+                },
+            );
+            results.into_iter().collect::<EngineResult<()>>()?;
+        }
+        if !ebm.enabled {
+            self.canonical.shrink_to_fit();
+            for idx in self.by_key.values_mut() {
+                idx.shrink_to_fit();
+            }
+            for idx in self.sharded.values_mut().flatten() {
+                idx.shrink_to_fit();
+            }
+        }
+        Ok(())
     }
 
     /// Merges a batch of deferred delta runs (each sorted-unique, pairwise
@@ -411,14 +545,22 @@ fn is_canonical_key(key_cols: &[usize], arity: usize) -> bool {
 }
 
 /// Storage for one relation across the semi-naïve loop.
+///
+/// The `full` version is held behind an [`Arc`] so a completed fixpoint can
+/// be *published* — shared with concurrent readers at zero copy cost via
+/// [`RelationStorage::share_full`] — while the writer keeps evaluating.
+/// Every mutating path goes through [`RelationStorage::full_mut`] (or the
+/// crate-internal `take_full`), which detach (deep-copy) the version
+/// first if a published snapshot still holds a reference, so readers never
+/// observe a torn merge.
 #[derive(Debug)]
 pub struct RelationStorage {
     /// Relation name (for reporting).
     pub name: String,
     /// Number of columns.
     pub arity: usize,
-    /// The accumulated `full` version.
-    pub full: RelationVersion,
+    /// The accumulated `full` version, shared with published snapshots.
+    full: Arc<RelationVersion>,
     /// The previous iteration's `delta` version.
     pub delta: RelationVersion,
     /// Raw tuples derived in the current iteration (`new`), accumulated
@@ -438,7 +580,7 @@ impl RelationStorage {
         Ok(RelationStorage {
             name: name.to_string(),
             arity,
-            full: RelationVersion::empty(device, arity, load_factor)?,
+            full: Arc::new(RelationVersion::empty(device, arity, load_factor)?),
             delta: RelationVersion::empty(device, arity, load_factor)?,
             new_tuples: Vec::new(),
             device: device.clone(),
@@ -446,25 +588,95 @@ impl RelationStorage {
         })
     }
 
+    /// Read access to the full version.
+    pub fn full(&self) -> &RelationVersion {
+        &self.full
+    }
+
+    /// A shared handle on the full version — the snapshot publish
+    /// primitive. Cloning the [`Arc`] is O(1); the engine bundles one per
+    /// relation into a `FixpointSnapshot` after [`crate::backend::Backend::fence`]
+    /// has settled every deferred merge.
+    pub fn share_full(&self) -> Arc<RelationVersion> {
+        Arc::clone(&self.full)
+    }
+
+    /// Whether the full version is currently shared with a published
+    /// snapshot (so the next mutation will copy-on-write detach).
+    pub fn full_is_shared(&self) -> bool {
+        Arc::strong_count(&self.full) > 1
+    }
+
+    /// Mutable access to the full version, detaching it from any published
+    /// snapshot first: if a snapshot still holds the [`Arc`], the version
+    /// is deep-copied so the mutation cannot tear the published fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the detach copy does not fit on the
+    /// device.
+    pub fn full_mut(&mut self) -> EngineResult<&mut RelationVersion> {
+        self.detach_full()?;
+        Ok(Arc::get_mut(&mut self.full).expect("full version is unique after detach"))
+    }
+
+    /// Ensures `self.full` is uniquely owned, copy-on-write detaching it
+    /// from any published snapshot.
+    fn detach_full(&mut self) -> EngineResult<()> {
+        if Arc::get_mut(&mut self.full).is_none() {
+            let copy = self.full.try_clone()?;
+            self.full = Arc::new(copy);
+        }
+        Ok(())
+    }
+
+    /// Replaces the full version wholesale (the pipelined backend installs
+    /// a background-merged version through this).
+    pub(crate) fn install_full(&mut self, version: RelationVersion) {
+        self.full = Arc::new(version);
+    }
+
+    /// Moves the full version out, leaving an empty placeholder — the
+    /// pipelined backend's swap for background merges. A version still
+    /// shared with a snapshot is deep-copied instead of moved, so the
+    /// snapshot keeps its data.
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if the placeholder (or a detach copy) cannot
+    /// be allocated.
+    pub(crate) fn take_full(&mut self) -> EngineResult<RelationVersion> {
+        let placeholder = Arc::new(RelationVersion::empty(
+            &self.device,
+            self.arity,
+            self.load_factor,
+        )?);
+        let taken = std::mem::replace(&mut self.full, placeholder);
+        match Arc::try_unwrap(taken) {
+            Ok(version) => Ok(version),
+            Err(shared) => shared.try_clone(),
+        }
+    }
+
     /// Number of tuples in the full relation.
     pub fn len(&self) -> usize {
-        self.full.len()
+        self.full().len()
     }
 
     /// Whether the full relation is empty.
     pub fn is_empty(&self) -> bool {
-        self.full.is_empty()
+        self.full().is_empty()
     }
 
     /// Iterates the full relation's tuples as borrowed row slices in
     /// declared column order, without allocating per row.
     pub fn tuples_iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
-        self.full.tuples_flat().chunks_exact(self.arity.max(1))
+        self.full().tuples_flat().chunks_exact(self.arity.max(1))
     }
 
     /// Whether the full relation contains `tuple`.
     pub fn contains(&self, tuple: &[u32]) -> bool {
-        self.full.canonical().contains(tuple)
+        self.full().canonical().contains(tuple)
     }
 
     /// The full relation's tuples as an owned [`TupleBatch`]. The rows are
@@ -472,7 +684,7 @@ impl RelationStorage {
     /// concatenate data arrays and keep sortedness in the sorted index — so
     /// the batch does not carry the sorted-unique flag.
     pub fn tuples_batch(&self) -> TupleBatch {
-        TupleBatch::new(self.arity, self.full.tuples_flat().to_vec())
+        TupleBatch::new(self.arity, self.full().tuples_flat().to_vec())
     }
 
     /// Appends raw derived tuples to the `new` buffer.
@@ -498,8 +710,12 @@ impl RelationStorage {
     ///
     /// Returns a device error if the relation does not fit.
     pub fn load_full(&mut self, tuples: &[u32]) -> EngineResult<()> {
-        self.full =
-            RelationVersion::from_tuples(&self.device, self.arity, tuples, self.load_factor)?;
+        self.full = Arc::new(RelationVersion::from_tuples(
+            &self.device,
+            self.arity,
+            tuples,
+            self.load_factor,
+        )?);
         Ok(())
     }
 
@@ -562,7 +778,11 @@ impl RelationStorage {
     /// Panics if the batch's arity differs from the relation's.
     pub fn load_full_batch(&mut self, batch: &TupleBatch) -> EngineResult<()> {
         assert_eq!(batch.arity(), self.arity, "batch arity mismatch");
-        self.full = RelationVersion::from_batch(&self.device, batch, self.load_factor)?;
+        self.full = Arc::new(RelationVersion::from_batch(
+            &self.device,
+            batch,
+            self.load_factor,
+        )?);
         Ok(())
     }
 
@@ -594,93 +814,14 @@ impl RelationStorage {
     ///
     /// Returns a device error if the merged relation does not fit.
     pub fn merge_delta_into_full(&mut self, ebm: &EbmConfig) -> EngineResult<()> {
-        let delta_rows = self.delta.len();
-        if delta_rows == 0 {
+        if self.delta.is_empty() {
             return Ok(());
         }
-        let reserve = ebm.reserve_rows(delta_rows);
-        if reserve > 0 {
-            self.full.canonical.reserve_additional_rows(reserve)?;
-        }
-        self.full.canonical.merge_from(self.delta.canonical())?;
-        // Keep secondary indices consistent: merge the delta (re-indexed on
-        // each secondary key) into every existing secondary index. The
-        // delta's canonical data array is always sorted and duplicate-free
-        // (both delta construction paths guarantee it), so each re-index is
-        // a key-column-only permutation sort — no dedup, no full rebuild.
-        let keys: Vec<Vec<usize>> = self.full.by_key.keys().cloned().collect();
-        for key in keys {
-            let delta_indexed = Hisa::build_reindexed_from_sorted_unique(
-                &self.device,
-                IndexSpec::new(self.arity, key.clone()),
-                self.delta.tuples_flat(),
-                self.load_factor,
-            )?;
-            let target = self.full.by_key.get_mut(&key).expect("index exists");
-            if reserve > 0 {
-                target.reserve_additional_rows(reserve)?;
-            }
-            target.merge_from(&delta_indexed)?;
-        }
-        // Sharded indices stay consistent the same way, but shard-locally:
-        // the delta is partitioned with the same key hash as each cached
-        // entry, so shard i of the delta merges into shard i of the full
-        // representation — independent merges dispatched to the worker pool
-        // as one epoch. Because each delta partition is a subsequence of the
-        // (sorted, duplicate-free) delta data array, every piece keeps the
-        // sorted-unique re-index fast path. Unlike the canonical and
-        // secondary indices above (which each absorb the whole delta), a
-        // shard only absorbs its own slice, so its EBM slack is sized from
-        // the slice — not the full delta — or S shards would reserve S
-        // times the intended headroom.
-        let arity = self.arity;
-        let load_factor = self.load_factor;
-        let device = &self.device;
-        let delta_flat = self.delta.canonical.data();
-        let mut jobs: Vec<(&mut Hisa, Vec<u32>, Vec<usize>, usize)> = Vec::new();
-        for ((key_cols, shards), shard_hisas) in &mut self.full.sharded {
-            let shards = NonZeroUsize::new(*shards).expect("cached shard maps are non-empty");
-            let parts = partition_flat_by_key_hash(delta_flat, arity, key_cols, shards);
-            for (target, rows) in shard_hisas.iter_mut().zip(parts) {
-                if !rows.is_empty() {
-                    let shard_reserve = ebm.reserve_rows(rows.len() / arity);
-                    jobs.push((target, rows, key_cols.clone(), shard_reserve));
-                }
-            }
-        }
-        if !jobs.is_empty() {
-            let mut results: Vec<EngineResult<()>> = jobs.iter().map(|_| Ok(())).collect();
-            let jobs: Vec<_> = jobs.into_iter().zip(results.iter_mut()).collect();
-            device.executor().run_tasks(
-                jobs,
-                |_, ((target, rows, key_cols, shard_reserve), result)| {
-                    *result = (|| -> EngineResult<()> {
-                        let indexed = Hisa::build_reindexed_from_sorted_unique(
-                            device,
-                            IndexSpec::new(arity, key_cols),
-                            &rows,
-                            load_factor,
-                        )?;
-                        if shard_reserve > 0 {
-                            target.reserve_additional_rows(shard_reserve)?;
-                        }
-                        target.merge_from(&indexed)?;
-                        Ok(())
-                    })();
-                },
-            );
-            results.into_iter().collect::<EngineResult<()>>()?;
-        }
-        if !ebm.enabled {
-            self.full.canonical.shrink_to_fit();
-            for idx in self.full.by_key.values_mut() {
-                idx.shrink_to_fit();
-            }
-            for idx in self.full.sharded.values_mut().flatten() {
-                idx.shrink_to_fit();
-            }
-        }
-        Ok(())
+        // Copy-on-write: a full version shared with a published snapshot is
+        // deep-copied before the merge, so readers keep the old fixpoint.
+        self.detach_full()?;
+        let full = Arc::get_mut(&mut self.full).expect("full version is unique after detach");
+        full.merge_delta(&self.device, &self.delta, ebm)
     }
 
     /// Takes (and clears) the accumulated new-tuple buffer. With EBM
@@ -698,7 +839,7 @@ impl RelationStorage {
 
     /// Device bytes attributable to this relation (full + delta versions).
     pub fn device_bytes(&self) -> usize {
-        self.full.device_bytes() + self.delta.device_bytes()
+        self.full().device_bytes() + self.delta.device_bytes()
     }
 }
 
@@ -737,15 +878,21 @@ mod tests {
         let d = device();
         let mut s = storage(&d);
         s.load_full(&[1, 2, 3, 2, 5, 6]).unwrap();
-        let hits = s.full.index_on(&d, &[1]).unwrap().range_query(&[2]).count();
+        let hits = s
+            .full_mut()
+            .unwrap()
+            .index_on(&d, &[1])
+            .unwrap()
+            .range_query(&[2])
+            .count();
         assert_eq!(hits, 2);
         // Second call hits the cache (no new index).
-        let bytes_before = s.full.device_bytes();
-        let _ = s.full.index_on(&d, &[1]).unwrap();
-        assert_eq!(s.full.device_bytes(), bytes_before);
+        let bytes_before = s.full().device_bytes();
+        let _ = s.full_mut().unwrap().index_on(&d, &[1]).unwrap();
+        assert_eq!(s.full().device_bytes(), bytes_before);
         // Canonical key returns the canonical index without building.
-        let _ = s.full.index_on(&d, &[0, 1]).unwrap();
-        assert_eq!(s.full.device_bytes(), bytes_before);
+        let _ = s.full_mut().unwrap().index_on(&d, &[0, 1]).unwrap();
+        assert_eq!(s.full().device_bytes(), bytes_before);
     }
 
     #[test]
@@ -753,23 +900,23 @@ mod tests {
         let d = device();
         let mut s = storage(&d);
         s.load_full(&[1, 2, 3, 4]).unwrap();
-        let bytes_before = s.full.device_bytes();
+        let bytes_before = s.full().device_bytes();
         {
-            let idx = s.full.index_on(&d, &[1, 0]).unwrap();
+            let idx = s.full_mut().unwrap().index_on(&d, &[1, 0]).unwrap();
             assert_eq!(idx.spec().key_columns(), &[1, 0]);
             // Key order is (column 1, column 0): look up tuple (1, 2) as (2, 1).
             assert_eq!(idx.range_query(&[2, 1]).count(), 1);
             assert_eq!(idx.range_query(&[1, 2]).count(), 0);
         }
         assert!(
-            s.full.device_bytes() > bytes_before,
+            s.full().device_bytes() > bytes_before,
             "a permuted full key must build a real index, not alias the canonical one"
         );
         // The identity full key still returns the canonical index for free.
-        let bytes_with_permuted = s.full.device_bytes();
-        let _ = s.full.index_on(&d, &[0, 1]).unwrap();
-        let _ = s.full.index_on(&d, &[]).unwrap();
-        assert_eq!(s.full.device_bytes(), bytes_with_permuted);
+        let bytes_with_permuted = s.full().device_bytes();
+        let _ = s.full_mut().unwrap().index_on(&d, &[0, 1]).unwrap();
+        let _ = s.full_mut().unwrap().index_on(&d, &[]).unwrap();
+        assert_eq!(s.full().device_bytes(), bytes_with_permuted);
     }
 
     #[test]
@@ -779,7 +926,7 @@ mod tests {
         let mut b = storage(&d);
         for s in [&mut a, &mut b] {
             s.load_full(&[1, 2]).unwrap();
-            let _ = s.full.index_on(&d, &[1]).unwrap();
+            let _ = s.full_mut().unwrap().index_on(&d, &[1]).unwrap();
         }
         // Sorted, deduplicated, disjoint from full — the difference() shape.
         let delta = [0u32, 2, 3, 2, 4, 5];
@@ -789,8 +936,16 @@ mod tests {
         b.merge_delta_into_full(&EbmConfig::default()).unwrap();
         assert_eq!(a.len(), b.len());
         assert_eq!(
-            a.full.index_on(&d, &[1]).unwrap().to_sorted_tuples(),
-            b.full.index_on(&d, &[1]).unwrap().to_sorted_tuples()
+            a.full_mut()
+                .unwrap()
+                .index_on(&d, &[1])
+                .unwrap()
+                .to_sorted_tuples(),
+            b.full_mut()
+                .unwrap()
+                .index_on(&d, &[1])
+                .unwrap()
+                .to_sorted_tuples()
         );
     }
 
@@ -801,7 +956,12 @@ mod tests {
         s.load_full(&[1, 2]).unwrap();
         // Materialize a secondary index before merging.
         assert_eq!(
-            s.full.index_on(&d, &[1]).unwrap().range_query(&[2]).count(),
+            s.full_mut()
+                .unwrap()
+                .index_on(&d, &[1])
+                .unwrap()
+                .range_query(&[2])
+                .count(),
             1
         );
         s.set_delta(&[3, 2, 4, 5]).unwrap();
@@ -810,7 +970,12 @@ mod tests {
         assert!(s.contains(&[3, 2]));
         // The secondary index must see the merged tuples too.
         assert_eq!(
-            s.full.index_on(&d, &[1]).unwrap().range_query(&[2]).count(),
+            s.full_mut()
+                .unwrap()
+                .index_on(&d, &[1])
+                .unwrap()
+                .range_query(&[2])
+                .count(),
             2
         );
     }
@@ -875,9 +1040,10 @@ mod tests {
         // secondary index and a cached shard map throughout.
         let mut serial = storage(&d);
         serial.load_full(&[1, 2, 8, 0]).unwrap();
-        let _ = serial.full.index_on(&d, &[1]).unwrap();
+        let _ = serial.full_mut().unwrap().index_on(&d, &[1]).unwrap();
         let _ = serial
-            .full
+            .full_mut()
+            .unwrap()
             .sharded_index_on(&d, &[0], NonZeroUsize::new(3).unwrap())
             .unwrap();
         let d1: &[u32] = &[0, 7, 3, 3, 9, 1];
@@ -889,9 +1055,10 @@ mod tests {
         // Coalesced: same deltas as one deferred drain.
         let mut coalesced = storage(&d);
         coalesced.load_full(&[1, 2, 8, 0]).unwrap();
-        let _ = coalesced.full.index_on(&d, &[1]).unwrap();
+        let _ = coalesced.full_mut().unwrap().index_on(&d, &[1]).unwrap();
         let _ = coalesced
-            .full
+            .full_mut()
+            .unwrap()
             .sharded_index_on(&d, &[0], NonZeroUsize::new(3).unwrap())
             .unwrap();
         let runs = vec![
@@ -899,31 +1066,73 @@ mod tests {
             TupleBatch::from_sorted_unique_flat(2, d2.to_vec()),
         ];
         coalesced
-            .full
+            .full_mut()
+            .unwrap()
             .merge_sorted_unique_runs(&d, &runs, &EbmConfig::default())
             .unwrap();
-        assert_eq!(serial.full.tuples_flat(), coalesced.full.tuples_flat());
+        assert_eq!(serial.full().tuples_flat(), coalesced.full().tuples_flat());
         assert_eq!(
-            serial.full.canonical().sorted_index(),
-            coalesced.full.canonical().sorted_index()
+            serial.full().canonical().sorted_index(),
+            coalesced.full().canonical().sorted_index()
         );
-        let s_idx = serial.full.existing_index(&[1]).unwrap();
-        let c_idx = coalesced.full.existing_index(&[1]).unwrap();
+        let s_idx = serial.full().existing_index(&[1]).unwrap();
+        let c_idx = coalesced.full().existing_index(&[1]).unwrap();
         assert_eq!(s_idx.data(), c_idx.data());
         assert_eq!(s_idx.sorted_index(), c_idx.sorted_index());
         let shards = NonZeroUsize::new(3).unwrap();
-        let s_map = serial.full.existing_sharded_index(&[0], shards).unwrap();
-        let c_map = coalesced.full.existing_sharded_index(&[0], shards).unwrap();
+        let s_map = serial.full().existing_sharded_index(&[0], shards).unwrap();
+        let c_map = coalesced
+            .full()
+            .existing_sharded_index(&[0], shards)
+            .unwrap();
         for (s, c) in s_map.iter().zip(c_map) {
             assert_eq!(s.data(), c.data());
             assert_eq!(s.sorted_index(), c.sorted_index());
         }
         // An all-empty drain is a no-op.
         coalesced
-            .full
+            .full_mut()
+            .unwrap()
             .merge_sorted_unique_runs(&d, &[TupleBatch::empty(2)], &EbmConfig::default())
             .unwrap();
-        assert_eq!(serial.full.tuples_flat(), coalesced.full.tuples_flat());
+        assert_eq!(serial.full().tuples_flat(), coalesced.full().tuples_flat());
+    }
+
+    #[test]
+    fn shared_full_detaches_on_merge_and_keeps_the_snapshot_intact() {
+        let d = device();
+        let mut s = storage(&d);
+        s.load_full(&[1, 2, 3, 4]).unwrap();
+        let _ = s.full_mut().unwrap().index_on(&d, &[1]).unwrap();
+        // Publish: a snapshot holds the full version.
+        let published = s.share_full();
+        assert!(s.full_is_shared());
+        let published_rows = published.tuples_flat().to_vec();
+        // Writer merges the next delta — must copy-on-write, not tear.
+        s.set_delta_sorted_unique(&[5, 6, 7, 8]).unwrap();
+        s.merge_delta_into_full(&EbmConfig::default()).unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(
+            published.tuples_flat(),
+            published_rows.as_slice(),
+            "the published snapshot must keep the pre-merge fixpoint"
+        );
+        assert_eq!(published.len(), 2);
+        assert!(!s.full_is_shared(), "the merge detached the writer's copy");
+        // The detached copy carried the secondary index along.
+        assert_eq!(
+            s.full()
+                .existing_index(&[1])
+                .unwrap()
+                .range_query(&[6])
+                .count(),
+            1
+        );
+        // take_full on a shared version deep-copies instead of moving.
+        let republished = s.share_full();
+        let taken = s.take_full().unwrap();
+        assert_eq!(taken.tuples_flat(), republished.tuples_flat());
+        assert!(s.full().is_empty(), "take_full leaves a placeholder");
     }
 
     #[test]

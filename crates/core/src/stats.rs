@@ -104,6 +104,10 @@ pub struct RunStats {
     /// background merge to finish. The pipeline hid its merges completely
     /// when this is small relative to [`RunStats::overlap_nanos`].
     pub pipeline_stall_nanos: u64,
+    /// Times the pipelined backend's adaptive merge policy deferred a drain
+    /// past its base batch size because the pending delta rows were small
+    /// relative to |full|. Zero on every other backend.
+    pub adaptive_merge_batches: u64,
 }
 
 impl RunStats {

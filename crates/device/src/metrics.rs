@@ -71,6 +71,10 @@ pub struct CounterSnapshot {
     /// Wall nanoseconds the foreground thread spent blocked waiting for an
     /// in-flight background epoch to finish (the pipeline stalled).
     pub pipeline_stall_nanos: u64,
+    /// Times the pipelined backend's adaptive merge policy deferred a drain
+    /// past its base batch size because the pending delta rows were still
+    /// small relative to |full|.
+    pub adaptive_merge_batches: u64,
 }
 
 impl CounterSnapshot {
@@ -106,6 +110,7 @@ impl CounterSnapshot {
             peak_epochs_in_flight: self.peak_epochs_in_flight,
             overlap_nanos: self.overlap_nanos - earlier.overlap_nanos,
             pipeline_stall_nanos: self.pipeline_stall_nanos - earlier.pipeline_stall_nanos,
+            adaptive_merge_batches: self.adaptive_merge_batches - earlier.adaptive_merge_batches,
         }
     }
 }
@@ -133,6 +138,7 @@ pub struct Metrics {
     peak_epochs_in_flight: AtomicU64,
     overlap_nanos: AtomicU64,
     pipeline_stall_nanos: AtomicU64,
+    adaptive_merge_batches: AtomicU64,
     phase_times: Mutex<PhaseTable>,
 }
 
@@ -249,6 +255,12 @@ impl Metrics {
     /// in-flight background epoch.
     pub fn add_pipeline_stall_nanos(&self, n: u64) {
         self.pipeline_stall_nanos.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one adaptive merge-batch deferral (see
+    /// [`CounterSnapshot::adaptive_merge_batches`]).
+    pub fn add_adaptive_merge_batch(&self) {
+        self.adaptive_merge_batches.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records an allocation of `bytes`, returning the new in-use total.
@@ -372,6 +384,7 @@ impl Metrics {
             peak_epochs_in_flight: self.peak_epochs_in_flight.load(Ordering::Relaxed),
             overlap_nanos: self.overlap_nanos.load(Ordering::Relaxed),
             pipeline_stall_nanos: self.pipeline_stall_nanos.load(Ordering::Relaxed),
+            adaptive_merge_batches: self.adaptive_merge_batches.load(Ordering::Relaxed),
         }
     }
 }

@@ -70,6 +70,44 @@ impl HashTable {
         })
     }
 
+    /// Deep-copies the table: a fresh device allocation holding the same
+    /// slots. Snapshot publication relies on this to detach a shared hash
+    /// layer before mutating it (copy-on-write), so the copy must be
+    /// byte-identical — every claimed slot keeps its key hash and payload,
+    /// and probing order is preserved because capacity is carried over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpulog_device::DeviceError::OutOfMemory`] if the device
+    /// cannot hold a second copy of the table.
+    pub fn try_clone(&self) -> DeviceResult<Self> {
+        self.device
+            .tracker()
+            .allocate(self.accounted_bytes, false)?;
+        self.device
+            .metrics()
+            .add_bytes_written(self.accounted_bytes as u64);
+        let keys = self
+            .keys
+            .iter()
+            .map(|k| AtomicU64::new(k.load(Ordering::Relaxed)))
+            .collect();
+        let values = self
+            .values
+            .iter()
+            .map(|v| AtomicU32::new(v.load(Ordering::Relaxed)))
+            .collect();
+        Ok(HashTable {
+            keys,
+            values,
+            capacity: self.capacity,
+            entries: self.entries,
+            load_factor: self.load_factor,
+            device: self.device.clone(),
+            accounted_bytes: self.accounted_bytes,
+        })
+    }
+
     /// The slot count a table sized for `expected_keys` at `load_factor`
     /// would use. The raw ratio is clamped below `2^62` before the
     /// power-of-two round-up so an extreme `expected_keys / load_factor`
@@ -539,6 +577,40 @@ mod tests {
             Err(gpulog_device::DeviceError::OutOfMemory { .. }) => {}
             other => panic!("expected OutOfMemory, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn try_clone_copies_slots_and_charges_the_device() {
+        let d = device();
+        let mut t = HashTable::with_capacity(&d, 50, 0.8).unwrap();
+        for k in 0..40u64 {
+            t.insert(k + 1, k as u32 * 2);
+        }
+        t.recount_entries();
+        let in_use_before = d.tracker().in_use();
+        let copy = t.try_clone().unwrap();
+        assert_eq!(
+            d.tracker().in_use(),
+            in_use_before + t.accounted_bytes(),
+            "the copy must be charged against the device"
+        );
+        assert_eq!(copy.capacity(), t.capacity());
+        assert_eq!(copy.entries(), t.entries());
+        for k in 0..40u64 {
+            assert_eq!(copy.lookup(k + 1), Some(k as u32 * 2));
+        }
+        // Mutating the copy must not leak into the original.
+        copy.insert(999, 7);
+        assert_eq!(t.lookup(999), None);
+        drop(copy);
+        assert_eq!(d.tracker().in_use(), in_use_before);
+    }
+
+    #[test]
+    fn try_clone_of_an_oversized_table_is_oom() {
+        let d = Device::new(DeviceProfile::tiny_test_device(40_000));
+        let t = HashTable::with_capacity(&d, 1000, 0.8).unwrap();
+        assert!(t.try_clone().is_err(), "no room for a second copy");
     }
 
     #[test]

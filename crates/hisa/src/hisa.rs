@@ -480,6 +480,91 @@ impl Hisa {
             .collect()
     }
 
+    /// Deep-copies the HISA onto fresh device buffers: data array, both
+    /// index arrays, and the hash layer. This is the copy-on-write detach
+    /// behind snapshot publication — a published [`Hisa`] shared with
+    /// readers is cloned before the writer mutates it, so the copy must be
+    /// byte-identical in every layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpulog_device::DeviceError::OutOfMemory`] when the device
+    /// cannot hold a second copy.
+    pub fn try_clone(&self) -> DeviceResult<Self> {
+        Ok(Hisa {
+            spec: self.spec.clone(),
+            device: self.device.clone(),
+            data: self.device.buffer_from_slice(self.data.as_slice())?,
+            sorted_index: self
+                .device
+                .buffer_from_slice(self.sorted_index.as_slice())?,
+            pos_in_sorted: self
+                .device
+                .buffer_from_slice(self.pos_in_sorted.as_slice())?,
+            hash: self.hash.try_clone()?,
+            load_factor: self.load_factor,
+        })
+    }
+
+    /// The half-open span of *sorted-index positions* whose rows start with
+    /// `prefix`, compared in **key-first** (reordered) column order — two
+    /// binary searches over the sorted index, no hash probe. On a canonical
+    /// identity-keyed HISA the key-first order *is* the original column
+    /// order, which is how snapshot point lookups answer prefix queries of
+    /// any length (the hash layer only answers full-key probes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix` is longer than the arity.
+    pub fn sorted_prefix_range(&self, prefix: &[Value]) -> std::ops::Range<usize> {
+        assert!(prefix.len() <= self.arity(), "prefix longer than the arity");
+        let idx = self.sorted_index.as_slice();
+        let lo = idx.partition_point(|&p| self.prefix_cmp(p, prefix) == std::cmp::Ordering::Less);
+        let hi =
+            idx.partition_point(|&p| self.prefix_cmp(p, prefix) != std::cmp::Ordering::Greater);
+        lo..hi
+    }
+
+    /// The half-open span of sorted-index positions whose rows compare
+    /// `>= lo` and `< hi` on their leading columns (key-first order) — the
+    /// key-range scan primitive behind snapshot range queries. `lo` and
+    /// `hi` may be prefixes of different lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is longer than the arity.
+    pub fn sorted_span(&self, lo: &[Value], hi: &[Value]) -> std::ops::Range<usize> {
+        assert!(lo.len() <= self.arity(), "lower bound longer than arity");
+        assert!(hi.len() <= self.arity(), "upper bound longer than arity");
+        let idx = self.sorted_index.as_slice();
+        let start = idx.partition_point(|&p| self.prefix_cmp(p, lo) == std::cmp::Ordering::Less);
+        let end = idx.partition_point(|&p| self.prefix_cmp(p, hi) == std::cmp::Ordering::Less);
+        start..end.max(start)
+    }
+
+    /// Rows at the given sorted-index positions, restored to original
+    /// column order — pairs with [`Hisa::sorted_prefix_range`] /
+    /// [`Hisa::sorted_span`] to materialize query results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span exceeds the relation's length.
+    pub fn sorted_rows(
+        &self,
+        span: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = Vec<Value>> + '_ {
+        self.sorted_index.as_slice()[span]
+            .iter()
+            .map(|&p| self.row(p as usize))
+    }
+
+    /// Compares the leading `prefix.len()` columns of data-array row `p`
+    /// (key-first order) against `prefix`.
+    fn prefix_cmp(&self, p: u32, prefix: &[Value]) -> std::cmp::Ordering {
+        let start = p as usize * self.arity();
+        self.data.as_slice()[start..start + prefix.len()].cmp(prefix)
+    }
+
     /// Reserves device capacity for `additional_rows` more tuples in the
     /// data array, sorted-index/inverse arrays, **and the hash layer**, so a
     /// subsequent [`Hisa::merge_from`] of up to that many rows neither grows
@@ -875,6 +960,67 @@ mod tests {
         // data array itself must not have re-grown beyond the reservation.
         assert_eq!(full.len(), 3);
         let _ = (reserved, delta_bytes);
+    }
+
+    #[test]
+    fn try_clone_is_byte_identical_and_independent() {
+        let d = device();
+        let mut original = Hisa::build(&d, edge_spec(), &[3, 4, 1, 2, 3, 7, 0, 9]).unwrap();
+        let in_use_before = d.tracker().in_use();
+        let copy = original.try_clone().unwrap();
+        assert_eq!(copy.data(), original.data());
+        assert_eq!(copy.sorted_index(), original.sorted_index());
+        assert_eq!(copy.len(), original.len());
+        for probe in 0..10u32 {
+            assert_eq!(
+                copy.key_start_position(&[probe]),
+                original.key_start_position(&[probe]),
+                "probe {probe}"
+            );
+        }
+        assert!(
+            d.tracker().in_use() >= in_use_before + copy.device_bytes(),
+            "the copy's layers must be charged against the device"
+        );
+        // Merging into the original must not disturb the copy.
+        let delta =
+            Hisa::build_reindexed_from_sorted_unique(&d, edge_spec(), &[5, 5], 0.8).unwrap();
+        original.merge_from(&delta).unwrap();
+        assert_eq!(original.len(), 5);
+        assert_eq!(copy.len(), 4);
+        assert!(!copy.contains(&[5, 5]));
+    }
+
+    #[test]
+    fn sorted_prefix_range_and_span_answer_point_and_range_queries() {
+        let d = device();
+        let tuples = [
+            0u32, 9, //
+            1, 4, //
+            1, 7, //
+            3, 2, //
+            3, 5, //
+            3, 8, //
+            6, 1, //
+        ];
+        let h = Hisa::build(&d, IndexSpec::full_key(2), &tuples).unwrap();
+        // Full-row prefix: exact membership.
+        assert_eq!(h.sorted_prefix_range(&[3, 5]).len(), 1);
+        assert_eq!(h.sorted_prefix_range(&[3, 6]).len(), 0);
+        // One-column prefix: a point lookup on the leading key.
+        let threes: Vec<Vec<u32>> = h.sorted_rows(h.sorted_prefix_range(&[3])).collect();
+        assert_eq!(threes, vec![vec![3, 2], vec![3, 5], vec![3, 8]]);
+        assert_eq!(h.sorted_prefix_range(&[2]).len(), 0);
+        // Empty prefix covers everything.
+        assert_eq!(h.sorted_prefix_range(&[]), 0..7);
+        // Key-range scan: [1, 3) on the first column, then a mixed-depth
+        // span reaching into the second column.
+        let scanned: Vec<Vec<u32>> = h.sorted_rows(h.sorted_span(&[1], &[3])).collect();
+        assert_eq!(scanned, vec![vec![1, 4], vec![1, 7]]);
+        let deep: Vec<Vec<u32>> = h.sorted_rows(h.sorted_span(&[3, 5], &[6])).collect();
+        assert_eq!(deep, vec![vec![3, 5], vec![3, 8]]);
+        // An inverted range is empty, not a panic.
+        assert_eq!(h.sorted_span(&[6], &[1]).len(), 0);
     }
 
     #[test]

@@ -109,7 +109,7 @@ proptest! {
         // The storage path deduplicates the outer relation (HISA set
         // semantics), so compare against the legacy composition re-run over
         // the storage's canonical outer tuples: byte-identical output.
-        let canon_outer = relations[0].full.tuples_flat().to_vec();
+        let canon_outer = relations[0].full().tuples_flat().to_vec();
         let canon_scanned = scan_select(&d, &canon_outer, 2, &[], &[], &[0, 1]);
         let canon_joined = hash_join(&d, &canon_scanned, 2, &[1], &inner_hisa, &[], &[], &emit);
         let canon_expected = if canon_joined.is_empty() {
@@ -144,7 +144,7 @@ proptest! {
             RelationStorage::new(&d, "Head", 1, DEFAULT_LOAD_FACTOR).unwrap(),
         ];
         relations[0].load_full(&flat).unwrap();
-        let canon = relations[0].full.tuples_flat().to_vec();
+        let canon = relations[0].full().tuples_flat().to_vec();
 
         let scanned = scan_select(&d, &canon, 2, &[(1, const_val)], &[], &[0]);
         let expected = filter_rows(&d, &scanned, 1, &[]);
@@ -236,7 +236,7 @@ proptest! {
         let mut relations =
             vec![RelationStorage::new(&d, "R", 2, DEFAULT_LOAD_FACTOR).unwrap()];
         relations[0].load_full(&base_flat).unwrap();
-        let expected_delta = difference(&d, &derived_flat, 2, relations[0].full.canonical());
+        let expected_delta = difference(&d, &derived_flat, 2, relations[0].full().canonical());
 
         relations[0].push_new(&derived_flat);
         let mut stats = RunStats::default();

@@ -165,7 +165,7 @@ proptest! {
         storage.load_full(&base_flat).unwrap();
         // Materialize a secondary index before the merge so the reuse path
         // has to keep it consistent.
-        let _ = storage.full.index_on(&d, &[1]).unwrap();
+        let _ = storage.full_mut().unwrap().index_on(&d, &[1]).unwrap();
         // Delta must be sorted, deduplicated, and disjoint from full.
         let mut delta_set: BTreeSet<(u32, u32)> = extra.iter().copied().collect();
         for &(a, b) in &base {
@@ -181,7 +181,7 @@ proptest! {
         union.extend(delta_set.iter().copied());
         let union_flat: Vec<u32> = union.iter().flat_map(|&(a, b)| [a, b]).collect();
         let fresh = Hisa::build(&d, IndexSpec::new(2, vec![1]), &union_flat).unwrap();
-        let merged = storage.full.index_on(&d, &[1]).unwrap();
+        let merged = storage.full_mut().unwrap().index_on(&d, &[1]).unwrap();
         prop_assert_eq!(merged.len(), union.len());
         prop_assert_eq!(merged.to_sorted_tuples(), fresh.to_sorted_tuples());
         for key in 0..25u32 {
