@@ -1,7 +1,9 @@
 //! CI bench smoke: runs the Table 2 REACH workload (Gnutella31), the
-//! Table 3 SG workload (ego-Facebook), and a merge-heavy long-chain REACH
+//! Table 3 SG workload (ego-Facebook), a merge-heavy long-chain REACH
 //! (one iteration per node, tiny deltas — the incremental index-maintenance
-//! hot path) in every backend — serial, sharded, pipelined (iteration
+//! hot path), and the two stratified workloads on hub graphs — a
+//! CSPA-style negated-filter REACH (`!Blocked` anti-joins) and
+//! shortest-path-via-`min` (grouped aggregate reduce) — in every backend — serial, sharded, pipelined (iteration
 //! overlap), and the simulated multi-GPU topologies (1 / 2 / 4 NVLink-like
 //! devices) — checks that all backends agree on tuple counts, and writes
 //! per-backend medians **plus index-maintenance counters, the device phase
@@ -23,9 +25,9 @@
 
 use gpulog::{EngineConfig, TopologyReport};
 use gpulog_bench::{banner, gpulog_device, scale_from_env, speedup, BackendSpec, TextTable};
-use gpulog_datasets::generators::road_network;
+use gpulog_datasets::generators::{hub_graph, road_network};
 use gpulog_datasets::{EdgeList, PaperDataset};
-use gpulog_queries::{reach, sg};
+use gpulog_queries::{reach, sg, stratified};
 
 struct SmokeRow {
     query: &'static str,
@@ -115,10 +117,17 @@ const TOPOLOGY_KEYS: [&str; 7] = [
     "\"modeled_speedup\"",
 ];
 
-/// Validates the artifact's schema: the top-level fields, at least one
-/// result row, every row carrying every required key, and every topology
-/// row carrying the multi-GPU modeling fields. The writer emits one result
-/// object per line, which is what keeps this check dependency-free.
+/// The workloads every artifact must carry a row for. The stratified legs
+/// (`reach-neg`, `sp-min`) are listed so an artifact produced without the
+/// negation / aggregate rows fails the schema gate rather than silently
+/// shrinking coverage.
+const REQUIRED_QUERIES: [&str; 5] = ["reach", "sg", "reach-chain", "reach-neg", "sp-min"];
+
+/// Validates the artifact's schema: the top-level fields, a row for every
+/// required workload (including the stratified legs), every row carrying
+/// every required key, and every topology row carrying the multi-GPU
+/// modeling fields. The writer emits one result object per line, which is
+/// what keeps this check dependency-free.
 fn validate_schema(json: &str) -> Result<(), String> {
     for key in ["\"scale\"", "\"trials\"", "\"host_workers\"", "\"results\""] {
         if !json.contains(key) {
@@ -128,6 +137,12 @@ fn validate_schema(json: &str) -> Result<(), String> {
     let rows: Vec<&str> = json.lines().filter(|l| l.contains("\"query\"")).collect();
     if rows.is_empty() {
         return Err("no result rows".to_string());
+    }
+    for query in REQUIRED_QUERIES {
+        let key = format!("\"query\": \"{query}\"");
+        if !rows.iter().any(|row| row.contains(&key)) {
+            return Err(format!("no result row for workload {query}"));
+        }
     }
     for row in rows {
         for key in ROW_KEYS {
@@ -231,6 +246,12 @@ fn main() {
     // gates the pipelined-vs-sharded comparison below, and on a short
     // chain the merge saving drowns in scheduler noise.
     let chain_nodes = ((1000.0 * scale).round() as u32).max(64);
+    // The stratified legs run on hub graphs: a handful of high-degree hubs
+    // concentrate the closure, so blocking them (`!Blocked`) genuinely
+    // reshapes the fixpoint, and the many hub-mediated alternate routes
+    // give the `min` aggregate competing path lengths to reduce over.
+    let neg_nodes = ((600.0 * scale).round() as u32).max(48);
+    let sp_nodes = ((200.0 * scale).round() as u32).max(24);
     let workloads: Vec<(&'static str, EdgeList)> = vec![
         ("reach", PaperDataset::Gnutella31.generate(scale)),
         ("sg", PaperDataset::EgoFacebook.generate(scale)),
@@ -239,6 +260,11 @@ fn main() {
         // workload the incremental hash maintenance (zero rebuilds with
         // EBM headroom) exists for.
         ("reach-chain", road_network(chain_nodes, 0, 23)),
+        // Stratified: CSPA-style negated-filter closure (anti-join against
+        // a completed stratum) and shortest-path-via-`min` (grouped reduce
+        // over the finished PathLen relation).
+        ("reach-neg", hub_graph(neg_nodes, 4, 17)),
+        ("sp-min", hub_graph(sp_nodes, 3, 29)),
     ];
 
     let mut rows: Vec<SmokeRow> = Vec::new();
@@ -261,6 +287,16 @@ fn main() {
                     "sg" => {
                         let r = sg::run(&device, graph, config.clone()).expect("smoke run failed");
                         (r.sg_size, r.stats)
+                    }
+                    "reach-neg" => {
+                        let r = stratified::run_negated_reach(&device, graph, 3, config.clone())
+                            .expect("smoke run failed");
+                        (r.reach_size, r.stats)
+                    }
+                    "sp-min" => {
+                        let r = stratified::run_shortest_path(&device, graph, 4, config.clone())
+                            .expect("smoke run failed");
+                        (r.sp_size, r.stats)
                     }
                     _ => {
                         let r =

@@ -7,6 +7,13 @@
 //! order. Within a stratum the engine runs the semi-naive fixpoint loop;
 //! across strata evaluation is a simple sequence, which is how Soufflé (and
 //! GPUlog) schedule multi-relation programs such as CSPA.
+//!
+//! Negated literals and head aggregates mark their dependency edges as
+//! *negative*: a negative edge inside a strongly connected component means
+//! the program recurses through negation/aggregation and has no
+//! stratification, rejected with [`EngineError::CyclicNegation`]. Across
+//! components the order guarantees a negated or aggregated relation is
+//! fully computed before any rule reading it runs.
 
 use crate::ast::{Program, Rule, Term};
 use crate::error::{EngineError, EngineResult};
@@ -50,13 +57,25 @@ impl StratifiedProgram {
 
 /// Validates `program` and computes its strata.
 ///
+/// Alias for [`stratify_program`], kept for the original call sites.
+pub fn stratify(program: &Program) -> EngineResult<StratifiedProgram> {
+    stratify_program(program)
+}
+
+/// Validates `program` and computes its strata (the precedence graph
+/// pass).
+///
 /// # Errors
 ///
 /// Returns [`EngineError::Validation`] when a rule references an undeclared
-/// relation, uses a relation at the wrong arity, derives into an `.input`
-/// relation's arity inconsistently, or is unsafe (a head variable or
-/// constraint variable not bound by any body atom).
-pub fn stratify(program: &Program) -> EngineResult<StratifiedProgram> {
+/// relation, uses a relation at the wrong arity, or derives into an
+/// `.input` relation's arity inconsistently;
+/// [`EngineError::UnboundVariable`] when a rule is unsafe (a head,
+/// constraint, negated-atom, or aggregate variable not bound by any
+/// positive body literal); and [`EngineError::CyclicNegation`] when the
+/// program recurses through negation or aggregation, so no stratification
+/// exists.
+pub fn stratify_program(program: &Program) -> EngineResult<StratifiedProgram> {
     // Duplicate declarations.
     let mut seen = HashSet::new();
     for decl in &program.relations {
@@ -84,12 +103,22 @@ pub fn stratify(program: &Program) -> EngineResult<StratifiedProgram> {
     }
 
     // Dependency graph: edge head -> body (head depends on body relation).
+    // Negated literals mark their edge negative; a head aggregate marks
+    // every body edge of its rule negative, because the reduce runs over
+    // the rule's *finished* bindings and therefore needs the whole body in
+    // strictly lower strata.
     let n = relation_names.len();
     let mut deps: Vec<HashSet<usize>> = vec![HashSet::new(); n];
-    for rule in &program.rules {
+    let mut negative_edges: Vec<(usize, usize, usize)> = Vec::new();
+    for (ri, rule) in program.rules.iter().enumerate() {
         let head = id_of[rule.head.relation.as_str()];
-        for atom in &rule.body {
-            deps[head].insert(id_of[atom.relation.as_str()]);
+        let aggregated = rule.aggregate.is_some();
+        for literal in &rule.body {
+            let body_id = id_of[literal.atom().relation.as_str()];
+            deps[head].insert(body_id);
+            if literal.is_negative() || aggregated {
+                negative_edges.push((ri, head, body_id));
+            }
         }
     }
 
@@ -104,6 +133,17 @@ pub fn stratify(program: &Program) -> EngineResult<StratifiedProgram> {
         }
     }
 
+    // A negative edge inside a component is recursion through
+    // negation/aggregation: no stratification exists.
+    for &(ri, head, body_id) in &negative_edges {
+        if component_of[head] == component_of[body_id] {
+            return Err(EngineError::CyclicNegation {
+                rule: program.rules[ri].to_string(),
+                relation: relation_names[body_id].clone(),
+            });
+        }
+    }
+
     let mut strata = Vec::new();
     for (ci, comp) in sccs.iter().enumerate() {
         let comp_set: HashSet<usize> = comp.iter().copied().collect();
@@ -115,9 +155,10 @@ pub fn stratify(program: &Program) -> EngineResult<StratifiedProgram> {
                 continue;
             }
             rule_indices.push(ri);
+            // Only positive same-component dependencies make the stratum a
+            // fixpoint loop; negative ones were rejected above.
             if rule
-                .body
-                .iter()
+                .positive_atoms()
                 .any(|a| comp_set.contains(&id_of[a.relation.as_str()]))
             {
                 recursive = true;
@@ -160,19 +201,31 @@ fn validate_rule(rule: &Rule, id_of: &HashMap<&str, usize>, arities: &[usize]) -
         }
     };
     check_atom(&rule.head)?;
-    for atom in &rule.body {
-        check_atom(atom)?;
+    for literal in &rule.body {
+        check_atom(literal.atom())?;
     }
-    // Safety: every head variable and every constraint variable must appear
-    // in at least one (positive) body atom. Rules with an empty body must be
-    // ground facts.
-    let bound: HashSet<&str> = rule.body.iter().flat_map(|a| a.variables()).collect();
+    // Safety (range restriction): every head variable, constraint variable,
+    // and negated-atom variable must be bound by a *positive* body literal.
+    // Rules with an empty body must be ground facts. Negated atoms being
+    // fully bound is what lets the engine lower them to point-membership
+    // anti-joins.
+    let bound: HashSet<&str> = rule.positive_atoms().flat_map(|a| a.variables()).collect();
+    let unbound = |variable: &str, context: String| EngineError::UnboundVariable {
+        rule: rule.to_string(),
+        variable: variable.to_string(),
+        context,
+    };
     for term in &rule.head.terms {
         if let Term::Var(v) = term {
             if !bound.contains(v.as_str()) {
-                return Err(EngineError::Validation {
-                    message: format!("rule `{rule}` is unsafe: head variable {v} is not bound"),
-                });
+                return Err(unbound(v, "head".into()));
+            }
+        }
+    }
+    for atom in rule.negative_atoms() {
+        for v in atom.variables() {
+            if !bound.contains(v) {
+                return Err(unbound(v, format!("negated atom {}", atom.relation)));
             }
         }
     }
@@ -180,13 +233,38 @@ fn validate_rule(rule: &Rule, id_of: &HashMap<&str, usize>, arities: &[usize]) -
         for term in [&c.left, &c.right] {
             if let Term::Var(v) = term {
                 if !bound.contains(v.as_str()) {
-                    return Err(EngineError::Validation {
-                        message: format!(
-                            "rule `{rule}` is unsafe: constraint variable {v} is not bound"
-                        ),
-                    });
+                    return Err(unbound(v, "constraint".into()));
                 }
             }
+        }
+    }
+    if let Some(agg) = &rule.aggregate {
+        if agg.column >= rule.head.terms.len()
+            || rule.head.terms[agg.column].as_var() != Some(agg.var.as_str())
+        {
+            return Err(EngineError::Validation {
+                message: format!(
+                    "rule `{rule}`: aggregate {}({}) must name the head term at column {}",
+                    agg.op, agg.var, agg.column
+                ),
+            });
+        }
+        let elsewhere = rule
+            .head
+            .terms
+            .iter()
+            .enumerate()
+            .any(|(i, t)| i != agg.column && t.as_var() == Some(agg.var.as_str()));
+        if elsewhere {
+            return Err(EngineError::Validation {
+                message: format!(
+                    "rule `{rule}`: aggregate variable {} also appears as a group key",
+                    agg.var
+                ),
+            });
+        }
+        if !bound.contains(agg.var.as_str()) {
+            return Err(unbound(&agg.var, "aggregate".into()));
         }
     }
     Ok(())
@@ -371,7 +449,8 @@ mod tests {
             .rule("R", vec![Term::var("x")])
             .body("Missing", vec![Term::var("x")])
             .end_rule()
-            .build();
+            .build()
+            .unwrap();
         assert!(matches!(stratify(&p), Err(EngineError::Validation { .. })));
     }
 
@@ -383,7 +462,8 @@ mod tests {
             .rule("R", vec![Term::var("x")])
             .body("E", vec![Term::var("x")])
             .end_rule()
-            .build();
+            .build()
+            .unwrap();
         let err = stratify(&p).unwrap_err();
         assert!(err.to_string().contains("arity"));
     }
@@ -396,8 +476,10 @@ mod tests {
             .rule("R", vec![Term::var("x"), Term::var("w")])
             .body("E", vec![Term::var("x"), Term::var("y")])
             .end_rule()
-            .build();
+            .build()
+            .unwrap();
         let err = stratify(&p).unwrap_err();
+        assert!(matches!(err, EngineError::UnboundVariable { .. }));
         assert!(err.to_string().contains("unsafe"));
     }
 
@@ -410,8 +492,12 @@ mod tests {
             .body("E", vec![Term::var("x"), Term::var("y")])
             .constraint(Term::var("z"), CmpOp::Ne, Term::var("x"))
             .end_rule()
-            .build();
-        assert!(stratify(&p).is_err());
+            .build()
+            .unwrap();
+        assert!(matches!(
+            stratify(&p),
+            Err(EngineError::UnboundVariable { .. })
+        ));
     }
 
     #[test]
@@ -419,8 +505,179 @@ mod tests {
         let p = ProgramBuilder::new()
             .input_relation("E", 2)
             .input_relation("E", 2)
-            .build();
+            .build()
+            .unwrap();
         assert!(stratify(&p).is_err());
+    }
+
+    #[test]
+    fn negated_relation_lands_in_a_lower_stratum() {
+        let p = parse_program(
+            r"
+            .decl Edge(x: number, y: number)
+            .decl Blocked(x: number)
+            .decl Reach(x: number, y: number)
+            .input Edge
+            .input Blocked
+            .output Reach
+            Reach(x, y) :- Edge(x, y), !Blocked(y).
+            Reach(x, y) :- Reach(x, z), Edge(z, y), !Blocked(y).
+        ",
+        )
+        .unwrap();
+        let s = stratify_program(&p).unwrap();
+        let blocked_pos = s
+            .strata
+            .iter()
+            .position(|st| st.relations.contains(&s.relation_id("Blocked").unwrap()))
+            .unwrap();
+        let reach_pos = s
+            .strata
+            .iter()
+            .position(|st| st.relations.contains(&s.relation_id("Reach").unwrap()))
+            .unwrap();
+        assert!(blocked_pos < reach_pos);
+        assert!(s.strata[reach_pos].recursive);
+    }
+
+    #[test]
+    fn cyclic_negation_is_rejected_with_typed_error() {
+        let p = parse_program(
+            r"
+            .decl E(x: number)
+            .decl A(x: number)
+            .decl B(x: number)
+            .input E
+            .output A
+            A(x) :- E(x), !B(x).
+            B(x) :- E(x), !A(x).
+        ",
+        )
+        .unwrap();
+        match stratify_program(&p).unwrap_err() {
+            EngineError::CyclicNegation { rule, relation } => {
+                assert!(relation == "A" || relation == "B");
+                assert!(rule.contains('!'));
+            }
+            other => panic!("expected CyclicNegation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_in_a_direct_self_loop_is_rejected() {
+        let p = parse_program(
+            r"
+            .decl E(x: number)
+            .decl A(x: number)
+            .input E
+            .output A
+            A(x) :- E(x), !A(x).
+        ",
+        )
+        .unwrap();
+        assert!(matches!(
+            stratify_program(&p),
+            Err(EngineError::CyclicNegation { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregation_through_recursion_is_rejected() {
+        let p = parse_program(
+            r"
+            .decl E(x: number, d: number)
+            .decl S(x: number, d: number)
+            .input E
+            .output S
+            S(x, d) :- E(x, d).
+            S(x, min(d)) :- S(x, d).
+        ",
+        )
+        .unwrap();
+        assert!(matches!(
+            stratify_program(&p),
+            Err(EngineError::CyclicNegation { .. })
+        ));
+    }
+
+    #[test]
+    fn unbound_negated_variable_is_rejected() {
+        let p = parse_program(
+            r"
+            .decl E(x: number)
+            .decl B(x: number, y: number)
+            .decl R(x: number)
+            .input E
+            .input B
+            .output R
+            R(x) :- E(x), !B(x, y).
+        ",
+        )
+        .unwrap();
+        match stratify_program(&p).unwrap_err() {
+            EngineError::UnboundVariable {
+                variable, context, ..
+            } => {
+                assert_eq!(variable, "y");
+                assert!(context.contains("negated atom B"));
+            }
+            other => panic!("expected UnboundVariable, got {other:?}"),
+        }
+        // A wildcard inside a negated atom is an unbound fresh variable.
+        let wild = parse_program(
+            r"
+            .decl E(x: number)
+            .decl B(x: number, y: number)
+            .decl R(x: number)
+            .input E
+            .input B
+            .output R
+            R(x) :- E(x), !B(x, _).
+        ",
+        )
+        .unwrap();
+        assert!(matches!(
+            stratify_program(&wild),
+            Err(EngineError::UnboundVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregate_structural_checks_reject_bad_shapes() {
+        use crate::ast::{Aggregate, AggregateOp};
+        // Aggregate column out of range.
+        let mut p = parse_program(
+            r"
+            .decl E(x: number, d: number)
+            .decl S(x: number, d: number)
+            .input E
+            .output S
+            S(x, d) :- E(x, d).
+        ",
+        )
+        .unwrap();
+        p.rules[0].aggregate = Some(Aggregate {
+            op: AggregateOp::Min,
+            var: "d".into(),
+            column: 5,
+        });
+        assert!(matches!(
+            stratify_program(&p),
+            Err(EngineError::Validation { .. })
+        ));
+        // Aggregate variable repeated as a group key.
+        let dup = parse_program(
+            r"
+            .decl E(x: number, d: number)
+            .decl S(x: number, d: number)
+            .input E
+            .output S
+            S(d, min(d)) :- E(x, d).
+        ",
+        )
+        .unwrap();
+        let err = stratify_program(&dup).unwrap_err();
+        assert!(err.to_string().contains("group key"));
     }
 
     #[test]

@@ -5,7 +5,14 @@
 //! [`crate::parser::parse_program`], or assembled programmatically with
 //! [`ProgramBuilder`]; either way they are compiled by
 //! [`crate::planner`] into the relational-algebra plans the engine executes.
+//!
+//! Rule bodies are sequences of [`Literal`]s — positive atoms joined as
+//! usual, negated atoms (`!Atom(..)`) evaluated under stratified
+//! negation-as-failure. A rule head may carry a single [`Aggregate`]
+//! (`count`/`min`/`max`/`sum` over one head column), reduced after the
+//! rule's stratum completes.
 
+use crate::error::{EngineError, EngineResult};
 use std::fmt;
 
 /// A term appearing in an atom or constraint: a named variable or a
@@ -79,6 +86,55 @@ impl fmt::Display for Atom {
     }
 }
 
+/// A body literal: an atom used positively (joined) or negatively
+/// (anti-joined against the completed lower stratum).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Literal {
+    /// A positive occurrence, e.g. `Edge(x, y)`.
+    Pos(Atom),
+    /// A negated occurrence, e.g. `!Blocked(y)`. Under stratified
+    /// semantics the negated relation must be fully computed before any
+    /// rule reading it negatively runs, and every variable of the atom
+    /// must be bound by a positive literal of the same body.
+    Neg(Atom),
+}
+
+impl Literal {
+    /// The underlying atom, regardless of polarity.
+    pub fn atom(&self) -> &Atom {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => a,
+        }
+    }
+
+    /// Whether this literal is positive.
+    pub fn is_positive(&self) -> bool {
+        matches!(self, Literal::Pos(_))
+    }
+
+    /// Whether this literal is negated.
+    pub fn is_negative(&self) -> bool {
+        matches!(self, Literal::Neg(_))
+    }
+
+    /// The positive atom, if this literal is positive.
+    pub fn as_pos(&self) -> Option<&Atom> {
+        match self {
+            Literal::Pos(a) => Some(a),
+            Literal::Neg(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Pos(a) => write!(f, "{a}"),
+            Literal::Neg(a) => write!(f, "!{a}"),
+        }
+    }
+}
+
 /// Comparison operators usable in rule-body constraints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
@@ -141,26 +197,114 @@ impl fmt::Display for Constraint {
     }
 }
 
-/// A Horn clause: `head :- body atoms, constraints.`
+/// The reduction applied by a head [`Aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateOp {
+    /// Number of distinct aggregated values per group.
+    Count,
+    /// Minimum aggregated value per group.
+    Min,
+    /// Maximum aggregated value per group.
+    Max,
+    /// Saturating sum of distinct aggregated values per group.
+    Sum,
+}
+
+impl AggregateOp {
+    /// The surface-syntax name (`count`, `min`, `max`, `sum`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggregateOp::Count => "count",
+            AggregateOp::Min => "min",
+            AggregateOp::Max => "max",
+            AggregateOp::Sum => "sum",
+        }
+    }
+
+    /// Parses a surface-syntax name back into the operator.
+    pub fn from_name(name: &str) -> Option<AggregateOp> {
+        match name {
+            "count" => Some(AggregateOp::Count),
+            "min" => Some(AggregateOp::Min),
+            "max" => Some(AggregateOp::Max),
+            "sum" => Some(AggregateOp::Sum),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AggregateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A head aggregate, e.g. the `min(d)` in `SP(x, y, min(d)) :- ...`.
+///
+/// The head term at `column` is `Term::Var(var)`; the remaining head
+/// columns form the group key. The reduction runs over the *distinct*
+/// (group key, `var`) projections of the rule's body bindings, after the
+/// rule's stratum reaches fixpoint — so `count` is set cardinality and
+/// `sum` never double-counts a binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Aggregate {
+    /// The reduction to apply.
+    pub op: AggregateOp,
+    /// The aggregated body variable.
+    pub var: String,
+    /// Head column holding the aggregated value.
+    pub column: usize,
+}
+
+/// A Horn clause: `head :- body literals, constraints.`
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rule {
     /// The derived atom.
     pub head: Atom,
-    /// Positive body atoms, in source order.
-    pub body: Vec<Atom>,
+    /// Optional head aggregate; when present, `head.terms[aggregate.column]`
+    /// is `Term::Var(aggregate.var)` and the rule reduces instead of
+    /// projecting that column directly.
+    pub aggregate: Option<Aggregate>,
+    /// Body literals, in source order.
+    pub body: Vec<Literal>,
     /// Comparison constraints.
     pub constraints: Vec<Constraint>,
 }
 
+impl Rule {
+    /// Iterates over the positive body atoms, in source order.
+    pub fn positive_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(Literal::as_pos)
+    }
+
+    /// Iterates over the negated body atoms, in source order.
+    pub fn negative_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Neg(a) => Some(a),
+            Literal::Pos(_) => None,
+        })
+    }
+}
+
 impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} :- ", self.head)?;
+        write!(f, "{}(", self.head.relation)?;
+        for (i, t) in self.head.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match &self.aggregate {
+                Some(agg) if agg.column == i => write!(f, "{}({})", agg.op, agg.var)?,
+                _ => write!(f, "{t}")?,
+            }
+        }
+        write!(f, ") :- ")?;
         let mut first = true;
-        for atom in &self.body {
+        for literal in &self.body {
             if !first {
                 write!(f, ", ")?;
             }
-            write!(f, "{atom}")?;
+            write!(f, "{literal}")?;
             first = false;
         }
         for c in &self.constraints {
@@ -229,9 +373,65 @@ impl fmt::Display for Program {
     }
 }
 
+/// Scoped rule body builder used by [`ProgramBuilder::rule_with`].
+///
+/// Unlike the chained `rule`/`body`/`end_rule` surface, a `RuleBuilder`
+/// only exists while its rule is open, so "body without rule" and
+/// "unfinished rule" states are unrepresentable.
+#[derive(Debug)]
+pub struct RuleBuilder {
+    rule: Rule,
+}
+
+impl RuleBuilder {
+    /// Adds a positive body atom.
+    pub fn body(&mut self, relation: impl Into<String>, terms: Vec<Term>) -> &mut Self {
+        self.rule
+            .body
+            .push(Literal::Pos(Atom::new(relation, terms)));
+        self
+    }
+
+    /// Adds a negated body atom (`!relation(terms)`).
+    pub fn body_not(&mut self, relation: impl Into<String>, terms: Vec<Term>) -> &mut Self {
+        self.rule
+            .body
+            .push(Literal::Neg(Atom::new(relation, terms)));
+        self
+    }
+
+    /// Adds a comparison constraint.
+    pub fn constraint(&mut self, left: Term, op: CmpOp, right: Term) -> &mut Self {
+        self.rule.constraints.push(Constraint { left, op, right });
+        self
+    }
+
+    /// Declares the head aggregate: reduce the head column holding
+    /// `Term::Var(var)` with `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no head term is `Term::Var(var)`.
+    pub fn aggregate(&mut self, op: AggregateOp, var: impl Into<String>) -> &mut Self {
+        let var = var.into();
+        let column = self
+            .rule
+            .head
+            .terms
+            .iter()
+            .position(|t| t.as_var() == Some(var.as_str()))
+            .expect("aggregate variable must appear in the rule head");
+        self.rule.aggregate = Some(Aggregate { op, var, column });
+        self
+    }
+}
+
 /// Fluent builder for assembling [`Program`]s in code.
 ///
 /// # Examples
+///
+/// The chained surface mirrors rule syntax directly; [`ProgramBuilder::build`]
+/// reports an unfinished rule as a typed error instead of panicking:
 ///
 /// ```
 /// use gpulog::ast::{ProgramBuilder, Term};
@@ -246,8 +446,28 @@ impl fmt::Display for Program {
 ///     .body("Edge", vec![Term::var("x"), Term::var("z")])
 ///     .body("Reach", vec![Term::var("z"), Term::var("y")])
 ///     .end_rule()
-///     .build();
+///     .build()
+///     .unwrap();
 /// assert_eq!(program.rules.len(), 2);
+/// ```
+///
+/// Or scope each rule with [`ProgramBuilder::rule_with`], which closes the
+/// rule when the closure returns — negation and aggregates included:
+///
+/// ```
+/// use gpulog::ast::{AggregateOp, ProgramBuilder, Term};
+///
+/// let program = ProgramBuilder::new()
+///     .input_relation("Edge", 2)
+///     .input_relation("Blocked", 1)
+///     .output_relation("Reach", 2)
+///     .rule_with("Reach", vec![Term::var("x"), Term::var("y")], |r| {
+///         r.body("Edge", vec![Term::var("x"), Term::var("y")])
+///             .body_not("Blocked", vec![Term::var("y")]);
+///     })
+///     .build()
+///     .unwrap();
+/// assert!(program.rules[0].body[1].is_negative());
 /// ```
 #[derive(Debug, Default)]
 pub struct ProgramBuilder {
@@ -294,6 +514,37 @@ impl ProgramBuilder {
         self
     }
 
+    /// Adds a complete rule through a scoped [`RuleBuilder`] closure; the
+    /// rule is closed when the closure returns, so no unfinished-rule
+    /// state can escape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a chained rule is already open (finish it with
+    /// [`ProgramBuilder::end_rule`] first).
+    pub fn rule_with(
+        mut self,
+        head_relation: impl Into<String>,
+        head_terms: Vec<Term>,
+        f: impl FnOnce(&mut RuleBuilder),
+    ) -> Self {
+        assert!(
+            self.current_rule.is_none(),
+            "finish the previous rule first"
+        );
+        let mut rb = RuleBuilder {
+            rule: Rule {
+                head: Atom::new(head_relation, head_terms),
+                aggregate: None,
+                body: Vec::new(),
+                constraints: Vec::new(),
+            },
+        };
+        f(&mut rb);
+        self.program.rules.push(rb.rule);
+        self
+    }
+
     /// Starts a rule with the given head.
     ///
     /// # Panics
@@ -307,13 +558,14 @@ impl ProgramBuilder {
         );
         self.current_rule = Some(Rule {
             head: Atom::new(head_relation, head_terms),
+            aggregate: None,
             body: Vec::new(),
             constraints: Vec::new(),
         });
         self
     }
 
-    /// Adds a body atom to the open rule.
+    /// Adds a positive body atom to the open rule.
     ///
     /// # Panics
     ///
@@ -323,7 +575,40 @@ impl ProgramBuilder {
             .as_mut()
             .expect("no open rule")
             .body
-            .push(Atom::new(relation, terms));
+            .push(Literal::Pos(Atom::new(relation, terms)));
+        self
+    }
+
+    /// Adds a negated body atom (`!relation(terms)`) to the open rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rule is open.
+    pub fn body_not(mut self, relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        self.current_rule
+            .as_mut()
+            .expect("no open rule")
+            .body
+            .push(Literal::Neg(Atom::new(relation, terms)));
+        self
+    }
+
+    /// Declares the head aggregate of the open rule: reduce the head
+    /// column holding `Term::Var(var)` with `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rule is open, or no head term is `Term::Var(var)`.
+    pub fn aggregate(mut self, op: AggregateOp, var: impl Into<String>) -> Self {
+        let rule = self.current_rule.as_mut().expect("no open rule");
+        let var = var.into();
+        let column = rule
+            .head
+            .terms
+            .iter()
+            .position(|t| t.as_var() == Some(var.as_str()))
+            .expect("aggregate variable must appear in the rule head");
+        rule.aggregate = Some(Aggregate { op, var, column });
         self
     }
 
@@ -352,12 +637,29 @@ impl ProgramBuilder {
         self
     }
 
-    /// Finishes the program.
+    /// Finishes the program, reporting an unfinished chained rule as a
+    /// typed [`EngineError::Validation`] instead of panicking.
+    pub fn build(self) -> EngineResult<Program> {
+        if let Some(rule) = &self.current_rule {
+            return Err(EngineError::Validation {
+                message: format!(
+                    "a rule for {} is still open: close it with end_rule() before build()",
+                    rule.head.relation
+                ),
+            });
+        }
+        Ok(self.program)
+    }
+
+    /// Finishes the program, panicking on an unfinished rule.
+    ///
+    /// Escape hatch for call sites that predate the fallible
+    /// [`ProgramBuilder::build`].
     ///
     /// # Panics
     ///
     /// Panics if a rule is still open.
-    pub fn build(self) -> Program {
+    pub fn build_unchecked(self) -> Program {
         assert!(self.current_rule.is_none(), "a rule is still open");
         self.program
     }
@@ -379,12 +681,51 @@ mod tests {
             .body("Edge", vec![Term::var("x"), Term::var("z")])
             .body("Reach", vec![Term::var("z"), Term::var("y")])
             .end_rule()
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(program.relations.len(), 2);
         assert_eq!(program.rules.len(), 2);
         assert!(program.relation("Edge").unwrap().is_input);
         assert!(program.relation("Reach").unwrap().is_output);
         assert!(program.relation("Missing").is_none());
+        assert!(program
+            .rules
+            .iter()
+            .all(|r| r.body.iter().all(Literal::is_positive)));
+    }
+
+    #[test]
+    fn rule_with_builds_negation_and_aggregates() {
+        let program = ProgramBuilder::new()
+            .input_relation("Edge", 2)
+            .input_relation("Blocked", 1)
+            .output_relation("Deg", 2)
+            .rule_with("Deg", vec![Term::var("x"), Term::var("y")], |r| {
+                r.body("Edge", vec![Term::var("x"), Term::var("y")])
+                    .body_not("Blocked", vec![Term::var("y")])
+                    .aggregate(AggregateOp::Count, "y");
+            })
+            .build()
+            .unwrap();
+        let rule = &program.rules[0];
+        assert!(rule.body[0].is_positive());
+        assert!(rule.body[1].is_negative());
+        assert_eq!(rule.body[1].atom().relation, "Blocked");
+        let agg = rule.aggregate.as_ref().unwrap();
+        assert_eq!(agg.op, AggregateOp::Count);
+        assert_eq!(agg.var, "y");
+        assert_eq!(agg.column, 1);
+    }
+
+    #[test]
+    fn build_reports_open_rule_as_typed_error() {
+        let err = ProgramBuilder::new()
+            .output_relation("R", 1)
+            .rule("R", vec![Term::var("x")])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Validation { .. }));
+        assert!(err.to_string().contains("still open"));
     }
 
     #[test]
@@ -397,10 +738,61 @@ mod tests {
             .body("Edge", vec![Term::var("p"), Term::var("y")])
             .constraint(Term::var("x"), CmpOp::Ne, Term::var("y"))
             .end_rule()
-            .build();
+            .build()
+            .unwrap();
         let text = program.to_string();
         assert!(text.contains("SG(x, y) :- Edge(p, x), Edge(p, y), x != y."));
         assert!(text.contains(".decl Edge"));
+    }
+
+    #[test]
+    fn display_prints_negation_and_aggregates() {
+        let program = ProgramBuilder::new()
+            .input_relation("PathLen", 3)
+            .output_relation("SP", 3)
+            .rule_with(
+                "SP",
+                vec![Term::var("x"), Term::var("y"), Term::var("d")],
+                |r| {
+                    r.body(
+                        "PathLen",
+                        vec![Term::var("x"), Term::var("y"), Term::var("d")],
+                    )
+                    .aggregate(AggregateOp::Min, "d");
+                },
+            )
+            .build()
+            .unwrap();
+        let text = program.rules[0].to_string();
+        assert_eq!(text, "SP(x, y, min(d)) :- PathLen(x, y, d).");
+
+        let neg = ProgramBuilder::new()
+            .input_relation("Edge", 2)
+            .input_relation("Blocked", 1)
+            .output_relation("Reach", 2)
+            .rule_with("Reach", vec![Term::var("x"), Term::var("y")], |r| {
+                r.body("Edge", vec![Term::var("x"), Term::var("y")])
+                    .body_not("Blocked", vec![Term::var("y")]);
+            })
+            .build()
+            .unwrap();
+        assert_eq!(
+            neg.rules[0].to_string(),
+            "Reach(x, y) :- Edge(x, y), !Blocked(y)."
+        );
+    }
+
+    #[test]
+    fn aggregate_op_names_round_trip() {
+        for op in [
+            AggregateOp::Count,
+            AggregateOp::Min,
+            AggregateOp::Max,
+            AggregateOp::Sum,
+        ] {
+            assert_eq!(AggregateOp::from_name(op.name()), Some(op));
+        }
+        assert_eq!(AggregateOp::from_name("avg"), None);
     }
 
     #[test]
@@ -425,5 +817,14 @@ mod tests {
     #[should_panic(expected = "no open rule")]
     fn body_without_rule_panics() {
         let _ = ProgramBuilder::new().body("Edge", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "a rule is still open")]
+    fn build_unchecked_panics_on_open_rule() {
+        let _ = ProgramBuilder::new()
+            .output_relation("R", 1)
+            .rule("R", vec![Term::var("x")])
+            .build_unchecked();
     }
 }

@@ -58,6 +58,7 @@ use crate::ra::hash_join_batch;
 use crate::ra::nway::{fused_rule_join_batch, FusedLevel};
 use crate::ra::op::{RaOp, RaPipeline};
 use crate::ra::project::{filter_batch, project_batch};
+use crate::ra::{anti_join_batch, group_reduce_batch};
 use crate::relation::RelationStorage;
 use crate::stats::Phase;
 use gpulog_device::cost::CostModel;
@@ -682,6 +683,41 @@ impl MultiGpuBackend {
                         self.parts_on_device_zero(joined)
                     };
                 }
+                RaOp::AntiJoin { step } => {
+                    if parts.iter().all(TupleBatch::is_empty) {
+                        return Ok(outcome);
+                    }
+                    // A probe-only filter against the negated relation's
+                    // canonical full index, which (like deeper fused-join
+                    // levels) is modeled as replicated on every device: each
+                    // part filters in place, nothing crosses the link.
+                    let t = Instant::now();
+                    let device = ctx.device;
+                    let in_arity = parts.first().map_or(1, |p| p.arity().max(1));
+                    let in_sizes: Vec<usize> = parts.iter().map(|p| p.as_flat().len()).collect();
+                    parts = {
+                        let existing = ctx.relations[step.relation].full().canonical();
+                        fan_out_shards(device, parts, |_, part| {
+                            if part.is_empty() {
+                                TupleBatch::empty(part.arity())
+                            } else {
+                                anti_join_batch(device, part, &step.probe, existing)
+                            }
+                        })
+                    };
+                    for (d, (&in_values, out)) in in_sizes.iter().zip(&parts).enumerate() {
+                        if in_values == 0 {
+                            continue;
+                        }
+                        let in_bytes = (in_values * VALUE_BYTES) as u64;
+                        let out_bytes = (out.as_flat().len() * VALUE_BYTES) as u64;
+                        // Each row performs one hash probe (~16 bytes of
+                        // table reads), mirroring the hash-join charge.
+                        let probe_rows = (in_values / in_arity) as u64;
+                        self.charge(d, in_bytes + 16 * probe_rows, out_bytes, probe_rows, true);
+                    }
+                    ctx.stats.add_phase(Phase::Join, t.elapsed());
+                }
                 RaOp::Project { columns } => {
                     if parts.iter().all(TupleBatch::is_empty) {
                         return Ok(outcome);
@@ -706,6 +742,27 @@ impl MultiGpuBackend {
                         self.charge(d, in_bytes, out_bytes, out.len() as u64, true);
                     }
                     ctx.stats.add_phase(Phase::Join, t.elapsed());
+                }
+                RaOp::Reduce { op, agg_column } => {
+                    if parts.iter().all(TupleBatch::is_empty) {
+                        return Ok(outcome);
+                    }
+                    // A group's rows may live on any device, so the
+                    // reduction gathers to device 0 (charged) and runs
+                    // there — like every other op with no key to shard on.
+                    let t = Instant::now();
+                    let batch = self.gather_to_device_zero(parts);
+                    let reduced = group_reduce_batch(ctx.device, &batch, *agg_column, *op);
+                    let bytes = |b: &TupleBatch| (b.as_flat().len() * VALUE_BYTES) as u64;
+                    self.charge(
+                        0,
+                        2 * bytes(&batch),
+                        bytes(&batch) + bytes(&reduced),
+                        batch.len() as u64,
+                        true,
+                    );
+                    parts = self.parts_on_device_zero(reduced);
+                    ctx.stats.add_phase(Phase::Deduplication, t.elapsed());
                 }
                 RaOp::Diff { relation } => {
                     self.multi_diff(ctx, *relation, &mut outcome)?;

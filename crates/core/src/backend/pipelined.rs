@@ -197,7 +197,11 @@ impl PipelinedBackend {
                         }
                     }
                 }
-                RaOp::Project { .. } => {}
+                // The anti-join probes the negated relation's full version,
+                // which stratification promises is complete — but "complete"
+                // includes any merge this backend deferred, so settle it.
+                RaOp::AntiJoin { step } => rels.push(step.relation),
+                RaOp::Project { .. } | RaOp::Reduce { .. } => {}
                 // A diff embedded in a larger pipeline (the engine never
                 // builds one, but the trait allows it) runs eagerly on the
                 // inner backend, so its relation must be settled too.

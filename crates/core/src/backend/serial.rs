@@ -8,7 +8,9 @@ use crate::planner::{ColumnSource, FilterStep, JoinStep, ScanStep, VersionSel};
 use crate::ra::nway::{fused_rule_join_batch, FusedLevel};
 use crate::ra::op::{RaOp, RaPipeline};
 use crate::ra::project::{batch_from_flat, filter_batch, scan_select};
-use crate::ra::{difference_batch, hash_join_batch, project_batch};
+use crate::ra::{
+    anti_join_batch, difference_batch, group_reduce_batch, hash_join_batch, project_batch,
+};
 use crate::stats::Phase;
 use gpulog_hisa::TupleBatch;
 use std::time::Instant;
@@ -52,11 +54,23 @@ impl Backend for SerialBackend {
                     }
                     batch = fused_join_op(ctx, &batch, levels, head_proj)?;
                 }
+                RaOp::AntiJoin { step } => {
+                    if batch.is_empty() {
+                        return Ok(outcome);
+                    }
+                    batch = anti_join_op(ctx, &batch, step);
+                }
                 RaOp::Project { columns } => {
                     if batch.is_empty() {
                         return Ok(outcome);
                     }
                     batch = project_op(ctx, &batch, columns);
+                }
+                RaOp::Reduce { op, agg_column } => {
+                    if batch.is_empty() {
+                        return Ok(outcome);
+                    }
+                    batch = reduce_op(ctx, &batch, *op, *agg_column);
                 }
                 RaOp::Diff { relation } => {
                     diff_op(ctx, *relation, &mut outcome)?;
@@ -197,6 +211,22 @@ pub(super) fn fused_join_op(
     Ok(joined)
 }
 
+/// Executes a [`RaOp::AntiJoin`]: drop intermediate rows whose probe tuple
+/// is present in the negated relation's `full` version. Stratification
+/// guarantees that version is complete before this pipeline runs, so the
+/// canonical (unsharded) index is always the right thing to probe.
+pub(super) fn anti_join_op(
+    ctx: &mut EvalContext<'_>,
+    batch: &TupleBatch,
+    step: &crate::planner::AntiJoinStep,
+) -> TupleBatch {
+    let t = Instant::now();
+    let existing = ctx.relations[step.relation].full().canonical();
+    let filtered = anti_join_batch(ctx.device, batch, &step.probe, existing);
+    ctx.stats.add_phase(Phase::Join, t.elapsed());
+    filtered
+}
+
 /// Executes a [`RaOp::Project`] onto the head columns.
 pub(super) fn project_op(
     ctx: &mut EvalContext<'_>,
@@ -207,6 +237,22 @@ pub(super) fn project_op(
     let projected = project_batch(ctx.device, batch, columns);
     ctx.stats.add_phase(Phase::Join, t.elapsed());
     projected
+}
+
+/// Executes a [`RaOp::Reduce`]: grouped reduction of the head-shaped batch.
+/// Must see the rule's *entire* output — the sharded backend gathers its
+/// shards before delegating here, and the multi-device plan gathers parts
+/// onto device 0.
+pub(super) fn reduce_op(
+    ctx: &mut EvalContext<'_>,
+    batch: &TupleBatch,
+    op: crate::ast::AggregateOp,
+    agg_column: usize,
+) -> TupleBatch {
+    let t = Instant::now();
+    let reduced = group_reduce_batch(ctx.device, batch, agg_column, op);
+    ctx.stats.add_phase(Phase::Deduplication, t.elapsed());
+    reduced
 }
 
 /// Executes a [`RaOp::Diff`] serially: deduplicate the relation's `new`

@@ -27,7 +27,10 @@
 //! Ops with nothing to shard on (cross products, fused chains whose first
 //! level binds no key) delegate to the serial op bodies.
 
-use super::serial::{self, fused_join_op, hash_join_op, install_derived, project_op, scan_op};
+use super::serial::{
+    self, anti_join_op, fused_join_op, hash_join_op, install_derived, project_op, reduce_op,
+    scan_op,
+};
 use super::{Backend, EvalContext, PipelineOutcome};
 use crate::error::{EngineError, EngineResult};
 use crate::planner::{ColumnSource, FilterStep, JoinStep, RelId, VersionSel};
@@ -321,11 +324,30 @@ impl Backend for ShardedBackend {
                         fused_join_op(ctx, &batch, levels, head_proj)?
                     };
                 }
+                RaOp::AntiJoin { step } => {
+                    if batch.is_empty() {
+                        return Ok(outcome);
+                    }
+                    // A probe-only filter with no inner index to shard: the
+                    // kernel already fans its rows out across the worker
+                    // pool, and it preserves row order, so sharding adds
+                    // nothing but a reassembly pass.
+                    batch = anti_join_op(ctx, &batch, step);
+                }
                 RaOp::Project { columns } => {
                     if batch.is_empty() {
                         return Ok(outcome);
                     }
                     batch = project_op(ctx, &batch, columns);
+                }
+                RaOp::Reduce { op, agg_column } => {
+                    if batch.is_empty() {
+                        return Ok(outcome);
+                    }
+                    // The reduction must see the rule's entire output —
+                    // a group's rows may span shards — so it runs over the
+                    // reassembled batch.
+                    batch = reduce_op(ctx, &batch, *op, *agg_column);
                 }
                 RaOp::Diff { relation } => {
                     self.sharded_diff(ctx, *relation, &mut outcome)?;

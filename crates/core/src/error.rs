@@ -10,6 +10,10 @@ pub enum EngineError {
     Parse {
         /// 1-based line of the offending token.
         line: usize,
+        /// 1-based column of the offending token.
+        column: usize,
+        /// The offending token's lexeme (empty at end of input).
+        token: String,
         /// Description of what went wrong.
         message: String,
     },
@@ -18,6 +22,26 @@ pub enum EngineError {
     Validation {
         /// Description of the problem.
         message: String,
+    },
+    /// A rule is not range-restricted: a head, constraint, negated-atom,
+    /// or aggregate variable is not bound by any positive body literal.
+    UnboundVariable {
+        /// The offending rule, rendered as source text.
+        rule: String,
+        /// The unbound variable.
+        variable: String,
+        /// Where the variable appears (`head`, `constraint`,
+        /// `negated atom R`, `aggregate`).
+        context: String,
+    },
+    /// The program recurses through negation or aggregation, so no
+    /// stratification exists.
+    CyclicNegation {
+        /// The offending rule, rendered as source text.
+        rule: String,
+        /// The relation read through negation/aggregation inside its own
+        /// recursive component.
+        relation: String,
     },
     /// Facts were supplied for a relation that does not exist or with the
     /// wrong arity.
@@ -59,10 +83,40 @@ pub enum EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            EngineError::Parse {
+                line,
+                column,
+                token,
+                message,
+            } => {
+                if token.is_empty() {
+                    write!(f, "parse error at line {line}, column {column}: {message}")
+                } else {
+                    write!(
+                        f,
+                        "parse error at line {line}, column {column} near `{token}`: {message}"
+                    )
+                }
             }
             EngineError::Validation { message } => write!(f, "invalid program: {message}"),
+            EngineError::UnboundVariable {
+                rule,
+                variable,
+                context,
+            } => {
+                write!(
+                    f,
+                    "unsafe rule `{rule}`: variable {variable} in {context} \
+                     is not bound by any positive body literal"
+                )
+            }
+            EngineError::CyclicNegation { rule, relation } => {
+                write!(
+                    f,
+                    "program is not stratifiable: rule `{rule}` reads {relation} \
+                     through negation or aggregation inside its own recursive component"
+                )
+            }
             EngineError::BadFacts { relation, message } => {
                 write!(f, "bad facts for relation {relation}: {message}")
             }
@@ -121,9 +175,33 @@ mod tests {
     fn display_formats_each_variant() {
         let parse = EngineError::Parse {
             line: 3,
+            column: 7,
+            token: "!".into(),
             message: "unexpected token".into(),
         };
         assert!(parse.to_string().contains("line 3"));
+        assert!(parse.to_string().contains("column 7"));
+        assert!(parse.to_string().contains("`!`"));
+        let parse_eof = EngineError::Parse {
+            line: 1,
+            column: 9,
+            token: String::new(),
+            message: "unexpected end of input".into(),
+        };
+        assert!(!parse_eof.to_string().contains("near"));
+        let unbound = EngineError::UnboundVariable {
+            rule: "R(x) :- !S(x).".into(),
+            variable: "x".into(),
+            context: "negated atom S".into(),
+        };
+        assert!(unbound.to_string().contains("variable x"));
+        assert!(unbound.to_string().contains("negated atom S"));
+        let cyclic = EngineError::CyclicNegation {
+            rule: "R(x) :- S(x), !R(x).".into(),
+            relation: "R".into(),
+        };
+        assert!(cyclic.to_string().contains("not stratifiable"));
+        assert!(cyclic.to_string().contains("reads R"));
         let validation = EngineError::Validation {
             message: "unknown relation Foo".into(),
         };

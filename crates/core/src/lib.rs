@@ -30,7 +30,8 @@
 //!    type-driven dispatch.
 //! 2. **Operators** — the planner compiles each rule into a [`planner::RulePlan`]
 //!    and lowers it to an [`ra::RaPipeline`] of [`ra::RaOp`]s
-//!    (`Scan`, `HashJoin`, `FusedJoin`, `Project`, `Diff`).
+//!    (`Scan`, `HashJoin`, `FusedJoin`, `AntiJoin`, `Project`, `Reduce`,
+//!    `Diff`).
 //! 3. **Backend** — a [`backend::Backend`] executes pipelines against an
 //!    [`backend::EvalContext`]; the stock [`backend::SerialBackend`] runs
 //!    operator-at-a-time on one simulated device,
@@ -121,6 +122,54 @@
 //! [`GpulogEngine::from_source`] for constructing with an explicit
 //! [`EngineConfig`].
 //!
+//! ## Stratified negation and aggregates
+//!
+//! Rule bodies are lists of [`ast::Literal`]s — positive or negated atoms
+//! (`!Blocked(y)` in source, [`ast::RuleBuilder::body_not`] in the
+//! builder) — and heads may carry one aggregate (`count`/`min`/`max`/`sum`
+//! over a body-bound variable). The engine stratifies the program
+//! ([`analysis::stratify_program`]): each stratum runs its own semi-naïve
+//! fixpoint, negation lowers to [`ra::RaOp::AntiJoin`] against the
+//! completed lower stratum, and aggregates to a trailing
+//! [`ra::RaOp::Reduce`]. Recursion through negation or aggregation is
+//! rejected with the typed [`EngineError::CyclicNegation`]:
+//!
+//! ```
+//! use gpulog::GpulogEngine;
+//! use gpulog_device::{Device, profile::DeviceProfile};
+//!
+//! # fn main() -> Result<(), gpulog::EngineError> {
+//! let device = Device::new(DeviceProfile::nvidia_h100());
+//! let mut engine = GpulogEngine::builder(&device)
+//!     .program(r"
+//!         .decl Edge(x: number, y: number)
+//!         .input Edge
+//!         .decl Blocked(x: number)
+//!         .input Blocked
+//!         .decl Reach(x: number, y: number)
+//!         .output Reach
+//!         Reach(x, y) :- Edge(x, y), !Blocked(y).
+//!         Reach(x, y) :- Reach(x, z), Edge(z, y), !Blocked(y).
+//!         .decl PathLen(x: number, y: number, d: number)
+//!         .input PathLen
+//!         .decl SP(x: number, y: number, d: number)
+//!         .output SP
+//!         SP(x, y, min(d)) :- PathLen(x, y, d).
+//!     ")
+//!     .build()?;
+//! engine.add_facts("Edge", [[0, 1], [1, 2], [2, 3]])?;
+//! engine.add_facts("Blocked", [[2]])?;
+//! engine.add_facts("PathLen", [[0, 3, 7], [0, 3, 4]])?;
+//! engine.run()?;
+//! // Nothing reaches through the blocked node 2.
+//! assert_eq!(engine.relation_size("Reach"), Some(2));
+//! assert!(!engine.contains("Reach", &[0, 2]));
+//! // The min aggregate keeps one row per (x, y) group.
+//! assert_eq!(engine.relation_tuples("SP"), Some(vec![vec![0, 3, 4]]));
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! ## Serving a fixpoint
 //!
 //! A completed fixpoint publishes as an immutable, cheaply-clonable
@@ -190,7 +239,11 @@ pub mod relation;
 pub mod snapshot;
 pub mod stats;
 
-pub use ast::{Atom, CmpOp, Constraint, Program, ProgramBuilder, RelationDecl, Rule, Term};
+pub use analysis::stratify_program;
+pub use ast::{
+    Aggregate, AggregateOp, Atom, CmpOp, Constraint, Literal, Program, ProgramBuilder,
+    RelationDecl, Rule, RuleBuilder, Term,
+};
 pub use backend::{
     Backend, EvalContext, MultiGpuBackend, PipelineOutcome, PipelinedBackend, SerialBackend,
     ShardedBackend,

@@ -1,7 +1,8 @@
 //! A Soufflé-style text front end for Datalog programs.
 //!
 //! The accepted syntax is the subset of Soufflé that the paper's benchmark
-//! programs (REACH, SG, CSPA) use:
+//! programs (REACH, SG, CSPA) use, extended with stratified negation and
+//! head aggregates:
 //!
 //! ```text
 //! .decl Edge(x: number, y: number)
@@ -11,13 +12,24 @@
 //! Reach(x, y) :- Edge(x, y).
 //! Reach(x, y) :- Edge(x, z), Reach(z, y).
 //! SG(x, y)    :- Edge(p, x), Edge(p, y), x != y.
+//! Safe(x, y)  :- Reach(x, y), !Blocked(y).
+//! SP(x, y, min(d)) :- PathLen(x, y, d).
 //! ```
 //!
-//! Comments start with `//` and run to the end of the line. The column
-//! types in declarations are parsed and ignored (all values are 32-bit
-//! numbers). `_` is accepted as an anonymous variable.
+//! A `!` before a body atom negates it (stratified negation-as-failure);
+//! in a head-term position, `count(v)` / `min(v)` / `max(v)` / `sum(v)`
+//! declares the rule's aggregate. Comments start with `//` and run to the
+//! end of the line. The column types in declarations are parsed and
+//! ignored (all values are 32-bit numbers). `_` is accepted as an
+//! anonymous variable.
+//!
+//! Parse errors carry the 1-based line *and column* of the offending
+//! token, plus its lexeme, so a bad `!` literal or aggregate is
+//! pinpointable ([`EngineError::Parse`]).
 
-use crate::ast::{Atom, CmpOp, Constraint, Program, RelationDecl, Rule, Term};
+use crate::ast::{
+    Aggregate, AggregateOp, Atom, CmpOp, Constraint, Literal, Program, RelationDecl, Rule, Term,
+};
 use crate::error::{EngineError, EngineResult};
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +43,7 @@ enum Token {
     Dot,
     Turnstile,
     Cmp(CmpOp),
+    Bang,
     Underscore,
 }
 
@@ -38,194 +51,203 @@ enum Token {
 struct Spanned {
     token: Token,
     line: usize,
+    column: usize,
+    lexeme: String,
+}
+
+/// Character source that tracks the 1-based line/column of the cursor.
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl Lexer<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        match c {
+            Some('\n') => {
+                self.line += 1;
+                self.column = 1;
+            }
+            Some(_) => self.column += 1,
+            None => {}
+        }
+        c
+    }
+}
+
+fn parse_err(
+    line: usize,
+    column: usize,
+    token: impl Into<String>,
+    message: impl Into<String>,
+) -> EngineError {
+    EngineError::Parse {
+        line,
+        column,
+        token: token.into(),
+        message: message.into(),
+    }
 }
 
 fn tokenize(source: &str) -> EngineResult<Vec<Spanned>> {
     let mut tokens = Vec::new();
-    let mut chars = source.chars().peekable();
-    let mut line = 1usize;
-    while let Some(&c) = chars.peek() {
+    let mut lx = Lexer {
+        chars: source.chars().peekable(),
+        line: 1,
+        column: 1,
+    };
+    while let Some(c) = lx.peek() {
+        let (line, column) = (lx.line, lx.column);
+        let mut push = |token: Token, lexeme: String| {
+            tokens.push(Spanned {
+                token,
+                line,
+                column,
+                lexeme,
+            });
+        };
         match c {
-            '\n' => {
-                line += 1;
-                chars.next();
-            }
             c if c.is_whitespace() => {
-                chars.next();
+                lx.bump();
             }
             '/' => {
-                chars.next();
-                if chars.peek() == Some(&'/') {
-                    while let Some(&c) = chars.peek() {
+                lx.bump();
+                if lx.peek() == Some('/') {
+                    while let Some(c) = lx.peek() {
                         if c == '\n' {
                             break;
                         }
-                        chars.next();
+                        lx.bump();
                     }
                 } else {
-                    return Err(EngineError::Parse {
-                        line,
-                        message: "unexpected '/'".into(),
-                    });
+                    return Err(parse_err(line, column, "/", "unexpected '/'"));
                 }
             }
             '(' => {
-                chars.next();
-                tokens.push(Spanned {
-                    token: Token::LParen,
-                    line,
-                });
+                lx.bump();
+                push(Token::LParen, "(".into());
             }
             ')' => {
-                chars.next();
-                tokens.push(Spanned {
-                    token: Token::RParen,
-                    line,
-                });
+                lx.bump();
+                push(Token::RParen, ")".into());
             }
             ',' => {
-                chars.next();
-                tokens.push(Spanned {
-                    token: Token::Comma,
-                    line,
-                });
+                lx.bump();
+                push(Token::Comma, ",".into());
             }
             '.' => {
-                chars.next();
+                lx.bump();
                 // `.decl` / `.input` / `.output` directives vs. end-of-rule dot.
                 let mut word = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = lx.peek() {
                     if c.is_ascii_alphabetic() {
                         word.push(c);
-                        chars.next();
+                        lx.bump();
                     } else {
                         break;
                     }
                 }
                 if word.is_empty() {
-                    tokens.push(Spanned {
-                        token: Token::Dot,
-                        line,
-                    });
+                    push(Token::Dot, ".".into());
                 } else {
-                    tokens.push(Spanned {
-                        token: Token::Directive(word),
-                        line,
-                    });
+                    push(Token::Directive(word.clone()), format!(".{word}"));
                 }
             }
             ':' => {
-                chars.next();
-                if chars.peek() == Some(&'-') {
-                    chars.next();
-                    tokens.push(Spanned {
-                        token: Token::Turnstile,
-                        line,
-                    });
+                lx.bump();
+                if lx.peek() == Some('-') {
+                    lx.bump();
+                    push(Token::Turnstile, ":-".into());
                 } else {
                     // A bare ':' appears in declarations (name: type); skip it.
                 }
             }
             '!' => {
-                chars.next();
-                if chars.peek() == Some(&'=') {
-                    chars.next();
-                    tokens.push(Spanned {
-                        token: Token::Cmp(CmpOp::Ne),
-                        line,
-                    });
+                lx.bump();
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    push(Token::Cmp(CmpOp::Ne), "!=".into());
                 } else {
-                    return Err(EngineError::Parse {
-                        line,
-                        message: "expected '=' after '!'".into(),
-                    });
+                    push(Token::Bang, "!".into());
                 }
             }
             '=' => {
-                chars.next();
-                tokens.push(Spanned {
-                    token: Token::Cmp(CmpOp::Eq),
-                    line,
-                });
+                lx.bump();
+                push(Token::Cmp(CmpOp::Eq), "=".into());
             }
             '<' => {
-                chars.next();
-                let op = if chars.peek() == Some(&'=') {
-                    chars.next();
-                    CmpOp::Le
+                lx.bump();
+                let (op, lexeme) = if lx.peek() == Some('=') {
+                    lx.bump();
+                    (CmpOp::Le, "<=")
                 } else {
-                    CmpOp::Lt
+                    (CmpOp::Lt, "<")
                 };
-                tokens.push(Spanned {
-                    token: Token::Cmp(op),
-                    line,
-                });
+                push(Token::Cmp(op), lexeme.into());
             }
             '>' => {
-                chars.next();
-                let op = if chars.peek() == Some(&'=') {
-                    chars.next();
-                    CmpOp::Ge
+                lx.bump();
+                let (op, lexeme) = if lx.peek() == Some('=') {
+                    lx.bump();
+                    (CmpOp::Ge, ">=")
                 } else {
-                    CmpOp::Gt
+                    (CmpOp::Gt, ">")
                 };
-                tokens.push(Spanned {
-                    token: Token::Cmp(op),
-                    line,
-                });
+                push(Token::Cmp(op), lexeme.into());
             }
             '_' => {
-                chars.next();
+                lx.bump();
                 // Allow identifiers starting with '_' (still anonymous if lone).
                 let mut word = String::from("_");
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = lx.peek() {
                     if c.is_ascii_alphanumeric() || c == '_' {
                         word.push(c);
-                        chars.next();
+                        lx.bump();
                     } else {
                         break;
                     }
                 }
                 if word == "_" {
-                    tokens.push(Spanned {
-                        token: Token::Underscore,
-                        line,
-                    });
+                    push(Token::Underscore, word);
                 } else {
-                    tokens.push(Spanned {
-                        token: Token::Ident(word),
-                        line,
-                    });
+                    push(Token::Ident(word.clone()), word);
                 }
             }
             c if c.is_ascii_digit() => {
                 let mut value = 0u64;
-                while let Some(&c) = chars.peek() {
+                let mut lexeme = String::new();
+                while let Some(c) = lx.peek() {
                     if c.is_ascii_digit() {
+                        lexeme.push(c);
                         value = value * 10 + u64::from(c as u8 - b'0');
                         if value > u64::from(u32::MAX) {
-                            return Err(EngineError::Parse {
+                            return Err(parse_err(
                                 line,
-                                message: "integer literal exceeds 32 bits".into(),
-                            });
+                                column,
+                                lexeme,
+                                "integer literal exceeds 32 bits",
+                            ));
                         }
-                        chars.next();
+                        lx.bump();
                     } else {
                         break;
                     }
                 }
-                tokens.push(Spanned {
-                    token: Token::Number(value as u32),
-                    line,
-                });
+                push(Token::Number(value as u32), lexeme);
             }
             c if c.is_ascii_alphabetic() => {
                 let mut word = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = lx.peek() {
                     if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
                         // Allow dotted relation names like `def_used.for_address`.
                         word.push(c);
-                        chars.next();
+                        lx.bump();
                     } else {
                         break;
                     }
@@ -233,28 +255,25 @@ fn tokenize(source: &str) -> EngineResult<Vec<Spanned>> {
                 // A trailing dot belongs to the rule terminator, not the name.
                 if word.ends_with('.') {
                     word.pop();
-                    tokens.push(Spanned {
-                        token: Token::Ident(word.clone()),
-                        line,
-                    });
+                    let dot_column = column + word.chars().count();
+                    push(Token::Ident(word.clone()), word.clone());
                     tokens.push(Spanned {
                         token: Token::Dot,
                         line,
+                        column: dot_column,
+                        lexeme: ".".into(),
                     });
-                    word.clear();
-                }
-                if !word.is_empty() {
-                    tokens.push(Spanned {
-                        token: Token::Ident(word),
-                        line,
-                    });
+                } else {
+                    push(Token::Ident(word.clone()), word);
                 }
             }
             other => {
-                return Err(EngineError::Parse {
+                return Err(parse_err(
                     line,
-                    message: format!("unexpected character '{other}'"),
-                });
+                    column,
+                    other.to_string(),
+                    format!("unexpected character '{other}'"),
+                ));
             }
         }
     }
@@ -272,11 +291,8 @@ impl Parser {
         self.tokens.get(self.pos).map(|s| &s.token)
     }
 
-    fn line(&self) -> usize {
-        self.tokens
-            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map(|s| s.line)
-            .unwrap_or(0)
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|s| &s.token)
     }
 
     fn next(&mut self) -> Option<Token> {
@@ -285,24 +301,42 @@ impl Parser {
         t
     }
 
-    fn error(&self, message: impl Into<String>) -> EngineError {
-        EngineError::Parse {
-            line: self.line(),
-            message: message.into(),
+    fn err_at(&self, idx: usize, message: String) -> EngineError {
+        match self.tokens.get(idx) {
+            Some(s) => parse_err(s.line, s.column, s.lexeme.clone(), message),
+            None => {
+                // Past the end: point just after the last token.
+                let (line, column) = self
+                    .tokens
+                    .last()
+                    .map(|s| (s.line, s.column + s.lexeme.chars().count()))
+                    .unwrap_or((1, 1));
+                parse_err(line, column, "", message)
+            }
         }
+    }
+
+    /// Error pinned to the most recently consumed token.
+    fn error(&self, message: impl Into<String>) -> EngineError {
+        self.err_at(self.pos.saturating_sub(1), message.into())
+    }
+
+    /// Error pinned to the token the parser is currently looking at.
+    fn error_here(&self, message: impl Into<String>) -> EngineError {
+        self.err_at(self.pos, message.into())
     }
 
     fn expect(&mut self, expected: &Token, what: &str) -> EngineResult<()> {
         match self.next() {
             Some(t) if &t == expected => Ok(()),
-            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+            _ => Err(self.error(format!("expected {what}"))),
         }
     }
 
     fn expect_ident(&mut self, what: &str) -> EngineResult<String> {
         match self.next() {
             Some(Token::Ident(name)) => Ok(name),
-            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+            _ => Err(self.error(format!("expected {what}"))),
         }
     }
 
@@ -314,7 +348,7 @@ impl Parser {
                 self.anon_counter += 1;
                 Ok(Term::Var(format!("_anon{}", self.anon_counter)))
             }
-            other => Err(self.error(format!("expected a term, found {other:?}"))),
+            _ => Err(self.error("expected a term")),
         }
     }
 
@@ -336,14 +370,193 @@ impl Parser {
         Ok(Atom::new(name, terms))
     }
 
+    /// Parses a rule head: like an atom, except a term position may hold
+    /// an aggregate `count(v)` / `min(v)` / `max(v)` / `sum(v)`.
+    fn parse_head(&mut self, name: String) -> EngineResult<(Atom, Option<Aggregate>)> {
+        self.expect(&Token::LParen, "'('")?;
+        let mut terms = Vec::new();
+        let mut aggregate: Option<Aggregate> = None;
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                let agg_op = match (self.peek(), self.peek2()) {
+                    (Some(Token::Ident(word)), Some(Token::LParen)) => AggregateOp::from_name(word),
+                    _ => None,
+                };
+                if let Some(op) = agg_op {
+                    if aggregate.is_some() {
+                        return Err(self.error_here("at most one aggregate per rule head"));
+                    }
+                    self.next(); // the operator name
+                    self.next(); // '('
+                    let var = match self.next() {
+                        Some(Token::Ident(v)) => v,
+                        _ => {
+                            return Err(
+                                self.error(format!("expected a variable inside {}(..)", op.name()))
+                            )
+                        }
+                    };
+                    self.expect(&Token::RParen, "')'")?;
+                    aggregate = Some(Aggregate {
+                        op,
+                        var: var.clone(),
+                        column: terms.len(),
+                    });
+                    terms.push(Term::Var(var));
+                } else {
+                    terms.push(self.parse_term()?);
+                }
+                match self.peek() {
+                    Some(Token::Comma) => {
+                        self.next();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(&Token::RParen, "')'")?;
+        Ok((Atom::new(name, terms), aggregate))
+    }
+
+    fn parse_rule_or_fact(&mut self, head_name: String, program: &mut Program) -> EngineResult<()> {
+        let (head, aggregate) = self.parse_head(head_name)?;
+        match self.next() {
+            Some(Token::Dot) => {
+                // A ground fact written inline: treat it as a rule with an
+                // empty body only if all terms are constants.
+                if aggregate.is_some() {
+                    return Err(self.error("a ground fact cannot carry an aggregate"));
+                }
+                if head.terms.iter().all(|t| matches!(t, Term::Const(_))) {
+                    program.rules.push(Rule {
+                        head,
+                        aggregate: None,
+                        body: Vec::new(),
+                        constraints: Vec::new(),
+                    });
+                    Ok(())
+                } else {
+                    Err(self.error("a fact must use constant arguments"))
+                }
+            }
+            Some(Token::Turnstile) => {
+                let mut body = Vec::new();
+                let mut constraints = Vec::new();
+                loop {
+                    match self.next() {
+                        Some(Token::Bang) => {
+                            let name = self.expect_ident("a relation name after '!'")?;
+                            if self.peek() != Some(&Token::LParen) {
+                                return Err(
+                                    self.error_here("expected '(' after the negated relation name")
+                                );
+                            }
+                            body.push(Literal::Neg(self.parse_atom(name)?));
+                        }
+                        Some(Token::Ident(name)) => {
+                            if self.peek() == Some(&Token::LParen) {
+                                body.push(Literal::Pos(self.parse_atom(name)?));
+                            } else {
+                                // Constraint with a variable left operand.
+                                let op = match self.next() {
+                                    Some(Token::Cmp(op)) => op,
+                                    _ => return Err(self.error("expected a comparison operator")),
+                                };
+                                let right = self.parse_term()?;
+                                constraints.push(Constraint {
+                                    left: Term::Var(name),
+                                    op,
+                                    right,
+                                });
+                            }
+                        }
+                        Some(Token::Number(n)) => {
+                            let op = match self.next() {
+                                Some(Token::Cmp(op)) => op,
+                                _ => return Err(self.error("expected a comparison operator")),
+                            };
+                            let right = self.parse_term()?;
+                            constraints.push(Constraint {
+                                left: Term::Const(n),
+                                op,
+                                right,
+                            });
+                        }
+                        _ => return Err(self.error("expected a body literal or constraint")),
+                    }
+                    match self.next() {
+                        Some(Token::Comma) => continue,
+                        Some(Token::Dot) => break,
+                        _ => return Err(self.error("expected ',' or '.'")),
+                    }
+                }
+                program.rules.push(Rule {
+                    head,
+                    aggregate,
+                    body,
+                    constraints,
+                });
+                Ok(())
+            }
+            _ => Err(self.error("expected ':-' or '.'")),
+        }
+    }
+}
+
+/// Parses a Datalog program from Soufflé-style source text.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Parse`] describing the first syntax error, with
+/// its 1-based line/column and the offending token's lexeme.
+pub fn parse_program(source: &str) -> EngineResult<Program> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        anon_counter: 0,
+    };
+    let mut program = Program::default();
+    while let Some(token) = parser.peek().cloned() {
+        match token {
+            Token::Directive(word) => {
+                parser.next();
+                match word.as_str() {
+                    "decl" => parser.parse_decl(&mut program)?,
+                    "input" => {
+                        let name = parser.expect_ident("a relation name")?;
+                        mark_relation(&parser, &mut program, &name, true, false)?;
+                    }
+                    "output" => {
+                        let name = parser.expect_ident("a relation name")?;
+                        mark_relation(&parser, &mut program, &name, false, true)?;
+                    }
+                    other => {
+                        return Err(parser.error(format!("unknown directive .{other}")));
+                    }
+                }
+            }
+            Token::Ident(name) => {
+                parser.next();
+                parser.parse_rule_or_fact(name, &mut program)?;
+            }
+            _ => {
+                return Err(parser.error_here("expected a directive or a rule"));
+            }
+        }
+    }
+    Ok(program)
+}
+
+impl Parser {
     fn parse_decl(&mut self, program: &mut Program) -> EngineResult<()> {
-        let name = self.expect_ident("relation name")?;
+        let name = self.expect_ident("a relation name")?;
         self.expect(&Token::LParen, "'('")?;
         let mut arity = 0;
         if self.peek() != Some(&Token::RParen) {
             loop {
                 // column name, optional ": type" (the ':' is dropped by the lexer).
-                let _col = self.expect_ident("column name")?;
+                let _col = self.expect_ident("a column name")?;
                 if let Some(Token::Ident(_ty)) = self.peek() {
                     self.next();
                 }
@@ -365,149 +578,14 @@ impl Parser {
         });
         Ok(())
     }
-
-    fn parse_rule_or_fact(&mut self, head_name: String, program: &mut Program) -> EngineResult<()> {
-        let head = self.parse_atom(head_name)?;
-        match self.next() {
-            Some(Token::Dot) => {
-                // A ground fact written inline: treat it as a rule with an
-                // empty body only if all terms are constants.
-                if head.terms.iter().all(|t| matches!(t, Term::Const(_))) {
-                    program.rules.push(Rule {
-                        head,
-                        body: Vec::new(),
-                        constraints: Vec::new(),
-                    });
-                    Ok(())
-                } else {
-                    Err(self.error("a fact must use constant arguments"))
-                }
-            }
-            Some(Token::Turnstile) => {
-                let mut body = Vec::new();
-                let mut constraints = Vec::new();
-                loop {
-                    match self.next() {
-                        Some(Token::Ident(name)) => {
-                            if self.peek() == Some(&Token::LParen) {
-                                body.push(self.parse_atom(name)?);
-                            } else {
-                                // Constraint with a variable left operand.
-                                let op = match self.next() {
-                                    Some(Token::Cmp(op)) => op,
-                                    other => {
-                                        return Err(self.error(format!(
-                                            "expected comparison operator, found {other:?}"
-                                        )))
-                                    }
-                                };
-                                let right = self.parse_term()?;
-                                constraints.push(Constraint {
-                                    left: Term::Var(name),
-                                    op,
-                                    right,
-                                });
-                            }
-                        }
-                        Some(Token::Number(n)) => {
-                            let op = match self.next() {
-                                Some(Token::Cmp(op)) => op,
-                                other => {
-                                    return Err(self.error(format!(
-                                        "expected comparison operator, found {other:?}"
-                                    )))
-                                }
-                            };
-                            let right = self.parse_term()?;
-                            constraints.push(Constraint {
-                                left: Term::Const(n),
-                                op,
-                                right,
-                            });
-                        }
-                        other => {
-                            return Err(self.error(format!(
-                                "expected a body atom or constraint, found {other:?}"
-                            )))
-                        }
-                    }
-                    match self.next() {
-                        Some(Token::Comma) => continue,
-                        Some(Token::Dot) => break,
-                        other => {
-                            return Err(self.error(format!("expected ',' or '.', found {other:?}")))
-                        }
-                    }
-                }
-                program.rules.push(Rule {
-                    head,
-                    body,
-                    constraints,
-                });
-                Ok(())
-            }
-            other => Err(self.error(format!("expected ':-' or '.', found {other:?}"))),
-        }
-    }
-}
-
-/// Parses a Datalog program from Soufflé-style source text.
-///
-/// # Errors
-///
-/// Returns [`EngineError::Parse`] describing the first syntax error, with
-/// its line number.
-pub fn parse_program(source: &str) -> EngineResult<Program> {
-    let tokens = tokenize(source)?;
-    let mut parser = Parser {
-        tokens,
-        pos: 0,
-        anon_counter: 0,
-    };
-    let mut program = Program::default();
-    while let Some(token) = parser.peek().cloned() {
-        match token {
-            Token::Directive(word) => {
-                parser.next();
-                match word.as_str() {
-                    "decl" => parser.parse_decl(&mut program)?,
-                    "input" => {
-                        let name = parser.expect_ident("relation name")?;
-                        mark_relation(&mut program, &name, true, false, parser.line())?;
-                    }
-                    "output" => {
-                        let name = parser.expect_ident("relation name")?;
-                        mark_relation(&mut program, &name, false, true, parser.line())?;
-                    }
-                    other => {
-                        return Err(EngineError::Parse {
-                            line: parser.line(),
-                            message: format!("unknown directive .{other}"),
-                        })
-                    }
-                }
-            }
-            Token::Ident(name) => {
-                parser.next();
-                parser.parse_rule_or_fact(name, &mut program)?;
-            }
-            other => {
-                return Err(EngineError::Parse {
-                    line: parser.line(),
-                    message: format!("unexpected token {other:?}"),
-                })
-            }
-        }
-    }
-    Ok(program)
 }
 
 fn mark_relation(
+    parser: &Parser,
     program: &mut Program,
     name: &str,
     input: bool,
     output: bool,
-    line: usize,
 ) -> EngineResult<()> {
     match program.relations.iter_mut().find(|r| r.name == name) {
         Some(decl) => {
@@ -515,10 +593,7 @@ fn mark_relation(
             decl.is_output |= output;
             Ok(())
         }
-        None => Err(EngineError::Parse {
-            line,
-            message: format!(".input/.output for undeclared relation {name}"),
-        }),
+        None => Err(parser.error(format!(".input/.output for undeclared relation {name}"))),
     }
 }
 
@@ -543,7 +618,139 @@ mod tests {
         assert!(p.relation("Edge").unwrap().is_input);
         assert!(p.relation("Reach").unwrap().is_output);
         assert_eq!(p.rules[1].body.len(), 2);
-        assert_eq!(p.rules[1].body[1].relation, "Reach");
+        assert_eq!(p.rules[1].body[1].atom().relation, "Reach");
+        assert!(p.rules[1].body.iter().all(Literal::is_positive));
+    }
+
+    #[test]
+    fn parses_negated_body_literals() {
+        let src = r"
+            .decl Edge(x: number, y: number)
+            .decl Blocked(x: number)
+            .decl Reach(x: number, y: number)
+            .input Edge
+            .input Blocked
+            .output Reach
+            Reach(x, y) :- Edge(x, y), !Blocked(y).
+            Reach(x, y) :- Reach(x, z), Edge(z, y), !Blocked(y).
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        for rule in &p.rules {
+            let neg: Vec<&Atom> = rule.negative_atoms().collect();
+            assert_eq!(neg.len(), 1);
+            assert_eq!(neg[0].relation, "Blocked");
+            assert_eq!(neg[0].terms, vec![Term::var("y")]);
+        }
+        // `!=` still lexes as a comparison, not a negation.
+        assert!(p.rules[0].constraints.is_empty());
+    }
+
+    #[test]
+    fn parses_head_aggregates() {
+        let src = r"
+            .decl PathLen(x: number, y: number, d: number)
+            .decl SP(x: number, y: number, d: number)
+            .input PathLen
+            .output SP
+            SP(x, y, min(d)) :- PathLen(x, y, d).
+        ";
+        let p = parse_program(src).unwrap();
+        let rule = &p.rules[0];
+        let agg = rule.aggregate.as_ref().unwrap();
+        assert_eq!(agg.op, AggregateOp::Min);
+        assert_eq!(agg.var, "d");
+        assert_eq!(agg.column, 2);
+        assert_eq!(rule.head.terms[2], Term::var("d"));
+        // Round-trips through Display.
+        assert_eq!(rule.to_string(), "SP(x, y, min(d)) :- PathLen(x, y, d).");
+    }
+
+    #[test]
+    fn aggregate_names_are_plain_variables_without_parens() {
+        // `min` used as an ordinary variable must not trigger aggregate
+        // parsing.
+        let src = r"
+            .decl E(min: number, y: number)
+            .decl R(x: number, y: number)
+            .input E
+            .output R
+            R(min, y) :- E(min, y).
+        ";
+        let p = parse_program(src).unwrap();
+        assert!(p.rules[0].aggregate.is_none());
+        assert_eq!(p.rules[0].head.terms[0], Term::var("min"));
+    }
+
+    #[test]
+    fn rejects_two_aggregates_in_one_head() {
+        let src = ".decl E(x: number, y: number)\n.decl R(x: number, y: number)\nR(min(x), max(y)) :- E(x, y).";
+        let err = parse_program(src).unwrap_err();
+        match err {
+            EngineError::Parse {
+                line,
+                token,
+                message,
+                ..
+            } => {
+                assert_eq!(line, 3);
+                assert_eq!(token, "max");
+                assert!(message.contains("at most one aggregate"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bang_without_atom_is_pinpointed() {
+        let src = ".decl E(x: number)\n.decl R(x: number)\nR(x) :- E(x), !x.";
+        let err = parse_program(src).unwrap_err();
+        match err {
+            EngineError::Parse {
+                line,
+                column,
+                token,
+                ..
+            } => {
+                assert_eq!(line, 3);
+                assert_eq!(token, ".");
+                assert!(column > 1);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_column_and_token() {
+        // The stray '=' after `x` (as `x = = 3` is malformed at the second '=')
+        let src = "R(x) :- E(x), x < .";
+        let err = parse_program(src).unwrap_err();
+        match err {
+            EngineError::Parse {
+                line,
+                column,
+                token,
+                message,
+            } => {
+                assert_eq!(line, 1);
+                assert_eq!(column, 19);
+                assert_eq!(token, ".");
+                assert!(message.contains("expected a term"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let rendered = parse_program(src).unwrap_err().to_string();
+        assert!(rendered.contains("line 1, column 19"));
+        assert!(rendered.contains("near `.`"));
+    }
+
+    #[test]
+    fn end_of_input_error_has_empty_token() {
+        let err = parse_program("R(x) :- ").unwrap_err();
+        match err {
+            EngineError::Parse { token, .. } => assert!(token.is_empty()),
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -574,6 +781,7 @@ mod tests {
         ";
         let p = parse_program(src).unwrap();
         let vars: Vec<String> = p.rules[0].body[0]
+            .atom()
             .variables()
             .map(|s| s.to_string())
             .collect();
@@ -594,7 +802,7 @@ mod tests {
         let p = parse_program(src).unwrap();
         assert_eq!(p.rules.len(), 3);
         assert!(p.rules[0].body.is_empty());
-        assert_eq!(p.rules[2].body[0].terms[1], Term::Const(3));
+        assert_eq!(p.rules[2].body[0].atom().terms[1], Term::Const(3));
     }
 
     #[test]
@@ -615,8 +823,14 @@ mod tests {
     fn reports_unknown_directive_with_line() {
         let err = parse_program(".bogus Edge").unwrap_err();
         match err {
-            EngineError::Parse { line, message } => {
+            EngineError::Parse {
+                line,
+                column,
+                message,
+                ..
+            } => {
                 assert_eq!(line, 1);
+                assert_eq!(column, 1);
                 assert!(message.contains("bogus"));
             }
             other => panic!("expected parse error, got {other:?}"),
@@ -647,12 +861,19 @@ mod tests {
         ";
         let p = parse_program(src).unwrap();
         assert!(p.relation("def_used.for_address").is_some());
-        assert_eq!(p.rules[0].body[0].relation, "def_used.for_address");
+        assert_eq!(p.rules[0].body[0].atom().relation, "def_used.for_address");
     }
 
     #[test]
     fn non_ground_fact_is_rejected() {
         let src = ".decl E(x: number, y: number)\nE(x, 2).";
         assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn aggregate_in_ground_fact_is_rejected() {
+        let src = ".decl R(x: number)\nR(min(x)).";
+        let err = parse_program(src).unwrap_err();
+        assert!(err.to_string().contains("aggregate"));
     }
 }

@@ -9,8 +9,8 @@
 //! evaluation; the occurrence marked delta is moved to the front of the
 //! pipeline so the (small) delta drives the outer loop.
 
-use crate::analysis::{stratify, StratifiedProgram};
-use crate::ast::{Atom, CmpOp, Program, Rule, Term};
+use crate::analysis::{stratify_program, StratifiedProgram};
+use crate::ast::{AggregateOp, Atom, CmpOp, Program, Rule, Term};
 use crate::error::{EngineError, EngineResult};
 use crate::ra::nway::NwayStrategy;
 use crate::ra::op::{RaOp, RaPipeline};
@@ -93,6 +93,33 @@ pub struct JoinStep {
     pub emit: Vec<EmitSource>,
 }
 
+/// One anti-join step, lowering a negated body literal: rows of the
+/// intermediate survive only when the probe tuple is *absent* from the
+/// negated relation's completed full version.
+///
+/// Range restriction guarantees every negated-atom variable is bound by a
+/// positive literal, so the probe is fully ground per row and membership
+/// is a point lookup against the HISA index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AntiJoinStep {
+    /// The negated relation; always read at [`VersionSel::Full`], after
+    /// its (strictly lower) stratum completed.
+    pub relation: RelId,
+    /// How to build each column of the probe tuple, one entry per column
+    /// of the negated relation: an intermediate column or a constant.
+    pub probe: Vec<ColumnSource>,
+}
+
+/// The post-stratum grouped reduce of an aggregate rule's head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReduceStep {
+    /// The reduction to apply.
+    pub op: AggregateOp,
+    /// Head column holding the aggregated value; all other head columns
+    /// form the group key.
+    pub agg_column: usize,
+}
+
 /// The executable plan of one rule version.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RulePlan {
@@ -104,11 +131,18 @@ pub struct RulePlan {
     pub scan: ScanStep,
     /// Join pipeline (possibly empty for single-atom rules).
     pub joins: Vec<JoinStep>,
+    /// Anti-joins from negated literals, applied after every positive join
+    /// (all variables bound) and before the head projection.
+    pub anti_joins: Vec<AntiJoinStep>,
     /// Filters to apply after the scan (`filters[0]`) and after join `k`
     /// (`filters[k + 1]`).
     pub filters: Vec<Vec<FilterStep>>,
     /// Projection building head tuples from the final intermediate.
     pub head_proj: Vec<ColumnSource>,
+    /// Grouped reduce applied to the head-shaped batch, for aggregate
+    /// rules (always non-recursive: stratification places their bodies in
+    /// strictly lower strata).
+    pub reduce: Option<ReduceStep>,
     /// `true` when a constant-vs-constant constraint is statically false and
     /// the rule can never fire.
     pub trivially_empty: bool,
@@ -174,10 +208,19 @@ pub struct LoweredStratum {
 /// n-way strategy.
 ///
 /// The temporarily-materialized strategy becomes `Scan → HashJoin* →
-/// Project`; the fused strategy becomes `Scan → FusedJoin` (the fused
-/// kernel produces head tuples directly). A trivially-empty plan lowers to
-/// an empty pipeline, which every backend must treat as deriving nothing.
+/// AntiJoin* → Project [→ Reduce]`; the fused strategy becomes `Scan →
+/// FusedJoin [→ Reduce]` (the fused kernel produces head tuples
+/// directly). Rules with negated literals always take the materialized
+/// lowering — the anti-join probes pre-projection intermediate columns,
+/// which the fused kernel never materializes. A trivially-empty plan
+/// lowers to an empty pipeline, which every backend must treat as
+/// deriving nothing.
 pub fn lower_rule_plan(plan: &RulePlan, strategy: NwayStrategy) -> RaPipeline {
+    let strategy = if plan.anti_joins.is_empty() {
+        strategy
+    } else {
+        NwayStrategy::TemporarilyMaterialized
+    };
     let mut ops = Vec::new();
     if !plan.trivially_empty {
         // A scan that binds no variables (an all-constant atom, e.g.
@@ -210,6 +253,9 @@ pub fn lower_rule_plan(plan: &RulePlan, strategy: NwayStrategy) -> RaPipeline {
                         filters: plan.filters[k + 1].clone(),
                     });
                 }
+                for step in &plan.anti_joins {
+                    ops.push(RaOp::AntiJoin { step: step.clone() });
+                }
                 ops.push(RaOp::Project {
                     columns: plan.head_proj.clone(),
                 });
@@ -225,6 +271,14 @@ pub fn lower_rule_plan(plan: &RulePlan, strategy: NwayStrategy) -> RaPipeline {
                     head_proj: plan.head_proj.clone(),
                 });
             }
+        }
+        if let Some(reduce) = plan.reduce {
+            // The reduce consumes the head-shaped batch, so it composes
+            // with both n-way strategies.
+            ops.push(RaOp::Reduce {
+                op: reduce.op,
+                agg_column: reduce.agg_column,
+            });
         }
     }
     RaPipeline {
@@ -263,7 +317,7 @@ pub fn lower_program(compiled: &CompiledProgram, strategy: NwayStrategy) -> Vec<
 /// (see [`crate::analysis::stratify`]) and for constructs the engine does
 /// not support.
 pub fn compile(program: &Program) -> EngineResult<CompiledProgram> {
-    let stratified = stratify(program)?;
+    let stratified = stratify_program(program)?;
     let id_of: HashMap<&str, RelId> = stratified
         .relation_names
         .iter()
@@ -295,9 +349,11 @@ pub fn compile(program: &Program) -> EngineResult<CompiledProgram> {
                 facts.push((id_of[rule.head.relation.as_str()], tuple));
                 continue;
             }
+            // Delta versions are generated per *positive* same-stratum
+            // occurrence; stratification already guarantees negated and
+            // aggregated bodies live in strictly lower strata.
             let recursive_occurrences: Vec<usize> = rule
-                .body
-                .iter()
+                .positive_atoms()
                 .enumerate()
                 .filter(|(_, atom)| stratum_rels.contains(&id_of[atom.relation.as_str()]))
                 .map(|(i, _)| i)
@@ -328,8 +384,9 @@ pub fn compile(program: &Program) -> EngineResult<CompiledProgram> {
     })
 }
 
-/// Plans one rule version. `delta_occurrence` names the body-atom index that
-/// reads the delta relation (or `None` for the all-full version).
+/// Plans one rule version. `delta_occurrence` names the index (into the
+/// rule's *positive* body atoms) that reads the delta relation (or `None`
+/// for the all-full version).
 fn plan_rule(
     rule: &Rule,
     rule_index: usize,
@@ -337,10 +394,18 @@ fn plan_rule(
     id_of: &HashMap<&str, RelId>,
     stratified: &StratifiedProgram,
 ) -> EngineResult<RulePlan> {
+    // Positive literals drive the scan/join pipeline; negated literals
+    // become anti-joins once every variable is bound.
+    let positives: Vec<&Atom> = rule.positive_atoms().collect();
+    if positives.is_empty() {
+        return Err(EngineError::Validation {
+            message: format!("rule `{rule}` has no positive body literal to ground it"),
+        });
+    }
     // Decide atom evaluation order: the delta atom (if any) first, then a
     // greedy order preferring atoms that share a variable with what is
     // already bound.
-    let n_atoms = rule.body.len();
+    let n_atoms = positives.len();
     let mut order: Vec<usize> = Vec::with_capacity(n_atoms);
     let mut remaining: Vec<usize> = (0..n_atoms).collect();
     if let Some(d) = delta_occurrence {
@@ -357,24 +422,24 @@ fn plan_rule(
             }
         }
     };
-    collect_vars(&rule.body[order[0]], &mut bound_vars);
+    collect_vars(positives[order[0]], &mut bound_vars);
     while !remaining.is_empty() {
         let pick = remaining
             .iter()
             .position(|&i| {
-                rule.body[i]
+                positives[i]
                     .variables()
                     .any(|v| bound_vars.iter().any(|b| b == v))
             })
             .unwrap_or(0);
         let atom_idx = remaining.remove(pick);
-        collect_vars(&rule.body[atom_idx], &mut bound_vars);
+        collect_vars(positives[atom_idx], &mut bound_vars);
         order.push(atom_idx);
     }
 
     // Walk the pipeline, tracking which variable each intermediate column holds.
     let mut columns: Vec<String> = Vec::new();
-    let first_atom = &rule.body[order[0]];
+    let first_atom = positives[order[0]];
     let scan = plan_scan(
         first_atom,
         version_for(order[0], delta_occurrence),
@@ -395,7 +460,7 @@ fn plan_rule(
     );
 
     for &atom_idx in &order[1..] {
-        let atom = &rule.body[atom_idx];
+        let atom = positives[atom_idx];
         let join = plan_join(
             atom,
             version_for(atom_idx, delta_occurrence),
@@ -414,6 +479,30 @@ fn plan_rule(
         filters.push(step_filters);
     }
 
+    // Anti-joins: each negated literal probes the intermediate against the
+    // negated relation's full version. Validation guarantees every
+    // variable is bound by now.
+    let anti_joins: Vec<AntiJoinStep> = rule
+        .negative_atoms()
+        .map(|atom| AntiJoinStep {
+            relation: id_of[atom.relation.as_str()],
+            probe: atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => ColumnSource::Const(*c),
+                    Term::Var(v) => {
+                        let col = columns
+                            .iter()
+                            .position(|c| c == v)
+                            .expect("negated-atom variable bound (checked by validation)");
+                        ColumnSource::Col(col)
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+
     // Head projection.
     let head_proj: Vec<ColumnSource> = rule
         .head
@@ -431,14 +520,21 @@ fn plan_rule(
         })
         .collect();
 
+    let reduce = rule.aggregate.as_ref().map(|agg| ReduceStep {
+        op: agg.op,
+        agg_column: agg.column,
+    });
+
     let _ = stratified;
     Ok(RulePlan {
         rule_index,
         head: id_of[rule.head.relation.as_str()],
         scan,
         joins,
+        anti_joins,
         filters,
         head_proj,
+        reduce,
         trivially_empty,
         text: format!(
             "{rule}{}",
@@ -814,6 +910,132 @@ mod tests {
             assert_eq!(stratum.non_recursive.len(), low.non_recursive.len());
             assert_eq!(stratum.recursive.len(), low.recursive.len());
         }
+    }
+
+    #[test]
+    fn negated_literal_plans_an_anti_join_probe() {
+        let c = compile_src(
+            r"
+            .decl Edge(x: number, y: number)
+            .decl Blocked(x: number)
+            .decl Reach(x: number, y: number)
+            .input Edge
+            .input Blocked
+            .output Reach
+            Reach(x, y) :- Edge(x, y), !Blocked(y).
+            Reach(x, y) :- Reach(x, z), Edge(z, y), !Blocked(y).
+        ",
+        );
+        let reach = c.relation_id("Reach").unwrap();
+        let blocked = c.relation_id("Blocked").unwrap();
+        let stratum = c
+            .strata
+            .iter()
+            .find(|s| s.relations.contains(&reach))
+            .unwrap();
+        // Negated occurrences never generate delta versions.
+        assert_eq!(stratum.non_recursive.len(), 1);
+        assert_eq!(stratum.recursive.len(), 1);
+        let nonrec = &stratum.non_recursive[0];
+        assert_eq!(nonrec.anti_joins.len(), 1);
+        assert_eq!(nonrec.anti_joins[0].relation, blocked);
+        // Edge(x, y) scanned → columns [x, y]; probe Blocked(y) = Col(1).
+        assert_eq!(nonrec.anti_joins[0].probe, vec![ColumnSource::Col(1)]);
+        let rec = &stratum.recursive[0];
+        assert_eq!(rec.scan.relation, reach);
+        assert_eq!(rec.scan.version, VersionSel::Delta);
+        assert_eq!(rec.anti_joins.len(), 1);
+    }
+
+    #[test]
+    fn anti_join_lowering_sits_between_joins_and_project() {
+        let c = compile_src(
+            r"
+            .decl Edge(x: number, y: number)
+            .decl Blocked(x: number)
+            .decl Reach(x: number, y: number)
+            .input Edge
+            .input Blocked
+            .output Reach
+            Reach(x, y) :- Edge(x, y), !Blocked(y).
+        ",
+        );
+        let stratum = c
+            .strata
+            .iter()
+            .find(|s| s.relations.contains(&c.relation_id("Reach").unwrap()))
+            .unwrap();
+        let plan = &stratum.non_recursive[0];
+        let pipeline = lower_rule_plan(plan, NwayStrategy::TemporarilyMaterialized);
+        assert!(matches!(pipeline.ops[0], RaOp::Scan { .. }));
+        assert!(matches!(pipeline.ops[1], RaOp::AntiJoin { .. }));
+        assert!(matches!(pipeline.ops[2], RaOp::Project { .. }));
+        // Negation forces the materialized lowering even under the fused
+        // strategy: the anti-join probes pre-projection columns.
+        let fused = lower_rule_plan(plan, NwayStrategy::FusedNestedLoop);
+        assert!(fused
+            .ops
+            .iter()
+            .any(|op| matches!(op, RaOp::AntiJoin { .. })));
+        assert!(fused
+            .ops
+            .iter()
+            .all(|op| !matches!(op, RaOp::FusedJoin { .. })));
+    }
+
+    #[test]
+    fn aggregate_rule_lowers_with_a_trailing_reduce() {
+        let c = compile_src(
+            r"
+            .decl PathLen(x: number, y: number, d: number)
+            .decl SP(x: number, y: number, d: number)
+            .input PathLen
+            .output SP
+            SP(x, y, min(d)) :- PathLen(x, y, d).
+        ",
+        );
+        let stratum = c
+            .strata
+            .iter()
+            .find(|s| s.relations.contains(&c.relation_id("SP").unwrap()))
+            .unwrap();
+        assert!(!stratum.is_recursive, "aggregate rules are non-recursive");
+        let plan = &stratum.non_recursive[0];
+        assert_eq!(
+            plan.reduce,
+            Some(ReduceStep {
+                op: AggregateOp::Min,
+                agg_column: 2
+            })
+        );
+        for strategy in [
+            NwayStrategy::TemporarilyMaterialized,
+            NwayStrategy::FusedNestedLoop,
+        ] {
+            let pipeline = lower_rule_plan(plan, strategy);
+            match pipeline.ops.last() {
+                Some(RaOp::Reduce { op, agg_column }) => {
+                    assert_eq!(*op, AggregateOp::Min);
+                    assert_eq!(*agg_column, 2);
+                }
+                other => panic!("expected trailing Reduce, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rule_with_only_negative_literals_is_rejected() {
+        use crate::ast::ProgramBuilder;
+        let p = ProgramBuilder::new()
+            .input_relation("B", 1)
+            .output_relation("R", 1)
+            .rule_with("R", vec![Term::Const(1)], |r| {
+                r.body_not("B", vec![Term::Const(1)]);
+            })
+            .build()
+            .unwrap();
+        let err = compile(&p).unwrap_err();
+        assert!(err.to_string().contains("no positive body literal"));
     }
 
     #[test]

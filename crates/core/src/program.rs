@@ -117,6 +117,38 @@ impl Gpulog {
         self.engine.contains(relation, tuple)
     }
 
+    /// Publishes the latest completed fixpoint as an immutable, shareable
+    /// snapshot (see [`GpulogEngine::snapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::EngineError::NoFixpoint`] before the first
+    /// completed run.
+    pub fn snapshot(&self) -> EngineResult<crate::snapshot::FixpointSnapshot> {
+        self.engine.snapshot()
+    }
+
+    /// Completed fixpoints so far (see [`GpulogEngine::generation`]).
+    pub fn generation(&self) -> u64 {
+        self.engine.generation()
+    }
+
+    /// Stages extensional facts for the next run — the serving writer's
+    /// path for growing the extensional database between fixpoints (see
+    /// [`GpulogEngine::insert_facts_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::EngineError::BadFacts`] for unknown relations or
+    /// arity mismatches.
+    pub fn insert_facts_batch(
+        &mut self,
+        relation: &str,
+        batch: &gpulog_hisa::TupleBatch,
+    ) -> EngineResult<()> {
+        self.engine.insert_facts_batch(relation, batch)
+    }
+
     /// Access to the underlying engine.
     pub fn engine(&self) -> &GpulogEngine {
         &self.engine
@@ -166,13 +198,45 @@ mod tests {
         let program = ProgramBuilder::new()
             .input_relation("E", 2)
             .output_relation("Sym", 2)
-            .rule("Sym", vec![Term::var("y"), Term::var("x")])
-            .body("E", vec![Term::var("x"), Term::var("y")])
-            .end_rule()
-            .build();
+            .rule_with("Sym", vec![Term::var("y"), Term::var("x")], |r| {
+                r.body("E", vec![Term::var("x"), Term::var("y")]);
+            })
+            .build()
+            .unwrap();
         let mut dl = Gpulog::from_program(&device, &program).unwrap();
         dl.add_facts("E", [[1u32, 2]]).unwrap();
         dl.run().unwrap();
         assert!(dl.contains("Sym", &[2, 1]));
+    }
+
+    #[test]
+    fn facade_exposes_snapshots_generations_and_staged_inserts() {
+        use gpulog_hisa::TupleBatch;
+        let device = Device::with_workers(DeviceProfile::default(), 2);
+        let mut dl = Gpulog::from_source(
+            &device,
+            r"
+            .decl Edge(x: number, y: number)
+            .input Edge
+            .decl Reach(x: number, y: number)
+            .output Reach
+            Reach(x, y) :- Edge(x, y).
+            Reach(x, y) :- Edge(x, z), Reach(z, y).
+        ",
+        )
+        .unwrap();
+        assert_eq!(dl.generation(), 0);
+        assert!(dl.snapshot().is_err(), "no fixpoint yet");
+        dl.add_facts("Edge", [[0u32, 1]]).unwrap();
+        dl.run().unwrap();
+        let first = dl.snapshot().unwrap();
+        assert_eq!(first.generation(), 1);
+        dl.insert_facts_batch("Edge", &TupleBatch::from_rows(2, [[1u32, 2]]))
+            .unwrap();
+        dl.run().unwrap();
+        assert_eq!(dl.generation(), 2);
+        assert_eq!(dl.len("Reach"), Some(3));
+        // The earlier snapshot still holds its own fixpoint.
+        assert_eq!(first.relation_size("Reach"), Some(1));
     }
 }

@@ -21,7 +21,8 @@
 //! phase (dedup `new`, subtract `full`, install the delta), consuming the
 //! relation's `new` buffer rather than a pipeline intermediate.
 
-use crate::planner::{ColumnSource, FilterStep, JoinStep, RelId, ScanStep};
+use crate::ast::AggregateOp;
+use crate::planner::{AntiJoinStep, ColumnSource, FilterStep, JoinStep, RelId, ScanStep};
 
 /// One relational-algebra operator.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,10 +54,27 @@ pub enum RaOp {
         /// Projection from the final intermediate onto the head.
         head_proj: Vec<ColumnSource>,
     },
+    /// Anti-join from a negated body literal: keep only intermediate rows
+    /// whose probe tuple is *absent* from the negated relation. Always
+    /// reads the negated relation's `full` version, which stratification
+    /// guarantees is complete before this pipeline runs.
+    AntiJoin {
+        /// The anti-join parameters (negated relation, probe sources).
+        step: AntiJoinStep,
+    },
     /// Project the final intermediate onto the head relation's columns.
     Project {
         /// One source (column or constant) per head column.
         columns: Vec<ColumnSource>,
+    },
+    /// Grouped reduce over the head-shaped batch of an aggregate rule:
+    /// deduplicate rows, group by every column except `agg_column`, and
+    /// reduce `agg_column` with `op`.
+    Reduce {
+        /// The reduction to apply.
+        op: AggregateOp,
+        /// The aggregated column; all others form the group key.
+        agg_column: usize,
     },
     /// Delta population for one relation: deduplicate its accumulated `new`
     /// buffer, subtract `full`, install the result as the next delta, and

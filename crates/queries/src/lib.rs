@@ -4,7 +4,8 @@
 //! paper evaluates — transitive closure ([`reach`]), same generation
 //! ([`sg`]), and context-sensitive points-to analysis ([`cspa`]) — plus the
 //! DDisasm-style multi-column-join rule the paper uses to motivate
-//! requirement R3 ([`ddisasm`]).
+//! requirement R3 ([`ddisasm`]) and the stratified workloads
+//! (negated-filter REACH, shortest-path-via-`min`) in [`stratified`].
 //!
 //! ```
 //! use gpulog::EngineConfig;
@@ -24,10 +25,14 @@ pub mod cspa;
 pub mod ddisasm;
 pub mod reach;
 pub mod sg;
+pub mod stratified;
 
 pub use cspa::{CspaResult, CspaSizes, CSPA_PROGRAM};
 pub use reach::{ReachResult, REACH_PROGRAM};
 pub use sg::{SgResult, SG_PROGRAM};
+pub use stratified::{
+    NegatedReachResult, ShortestPathResult, NEGATED_REACH_PROGRAM, SHORTEST_PATH_PROGRAM,
+};
 
 #[cfg(test)]
 mod tests {

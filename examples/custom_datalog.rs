@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .rule("unsupported_regs", vec![Term::var("reg")])
         .body("unsupported", vec![Term::var("ea"), Term::var("reg")])
         .end_rule()
-        .build();
+        .build()?;
 
     // Tune the engine: larger EBM growth factor, paper's 0.8 load factor,
     // temporarily-materialized joins (the default, spelled out here).
