@@ -12,22 +12,31 @@
 //! BSP and pipelined critical paths, and speedup) to a JSON artifact so
 //! every PR records its perf trajectory. The merge-heavy chain leg doubles
 //! as a gate: the pipelined median wall time must beat the sharded median
-//! at the same shard count.
+//! at the same shard count. A goal-directed pair on one hub graph —
+//! `reach-goal-full` (the whole closure) vs `reach-goal` (one source's
+//! point query through the magic-sets rewrite) — gates the demand-driven
+//! path: magic must materialize strictly fewer tuples *and* post a lower
+//! median wall than the full closure on every backend.
 //!
 //! ```text
 //! cargo run --release -p gpulog-bench --bin bench_smoke -- \
-//!     [--out bench_smoke.json] [--trials 5] [--shards 4]
+//!     [--out bench_smoke.json] [--trials 5] [--shards 4] [--workload reach-goal]
 //! cargo run --release -p gpulog-bench --bin bench_smoke -- --check bench_smoke.json
 //! ```
 //!
-//! `--check` re-validates an existing artifact against the schema (used by
-//! CI so new fields cannot silently regress).
+//! `--workload <name>` runs a single workload locally without the full
+//! sweep (naming either half of the goal pair runs both so its gate still
+//! holds); cross-workload gates whose rows were filtered out are skipped
+//! with a notice, and the artifact's schema self-check then only requires
+//! the rows that actually ran. `--check` re-validates an existing artifact
+//! against the full schema (used by CI so new fields cannot silently
+//! regress).
 
 use gpulog::{EngineConfig, TopologyReport};
 use gpulog_bench::{banner, gpulog_device, scale_from_env, speedup, BackendSpec, TextTable};
 use gpulog_datasets::generators::{hub_graph, road_network};
 use gpulog_datasets::{EdgeList, PaperDataset};
-use gpulog_queries::{reach, sg, stratified};
+use gpulog_queries::{goal, reach, sg, stratified};
 
 struct SmokeRow {
     query: &'static str,
@@ -117,18 +126,28 @@ const TOPOLOGY_KEYS: [&str; 7] = [
     "\"modeled_speedup\"",
 ];
 
-/// The workloads every artifact must carry a row for. The stratified legs
-/// (`reach-neg`, `sp-min`) are listed so an artifact produced without the
-/// negation / aggregate rows fails the schema gate rather than silently
-/// shrinking coverage.
-const REQUIRED_QUERIES: [&str; 5] = ["reach", "sg", "reach-chain", "reach-neg", "sp-min"];
+/// The workloads a full-sweep artifact must carry a row for. The
+/// stratified legs (`reach-neg`, `sp-min`) and the goal-directed pair
+/// (`reach-goal-full`, `reach-goal`) are listed so an artifact produced
+/// without them fails the schema gate rather than silently shrinking
+/// coverage. Filtered runs (`--workload`) validate against the workloads
+/// that actually ran instead.
+const REQUIRED_QUERIES: [&str; 7] = [
+    "reach",
+    "sg",
+    "reach-chain",
+    "reach-neg",
+    "sp-min",
+    "reach-goal-full",
+    "reach-goal",
+];
 
 /// Validates the artifact's schema: the top-level fields, a row for every
-/// required workload (including the stratified legs), every row carrying
-/// every required key, and every topology row carrying the multi-GPU
-/// modeling fields. The writer emits one result object per line, which is
-/// what keeps this check dependency-free.
-fn validate_schema(json: &str) -> Result<(), String> {
+/// workload in `required`, every row carrying every required key, and
+/// every topology row carrying the multi-GPU modeling fields. The writer
+/// emits one result object per line, which is what keeps this check
+/// dependency-free.
+fn validate_schema(json: &str, required: &[&str]) -> Result<(), String> {
     for key in ["\"scale\"", "\"trials\"", "\"host_workers\"", "\"results\""] {
         if !json.contains(key) {
             return Err(format!("missing top-level key {key}"));
@@ -138,7 +157,7 @@ fn validate_schema(json: &str) -> Result<(), String> {
     if rows.is_empty() {
         return Err("no result rows".to_string());
     }
-    for query in REQUIRED_QUERIES {
+    for query in required {
         let key = format!("\"query\": \"{query}\"");
         if !rows.iter().any(|row| row.contains(&key)) {
             return Err(format!("no result row for workload {query}"));
@@ -209,7 +228,7 @@ fn main() {
             eprintln!("cannot read {path}: {err}");
             std::process::exit(1);
         });
-        match validate_schema(&json) {
+        match validate_schema(&json, &REQUIRED_QUERIES) {
             Ok(()) => {
                 println!("{path}: schema ok");
                 return;
@@ -223,6 +242,12 @@ fn main() {
     let trials = usize_flag(&args, "--trials", 5);
     let shards = usize_flag(&args, "--shards", 4);
     let out_path = string_flag(&args, "--out", "bench_smoke.json");
+    let workload_filter: Option<String> = args.iter().position(|a| a == "--workload").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--workload needs a workload name");
+            std::process::exit(2);
+        })
+    });
     let scale = scale_from_env();
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -252,7 +277,14 @@ fn main() {
     // give the `min` aggregate competing path lengths to reduce over.
     let neg_nodes = ((600.0 * scale).round() as u32).max(48);
     let sp_nodes = ((200.0 * scale).round() as u32).max(24);
-    let workloads: Vec<(&'static str, EdgeList)> = vec![
+    // The goal pair shares one hub graph: everything is mutually reachable
+    // there, so the full closure is ~n² pairs while a single source's
+    // point query holds ~n answers — the widest possible gap for the
+    // magic-vs-full gates. The source is an arbitrary spoke.
+    let goal_nodes = ((300.0 * scale).round() as u32).max(32);
+    let goal_graph = hub_graph(goal_nodes, 4, 41);
+    let goal_source = goal_nodes / 2;
+    let mut workloads: Vec<(&'static str, EdgeList)> = vec![
         ("reach", PaperDataset::Gnutella31.generate(scale)),
         ("sg", PaperDataset::EgoFacebook.generate(scale)),
         // Merge-heavy: a pure bidirectional chain runs REACH for one
@@ -265,7 +297,31 @@ fn main() {
         // over the finished PathLen relation).
         ("reach-neg", hub_graph(neg_nodes, 4, 17)),
         ("sp-min", hub_graph(sp_nodes, 3, 29)),
+        // Goal-directed pair: the full closure baseline and the
+        // magic-rewritten point query `?- Reach(goal_source, y).` on the
+        // same graph.
+        ("reach-goal-full", goal_graph.clone()),
+        ("reach-goal", goal_graph),
     ];
+    if let Some(name) = &workload_filter {
+        if !workloads.iter().any(|(q, _)| q == name) {
+            let known: Vec<&str> = workloads.iter().map(|(q, _)| *q).collect();
+            eprintln!(
+                "--workload {name}: unknown workload (known: {})",
+                known.join(", ")
+            );
+            std::process::exit(2);
+        }
+        // Either half of the goal pair pulls in both: its gates compare
+        // the two rows on the same graph.
+        let keep: Vec<&str> = if name == "reach-goal" || name == "reach-goal-full" {
+            vec!["reach-goal-full", "reach-goal"]
+        } else {
+            vec![name.as_str()]
+        };
+        workloads.retain(|(q, _)| keep.contains(q));
+        println!("workload filter: running only {}", keep.join(", "));
+    }
 
     let mut rows: Vec<SmokeRow> = Vec::new();
     for (query, graph) in &workloads {
@@ -297,6 +353,15 @@ fn main() {
                         let r = stratified::run_shortest_path(&device, graph, 4, config.clone())
                             .expect("smoke run failed");
                         (r.sp_size, r.stats)
+                    }
+                    // The goal row records *tuples materialized* (answers +
+                    // magic facts + anything kept fully evaluated), the
+                    // number its gate compares against the closure size the
+                    // reach-goal-full row records in the same column.
+                    "reach-goal" => {
+                        let r = goal::run_goal(&device, graph, goal_source, config.clone())
+                            .expect("smoke run failed");
+                        (r.tuples_materialized, r.stats)
                     }
                     _ => {
                         let r =
@@ -351,57 +416,103 @@ fn main() {
     // memory-bound REACH workload: the 4-device NVLink-like preset's
     // aggregate-over-critical-path speedup is derived from deterministic
     // counters, so a regression here is a modeling bug, not noise.
-    let reach_4dev = rows
-        .iter()
-        .find(|r| r.query == "reach" && r.backend == "multigpu:4")
-        .and_then(|r| r.topology.as_ref())
-        .expect("the multigpu:4 REACH leg reports a topology");
-    assert!(
-        reach_4dev.modeled_speedup() > 1.0,
-        "modeled 4-device NVLink speedup on REACH must exceed 1.0, got {:.2}",
-        reach_4dev.modeled_speedup()
-    );
-    // Hiding each device's merge share behind the next step's compute must
-    // shorten the modeled schedule: the pipelined critical path is priced
-    // through the same per-device cost models, so on a multi-round fixpoint
-    // it has to land strictly below the bulk-synchronous one.
-    assert!(
-        reach_4dev.modeled_pipelined_critical_path_sec < reach_4dev.modeled_critical_path_sec,
-        "modeled pipelined critical path ({:.6}s) must beat the BSP critical path ({:.6}s)",
-        reach_4dev.modeled_pipelined_critical_path_sec,
-        reach_4dev.modeled_critical_path_sec
-    );
+    if rows.iter().any(|r| r.query == "reach") {
+        let reach_4dev = rows
+            .iter()
+            .find(|r| r.query == "reach" && r.backend == "multigpu:4")
+            .and_then(|r| r.topology.as_ref())
+            .expect("the multigpu:4 REACH leg reports a topology");
+        assert!(
+            reach_4dev.modeled_speedup() > 1.0,
+            "modeled 4-device NVLink speedup on REACH must exceed 1.0, got {:.2}",
+            reach_4dev.modeled_speedup()
+        );
+        // Hiding each device's merge share behind the next step's compute
+        // must shorten the modeled schedule: the pipelined critical path is
+        // priced through the same per-device cost models, so on a
+        // multi-round fixpoint it has to land strictly below the
+        // bulk-synchronous one.
+        assert!(
+            reach_4dev.modeled_pipelined_critical_path_sec < reach_4dev.modeled_critical_path_sec,
+            "modeled pipelined critical path ({:.6}s) must beat the BSP critical path ({:.6}s)",
+            reach_4dev.modeled_pipelined_critical_path_sec,
+            reach_4dev.modeled_critical_path_sec
+        );
+    } else {
+        println!("multi-GPU REACH gate skipped (reach filtered out)");
+    }
 
     // The measured gate: on the merge-heavy chain, deferring and batching
     // full merges (fewer O(|full|) streaming passes) must beat the
     // barrier-per-iteration sharded backend at the same shard count.
-    let chain_wall = |backend: &str| {
-        rows.iter()
-            .find(|r| r.query == "reach-chain" && r.backend == backend)
-            .map(|r| r.median_wall_s)
-            .expect("the chain leg runs every backend")
-    };
-    let pipelined_label = format!("pipelined:{shards}");
-    let sharded_label = format!("sharded:{shards}");
-    let (pipelined_wall, sharded_wall) = (chain_wall(&pipelined_label), chain_wall(&sharded_label));
-    println!(
-        "chain-REACH wall medians: {pipelined_label} {pipelined_wall:.4}s vs \
-         {sharded_label} {sharded_wall:.4}s ({:.2}x)",
-        sharded_wall / pipelined_wall
-    );
-    assert!(
-        pipelined_wall < sharded_wall,
-        "pipelined median wall ({pipelined_wall:.4}s) must beat sharded ({sharded_wall:.4}s) \
-         on the merge-heavy chain"
-    );
-    let chain_pipelined = rows
-        .iter()
-        .find(|r| r.query == "reach-chain" && r.backend == pipelined_label)
-        .expect("the chain leg runs the pipelined backend");
-    assert!(
-        chain_pipelined.overlap_ns > 0,
-        "the pipelined chain leg must report a non-zero overlap window"
-    );
+    if rows.iter().any(|r| r.query == "reach-chain") {
+        let chain_wall = |backend: &str| {
+            rows.iter()
+                .find(|r| r.query == "reach-chain" && r.backend == backend)
+                .map(|r| r.median_wall_s)
+                .expect("the chain leg runs every backend")
+        };
+        let pipelined_label = format!("pipelined:{shards}");
+        let sharded_label = format!("sharded:{shards}");
+        let (pipelined_wall, sharded_wall) =
+            (chain_wall(&pipelined_label), chain_wall(&sharded_label));
+        println!(
+            "chain-REACH wall medians: {pipelined_label} {pipelined_wall:.4}s vs \
+             {sharded_label} {sharded_wall:.4}s ({:.2}x)",
+            sharded_wall / pipelined_wall
+        );
+        assert!(
+            pipelined_wall < sharded_wall,
+            "pipelined median wall ({pipelined_wall:.4}s) must beat sharded ({sharded_wall:.4}s) \
+             on the merge-heavy chain"
+        );
+        let chain_pipelined = rows
+            .iter()
+            .find(|r| r.query == "reach-chain" && r.backend == pipelined_label)
+            .expect("the chain leg runs the pipelined backend");
+        assert!(
+            chain_pipelined.overlap_ns > 0,
+            "the pipelined chain leg must report a non-zero overlap window"
+        );
+    } else {
+        println!("chain pipelined-vs-sharded gate skipped (reach-chain filtered out)");
+    }
+
+    // The goal-directed gate: on every backend, the magic-rewritten point
+    // query must materialize strictly fewer tuples than the full closure on
+    // the same hub graph *and* post a lower median wall. On a hub graph the
+    // gap is structural (~n answers vs ~n² closure pairs), so a failure
+    // here means the rewrite stopped being demand-driven, not noise.
+    if rows.iter().any(|r| r.query == "reach-goal") {
+        for spec in &backends {
+            let label = spec.label();
+            let pick = |query: &str| {
+                rows.iter()
+                    .find(|r| r.query == query && r.backend == label)
+                    .expect("the goal pair runs every backend")
+            };
+            let (full, magic) = (pick("reach-goal-full"), pick("reach-goal"));
+            println!(
+                "goal-REACH [{label}]: magic {} tuples / {:.4}s vs full {} tuples / {:.4}s",
+                magic.tuples, magic.median_wall_s, full.tuples, full.median_wall_s
+            );
+            assert!(
+                magic.tuples < full.tuples,
+                "[{label}] magic point query must materialize fewer tuples ({}) than the \
+                 full closure ({})",
+                magic.tuples,
+                full.tuples
+            );
+            assert!(
+                magic.median_wall_s < full.median_wall_s,
+                "[{label}] magic median wall ({:.4}s) must beat the full closure ({:.4}s)",
+                magic.median_wall_s,
+                full.median_wall_s
+            );
+        }
+    } else {
+        println!("goal-directed gate skipped (reach-goal filtered out)");
+    }
 
     let mut table = TextTable::new([
         "Query",
@@ -537,7 +648,8 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    validate_schema(&json).expect("generated artifact must satisfy its own schema");
+    let included: Vec<&str> = workloads.iter().map(|(q, _)| *q).collect();
+    validate_schema(&json, &included).expect("generated artifact must satisfy its own schema");
     std::fs::write(&out_path, &json).expect("failed to write the bench smoke artifact");
     println!("wrote {out_path}");
 }

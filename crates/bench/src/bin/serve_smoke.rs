@@ -3,9 +3,14 @@
 //! then, for every reader count N ∈ {1, 2, 4, 8}, N reader threads hammer
 //! point lookups against the latest snapshot for a fixed window — once with
 //! the writer idle and once with a writer thread concurrently staging fresh
-//! edges and re-running the engine to publish new generations. Each leg
-//! reports queries/sec and p50/p99 per-query latency into a
-//! `bench_smoke.json`-style artifact.
+//! edges and re-running the engine to publish new generations. A
+//! goal-directed leg rides along: before the sweep the writer answers a
+//! magic-sets point query (`ServeWriter::goal_query`) and its canonical
+//! answers must match the snapshot's `goal_lookup` for the same bindings;
+//! then a `mode: "goal"` reader leg hammers `goal_lookup` with *non-prefix*
+//! bindings (`Reach(_, target)`), the shape the sorted-prefix point lookup
+//! cannot serve. Each leg reports queries/sec and p50/p99 per-query latency
+//! into a `bench_smoke.json`-style artifact.
 //!
 //! ```text
 //! cargo run --release -p gpulog-bench --bin serve_smoke -- \
@@ -30,6 +35,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct ServeRow {
+    /// `"point"` (sorted-prefix `point_lookup`) or `"goal"` (arbitrary
+    /// bound/free bindings through `goal_lookup`).
+    mode: &'static str,
     readers: usize,
     with_writer: bool,
     queries: u64,
@@ -67,7 +75,8 @@ fn string_flag(args: &[String], flag: &str, default: &str) -> String {
     }
 }
 
-const ROW_KEYS: [&str; 7] = [
+const ROW_KEYS: [&str; 8] = [
+    "\"mode\"",
     "\"readers\"",
     "\"with_writer\"",
     "\"queries\"",
@@ -90,6 +99,12 @@ fn validate_schema(json: &str) -> Result<(), String> {
     if rows.is_empty() {
         return Err("no result rows".to_string());
     }
+    for mode in ["point", "goal"] {
+        let key = format!("\"mode\": \"{mode}\"");
+        if !rows.iter().any(|row| row.contains(&key)) {
+            return Err(format!("no result row for mode {mode}"));
+        }
+    }
     for row in rows {
         for key in ROW_KEYS {
             if !row.contains(key) {
@@ -108,13 +123,17 @@ fn percentile_us(sorted_ns: &[u64], fraction: f64) -> f64 {
     sorted_ns[idx] as f64 / 1e3
 }
 
-/// Runs one leg: `readers` threads issue point lookups for `window`,
-/// recording per-query latency. Returns (latencies ns, total queries).
+/// Runs one leg: `readers` threads issue lookups for `window`, recording
+/// per-query latency. `goal` legs probe `goal_lookup` with the *second*
+/// column bound (`Reach(_, target)`), which the sorted-prefix point lookup
+/// cannot answer; point legs keep the original `point_lookup` path.
+/// Returns (latencies ns, total queries).
 fn run_leg(
     handle: &ServeHandle,
     readers: usize,
     id_bound: u32,
     window: Duration,
+    goal: bool,
 ) -> (Vec<u64>, u64) {
     let stop = Arc::new(AtomicBool::new(false));
     let threads: Vec<_> = (0..readers)
@@ -132,13 +151,24 @@ fn run_leg(
                         .wrapping_add(1442695040888963407);
                     let key = ((state >> 33) as u32) % id_bound.max(1);
                     let t = Instant::now();
-                    let rows = handle
-                        .point_lookup("Reach", &[key])
-                        .expect("Reach is a known relation");
-                    let probe = rows.first().cloned().unwrap_or_default();
-                    let hit = handle.contains("Reach", &probe);
-                    latencies.push(t.elapsed().as_nanos() as u64);
-                    assert!(rows.is_empty() || hit, "lookup row missing from snapshot");
+                    if goal {
+                        let rows = handle
+                            .goal_lookup("Reach", &[None, Some(key)])
+                            .expect("Reach is a known relation");
+                        latencies.push(t.elapsed().as_nanos() as u64);
+                        assert!(
+                            rows.iter().all(|row| row[1] == key),
+                            "goal lookup returned a row that violates its binding"
+                        );
+                    } else {
+                        let rows = handle
+                            .point_lookup("Reach", &[key])
+                            .expect("Reach is a known relation");
+                        let probe = rows.first().cloned().unwrap_or_default();
+                        let hit = handle.contains("Reach", &probe);
+                        latencies.push(t.elapsed().as_nanos() as u64);
+                        assert!(rows.is_empty() || hit, "lookup row missing from snapshot");
+                    }
                 }
                 latencies
             })
@@ -207,59 +237,96 @@ fn main() {
     let base_size = handle.relation_size("Reach").expect("Reach exists");
     println!("initial fixpoint: {chain_nodes}-node chain, |Reach| = {base_size}");
 
+    // Goal-directed probe: the writer's magic-sets point query must agree,
+    // byte for byte, with the published snapshot's goal_lookup for the same
+    // bindings — the demand-driven path and the materialized closure are
+    // two routes to the same answers. (No materialization gate here: the
+    // serving program is the *right-recursive* closure, whose bf-demand
+    // cone on a connected chain is the whole graph; the fewer-tuples gate
+    // lives in bench_smoke's left-recursive `reach-goal` row.)
+    let goal_source = chain_nodes / 2;
+    let magic = writer
+        .goal_query("Reach", &[Some(goal_source), None])
+        .expect("goal query failed");
+    let snapshot_rows: Vec<u32> = handle
+        .goal_lookup("Reach", &[Some(goal_source), None])
+        .expect("Reach is a known relation")
+        .into_iter()
+        .flatten()
+        .collect();
+    assert_eq!(
+        magic.answers.as_flat(),
+        &snapshot_rows[..],
+        "magic-sets answers diverge from the snapshot's goal lookup"
+    );
+    println!(
+        "goal probe: ?- Reach({goal_source}, y) -> {} answers \
+         ({} tuples materialized vs |Reach| = {base_size})",
+        magic.answers.len(),
+        magic.tuples_materialized
+    );
+
     let window = Duration::from_millis(leg_ms as u64);
     let mut rows: Vec<ServeRow> = Vec::new();
-    for &with_writer in &[false, true] {
-        for &readers in &[1usize, 2, 4, 8] {
-            let gen_before = handle.generation();
-            let (mut latencies, queries) = if with_writer {
-                // The writer owns `writer` for the leg: stage a batch of
-                // isolated fresh edges (cheap closure growth, real re-run
-                // work) and publish, repeatedly, until the leg ends.
-                let stop = Arc::new(AtomicBool::new(false));
-                let stop_writer = Arc::clone(&stop);
-                let mut fresh = id_bound + 1_000_000 * (readers as u32);
-                std::thread::scope(|scope| {
-                    let writer = &mut writer;
-                    scope.spawn(move || {
-                        while !stop_writer.load(Ordering::Relaxed) {
-                            let edges: Vec<[u32; 2]> =
-                                (0..8).map(|i| [fresh + 2 * i, fresh + 2 * i + 1]).collect();
-                            fresh += 16;
-                            writer
-                                .insert_facts_batch("Edge", &TupleBatch::from_rows(2, edges))
-                                .expect("staging fresh edges failed");
-                            writer.refresh().expect("refresh failed");
-                        }
-                    });
-                    let out = run_leg(&handle, readers, id_bound, window);
-                    stop.store(true, Ordering::Relaxed);
-                    out
-                })
-            } else {
-                run_leg(&handle, readers, id_bound, window)
-            };
-            latencies.sort_unstable();
-            let qps = queries as f64 / window.as_secs_f64();
-            rows.push(ServeRow {
-                readers,
-                with_writer,
-                queries,
-                qps,
-                p50_us: percentile_us(&latencies, 0.50),
-                p99_us: percentile_us(&latencies, 0.99),
-                generations: handle.generation() - gen_before + 1,
-            });
-            if with_writer {
-                assert!(
-                    handle.generation() > gen_before,
-                    "the writer leg must publish at least one new generation"
-                );
+    // The goal-directed leg runs at a single reader count: it shares the
+    // starvation machinery but its gate is answer correctness, not the
+    // reader-scaling curve.
+    let legs: [(&'static str, &[usize]); 2] = [("point", &[1, 2, 4, 8]), ("goal", &[4])];
+    for &(mode, reader_counts) in &legs {
+        for &with_writer in &[false, true] {
+            for &readers in reader_counts {
+                let gen_before = handle.generation();
+                let (mut latencies, queries) = if with_writer {
+                    // The writer owns `writer` for the leg: stage a batch of
+                    // isolated fresh edges (cheap closure growth, real re-run
+                    // work) and publish, repeatedly, until the leg ends.
+                    let stop = Arc::new(AtomicBool::new(false));
+                    let stop_writer = Arc::clone(&stop);
+                    let mut fresh = id_bound + 1_000_000 * (readers as u32);
+                    std::thread::scope(|scope| {
+                        let writer = &mut writer;
+                        scope.spawn(move || {
+                            while !stop_writer.load(Ordering::Relaxed) {
+                                let edges: Vec<[u32; 2]> =
+                                    (0..8).map(|i| [fresh + 2 * i, fresh + 2 * i + 1]).collect();
+                                fresh += 16;
+                                writer
+                                    .insert_facts_batch("Edge", &TupleBatch::from_rows(2, edges))
+                                    .expect("staging fresh edges failed");
+                                writer.refresh().expect("refresh failed");
+                            }
+                        });
+                        let out = run_leg(&handle, readers, id_bound, window, mode == "goal");
+                        stop.store(true, Ordering::Relaxed);
+                        out
+                    })
+                } else {
+                    run_leg(&handle, readers, id_bound, window, mode == "goal")
+                };
+                latencies.sort_unstable();
+                let qps = queries as f64 / window.as_secs_f64();
+                rows.push(ServeRow {
+                    mode,
+                    readers,
+                    with_writer,
+                    queries,
+                    qps,
+                    p50_us: percentile_us(&latencies, 0.50),
+                    p99_us: percentile_us(&latencies, 0.99),
+                    generations: handle.generation() - gen_before + 1,
+                });
+                if with_writer {
+                    assert!(
+                        handle.generation() > gen_before,
+                        "the writer leg must publish at least one new generation"
+                    );
+                }
             }
         }
     }
 
     let mut table = TextTable::new([
+        "Mode",
         "Readers",
         "Writer",
         "Queries",
@@ -270,6 +337,7 @@ fn main() {
     ]);
     for row in &rows {
         table.row([
+            row.mode.to_string(),
             format!("{}", row.readers),
             if row.with_writer { "yes" } else { "no" }.to_string(),
             format!("{}", row.queries),
@@ -285,7 +353,7 @@ fn main() {
     // not cost 4 readers more than (1 - min_ratio) of their throughput.
     let qps_at = |readers: usize, with_writer: bool| {
         rows.iter()
-            .find(|r| r.readers == readers && r.with_writer == with_writer)
+            .find(|r| r.mode == "point" && r.readers == readers && r.with_writer == with_writer)
             .map(|r| r.qps)
             .expect("every leg ran")
     };
@@ -316,9 +384,10 @@ fn main() {
     json.push_str("  \"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"readers\": {}, \"with_writer\": {}, \"queries\": {}, \
-             \"qps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
+            "    {{\"mode\": \"{}\", \"readers\": {}, \"with_writer\": {}, \
+             \"queries\": {}, \"qps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \
              \"generations\": {}}}{}\n",
+            row.mode,
             row.readers,
             row.with_writer,
             row.queries,

@@ -14,10 +14,19 @@
 //! stratification, rejected with [`EngineError::CyclicNegation`]. Across
 //! components the order guarantees a negated or aggregated relation is
 //! fully computed before any rule reading it runs.
+//!
+//! This module also hosts the goal-directed (magic-sets) rewrite,
+//! [`magic_rewrite`]: given a program with a `?- Goal(..)` query, it
+//! derives a bound/free adornment from the goal's constants, specializes
+//! the reachable rules under a left-to-right sideways information passing
+//! strategy, and adds *magic* predicates that restrict derivation to
+//! bindings actually demanded by the goal. The rewritten program is an
+//! ordinary stratified program — it flows through the same
+//! validation/stratification passes and the unchanged planner/backends.
 
-use crate::ast::{Program, Rule, Term};
+use crate::ast::{Atom, Literal, Program, Query, RelationDecl, Rule, Term};
 use crate::error::{EngineError, EngineResult};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A validated program plus its evaluation order.
 #[derive(Debug, Clone)]
@@ -268,6 +277,345 @@ fn validate_rule(rule: &Rule, id_of: &HashMap<&str, usize>, arities: &[usize]) -
         }
     }
     Ok(())
+}
+
+/// The output of the magic-sets rewrite: a plain stratified program plus
+/// the seeding/answer metadata the engine needs to run it.
+///
+/// Produced by [`magic_rewrite`]. The rewritten [`MagicProgram::program`]
+/// carries no query of its own — it is evaluated bottom-up like any other
+/// program; goal-directedness lives entirely in the extra magic relations
+/// and the seed fact.
+#[derive(Debug, Clone)]
+pub struct MagicProgram {
+    /// The rewritten program (original declarations, plus adorned and
+    /// magic relations; original rules kept only where an unadorned
+    /// relation is still demanded).
+    pub program: Program,
+    /// The relation whose tuples answer the goal. On the magic path this
+    /// is the adorned goal relation; on the fallback path it is the goal
+    /// relation itself. Answer tuples must still be filtered to rows whose
+    /// bound positions equal [`MagicProgram::seed`] — the adorned relation
+    /// also holds answers for subgoals demanded along the way.
+    pub answer_relation: String,
+    /// The magic relation to seed with [`MagicProgram::seed`] before
+    /// running, or `None` on the fallback (full-evaluation) path.
+    pub magic_relation: Option<String>,
+    /// The goal's constants in bound-position order: the magic seed fact.
+    pub seed: Vec<u32>,
+    /// The goal's bound/free adornment (`true` = bound), used to filter
+    /// answer tuples.
+    pub adornment: Vec<bool>,
+}
+
+/// Internal naming for one adorned predicate: `Reach` queried as `bf`
+/// becomes the adorned `Reach_bf` plus its demand relation `m_Reach_bf`.
+#[derive(Debug, Clone)]
+struct AdornedNames {
+    adorned: String,
+    magic: String,
+}
+
+fn adornment_suffix(adornment: &[bool]) -> String {
+    adornment
+        .iter()
+        .map(|&b| if b { 'b' } else { 'f' })
+        .collect()
+}
+
+/// Rewrites `program` for goal-directed evaluation of `query` (magic
+/// sets with a left-to-right SIPS).
+///
+/// For each intensional predicate demanded with at least one bound
+/// argument, the rewrite emits an adorned copy of its rules: the rule
+/// head moves to the adorned relation, a *magic* atom over the bound head
+/// arguments is prepended to the body (restricting the rule to demanded
+/// bindings), positive body atoms of adornable predicates are themselves
+/// adorned left to right (an argument is bound if it is a constant or a
+/// variable bound by the magic atom or an earlier positive literal), and
+/// for each such body occurrence a magic rule propagates the demand:
+/// `m_Child(bound args) :- m_Head(bound head args), <prefix literals>.`
+///
+/// Predicates that stay unadorned — extensional relations, negated or
+/// aggregated relations, and positive occurrences where the SIPS finds no
+/// bound argument — keep their original rules (transitively), so they are
+/// evaluated in full exactly as before; the existing stratification pass
+/// then places them below their readers, which is what keeps negation and
+/// aggregates sound under the rewrite. The fallback path (all-free goal,
+/// or a goal on an extensional/aggregated relation) returns the program
+/// unrewritten: the engine evaluates the full fixpoint and filters.
+///
+/// Evaluating the rewritten program with the seed fact loaded into
+/// [`MagicProgram::magic_relation`] and then selecting the
+/// [`MagicProgram::answer_relation`] tuples whose bound positions equal
+/// the seed yields exactly the goal-matching tuples of the original
+/// program's fixpoint.
+///
+/// # Errors
+///
+/// Returns [`EngineError::UnknownQueryRelation`] when the goal names an
+/// undeclared relation and [`EngineError::QueryArityMismatch`] when the
+/// goal's argument count disagrees with the declaration — both carrying
+/// the goal's source span when it was parsed from text.
+pub fn magic_rewrite(program: &Program, query: &Query) -> EngineResult<MagicProgram> {
+    let goal = &query.atom;
+    let decl =
+        program
+            .relation(&goal.relation)
+            .ok_or_else(|| EngineError::UnknownQueryRelation {
+                relation: goal.relation.clone(),
+                line: query.line,
+                column: query.column,
+            })?;
+    if decl.arity != goal.terms.len() {
+        return Err(EngineError::QueryArityMismatch {
+            relation: goal.relation.clone(),
+            expected: decl.arity,
+            got: goal.terms.len(),
+            line: query.line,
+            column: query.column,
+        });
+    }
+    let adornment = query.adornment();
+
+    let mut rules_of: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        rules_of
+            .entry(rule.head.relation.as_str())
+            .or_default()
+            .push(ri);
+    }
+    let aggregated: HashSet<&str> = program
+        .rules
+        .iter()
+        .filter(|r| r.aggregate.is_some())
+        .map(|r| r.head.relation.as_str())
+        .collect();
+    // A predicate can be adorned when it has rules to specialize, none of
+    // them reduces (pushing a binding into an aggregate's group could drop
+    // tuples the reduction needs, so aggregated relations always evaluate
+    // in full below their readers), and it is not declared `.input`:
+    // declared inputs receive extensional facts at runtime that no adorned
+    // copy of their rules would reproduce.
+    let adornable = |name: &str| {
+        rules_of.contains_key(name)
+            && !aggregated.contains(name)
+            && !program.relation(name).is_some_and(|d| d.is_input)
+    };
+
+    if !adornment.contains(&true) || !adornable(&goal.relation) {
+        let mut full = program.clone();
+        full.query = None;
+        return Ok(MagicProgram {
+            program: full,
+            answer_relation: goal.relation.clone(),
+            magic_relation: None,
+            seed: query.bound_constants(),
+            adornment,
+        });
+    }
+
+    // Fresh, deterministic names for adorned/magic relations. Trailing
+    // underscores disambiguate in the (unlikely) case a user relation is
+    // already called e.g. `Reach_bf`.
+    let mut taken: HashSet<String> = program.relations.iter().map(|r| r.name.clone()).collect();
+    let mut fresh = |base: String| -> String {
+        let mut name = base;
+        while !taken.insert(name.clone()) {
+            name.push('_');
+        }
+        name
+    };
+
+    let mut names: HashMap<(String, String), AdornedNames> = HashMap::new();
+    let mut order: Vec<(String, String, Vec<bool>)> = Vec::new();
+    let mut queue: VecDeque<(String, Vec<bool>)> = VecDeque::new();
+    let mut intern = |relation: &str,
+                      ad: Vec<bool>,
+                      names: &mut HashMap<(String, String), AdornedNames>,
+                      order: &mut Vec<(String, String, Vec<bool>)>,
+                      queue: &mut VecDeque<(String, Vec<bool>)>|
+     -> AdornedNames {
+        let suffix = adornment_suffix(&ad);
+        let key = (relation.to_string(), suffix.clone());
+        if let Some(existing) = names.get(&key) {
+            return existing.clone();
+        }
+        let entry = AdornedNames {
+            adorned: fresh(format!("{relation}_{suffix}")),
+            magic: fresh(format!("m_{relation}_{suffix}")),
+        };
+        names.insert(key, entry.clone());
+        order.push((relation.to_string(), suffix, ad.clone()));
+        queue.push_back((relation.to_string(), ad));
+        entry
+    };
+
+    let goal_names = intern(
+        &goal.relation,
+        adornment.clone(),
+        &mut names,
+        &mut order,
+        &mut queue,
+    );
+
+    let mut adorned_rules: Vec<Rule> = Vec::new();
+    let mut magic_rules: Vec<Rule> = Vec::new();
+    let mut magic_seen: HashSet<String> = HashSet::new();
+    // Unadorned intensional predicates still demanded somewhere (negated,
+    // aggregated, or reached with no bound argument): their original rules
+    // are kept, so they evaluate in full.
+    let mut full_needed: HashSet<String> = HashSet::new();
+
+    while let Some((relation, ad)) = queue.pop_front() {
+        let head_names = names[&(relation.clone(), adornment_suffix(&ad))].clone();
+        for &ri in &rules_of[relation.as_str()] {
+            let rule = &program.rules[ri];
+            // The magic atom carries the bound head arguments; its
+            // variables are what the demand binds left of the body.
+            let magic_terms: Vec<Term> = rule
+                .head
+                .terms
+                .iter()
+                .zip(&ad)
+                .filter(|(_, &b)| b)
+                .map(|(t, _)| t.clone())
+                .collect();
+            let mut bound: HashSet<String> = magic_terms
+                .iter()
+                .filter_map(|t| t.as_var().map(str::to_string))
+                .collect();
+            let mut new_body: Vec<Literal> = vec![Literal::Pos(Atom::new(
+                head_names.magic.clone(),
+                magic_terms,
+            ))];
+            for literal in &rule.body {
+                match literal {
+                    Literal::Pos(atom) => {
+                        let arg_bound: Vec<bool> = atom
+                            .terms
+                            .iter()
+                            .map(|t| match t {
+                                Term::Const(_) => true,
+                                Term::Var(v) => bound.contains(v),
+                            })
+                            .collect();
+                        let rewritten = if adornable(&atom.relation) && arg_bound.contains(&true) {
+                            let child = intern(
+                                &atom.relation,
+                                arg_bound.clone(),
+                                &mut names,
+                                &mut order,
+                                &mut queue,
+                            );
+                            let child_magic = Atom::new(
+                                child.magic.clone(),
+                                atom.terms
+                                    .iter()
+                                    .zip(&arg_bound)
+                                    .filter(|(_, &b)| b)
+                                    .map(|(t, _)| t.clone())
+                                    .collect(),
+                            );
+                            // Demand propagation: the child's bound args
+                            // are derivable from the head's demand plus
+                            // the prefix already joined. Constraints are
+                            // dropped — over-approximating demand is
+                            // sound, it only derives unasked-for tuples.
+                            let identity = new_body.len() == 1
+                                && matches!(&new_body[0], Literal::Pos(a) if *a == child_magic);
+                            if !identity {
+                                let magic_rule = Rule {
+                                    head: child_magic,
+                                    aggregate: None,
+                                    body: new_body.clone(),
+                                    constraints: Vec::new(),
+                                };
+                                if magic_seen.insert(magic_rule.to_string()) {
+                                    magic_rules.push(magic_rule);
+                                }
+                            }
+                            Atom::new(child.adorned.clone(), atom.terms.clone())
+                        } else {
+                            if rules_of.contains_key(atom.relation.as_str()) {
+                                full_needed.insert(atom.relation.clone());
+                            }
+                            atom.clone()
+                        };
+                        for v in atom.variables() {
+                            bound.insert(v.to_string());
+                        }
+                        new_body.push(Literal::Pos(rewritten));
+                    }
+                    Literal::Neg(atom) => {
+                        if rules_of.contains_key(atom.relation.as_str()) {
+                            full_needed.insert(atom.relation.clone());
+                        }
+                        new_body.push(Literal::Neg(atom.clone()));
+                    }
+                }
+            }
+            adorned_rules.push(Rule {
+                head: Atom::new(head_names.adorned.clone(), rule.head.terms.clone()),
+                aggregate: None,
+                body: new_body,
+                constraints: rule.constraints.clone(),
+            });
+        }
+    }
+
+    // Unadorned demand is transitive: a fully-evaluated relation needs
+    // everything its own rules read, also in full.
+    let mut pending: Vec<String> = full_needed.iter().cloned().collect();
+    while let Some(relation) = pending.pop() {
+        for &ri in rules_of.get(relation.as_str()).into_iter().flatten() {
+            for literal in &program.rules[ri].body {
+                let name = literal.atom().relation.as_str();
+                if rules_of.contains_key(name) && full_needed.insert(name.to_string()) {
+                    pending.push(name.to_string());
+                }
+            }
+        }
+    }
+
+    let mut rewritten = Program {
+        relations: program.relations.clone(),
+        rules: Vec::new(),
+        query: None,
+    };
+    for (relation, suffix, ad) in &order {
+        let entry = &names[&(relation.clone(), suffix.clone())];
+        let arity = program.relation(relation).map_or(0, |d| d.arity);
+        rewritten.relations.push(RelationDecl {
+            name: entry.adorned.clone(),
+            arity,
+            is_input: false,
+            is_output: entry.adorned == goal_names.adorned,
+        });
+        rewritten.relations.push(RelationDecl {
+            name: entry.magic.clone(),
+            arity: ad.iter().filter(|&&b| b).count(),
+            // The goal's magic relation is extensional: it is seeded with
+            // the query constants before the run.
+            is_input: entry.magic == goal_names.magic,
+            is_output: false,
+        });
+    }
+    for rule in &program.rules {
+        if full_needed.contains(rule.head.relation.as_str()) {
+            rewritten.rules.push(rule.clone());
+        }
+    }
+    rewritten.rules.extend(adorned_rules);
+    rewritten.rules.extend(magic_rules);
+
+    Ok(MagicProgram {
+        program: rewritten,
+        answer_relation: goal_names.adorned,
+        magic_relation: Some(goal_names.magic),
+        seed: query.bound_constants(),
+        adornment,
+    })
 }
 
 /// Tarjan's strongly-connected-components algorithm (iterative).
@@ -678,6 +1026,284 @@ mod tests {
         .unwrap();
         let err = stratify_program(&dup).unwrap_err();
         assert!(err.to_string().contains("group key"));
+    }
+
+    fn goal_reach() -> Program {
+        parse_program(
+            r"
+            .decl Edge(x: number, y: number)
+            .input Edge
+            .decl Reach(x: number, y: number)
+            .output Reach
+            Reach(x, y) :- Edge(x, y).
+            Reach(x, z) :- Reach(x, y), Edge(y, z).
+            ?- Reach(7, y).
+        ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn magic_rewrite_specializes_left_recursive_reach() {
+        let p = goal_reach();
+        let query = p.query.clone().unwrap();
+        let magic = magic_rewrite(&p, &query).unwrap();
+        assert_eq!(magic.answer_relation, "Reach_bf");
+        assert_eq!(magic.magic_relation.as_deref(), Some("m_Reach_bf"));
+        assert_eq!(magic.seed, vec![7]);
+        assert_eq!(magic.adornment, vec![true, false]);
+        let rewritten = &magic.program;
+        // Original Reach rules are gone (nothing demands Reach in full);
+        // the adorned rules carry the magic guard as their first literal.
+        assert!(rewritten.rules.iter().all(|r| r.head.relation != "Reach"));
+        let adorned: Vec<&Rule> = rewritten
+            .rules
+            .iter()
+            .filter(|r| r.head.relation == "Reach_bf")
+            .collect();
+        assert_eq!(adorned.len(), 2);
+        for rule in &adorned {
+            assert_eq!(rule.body[0].atom().relation, "m_Reach_bf");
+            assert!(rule.body[0].is_positive());
+        }
+        // Left recursion re-demands the same binding: the identity magic
+        // rule `m(x) :- m(x).` is skipped, so no magic rules remain and
+        // the magic set is exactly the seed.
+        assert!(rewritten
+            .rules
+            .iter()
+            .all(|r| r.head.relation != "m_Reach_bf"));
+        let magic_decl = rewritten.relation("m_Reach_bf").unwrap();
+        assert_eq!(magic_decl.arity, 1);
+        assert!(magic_decl.is_input);
+        assert!(rewritten.relation("Reach_bf").unwrap().is_output);
+        // The rewritten program is an ordinary stratified program.
+        stratify_program(rewritten).unwrap();
+    }
+
+    #[test]
+    fn magic_rewrite_propagates_demand_through_right_recursion() {
+        let p = parse_program(
+            r"
+            .decl Edge(x: number, y: number)
+            .input Edge
+            .decl Reach(x: number, y: number)
+            .output Reach
+            Reach(x, y) :- Edge(x, y).
+            Reach(x, y) :- Edge(x, z), Reach(z, y).
+            ?- Reach(7, y).
+        ",
+        )
+        .unwrap();
+        let query = p.query.clone().unwrap();
+        let magic = magic_rewrite(&p, &query).unwrap();
+        // `Reach(z, y)` sees z bound through Edge(x, z): same bf
+        // adornment, but now the demand genuinely grows, so a magic rule
+        // `m_Reach_bf(z) :- m_Reach_bf(x), Edge(x, z).` must exist.
+        let magic_rules: Vec<&Rule> = magic
+            .program
+            .rules
+            .iter()
+            .filter(|r| r.head.relation == "m_Reach_bf")
+            .collect();
+        assert_eq!(magic_rules.len(), 1);
+        assert_eq!(magic_rules[0].body.len(), 2);
+        assert_eq!(magic_rules[0].body[0].atom().relation, "m_Reach_bf");
+        assert_eq!(magic_rules[0].body[1].atom().relation, "Edge");
+        stratify_program(&magic.program).unwrap();
+    }
+
+    #[test]
+    fn magic_rewrite_keeps_negated_relations_fully_evaluated() {
+        let p = parse_program(
+            r"
+            .decl Edge(x: number, y: number)
+            .input Edge
+            .decl Hub(x: number)
+            .decl Blocked(x: number)
+            .decl Reach(x: number, y: number)
+            .output Reach
+            Hub(x) :- Edge(x, 0).
+            Blocked(x) :- Hub(x).
+            Reach(x, y) :- Edge(x, y), !Blocked(y).
+            Reach(x, z) :- Reach(x, y), Edge(y, z), !Blocked(z).
+            ?- Reach(3, y).
+        ",
+        )
+        .unwrap();
+        let query = p.query.clone().unwrap();
+        let magic = magic_rewrite(&p, &query).unwrap();
+        // Blocked is demanded negatively, so it (and Hub, which it reads)
+        // keep their original rules and evaluate in full.
+        let heads: Vec<&str> = magic
+            .program
+            .rules
+            .iter()
+            .map(|r| r.head.relation.as_str())
+            .collect();
+        assert!(heads.contains(&"Blocked"));
+        assert!(heads.contains(&"Hub"));
+        assert!(!heads.contains(&"Reach"));
+        // Negated literals survive inside the adorned rules.
+        let adorned_neg = magic
+            .program
+            .rules
+            .iter()
+            .filter(|r| r.head.relation == "Reach_bf")
+            .flat_map(|r| r.negative_atoms())
+            .count();
+        assert_eq!(adorned_neg, 2);
+        let s = stratify_program(&magic.program).unwrap();
+        let pos = |name: &str| {
+            s.strata
+                .iter()
+                .position(|st| st.relations.contains(&s.relation_id(name).unwrap()))
+                .unwrap()
+        };
+        assert!(pos("Blocked") < pos("Reach_bf"));
+    }
+
+    #[test]
+    fn magic_rewrite_falls_back_when_nothing_is_bound() {
+        let mut p = goal_reach();
+        p.query = Some(Query::new(Atom::new(
+            "Reach",
+            vec![Term::var("x"), Term::var("y")],
+        )));
+        let query = p.query.clone().unwrap();
+        let magic = magic_rewrite(&p, &query).unwrap();
+        assert_eq!(magic.answer_relation, "Reach");
+        assert!(magic.magic_relation.is_none());
+        assert!(magic.seed.is_empty());
+        let mut original = p.clone();
+        original.query = None;
+        assert_eq!(magic.program, original);
+    }
+
+    #[test]
+    fn magic_rewrite_falls_back_on_extensional_goals() {
+        let p =
+            parse_program(".decl Edge(x: number, y: number)\n.input Edge\n?- Edge(1, y).").unwrap();
+        let query = p.query.clone().unwrap();
+        let magic = magic_rewrite(&p, &query).unwrap();
+        assert!(magic.magic_relation.is_none());
+        assert_eq!(magic.answer_relation, "Edge");
+        assert_eq!(magic.seed, vec![1]);
+    }
+
+    #[test]
+    fn magic_rewrite_never_adorns_declared_inputs() {
+        // Ground facts make Edge look rule-defined, but `.input` means the
+        // engine may add extensional tuples at runtime that no adorned copy
+        // of the fact rules would reproduce — Edge must stay unadorned.
+        let p = parse_program(
+            r"
+            .decl Edge(x: number, y: number)
+            .input Edge
+            .decl Reach(x: number, y: number)
+            .output Reach
+            Edge(9, 9).
+            Reach(x, y) :- Edge(x, y).
+            Reach(x, z) :- Reach(x, y), Edge(y, z).
+            ?- Reach(7, y).
+        ",
+        )
+        .unwrap();
+        let query = p.query.clone().unwrap();
+        let magic = magic_rewrite(&p, &query).unwrap();
+        let rewritten = &magic.program;
+        assert!(rewritten.relation("Edge_bb").is_none());
+        assert!(rewritten.relation("Edge_bf").is_none());
+        // Edge keeps its ground fact, evaluated in full.
+        assert!(rewritten
+            .rules
+            .iter()
+            .any(|r| r.head.relation == "Edge" && r.body.is_empty()));
+        // A goal on the input itself takes the fallback path.
+        let edge_goal = Query::new(Atom::new("Edge", vec![Term::Const(9), Term::var("y")]));
+        let fallback = magic_rewrite(&p, &edge_goal).unwrap();
+        assert!(fallback.magic_relation.is_none());
+    }
+
+    #[test]
+    fn magic_rewrite_falls_back_on_aggregated_goals() {
+        let p = parse_program(
+            r"
+            .decl E(x: number, d: number)
+            .input E
+            .decl S(x: number, d: number)
+            .output S
+            S(x, min(d)) :- E(x, d).
+            ?- S(2, d).
+        ",
+        )
+        .unwrap();
+        let query = p.query.clone().unwrap();
+        let magic = magic_rewrite(&p, &query).unwrap();
+        assert!(
+            magic.magic_relation.is_none(),
+            "bindings must not be pushed into an aggregate's group"
+        );
+        assert_eq!(magic.answer_relation, "S");
+    }
+
+    #[test]
+    fn magic_rewrite_reports_unknown_relation_with_span() {
+        let p = parse_program(".decl E(x: number)\n.input E\n?- Ghost(1).").unwrap();
+        let query = p.query.clone().unwrap();
+        match magic_rewrite(&p, &query).unwrap_err() {
+            EngineError::UnknownQueryRelation {
+                relation,
+                line,
+                column,
+            } => {
+                assert_eq!(relation, "Ghost");
+                assert_eq!((line, column), (3, 4));
+            }
+            other => panic!("expected UnknownQueryRelation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn magic_rewrite_reports_arity_mismatch_with_span() {
+        let p = parse_program(".decl E(x: number, y: number)\n.input E\n?- E(1, 2, 3).").unwrap();
+        let query = p.query.clone().unwrap();
+        match magic_rewrite(&p, &query).unwrap_err() {
+            EngineError::QueryArityMismatch {
+                relation,
+                expected,
+                got,
+                line,
+                column,
+            } => {
+                assert_eq!(relation, "E");
+                assert_eq!((expected, got), (2, 3));
+                assert_eq!((line, column), (3, 4));
+            }
+            other => panic!("expected QueryArityMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn magic_rewrite_uniquifies_colliding_names() {
+        let p = parse_program(
+            r"
+            .decl Edge(x: number, y: number)
+            .input Edge
+            .decl Reach_bf(x: number)
+            .input Reach_bf
+            .decl Reach(x: number, y: number)
+            .output Reach
+            Reach(x, y) :- Edge(x, y), Reach_bf(x).
+            Reach(x, z) :- Reach(x, y), Edge(y, z).
+            ?- Reach(1, y).
+        ",
+        )
+        .unwrap();
+        let query = p.query.clone().unwrap();
+        let magic = magic_rewrite(&p, &query).unwrap();
+        assert_eq!(magic.answer_relation, "Reach_bf_");
+        stratify_program(&magic.program).unwrap();
     }
 
     #[test]

@@ -318,6 +318,64 @@ impl fmt::Display for Rule {
     }
 }
 
+/// A goal (point query) attached to a program: `?- Reach(0, y).`
+///
+/// The goal's constant arguments are the *bound* positions of the
+/// adornment the magic-sets rewrite derives
+/// ([`crate::analysis::magic_rewrite`]); variable arguments are free.
+/// `line`/`column` locate the goal's relation name in the source so
+/// query-shape errors ([`EngineError::UnknownQueryRelation`],
+/// [`EngineError::QueryArityMismatch`]) can point back at it; goals built
+/// programmatically carry `0, 0`, which the error display omits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The goal atom; constants bind, variables stay free.
+    pub atom: Atom,
+    /// 1-based source line of the goal's relation name (0 = no source).
+    pub line: usize,
+    /// 1-based source column of the goal's relation name (0 = no source).
+    pub column: usize,
+}
+
+impl Query {
+    /// Creates a goal with no source position (builder surface).
+    pub fn new(atom: Atom) -> Query {
+        Query {
+            atom,
+            line: 0,
+            column: 0,
+        }
+    }
+
+    /// The bound/free adornment: `true` for each constant argument.
+    pub fn adornment(&self) -> Vec<bool> {
+        self.atom
+            .terms
+            .iter()
+            .map(|t| matches!(t, Term::Const(_)))
+            .collect()
+    }
+
+    /// The goal's constants, in bound-position order — the seed tuple of
+    /// the magic relation.
+    pub fn bound_constants(&self) -> Vec<u32> {
+        self.atom
+            .terms
+            .iter()
+            .filter_map(|t| match t {
+                Term::Const(c) => Some(*c),
+                Term::Var(_) => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?- {}.", self.atom)
+    }
+}
+
 /// A relation declaration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelationDecl {
@@ -338,6 +396,10 @@ pub struct Program {
     pub relations: Vec<RelationDecl>,
     /// Rules, in source order.
     pub rules: Vec<Rule>,
+    /// Optional goal (`?- Atom.`) driving goal-directed evaluation via
+    /// [`crate::engine::GpulogEngine::run_query`]. A program with a goal
+    /// still evaluates the full fixpoint under `run()`.
+    pub query: Option<Query>,
 }
 
 impl Program {
@@ -368,6 +430,9 @@ impl fmt::Display for Program {
         }
         for rule in &self.rules {
             writeln!(f, "{rule}")?;
+        }
+        if let Some(query) = &self.query {
+            writeln!(f, "{query}")?;
         }
         Ok(())
     }
@@ -626,6 +691,16 @@ impl ProgramBuilder {
         self
     }
 
+    /// Attaches the program's goal: `?- relation(terms).` Constant terms
+    /// bind the corresponding columns; variable terms stay free. The
+    /// query's shape is validated against the declarations when the
+    /// program is rewritten (or run), not here, so builder order does not
+    /// matter. A later call replaces an earlier goal.
+    pub fn query(mut self, relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        self.program.query = Some(Query::new(Atom::new(relation, terms)));
+        self
+    }
+
     /// Closes the open rule.
     ///
     /// # Panics
@@ -780,6 +855,24 @@ mod tests {
             neg.rules[0].to_string(),
             "Reach(x, y) :- Edge(x, y), !Blocked(y)."
         );
+    }
+
+    #[test]
+    fn builder_attaches_a_goal_and_display_prints_it() {
+        let program = ProgramBuilder::new()
+            .input_relation("Edge", 2)
+            .output_relation("Reach", 2)
+            .rule("Reach", vec![Term::var("x"), Term::var("y")])
+            .body("Edge", vec![Term::var("x"), Term::var("y")])
+            .end_rule()
+            .query("Reach", vec![Term::Const(3), Term::var("y")])
+            .build()
+            .unwrap();
+        let query = program.query.as_ref().unwrap();
+        assert_eq!(query.adornment(), vec![true, false]);
+        assert_eq!(query.bound_constants(), vec![3]);
+        assert_eq!((query.line, query.column), (0, 0));
+        assert!(program.to_string().contains("?- Reach(3, y)."));
     }
 
     #[test]

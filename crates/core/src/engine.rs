@@ -14,7 +14,8 @@
 //! through its [`Backend`] — [`SerialBackend`] by default. See
 //! `docs/architecture.md` for the Batch → Op → Backend layering.
 
-use crate::ast::Program;
+use crate::analysis::magic_rewrite;
+use crate::ast::{Atom, Program, Query, Term};
 use crate::backend::{
     Backend, EvalContext, MultiGpuBackend, PipelineOutcome, PipelinedBackend, SerialBackend,
     ShardedBackend,
@@ -318,10 +319,17 @@ impl<'d> EngineBuilder<'d> {
     /// parse, validation, or device errors from compilation and storage
     /// allocation.
     pub fn build(self) -> EngineResult<GpulogEngine> {
-        let compiled = match self.program {
-            Some(ProgramSpec::Source(source)) => compile(&crate::parser::parse_program(&source)?)?,
-            Some(ProgramSpec::Ast(program)) => compile(&program)?,
-            Some(ProgramSpec::Compiled(compiled)) => compiled,
+        let (ast, compiled) = match self.program {
+            Some(ProgramSpec::Source(source)) => {
+                let program = crate::parser::parse_program(&source)?;
+                let compiled = compile(&program)?;
+                (Some(program), compiled)
+            }
+            Some(ProgramSpec::Ast(program)) => {
+                let compiled = compile(&program)?;
+                (Some(program), compiled)
+            }
+            Some(ProgramSpec::Compiled(compiled)) => (None, compiled),
             None => {
                 return Err(EngineError::Validation {
                     message: "EngineBuilder::build called without a program".into(),
@@ -332,7 +340,9 @@ impl<'d> EngineBuilder<'d> {
             Some(backend) => backend,
             None => default_backend(&self.config)?,
         };
-        GpulogEngine::with_backend(self.device, compiled, self.config, backend)
+        let mut engine = GpulogEngine::with_backend(self.device, compiled, self.config, backend)?;
+        engine.program = ast;
+        Ok(engine)
     }
 }
 
@@ -415,9 +425,32 @@ fn default_backend(config: &EngineConfig) -> EngineResult<Box<dyn Backend>> {
 /// # Ok(())
 /// # }
 /// ```
+/// The result of a goal-directed run ([`GpulogEngine::run_query`]).
+///
+/// `answers` holds only the tuples of the goal relation that match the
+/// goal's bound constants, canonically sorted and duplicate-free — exactly
+/// the rows a full fixpoint restricted to the goal would produce, whatever
+/// backend evaluated the rewritten program.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Goal-matching tuples, lexicographically sorted and duplicate-free.
+    pub answers: gpulog_hisa::TupleBatch,
+    /// Statistics of the (rewritten) program's fixpoint run.
+    pub stats: RunStats,
+    /// Tuples materialized by the run outside the copied extensional
+    /// database: adorned relations, magic relations, and any relations the
+    /// rewrite kept fully evaluated. Comparing this against the full
+    /// closure's derived-tuple count is the rewrite's payoff metric.
+    pub tuples_materialized: usize,
+}
+
 #[derive(Debug)]
 pub struct GpulogEngine {
     device: Device,
+    /// The source AST, retained when the engine was built from source or
+    /// an AST (`None` for pre-compiled programs). Goal-directed runs
+    /// rewrite it; plain runs only ever use the compiled form.
+    program: Option<Program>,
     compiled: CompiledProgram,
     pipelines: Vec<LoweredStratum>,
     /// One pre-built [`RaOp::Diff`](crate::ra::op::RaOp) pipeline per
@@ -446,7 +479,9 @@ impl GpulogEngine {
     /// if the empty relation storage cannot be allocated.
     pub fn new(device: &Device, program: &Program, config: EngineConfig) -> EngineResult<Self> {
         let compiled = compile(program)?;
-        Self::from_compiled(device, compiled, config)
+        let mut engine = Self::from_compiled(device, compiled, config)?;
+        engine.program = Some(program.clone());
+        Ok(engine)
     }
 
     /// Builds an engine from Soufflé-style source text.
@@ -508,6 +543,7 @@ impl GpulogEngine {
             .collect();
         Ok(GpulogEngine {
             device: device.clone(),
+            program: None,
             compiled,
             pipelines,
             diff_pipelines,
@@ -919,6 +955,157 @@ impl GpulogEngine {
         self.has_run = true;
         self.generation += 1;
         Ok(stats)
+    }
+
+    /// Runs the program's `?-` goal through the magic-sets rewrite
+    /// ([`magic_rewrite`]) instead of materializing the full fixpoint.
+    ///
+    /// The rewritten program is lowered through the same planner/backend
+    /// seam as any other program (honouring this engine's configuration,
+    /// including shard counts, topologies, and pipelining), the goal's
+    /// constants are seeded into the magic relation, and only the
+    /// goal-matching tuples come back — byte-identical to running the full
+    /// fixpoint and filtering it to the goal. The engine itself is not
+    /// mutated: the rewritten program evaluates in a private sub-engine
+    /// seeded with this engine's extensional database (staged facts, plus
+    /// the current contents of input relations after a run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::MissingQuery`] when the program carries no
+    /// `?-` goal, [`EngineError::Validation`] when the engine was built
+    /// from a pre-compiled program (the rewrite needs the AST), and any
+    /// parse-span-carrying goal errors from [`magic_rewrite`].
+    pub fn run_query(&self) -> EngineResult<QueryResult> {
+        let program = self.program_for_query()?;
+        let query = program.query.clone().ok_or(EngineError::MissingQuery)?;
+        self.run_query_goal(&query)
+    }
+
+    /// Runs an ad-hoc point query against `relation`: `Some(c)` binds a
+    /// column to the constant `c`, `None` leaves it free. Equivalent to
+    /// attaching `?- relation(..)` to the program and calling
+    /// [`GpulogEngine::run_query`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownQueryRelation`] /
+    /// [`EngineError::QueryArityMismatch`] for goals that do not match the
+    /// program's declarations, and [`EngineError::Validation`] when the
+    /// engine was built from a pre-compiled program.
+    pub fn run_query_with(
+        &self,
+        relation: &str,
+        bindings: &[Option<u32>],
+    ) -> EngineResult<QueryResult> {
+        let terms = bindings
+            .iter()
+            .enumerate()
+            .map(|(i, binding)| match binding {
+                Some(constant) => Term::Const(*constant),
+                None => Term::var(format!("_q{i}")),
+            })
+            .collect();
+        self.run_query_goal(&Query::new(Atom::new(relation, terms)))
+    }
+
+    /// Shared goal-directed path: rewrite, seed, evaluate, filter.
+    fn run_query_goal(&self, query: &Query) -> EngineResult<QueryResult> {
+        let program = self.program_for_query()?;
+        let magic = magic_rewrite(program, query)?;
+        let mut sub = GpulogEngine::new(&self.device, &magic.program, self.config.clone())?;
+
+        // Copy the extensional database across: declared inputs plus
+        // relations no rule derives. Rule-derived relations re-derive
+        // inside the sub-engine (facts staged onto such a relation after a
+        // run are indistinguishable from derived tuples, so they are the
+        // one thing this path does not carry over).
+        let ruled: std::collections::HashSet<&str> = program
+            .rules
+            .iter()
+            .map(|r| r.head.relation.as_str())
+            .collect();
+        let edb: Vec<&str> = program
+            .relations
+            .iter()
+            .filter(|d| d.is_input || !ruled.contains(d.name.as_str()))
+            .map(|d| d.name.as_str())
+            .collect();
+        for &name in &edb {
+            let id = self
+                .compiled
+                .relation_id(name)
+                .expect("compiled and AST declarations agree");
+            if self.has_run {
+                let batch = self.relations[id].tuples_batch();
+                if !batch.is_empty() {
+                    sub.add_facts_batch(name, &batch)?;
+                }
+            }
+            if !self.pending_facts[id].is_empty() {
+                sub.add_facts_flat(name, &self.pending_facts[id])?;
+            }
+        }
+        if let Some(magic_name) = &magic.magic_relation {
+            sub.add_facts(magic_name, [magic.seed.as_slice()])?;
+        }
+
+        let stats = sub.run()?;
+
+        let edb_set: std::collections::HashSet<&str> = edb.iter().copied().collect();
+        let tuples_materialized = sub
+            .compiled
+            .relation_names
+            .iter()
+            .enumerate()
+            .filter(|(_, name)| !edb_set.contains(name.as_str()))
+            .map(|(id, _)| sub.relations[id].len())
+            .sum();
+
+        // The answer relation holds tuples for *every* demanded binding
+        // (demand widens through recursion); keep only the rows whose
+        // bound positions carry the goal's own constants, in canonical
+        // sorted order so the result is backend-independent.
+        let full = sub
+            .relation_batch(&magic.answer_relation)
+            .expect("the rewrite declares its answer relation");
+        let arity = full.arity();
+        let mut rows: Vec<&[u32]> = full
+            .as_flat()
+            .chunks(arity)
+            .filter(|row| {
+                let mut seed = magic.seed.iter();
+                magic
+                    .adornment
+                    .iter()
+                    .zip(row.iter())
+                    .all(|(bound, value)| !bound || seed.next() == Some(value))
+            })
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        let mut flat = Vec::with_capacity(rows.len() * arity);
+        for row in rows {
+            flat.extend_from_slice(row);
+        }
+        Ok(QueryResult {
+            answers: TupleBatch::from_sorted_unique_flat(arity, flat),
+            stats,
+            tuples_materialized,
+        })
+    }
+
+    /// The retained AST, or the typed error explaining why goal-directed
+    /// evaluation is unavailable on this engine.
+    fn program_for_query(&self) -> EngineResult<&Program> {
+        self.program
+            .as_ref()
+            .ok_or_else(|| EngineError::Validation {
+                message: "goal-directed evaluation needs the program AST: build the \
+                      engine from source or an AST rather than a pre-compiled \
+                      program"
+                    .into(),
+            })
     }
 
     /// Settles every deferred backend effect ([`Backend::fence`]) so the
@@ -1628,5 +1815,153 @@ mod tests {
         assert!(stats.phase(Phase::Join) > 0.0);
         assert!(stats.phase(Phase::Merge) > 0.0);
         assert!(stats.phase(Phase::Deduplication) > 0.0);
+    }
+
+    /// Left-recursive REACH: under a bound-free goal the only magic rule
+    /// is the identity, so the magic set stays exactly the goal source.
+    const REACH_LEFT: &str = r"
+        .decl Edge(x: number, y: number)
+        .input Edge
+        .decl Reach(x: number, y: number)
+        .output Reach
+        Reach(x, y) :- Edge(x, y).
+        Reach(x, z) :- Reach(x, y), Edge(y, z).
+    ";
+
+    /// The full closure's Reach rows from `source`, canonically sorted.
+    fn filtered_closure(engine: &GpulogEngine, source: u32) -> Vec<u32> {
+        let batch = engine.relation_batch("Reach").unwrap();
+        let mut rows: Vec<&[u32]> = batch
+            .as_flat()
+            .chunks(2)
+            .filter(|row| row[0] == source)
+            .collect();
+        rows.sort_unstable();
+        rows.iter().flat_map(|r| r.iter().copied()).collect()
+    }
+
+    #[test]
+    fn run_query_matches_the_filtered_full_closure() {
+        for src in [REACH, REACH_LEFT] {
+            let d = device();
+            let mut full = GpulogEngine::from_source(&d, src, EngineConfig::default()).unwrap();
+            full.add_facts("Edge", figure1_edges()).unwrap();
+            full.run().unwrap();
+            // run_query works on a never-run engine: the staged facts are
+            // the extensional database it copies.
+            let mut fresh = GpulogEngine::from_source(&d, src, EngineConfig::default()).unwrap();
+            fresh.add_facts("Edge", figure1_edges()).unwrap();
+            for source in [0u32, 2, 4, 8] {
+                let expected = filtered_closure(&full, source);
+                let got = fresh
+                    .run_query_with("Reach", &[Some(source), None])
+                    .unwrap();
+                assert_eq!(got.answers.as_flat(), &expected[..], "source {source}");
+                assert!(got.answers.is_sorted_unique());
+            }
+        }
+    }
+
+    #[test]
+    fn run_query_after_a_run_reuses_the_materialized_edb() {
+        let d = device();
+        let mut e = GpulogEngine::from_source(&d, REACH_LEFT, EngineConfig::default()).unwrap();
+        e.add_facts("Edge", figure1_edges()).unwrap();
+        e.run().unwrap();
+        let expected = filtered_closure(&e, 1);
+        let got = e.run_query_with("Reach", &[Some(1), None]).unwrap();
+        assert_eq!(got.answers.as_flat(), &expected[..]);
+        // The goal-directed run left the engine itself untouched.
+        assert_eq!(e.generation(), 1);
+    }
+
+    #[test]
+    fn run_query_materializes_fewer_tuples_than_the_closure() {
+        let d = device();
+        let chain: Vec<[u32; 2]> = (0..40u32).map(|i| [i, i + 1]).collect();
+        let mut full = GpulogEngine::from_source(&d, REACH_LEFT, EngineConfig::default()).unwrap();
+        full.add_facts("Edge", chain.clone()).unwrap();
+        full.run().unwrap();
+        let closure = full.relation_size("Reach").unwrap();
+        let mut e = GpulogEngine::from_source(&d, REACH_LEFT, EngineConfig::default()).unwrap();
+        e.add_facts("Edge", chain).unwrap();
+        // Reach from the tail: one answer, a one-tuple magic set, and a
+        // 41-tuple closure row block versus the full 820-pair closure.
+        let got = e.run_query_with("Reach", &[Some(39), None]).unwrap();
+        assert_eq!(got.answers.len(), 1);
+        assert!(
+            got.tuples_materialized < closure,
+            "magic materialized {} tuples, the closure holds {closure}",
+            got.tuples_materialized
+        );
+        assert!(got.stats.iterations >= 1);
+    }
+
+    #[test]
+    fn run_query_uses_the_embedded_goal() {
+        let d = device();
+        let with_goal = format!("{REACH_LEFT}\n?- Reach(0, y).");
+        let mut e = GpulogEngine::from_source(&d, &with_goal, EngineConfig::default()).unwrap();
+        e.add_facts("Edge", figure1_edges()).unwrap();
+        let from_goal = e.run_query().unwrap();
+        let ad_hoc = e.run_query_with("Reach", &[Some(0), None]).unwrap();
+        assert_eq!(from_goal.answers.as_flat(), ad_hoc.answers.as_flat());
+        // The plain run ignores the goal and still materializes everything.
+        e.run().unwrap();
+        assert_eq!(e.relation_size("Reach"), Some(21));
+    }
+
+    #[test]
+    fn run_query_error_paths_are_typed() {
+        let d = device();
+        let mut e = GpulogEngine::from_source(&d, REACH_LEFT, EngineConfig::default()).unwrap();
+        e.add_facts("Edge", [[0u32, 1]]).unwrap();
+        assert!(matches!(e.run_query(), Err(EngineError::MissingQuery)));
+        assert!(matches!(
+            e.run_query_with("Ghost", &[Some(1)]),
+            Err(EngineError::UnknownQueryRelation { .. })
+        ));
+        assert!(matches!(
+            e.run_query_with("Reach", &[Some(1)]),
+            Err(EngineError::QueryArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
+        // Pre-compiled engines have no AST to rewrite.
+        let program = crate::parser::parse_program(REACH_LEFT).unwrap();
+        let compiled = compile(&program).unwrap();
+        let precompiled =
+            GpulogEngine::from_compiled(&d, compiled, EngineConfig::default()).unwrap();
+        assert!(matches!(
+            precompiled.run_query_with("Reach", &[Some(1), None]),
+            Err(EngineError::Validation { .. })
+        ));
+    }
+
+    #[test]
+    fn run_query_honours_the_configured_backend() {
+        use gpulog_device::topology::DeviceTopology;
+        use std::num::NonZeroUsize;
+        let d = device();
+        let configs = [
+            EngineConfig::default(),
+            EngineConfig::new().with_shard_count(4),
+            EngineConfig::new().with_pipelined(4),
+            EngineConfig::new()
+                .with_device_topology(DeviceTopology::nvlink_like(NonZeroUsize::new(2).unwrap())),
+        ];
+        let mut baseline: Option<Vec<u32>> = None;
+        for cfg in configs {
+            let mut e = GpulogEngine::from_source(&d, REACH_LEFT, cfg).unwrap();
+            e.add_facts("Edge", figure1_edges()).unwrap();
+            let got = e.run_query_with("Reach", &[Some(0), None]).unwrap();
+            let flat = got.answers.as_flat().to_vec();
+            match &baseline {
+                None => baseline = Some(flat),
+                Some(expected) => assert_eq!(&flat, expected, "backends must agree"),
+            }
+        }
     }
 }

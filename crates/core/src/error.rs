@@ -68,6 +68,36 @@ pub enum EngineError {
         /// The rejected shard count.
         shards: usize,
     },
+    /// A `?-` goal names a relation the program does not declare.
+    UnknownQueryRelation {
+        /// The undeclared relation named by the goal.
+        relation: String,
+        /// 1-based source line of the goal's relation name (0 when the
+        /// goal was built programmatically).
+        line: usize,
+        /// 1-based source column of the goal's relation name (0 when the
+        /// goal was built programmatically).
+        column: usize,
+    },
+    /// A `?-` goal supplies the wrong number of arguments for its
+    /// relation.
+    QueryArityMismatch {
+        /// The goal's relation.
+        relation: String,
+        /// The relation's declared arity.
+        expected: usize,
+        /// The number of arguments the goal supplied.
+        got: usize,
+        /// 1-based source line of the goal's relation name (0 when the
+        /// goal was built programmatically).
+        line: usize,
+        /// 1-based source column of the goal's relation name (0 when the
+        /// goal was built programmatically).
+        column: usize,
+    },
+    /// A goal-directed run was requested but the program carries no `?-`
+    /// goal (and none was supplied programmatically).
+    MissingQuery,
     /// A snapshot was requested before any fixpoint had been materialized:
     /// there is nothing consistent to publish yet.
     NoFixpoint,
@@ -133,6 +163,41 @@ impl fmt::Display for EngineError {
             }
             EngineError::InvalidShardCount { shards } => {
                 write!(f, "invalid shard count {shards}: must be at least 1")
+            }
+            EngineError::UnknownQueryRelation {
+                relation,
+                line,
+                column,
+            } => {
+                write!(f, "goal error")?;
+                if *line > 0 {
+                    write!(f, " at line {line}, column {column}")?;
+                }
+                write!(f, ": ?- goal names unknown relation {relation}")
+            }
+            EngineError::QueryArityMismatch {
+                relation,
+                expected,
+                got,
+                line,
+                column,
+            } => {
+                write!(f, "goal error")?;
+                if *line > 0 {
+                    write!(f, " at line {line}, column {column}")?;
+                }
+                write!(
+                    f,
+                    ": ?- goal supplies {got} arguments to {relation}, \
+                     which has arity {expected}"
+                )
+            }
+            EngineError::MissingQuery => {
+                write!(
+                    f,
+                    "goal-directed run requested but the program has no ?- goal: \
+                     add one in source or with ProgramBuilder::query(..)"
+                )
             }
             EngineError::NoFixpoint => {
                 write!(
@@ -219,6 +284,34 @@ mod tests {
         assert!(shards.to_string().contains("invalid shard count 0"));
         let no_fixpoint = EngineError::NoFixpoint;
         assert!(no_fixpoint.to_string().contains("before any fixpoint"));
+        let unknown = EngineError::UnknownQueryRelation {
+            relation: "Ghost".into(),
+            line: 4,
+            column: 4,
+        };
+        assert!(unknown.to_string().contains("line 4, column 4"));
+        assert!(unknown.to_string().contains("unknown relation Ghost"));
+        let unknown_programmatic = EngineError::UnknownQueryRelation {
+            relation: "Ghost".into(),
+            line: 0,
+            column: 0,
+        };
+        assert!(
+            !unknown_programmatic.to_string().contains("line"),
+            "builder-origin goals carry no source span"
+        );
+        let arity = EngineError::QueryArityMismatch {
+            relation: "Reach".into(),
+            expected: 2,
+            got: 3,
+            line: 6,
+            column: 4,
+        };
+        assert!(arity.to_string().contains("line 6, column 4"));
+        assert!(arity.to_string().contains("3 arguments"));
+        assert!(arity.to_string().contains("arity 2"));
+        let missing = EngineError::MissingQuery;
+        assert!(missing.to_string().contains("no ?- goal"));
     }
 
     #[test]

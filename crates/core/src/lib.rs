@@ -122,6 +122,46 @@
 //! [`GpulogEngine::from_source`] for constructing with an explicit
 //! [`EngineConfig`].
 //!
+//! ## Point queries without the full closure
+//!
+//! When the caller asks one question — "what is reachable from *this*
+//! node?" — materializing the whole fixpoint is wasted work. Attach a
+//! `?-` goal (or call [`GpulogEngine::run_query_with`] ad hoc) and the
+//! engine rewrites the program with magic sets
+//! ([`analysis::magic_rewrite`]): rules are specialized to the goal's
+//! bound/free adornment, a magic relation seeded from the goal constants
+//! restricts derivation to demanded bindings, and the rewritten program
+//! runs through the same planner and backends as any other. The answers
+//! are byte-identical to filtering the full closure, but only the
+//! demanded cone is materialized ([`engine::QueryResult`] reports how
+//! much):
+//!
+//! ```
+//! use gpulog::GpulogEngine;
+//! use gpulog_device::{Device, profile::DeviceProfile};
+//!
+//! # fn main() -> Result<(), gpulog::EngineError> {
+//! let device = Device::new(DeviceProfile::nvidia_h100());
+//! let mut reach = GpulogEngine::builder(&device)
+//!     .program(r"
+//!         .decl Edge(x: number, y: number)
+//!         .input Edge
+//!         .decl Reach(x: number, y: number)
+//!         .output Reach
+//!         Reach(x, y) :- Edge(x, y).
+//!         Reach(x, z) :- Reach(x, y), Edge(y, z).
+//!         ?- Reach(0, y).
+//!     ")
+//!     .build()?;
+//! reach.add_facts("Edge", [[0, 1], [1, 2], [7, 8], [8, 9]])?;
+//! let result = reach.run_query()?; // runs the ?- goal, not the closure
+//! assert_eq!(result.answers.as_flat(), &[0, 1, 0, 2]);
+//! // The 7→8→9 component was never demanded, so it was never derived.
+//! assert!(result.tuples_materialized < 6);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! ## Stratified negation and aggregates
 //!
 //! Rule bodies are lists of [`ast::Literal`]s — positive or negated atoms
@@ -239,9 +279,9 @@ pub mod relation;
 pub mod snapshot;
 pub mod stats;
 
-pub use analysis::stratify_program;
+pub use analysis::{magic_rewrite, stratify_program, MagicProgram};
 pub use ast::{
-    Aggregate, AggregateOp, Atom, CmpOp, Constraint, Literal, Program, ProgramBuilder,
+    Aggregate, AggregateOp, Atom, CmpOp, Constraint, Literal, Program, ProgramBuilder, Query,
     RelationDecl, Rule, RuleBuilder, Term,
 };
 pub use backend::{
@@ -249,7 +289,7 @@ pub use backend::{
     ShardedBackend,
 };
 pub use ebm::EbmConfig;
-pub use engine::{EngineBuilder, EngineConfig, GpulogEngine};
+pub use engine::{EngineBuilder, EngineConfig, GpulogEngine, QueryResult};
 pub use error::{EngineError, EngineResult};
 pub use parser::parse_program;
 pub use planner::{compile, lower_program, lower_rule_plan, CompiledProgram, LoweredStratum};

@@ -28,7 +28,8 @@
 //! pinpointable ([`EngineError::Parse`]).
 
 use crate::ast::{
-    Aggregate, AggregateOp, Atom, CmpOp, Constraint, Literal, Program, RelationDecl, Rule, Term,
+    Aggregate, AggregateOp, Atom, CmpOp, Constraint, Literal, Program, Query, RelationDecl, Rule,
+    Term,
 };
 use crate::error::{EngineError, EngineResult};
 
@@ -42,6 +43,8 @@ enum Token {
     Comma,
     Dot,
     Turnstile,
+    /// `?-` — introduces the program's goal.
+    Query,
     Cmp(CmpOp),
     Bang,
     Underscore,
@@ -175,6 +178,15 @@ fn tokenize(source: &str) -> EngineResult<Vec<Spanned>> {
                     push(Token::Cmp(CmpOp::Ne), "!=".into());
                 } else {
                     push(Token::Bang, "!".into());
+                }
+            }
+            '?' => {
+                lx.bump();
+                if lx.peek() == Some('-') {
+                    lx.bump();
+                    push(Token::Query, "?-".into());
+                } else {
+                    return Err(parse_err(line, column, "?", "expected '?-' to open a goal"));
                 }
             }
             '=' => {
@@ -540,6 +552,28 @@ pub fn parse_program(source: &str) -> EngineResult<Program> {
                 parser.next();
                 parser.parse_rule_or_fact(name, &mut program)?;
             }
+            Token::Query => {
+                let query_idx = parser.pos;
+                parser.next();
+                if program.query.is_some() {
+                    return Err(
+                        parser.err_at(query_idx, "a program carries at most one ?- goal".into())
+                    );
+                }
+                // The relation-name span travels with the goal so
+                // query-shape errors raised later (unknown relation, arity
+                // mismatch) can point back at the source.
+                let name_idx = parser.pos;
+                let name = parser.expect_ident("a relation name after '?-'")?;
+                let atom = parser.parse_atom(name)?;
+                parser.expect(&Token::Dot, "'.' after the goal")?;
+                let (line, column) = parser
+                    .tokens
+                    .get(name_idx)
+                    .map(|s| (s.line, s.column))
+                    .unwrap_or((0, 0));
+                program.query = Some(Query { atom, line, column });
+            }
             _ => {
                 return Err(parser.error_here("expected a directive or a rule"));
             }
@@ -862,6 +896,56 @@ mod tests {
         let p = parse_program(src).unwrap();
         assert!(p.relation("def_used.for_address").is_some());
         assert_eq!(p.rules[0].body[0].atom().relation, "def_used.for_address");
+    }
+
+    #[test]
+    fn parses_a_goal_with_its_source_span() {
+        let src = ".decl Edge(x: number, y: number)\n.input Edge\n.decl Reach(x: number, y: number)\n.output Reach\nReach(x, y) :- Edge(x, y).\n?- Reach(3, y).";
+        let p = parse_program(src).unwrap();
+        let q = p.query.as_ref().unwrap();
+        assert_eq!(q.atom.relation, "Reach");
+        assert_eq!(q.atom.terms, vec![Term::Const(3), Term::var("y")]);
+        assert_eq!(q.adornment(), vec![true, false]);
+        assert_eq!(q.bound_constants(), vec![3]);
+        assert_eq!((q.line, q.column), (6, 4), "span of the relation name");
+    }
+
+    #[test]
+    fn goal_wildcards_are_free_positions() {
+        let src = ".decl E(x: number, y: number)\n.input E\n?- E(_, 7).";
+        let q = parse_program(src).unwrap().query.unwrap();
+        assert_eq!(q.adornment(), vec![false, true]);
+        assert_eq!(q.bound_constants(), vec![7]);
+    }
+
+    #[test]
+    fn second_goal_is_rejected_at_its_turnstile() {
+        let src = ".decl E(x: number)\n?- E(1).\n?- E(2).";
+        let err = parse_program(src).unwrap_err();
+        match err {
+            EngineError::Parse {
+                line,
+                column,
+                token,
+                message,
+            } => {
+                assert_eq!((line, column), (3, 1));
+                assert_eq!(token, "?-");
+                assert!(message.contains("at most one"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lone_question_mark_is_rejected() {
+        let err = parse_program("?Edge(1).").unwrap_err();
+        assert!(err.to_string().contains("expected '?-'"));
+    }
+
+    #[test]
+    fn goal_without_terminator_is_rejected() {
+        assert!(parse_program(".decl E(x: number)\n?- E(1)").is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! "parse, load facts, run, read results" workflow used by the examples.
 
 use crate::ast::Program;
-use crate::engine::{EngineConfig, GpulogEngine};
+use crate::engine::{EngineConfig, GpulogEngine, QueryResult};
 use crate::error::EngineResult;
 use crate::stats::RunStats;
 use gpulog_device::Device;
@@ -149,6 +149,34 @@ impl Gpulog {
         self.engine.insert_facts_batch(relation, batch)
     }
 
+    /// Runs the program's `?-` goal through the magic-sets rewrite instead
+    /// of materializing the full fixpoint (see
+    /// [`GpulogEngine::run_query`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::EngineError::MissingQuery`] when the program
+    /// carries no `?-` goal, and goal errors from the rewrite.
+    pub fn query(&self) -> EngineResult<QueryResult> {
+        self.engine.run_query()
+    }
+
+    /// Runs an ad-hoc point query: `Some(c)` binds a column to `c`,
+    /// `None` leaves it free (see [`GpulogEngine::run_query_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::EngineError::UnknownQueryRelation`] or
+    /// [`crate::EngineError::QueryArityMismatch`] for goals that do not
+    /// match the program's declarations.
+    pub fn query_with(
+        &self,
+        relation: &str,
+        bindings: &[Option<u32>],
+    ) -> EngineResult<QueryResult> {
+        self.engine.run_query_with(relation, bindings)
+    }
+
     /// Access to the underlying engine.
     pub fn engine(&self) -> &GpulogEngine {
         &self.engine
@@ -238,5 +266,30 @@ mod tests {
         assert_eq!(dl.len("Reach"), Some(3));
         // The earlier snapshot still holds its own fixpoint.
         assert_eq!(first.relation_size("Reach"), Some(1));
+    }
+
+    #[test]
+    fn facade_runs_goal_directed_queries() {
+        let device = Device::with_workers(DeviceProfile::default(), 2);
+        let mut dl = Gpulog::from_source(
+            &device,
+            r"
+            .decl Edge(x: number, y: number)
+            .input Edge
+            .decl Reach(x: number, y: number)
+            .output Reach
+            Reach(x, y) :- Edge(x, y).
+            Reach(x, z) :- Reach(x, y), Edge(y, z).
+            ?- Reach(0, y).
+        ",
+        )
+        .unwrap();
+        dl.add_facts("Edge", [[0u32, 1], [1, 2], [5, 6]]).unwrap();
+        let goal = dl.query().unwrap();
+        assert_eq!(goal.answers.as_flat(), &[0, 1, 0, 2]);
+        let ad_hoc = dl.query_with("Reach", &[Some(5), None]).unwrap();
+        assert_eq!(ad_hoc.answers.as_flat(), &[5, 6]);
+        // Goal runs never advance the facade's own fixpoint generation.
+        assert_eq!(dl.generation(), 0);
     }
 }

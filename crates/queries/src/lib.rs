@@ -4,8 +4,10 @@
 //! paper evaluates — transitive closure ([`reach`]), same generation
 //! ([`sg`]), and context-sensitive points-to analysis ([`cspa`]) — plus the
 //! DDisasm-style multi-column-join rule the paper uses to motivate
-//! requirement R3 ([`ddisasm`]) and the stratified workloads
-//! (negated-filter REACH, shortest-path-via-`min`) in [`stratified`].
+//! requirement R3 ([`ddisasm`]), the stratified workloads
+//! (negated-filter REACH, shortest-path-via-`min`) in [`stratified`], and
+//! the goal-directed point-query path (magic-sets REACH with a host
+//! BFS-from-source reference) in [`goal`].
 //!
 //! ```
 //! use gpulog::EngineConfig;
@@ -23,11 +25,13 @@
 
 pub mod cspa;
 pub mod ddisasm;
+pub mod goal;
 pub mod reach;
 pub mod sg;
 pub mod stratified;
 
 pub use cspa::{CspaResult, CspaSizes, CSPA_PROGRAM};
+pub use goal::{GoalReachResult, GOAL_REACH_PROGRAM};
 pub use reach::{ReachResult, REACH_PROGRAM};
 pub use sg::{SgResult, SG_PROGRAM};
 pub use stratified::{

@@ -73,6 +73,34 @@ impl ServeHandle {
     pub fn relation_size(&self, relation: &str) -> Option<usize> {
         self.latest().relation_size(relation)
     }
+
+    /// Goal-shaped lookup against the latest snapshot: every tuple whose
+    /// columns match `bindings` (`Some(c)` binds a column to `c`, `None`
+    /// leaves it free), in canonical order. Unlike
+    /// [`ServeHandle::point_lookup`] the bound columns need not be a
+    /// prefix — `[None, Some(t)]` answers "who reaches `t`?". A leading
+    /// run of bound columns is still served through the snapshot's sorted
+    /// index; fully unbound trailing columns cost a filter scan. `None`
+    /// for unknown relations.
+    pub fn goal_lookup(&self, relation: &str, bindings: &[Option<u32>]) -> Option<Vec<Vec<u32>>> {
+        let snapshot = self.latest();
+        if snapshot.arity(relation)? != bindings.len() {
+            return Some(Vec::new());
+        }
+        let prefix: Vec<u32> = bindings.iter().map_while(|b| *b).collect();
+        let candidates = snapshot.lookup(relation, &prefix)?;
+        Some(
+            candidates
+                .into_iter()
+                .filter(|row| {
+                    bindings
+                        .iter()
+                        .zip(row.iter())
+                        .all(|(b, v)| b.is_none_or(|c| c == *v))
+                })
+                .collect(),
+        )
+    }
 }
 
 /// The writer side of the serving layer: owns the engine, stages facts, and
@@ -125,6 +153,28 @@ impl ServeWriter {
     /// arity mismatches.
     pub fn insert_facts_batch(&mut self, relation: &str, batch: &TupleBatch) -> EngineResult<()> {
         self.engine.insert_facts_batch(relation, batch)
+    }
+
+    /// Answers a goal-directed point query through the engine's magic-sets
+    /// rewrite ([`GpulogEngine::run_query_with`]): `Some(c)` binds a
+    /// column, `None` leaves it free. The rewritten program evaluates in a
+    /// private sub-engine over the writer's current extensional database —
+    /// including facts staged but not yet [`ServeWriter::refresh`]ed — so
+    /// this never blocks readers, mutates the engine, or publishes a
+    /// snapshot. Use it when the demanded cone is far smaller than the
+    /// closure a refresh would materialize.
+    ///
+    /// # Errors
+    ///
+    /// Returns goal errors ([`gpulog::EngineError::UnknownQueryRelation`],
+    /// [`gpulog::EngineError::QueryArityMismatch`]) and engine errors from
+    /// the rewritten run.
+    pub fn goal_query(
+        &self,
+        relation: &str,
+        bindings: &[Option<u32>],
+    ) -> EngineResult<gpulog::QueryResult> {
+        self.engine.run_query_with(relation, bindings)
     }
 
     /// Materializes the next fixpoint from the staged facts and publishes
@@ -263,5 +313,60 @@ mod tests {
             assert!(t.join().unwrap() > 0, "reader made no observations");
         }
         assert_eq!(handle.generation(), 5);
+    }
+
+    #[test]
+    fn goal_lookup_serves_non_prefix_bindings_from_the_snapshot() {
+        let writer = ServeWriter::new(chain_engine(5)).unwrap();
+        let handle = writer.handle();
+        // Prefix-shaped goal: same answer as point_lookup.
+        assert_eq!(
+            handle.goal_lookup("Reach", &[Some(0), None]).unwrap(),
+            handle.point_lookup("Reach", &[0]).unwrap()
+        );
+        // Non-prefix goal: "who reaches node 3?".
+        assert_eq!(
+            handle.goal_lookup("Reach", &[None, Some(3)]).unwrap(),
+            vec![vec![0, 3], vec![1, 3], vec![2, 3]]
+        );
+        // Fully bound and fully free goals behave as probe and scan.
+        assert_eq!(
+            handle.goal_lookup("Reach", &[Some(1), Some(2)]).unwrap(),
+            vec![vec![1, 2]]
+        );
+        assert_eq!(
+            handle.goal_lookup("Reach", &[None, None]).unwrap().len(),
+            10
+        );
+        // Unknown relations and arity mismatches stay well-behaved.
+        assert!(handle.goal_lookup("Nope", &[Some(0)]).is_none());
+        assert!(handle.goal_lookup("Reach", &[Some(0)]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn goal_query_runs_magic_sets_without_publishing() {
+        let mut writer = ServeWriter::new(chain_engine(5)).unwrap();
+        let handle = writer.handle();
+        let result = writer.goal_query("Reach", &[Some(1), None]).unwrap();
+        assert_eq!(result.answers.as_flat(), &[1, 2, 1, 3, 1, 4]);
+        // The goal run agrees with the published snapshot's own view.
+        let from_snapshot: Vec<u32> = handle
+            .goal_lookup("Reach", &[Some(1), None])
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(result.answers.as_flat(), &from_snapshot[..]);
+        // Staged-but-unpublished facts are visible to goal queries but not
+        // to readers until refresh.
+        writer
+            .insert_facts_batch("Edge", &TupleBatch::from_rows(2, [[4u32, 5]]))
+            .unwrap();
+        let staged = writer.goal_query("Reach", &[Some(1), None]).unwrap();
+        assert_eq!(staged.answers.as_flat(), &[1, 2, 1, 3, 1, 4, 1, 5]);
+        assert_eq!(handle.generation(), 1);
+        assert!(!handle.contains("Reach", &[1, 5]));
+        writer.refresh().unwrap();
+        assert!(handle.contains("Reach", &[1, 5]));
     }
 }
