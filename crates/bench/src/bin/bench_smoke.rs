@@ -32,7 +32,7 @@
 //! against the full schema (used by CI so new fields cannot silently
 //! regress).
 
-use gpulog::{EngineConfig, TopologyReport};
+use gpulog::{EngineConfig, GpulogEngine, TopologyReport};
 use gpulog_bench::{banner, gpulog_device, scale_from_env, speedup, BackendSpec, TextTable};
 use gpulog_datasets::generators::{hub_graph, road_network};
 use gpulog_datasets::{EdgeList, PaperDataset};
@@ -148,7 +148,13 @@ const REQUIRED_QUERIES: [&str; 7] = [
 /// emits one result object per line, which is what keeps this check
 /// dependency-free.
 fn validate_schema(json: &str, required: &[&str]) -> Result<(), String> {
-    for key in ["\"scale\"", "\"trials\"", "\"host_workers\"", "\"results\""] {
+    for key in [
+        "\"scale\"",
+        "\"trials\"",
+        "\"host_workers\"",
+        "\"dead_rule_elim\"",
+        "\"results\"",
+    ] {
         if !json.contains(key) {
             return Err(format!("missing top-level key {key}"));
         }
@@ -215,6 +221,45 @@ fn topology_json(topology: &Option<TopologyReport>) -> String {
             )
         }
     }
+}
+
+/// The crafted dead-rule workload: a REACH closure plus a `Scratch`
+/// relation derived *from* the closure that no output, goal, or other rule
+/// ever reads. The optimizer's dead-rule elimination must prune the
+/// `Scratch` rule, so the optimized run materializes strictly fewer tuples
+/// than the unoptimized run while deriving the identical `Reach` closure.
+const DEAD_RULE_PROGRAM: &str = r"
+.decl Edge(x: number, y: number)
+.input Edge
+.decl Reach(x: number, y: number)
+.output Reach
+.decl Scratch(x: number, y: number)
+Reach(x, y) :- Edge(x, y).
+Reach(x, y) :- Edge(x, z), Reach(z, y).
+Scratch(y, x) :- Reach(x, y), Edge(y, x).
+";
+
+/// Tuples materialized and closure size of one `DEAD_RULE_PROGRAM` run
+/// with optimization on or off: the sum of every non-input relation's
+/// fixpoint size (dead `Scratch` tuples included when they exist).
+fn dead_rule_run(graph: &EdgeList, scale: f64, optimize: bool) -> (usize, usize) {
+    let device = gpulog_device(scale);
+    let mut engine = GpulogEngine::builder(&device)
+        .program(DEAD_RULE_PROGRAM)
+        .optimize(optimize)
+        .build()
+        .expect("dead-rule workload must build");
+    engine
+        .add_facts_flat("Edge", &graph.to_flat())
+        .expect("dead-rule workload facts must load");
+    let stats = engine.run().expect("dead-rule workload must run");
+    let materialized: usize = stats
+        .relation_sizes
+        .iter()
+        .filter(|(name, _)| name.as_str() != "Edge")
+        .map(|(_, &size)| size)
+        .sum();
+    (materialized, engine.relation_size("Reach").unwrap_or(0))
 }
 
 fn main() {
@@ -514,6 +559,31 @@ fn main() {
         println!("goal-directed gate skipped (reach-goal filtered out)");
     }
 
+    // The optimizer gate: dead-rule elimination must strictly reduce the
+    // tuples materialized on the crafted unreachable-rule workload while
+    // leaving the output closure byte-identical. The gap is structural
+    // (the dead `Scratch` rule derives one tuple per bidirectional closure
+    // edge), so a failure means the rewrite pipeline stopped pruning, not
+    // noise. This leg always runs — it is an engine-frontend gate, not a
+    // backend workload, so `--workload` does not filter it.
+    let dead_rule_nodes = ((150.0 * scale).round() as u32).max(24);
+    let dead_rule_graph = hub_graph(dead_rule_nodes, 3, 59);
+    let (unopt_tuples, unopt_reach) = dead_rule_run(&dead_rule_graph, scale, false);
+    let (opt_tuples, opt_reach) = dead_rule_run(&dead_rule_graph, scale, true);
+    println!(
+        "dead-rule-elim: optimized {opt_tuples} tuples materialized vs \
+         unoptimized {unopt_tuples} (closure {opt_reach} both ways)"
+    );
+    assert_eq!(
+        opt_reach, unopt_reach,
+        "dead-rule elimination must not change the output closure"
+    );
+    assert!(
+        opt_tuples < unopt_tuples,
+        "dead-rule elimination must strictly reduce tuples materialized \
+         ({opt_tuples} vs {unopt_tuples})"
+    );
+
     let mut table = TextTable::new([
         "Query",
         "Dataset",
@@ -617,6 +687,13 @@ fn main() {
     json.push_str(&format!("  \"scale\": {scale},\n"));
     json.push_str(&format!("  \"trials\": {trials},\n"));
     json.push_str(&format!("  \"host_workers\": {workers},\n"));
+    json.push_str(&format!(
+        "  \"dead_rule_elim\": {{\"dataset\": \"{}\", \
+         \"tuples_materialized_unoptimized\": {unopt_tuples}, \
+         \"tuples_materialized_optimized\": {opt_tuples}, \
+         \"output_tuples\": {opt_reach}}},\n",
+        dead_rule_graph.name
+    ));
     json.push_str("  \"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(

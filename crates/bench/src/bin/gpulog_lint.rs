@@ -1,0 +1,118 @@
+//! `gpulog-lint` — the Datalog program linter as a command-line tool.
+//!
+//! Runs the core linter ([`gpulog::lint_program`]) over Soufflé-style
+//! `.dl` files and/or every program embedded in this workspace, printing
+//! span-carrying `GLnnn` findings.
+//!
+//! ```text
+//! gpulog-lint program.dl            # lint a source file
+//! gpulog-lint --embedded            # lint every embedded workspace program
+//! gpulog-lint --deny-warnings ...   # findings fail the run (exit 1)
+//! ```
+//!
+//! Exit codes: `0` — everything linted clean (or findings were printed
+//! without `--deny-warnings`); `1` — findings fired under
+//! `--deny-warnings`; `2` — usage, I/O, parse, or validation error (the
+//! program never reached the lint passes).
+
+use gpulog::{lint_program, parse_program, stratify_program};
+
+/// Every Datalog program embedded in the workspace: benchmark query
+/// sources, the ddisasm workload, and the example programs. The CI lint
+/// job sweeps these with `--embedded --deny-warnings` as a zero-warnings
+/// gate.
+const EMBEDDED: &[(&str, &str)] = &[
+    ("queries::REACH_PROGRAM", gpulog_queries::REACH_PROGRAM),
+    ("queries::SG_PROGRAM", gpulog_queries::SG_PROGRAM),
+    ("queries::CSPA_PROGRAM", gpulog_queries::CSPA_PROGRAM),
+    (
+        "queries::GOAL_REACH_PROGRAM",
+        gpulog_queries::GOAL_REACH_PROGRAM,
+    ),
+    (
+        "queries::NEGATED_REACH_PROGRAM",
+        gpulog_queries::stratified::NEGATED_REACH_PROGRAM,
+    ),
+    (
+        "queries::SHORTEST_PATH_PROGRAM",
+        gpulog_queries::stratified::SHORTEST_PATH_PROGRAM,
+    ),
+    (
+        "queries::DDISASM_PROGRAM",
+        gpulog_queries::ddisasm::DDISASM_PROGRAM,
+    ),
+    (
+        "examples::QUICKSTART_PROGRAM",
+        gpulog_examples::QUICKSTART_PROGRAM,
+    ),
+];
+
+/// Lints one named program source. Returns the number of findings, or an
+/// error string when the source never reached the lint passes.
+fn lint_source(name: &str, source: &str) -> Result<usize, String> {
+    let program = parse_program(source).map_err(|err| format!("{name}: parse failed: {err}"))?;
+    stratify_program(&program).map_err(|err| format!("{name}: invalid program: {err}"))?;
+    let diagnostics = lint_program(&program);
+    for d in &diagnostics {
+        println!("{name}: {d}");
+    }
+    Ok(diagnostics.len())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: gpulog-lint [--embedded] [--deny-warnings] [FILE.dl ...]\n\
+             \n\
+             Lints Soufflé-style Datalog programs with the gpulog analysis\n\
+             passes (lint codes GL001..GL007).\n\
+             \n\
+             --embedded        lint every program embedded in the workspace\n\
+             --deny-warnings   exit 1 when any finding fires"
+        );
+        return;
+    }
+    let deny = args.iter().any(|a| a == "--deny-warnings");
+    let embedded = args.iter().any(|a| a == "--embedded");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if !embedded && files.is_empty() {
+        eprintln!("gpulog-lint: nothing to lint (pass .dl files or --embedded)");
+        std::process::exit(2);
+    }
+
+    let mut findings = 0usize;
+    let mut programs = 0usize;
+    if embedded {
+        for (name, source) in EMBEDDED {
+            match lint_source(name, source) {
+                Ok(count) => findings += count,
+                Err(err) => {
+                    eprintln!("{err}");
+                    std::process::exit(2);
+                }
+            }
+            programs += 1;
+        }
+    }
+    for path in files {
+        let source = std::fs::read_to_string(path).unwrap_or_else(|err| {
+            eprintln!("gpulog-lint: cannot read {path}: {err}");
+            std::process::exit(2);
+        });
+        match lint_source(path, &source) {
+            Ok(count) => findings += count,
+            Err(err) => {
+                eprintln!("{err}");
+                std::process::exit(2);
+            }
+        }
+        programs += 1;
+    }
+
+    let noun = if findings == 1 { "finding" } else { "findings" };
+    println!("gpulog-lint: {programs} program(s), {findings} {noun}");
+    if deny && findings > 0 {
+        std::process::exit(1);
+    }
+}

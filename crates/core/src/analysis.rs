@@ -28,6 +28,8 @@ use crate::ast::{Atom, Literal, Program, Query, RelationDecl, Rule, Term};
 use crate::error::{EngineError, EngineResult};
 use std::collections::{HashMap, HashSet, VecDeque};
 
+pub mod passes;
+
 /// A validated program plus its evaluation order.
 #[derive(Debug, Clone)]
 pub struct StratifiedProgram {
@@ -66,7 +68,9 @@ impl StratifiedProgram {
 
 /// Validates `program` and computes its strata.
 ///
-/// Alias for [`stratify_program`], kept for the original call sites.
+/// Deprecated thin alias for [`stratify_program`], kept so the original
+/// call sites keep compiling; new code should call [`stratify_program`].
+#[deprecated(since = "0.10.0", note = "use `stratify_program` instead")]
 pub fn stratify(program: &Program) -> EngineResult<StratifiedProgram> {
     stratify_program(program)
 }
@@ -219,22 +223,32 @@ fn validate_rule(rule: &Rule, id_of: &HashMap<&str, usize>, arities: &[usize]) -
     // fully bound is what lets the engine lower them to point-membership
     // anti-joins.
     let bound: HashSet<&str> = rule.positive_atoms().flat_map(|a| a.variables()).collect();
-    let unbound = |variable: &str, context: String| EngineError::UnboundVariable {
-        rule: rule.to_string(),
-        variable: variable.to_string(),
-        context,
-    };
+    // Each context pins the error to the most precise parse span available:
+    // the containing atom's relation name for head/negated-atom contexts,
+    // the rule's own head span for constraints and aggregates.
+    let unbound =
+        |variable: &str, context: String, span: crate::ast::Span| EngineError::UnboundVariable {
+            rule: rule.to_string(),
+            variable: variable.to_string(),
+            context,
+            line: span.line,
+            column: span.column,
+        };
     for term in &rule.head.terms {
         if let Term::Var(v) = term {
             if !bound.contains(v.as_str()) {
-                return Err(unbound(v, "head".into()));
+                return Err(unbound(v, "head".into(), rule.head.span));
             }
         }
     }
     for atom in rule.negative_atoms() {
         for v in atom.variables() {
             if !bound.contains(v) {
-                return Err(unbound(v, format!("negated atom {}", atom.relation)));
+                return Err(unbound(
+                    v,
+                    format!("negated atom {}", atom.relation),
+                    atom.span,
+                ));
             }
         }
     }
@@ -242,7 +256,7 @@ fn validate_rule(rule: &Rule, id_of: &HashMap<&str, usize>, arities: &[usize]) -
         for term in [&c.left, &c.right] {
             if let Term::Var(v) = term {
                 if !bound.contains(v.as_str()) {
-                    return Err(unbound(v, "constraint".into()));
+                    return Err(unbound(v, "constraint".into(), rule.span));
                 }
             }
         }
@@ -273,7 +287,7 @@ fn validate_rule(rule: &Rule, id_of: &HashMap<&str, usize>, arities: &[usize]) -
             });
         }
         if !bound.contains(agg.var.as_str()) {
-            return Err(unbound(&agg.var, "aggregate".into()));
+            return Err(unbound(&agg.var, "aggregate".into(), rule.span));
         }
     }
     Ok(())
@@ -530,6 +544,7 @@ pub fn magic_rewrite(program: &Program, query: &Query) -> EngineResult<MagicProg
                                     aggregate: None,
                                     body: new_body.clone(),
                                     constraints: Vec::new(),
+                                    span: rule.span,
                                 };
                                 if magic_seen.insert(magic_rule.to_string()) {
                                     magic_rules.push(magic_rule);
@@ -560,6 +575,7 @@ pub fn magic_rewrite(program: &Program, query: &Query) -> EngineResult<MagicProg
                 aggregate: None,
                 body: new_body,
                 constraints: rule.constraints.clone(),
+                span: rule.span,
             });
         }
     }
@@ -721,8 +737,18 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_stratify_alias_matches_stratify_program() {
+        let program = reach();
+        let via_alias = stratify(&program).unwrap();
+        let direct = stratify_program(&program).unwrap();
+        assert_eq!(via_alias.relation_names, direct.relation_names);
+        assert_eq!(via_alias.strata.len(), direct.strata.len());
+    }
+
+    #[test]
     fn reach_produces_edge_stratum_then_recursive_reach_stratum() {
-        let s = stratify(&reach()).unwrap();
+        let s = stratify_program(&reach()).unwrap();
         assert_eq!(s.relation_names, vec!["Edge", "Reach"]);
         // Edge has no rules; Reach is recursive.
         let reach_stratum = s
@@ -761,7 +787,7 @@ mod tests {
         ",
         )
         .unwrap();
-        let s = stratify(&p).unwrap();
+        let s = stratify_program(&p).unwrap();
         let a = s.relation_id("A").unwrap();
         let b = s.relation_id("B").unwrap();
         let shared = s
@@ -786,7 +812,7 @@ mod tests {
         ",
         )
         .unwrap();
-        let s = stratify(&p).unwrap();
+        let s = stratify_program(&p).unwrap();
         assert!(s.strata.iter().all(|st| !st.recursive));
     }
 
@@ -799,7 +825,10 @@ mod tests {
             .end_rule()
             .build()
             .unwrap();
-        assert!(matches!(stratify(&p), Err(EngineError::Validation { .. })));
+        assert!(matches!(
+            stratify_program(&p),
+            Err(EngineError::Validation { .. })
+        ));
     }
 
     #[test]
@@ -812,7 +841,7 @@ mod tests {
             .end_rule()
             .build()
             .unwrap();
-        let err = stratify(&p).unwrap_err();
+        let err = stratify_program(&p).unwrap_err();
         assert!(err.to_string().contains("arity"));
     }
 
@@ -826,7 +855,7 @@ mod tests {
             .end_rule()
             .build()
             .unwrap();
-        let err = stratify(&p).unwrap_err();
+        let err = stratify_program(&p).unwrap_err();
         assert!(matches!(err, EngineError::UnboundVariable { .. }));
         assert!(err.to_string().contains("unsafe"));
     }
@@ -843,7 +872,7 @@ mod tests {
             .build()
             .unwrap();
         assert!(matches!(
-            stratify(&p),
+            stratify_program(&p),
             Err(EngineError::UnboundVariable { .. })
         ));
     }
@@ -855,7 +884,7 @@ mod tests {
             .input_relation("E", 2)
             .build()
             .unwrap();
-        assert!(stratify(&p).is_err());
+        assert!(stratify_program(&p).is_err());
     }
 
     #[test]

@@ -15,6 +15,40 @@
 use crate::error::{EngineError, EngineResult};
 use std::fmt;
 
+/// A 1-based source position attached to rules and atoms by the parser.
+///
+/// `Span::NONE` (line and column 0) marks nodes assembled programmatically
+/// — diagnostics and errors omit the position in that case, mirroring the
+/// convention [`Query::new`] already uses for goals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-based source line (0 = no source position).
+    pub line: usize,
+    /// 1-based source column (0 = no source position).
+    pub column: usize,
+}
+
+impl Span {
+    /// The "no source position" marker carried by programmatic nodes.
+    pub const NONE: Span = Span { line: 0, column: 0 };
+
+    /// Creates a span from a 1-based line and column.
+    pub fn new(line: usize, column: usize) -> Span {
+        Span { line, column }
+    }
+
+    /// Whether this span points at real source (line > 0).
+    pub fn is_known(self) -> bool {
+        self.line > 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
 /// A term appearing in an atom or constraint: a named variable or a
 /// 32-bit constant.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -50,21 +84,41 @@ impl fmt::Display for Term {
 }
 
 /// A predicate applied to terms, e.g. `Edge(x, y)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores the [`Span`]: two atoms with the same relation and
+/// terms compare equal whether they were parsed or built in code.
+#[derive(Debug, Clone, Eq)]
 pub struct Atom {
     /// Relation name.
     pub relation: String,
     /// Argument terms; the length is the relation's arity.
     pub terms: Vec<Term>,
+    /// Source position of the relation name ([`Span::NONE`] when the atom
+    /// was assembled programmatically). Not part of equality.
+    pub span: Span,
+}
+
+impl PartialEq for Atom {
+    fn eq(&self, other: &Self) -> bool {
+        self.relation == other.relation && self.terms == other.terms
+    }
 }
 
 impl Atom {
-    /// Creates an atom.
+    /// Creates an atom with no source position.
     pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Atom {
         Atom {
             relation: relation.into(),
             terms,
+            span: Span::NONE,
         }
+    }
+
+    /// Attaches a source position (parser surface).
+    #[must_use]
+    pub fn with_span(mut self, span: Span) -> Atom {
+        self.span = span;
+        self
     }
 
     /// Iterates over the variable names used by this atom.
@@ -257,7 +311,9 @@ pub struct Aggregate {
 }
 
 /// A Horn clause: `head :- body literals, constraints.`
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores the [`Span`], like [`Atom`] equality does.
+#[derive(Debug, Clone, Eq)]
 pub struct Rule {
     /// The derived atom.
     pub head: Atom,
@@ -269,9 +325,33 @@ pub struct Rule {
     pub body: Vec<Literal>,
     /// Comparison constraints.
     pub constraints: Vec<Constraint>,
+    /// Source position of the head's relation name ([`Span::NONE`] for
+    /// rules assembled programmatically). Not part of equality.
+    pub span: Span,
+}
+
+impl PartialEq for Rule {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head
+            && self.aggregate == other.aggregate
+            && self.body == other.body
+            && self.constraints == other.constraints
+    }
 }
 
 impl Rule {
+    /// Creates a rule with the given head, an empty body, and no source
+    /// position; push literals and constraints directly afterwards.
+    pub fn new(head: Atom) -> Rule {
+        Rule {
+            head,
+            aggregate: None,
+            body: Vec::new(),
+            constraints: Vec::new(),
+            span: Span::NONE,
+        }
+    }
+
     /// Iterates over the positive body atoms, in source order.
     pub fn positive_atoms(&self) -> impl Iterator<Item = &Atom> {
         self.body.iter().filter_map(Literal::as_pos)
@@ -598,12 +678,7 @@ impl ProgramBuilder {
             "finish the previous rule first"
         );
         let mut rb = RuleBuilder {
-            rule: Rule {
-                head: Atom::new(head_relation, head_terms),
-                aggregate: None,
-                body: Vec::new(),
-                constraints: Vec::new(),
-            },
+            rule: Rule::new(Atom::new(head_relation, head_terms)),
         };
         f(&mut rb);
         self.program.rules.push(rb.rule);
@@ -621,12 +696,7 @@ impl ProgramBuilder {
             self.current_rule.is_none(),
             "finish the previous rule first"
         );
-        self.current_rule = Some(Rule {
-            head: Atom::new(head_relation, head_terms),
-            aggregate: None,
-            body: Vec::new(),
-            constraints: Vec::new(),
-        });
+        self.current_rule = Some(Rule::new(Atom::new(head_relation, head_terms)));
         self
     }
 

@@ -15,6 +15,7 @@
 //! `docs/architecture.md` for the Batch → Op → Backend layering.
 
 use crate::analysis::magic_rewrite;
+use crate::analysis::passes::{lint_program, optimize_program, LintLevel, ProgramDiagnostics};
 use crate::ast::{Atom, Program, Query, Term};
 use crate::backend::{
     Backend, EvalContext, MultiGpuBackend, PipelineOutcome, PipelinedBackend, SerialBackend,
@@ -82,6 +83,18 @@ pub struct EngineConfig {
     /// `shard_count` above one must match, and a device topology cannot be
     /// combined with overlap.
     pub pipelined: usize,
+    /// How lint findings are treated when the engine is built from source
+    /// or an AST: [`LintLevel::Warn`] (the default) collects them into
+    /// [`GpulogEngine::diagnostics`], [`LintLevel::Deny`] fails the build
+    /// with [`EngineError::LintDenied`], [`LintLevel::Allow`] skips the
+    /// lint passes. Pre-compiled programs are never linted.
+    pub lint: LintLevel,
+    /// Whether to run the semantics-preserving rewrites
+    /// ([`crate::analysis::passes::optimize_program`]) before planning.
+    /// On by default; the rewrites preserve the fixpoint of every output
+    /// relation and of the `?-` goal, and the original AST is retained
+    /// for goal-directed runs.
+    pub optimize: bool,
 }
 
 impl Default for EngineConfig {
@@ -94,6 +107,8 @@ impl Default for EngineConfig {
             shard_count: 1,
             device_topology: None,
             pipelined: 0,
+            lint: LintLevel::Warn,
+            optimize: true,
         }
     }
 }
@@ -157,6 +172,57 @@ impl EngineConfig {
         self.pipelined = shards;
         self
     }
+
+    /// Sets how lint findings are treated at engine build time.
+    #[must_use]
+    pub fn with_lint(mut self, lint: LintLevel) -> Self {
+        self.lint = lint;
+        self
+    }
+
+    /// Enables or disables the semantics-preserving rewrite passes run
+    /// before planning (on by default).
+    #[must_use]
+    pub fn with_optimize(mut self, optimize: bool) -> Self {
+        self.optimize = optimize;
+        self
+    }
+}
+
+/// The engine's analysis front-end, run between parsing/validation and
+/// planning when a program arrives as source or an AST: lint per the
+/// configured [`LintLevel`] (failing the build under [`LintLevel::Deny`]),
+/// then rewrite through [`optimize_program`] when optimization is on.
+///
+/// Returns the collected diagnostics and the program to compile. The
+/// caller keeps the *original* AST for goal-directed runs —
+/// [`GpulogEngine::run_query_with`] may target relations the optimizer's
+/// dead-rule elimination legitimately pruned from the compiled form.
+fn analyze_program(
+    program: &Program,
+    config: &EngineConfig,
+) -> EngineResult<(ProgramDiagnostics, Program)> {
+    let diagnostics = match config.lint {
+        LintLevel::Allow => ProgramDiagnostics::default(),
+        LintLevel::Warn | LintLevel::Deny => lint_program(program),
+    };
+    if config.lint == LintLevel::Deny && !diagnostics.is_empty() {
+        let first = diagnostics
+            .iter()
+            .next()
+            .expect("non-empty diagnostics")
+            .to_string();
+        return Err(EngineError::LintDenied {
+            count: diagnostics.len(),
+            first,
+        });
+    }
+    let to_compile = if config.optimize {
+        optimize_program(program)?.program
+    } else {
+        program.clone()
+    };
+    Ok((diagnostics, to_compile))
 }
 
 /// The program a builder will compile, in whichever form it was supplied.
@@ -300,6 +366,21 @@ impl<'d> EngineBuilder<'d> {
         self
     }
 
+    /// Sets how lint findings are treated by [`EngineBuilder::build`].
+    #[must_use]
+    pub fn lint(mut self, lint: LintLevel) -> Self {
+        self.config.lint = lint;
+        self
+    }
+
+    /// Enables or disables the semantics-preserving rewrite passes (on by
+    /// default).
+    #[must_use]
+    pub fn optimize(mut self, optimize: bool) -> Self {
+        self.config.optimize = optimize;
+        self
+    }
+
     /// Installs a custom evaluation backend. Without one, `build` picks
     /// [`SerialBackend`] — or [`ShardedBackend`] when the configured shard
     /// count is above one. An explicitly-installed backend always wins over
@@ -315,21 +396,26 @@ impl<'d> EngineBuilder<'d> {
     /// # Errors
     ///
     /// Returns [`EngineError::Validation`] if no program was supplied,
-    /// [`EngineError::InvalidShardCount`] for a zero shard count, and
-    /// parse, validation, or device errors from compilation and storage
-    /// allocation.
+    /// [`EngineError::InvalidShardCount`] for a zero shard count,
+    /// [`EngineError::LintDenied`] when the configured lint level is
+    /// [`LintLevel::Deny`] and a finding fires, and parse, validation, or
+    /// device errors from compilation and storage allocation.
     pub fn build(self) -> EngineResult<GpulogEngine> {
-        let (ast, compiled) = match self.program {
+        let (ast, diagnostics, compiled) = match self.program {
             Some(ProgramSpec::Source(source)) => {
                 let program = crate::parser::parse_program(&source)?;
-                let compiled = compile(&program)?;
-                (Some(program), compiled)
+                let (diagnostics, to_compile) = analyze_program(&program, &self.config)?;
+                let compiled = compile(&to_compile)?;
+                (Some(program), diagnostics, compiled)
             }
             Some(ProgramSpec::Ast(program)) => {
-                let compiled = compile(&program)?;
-                (Some(program), compiled)
+                let (diagnostics, to_compile) = analyze_program(&program, &self.config)?;
+                let compiled = compile(&to_compile)?;
+                (Some(program), diagnostics, compiled)
             }
-            Some(ProgramSpec::Compiled(compiled)) => (None, compiled),
+            Some(ProgramSpec::Compiled(compiled)) => {
+                (None, ProgramDiagnostics::default(), compiled)
+            }
             None => {
                 return Err(EngineError::Validation {
                     message: "EngineBuilder::build called without a program".into(),
@@ -342,6 +428,7 @@ impl<'d> EngineBuilder<'d> {
         };
         let mut engine = GpulogEngine::with_backend(self.device, compiled, self.config, backend)?;
         engine.program = ast;
+        engine.diagnostics = diagnostics;
         Ok(engine)
     }
 }
@@ -449,8 +536,13 @@ pub struct GpulogEngine {
     device: Device,
     /// The source AST, retained when the engine was built from source or
     /// an AST (`None` for pre-compiled programs). Goal-directed runs
-    /// rewrite it; plain runs only ever use the compiled form.
+    /// rewrite it; plain runs only ever use the compiled form. This is
+    /// the *original* (pre-optimization) AST, so goal-directed runs can
+    /// still target relations dead-rule elimination pruned.
     program: Option<Program>,
+    /// Lint findings collected at build time (empty under
+    /// [`LintLevel::Allow`] and for pre-compiled programs).
+    diagnostics: ProgramDiagnostics,
     compiled: CompiledProgram,
     pipelines: Vec<LoweredStratum>,
     /// One pre-built [`RaOp::Diff`](crate::ra::op::RaOp) pipeline per
@@ -475,12 +567,16 @@ impl GpulogEngine {
     ///
     /// # Errors
     ///
-    /// Returns validation errors for ill-formed programs and device errors
-    /// if the empty relation storage cannot be allocated.
+    /// Returns validation errors for ill-formed programs,
+    /// [`EngineError::LintDenied`] under [`LintLevel::Deny`] with findings,
+    /// and device errors if the empty relation storage cannot be
+    /// allocated.
     pub fn new(device: &Device, program: &Program, config: EngineConfig) -> EngineResult<Self> {
-        let compiled = compile(program)?;
+        let (diagnostics, to_compile) = analyze_program(program, &config)?;
+        let compiled = compile(&to_compile)?;
         let mut engine = Self::from_compiled(device, compiled, config)?;
         engine.program = Some(program.clone());
+        engine.diagnostics = diagnostics;
         Ok(engine)
     }
 
@@ -544,6 +640,7 @@ impl GpulogEngine {
         Ok(GpulogEngine {
             device: device.clone(),
             program: None,
+            diagnostics: ProgramDiagnostics::default(),
             compiled,
             pipelines,
             diff_pipelines,
@@ -559,6 +656,17 @@ impl GpulogEngine {
     /// The device this engine runs on.
     pub fn device(&self) -> &Device {
         &self.device
+    }
+
+    /// Lint findings collected when the engine was built.
+    ///
+    /// Empty when the configured level is [`LintLevel::Allow`], when the
+    /// program linted clean, or when the engine was built from a
+    /// pre-compiled program (which is never linted). Under
+    /// [`LintLevel::Deny`] a finding fails the build instead, so an engine
+    /// you hold never carries deny-level findings.
+    pub fn diagnostics(&self) -> &ProgramDiagnostics {
+        &self.diagnostics
     }
 
     /// The compiled program (plans, strata, relation metadata).
@@ -1013,7 +1121,16 @@ impl GpulogEngine {
     fn run_query_goal(&self, query: &Query) -> EngineResult<QueryResult> {
         let program = self.program_for_query()?;
         let magic = magic_rewrite(program, query)?;
-        let mut sub = GpulogEngine::new(&self.device, &magic.program, self.config.clone())?;
+        // The sub-engine must evaluate the rewritten program verbatim: the
+        // adorned answer relation is not `.output`, so dead-rule
+        // elimination would prune its rules; and re-linting machine-made
+        // rules would only echo findings about generated names.
+        let sub_config = self
+            .config
+            .clone()
+            .with_lint(LintLevel::Allow)
+            .with_optimize(false);
+        let mut sub = GpulogEngine::new(&self.device, &magic.program, sub_config)?;
 
         // Copy the extensional database across: declared inputs plus
         // relations no rule derives. Rule-derived relations re-derive

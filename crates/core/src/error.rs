@@ -33,6 +33,21 @@ pub enum EngineError {
         /// Where the variable appears (`head`, `constraint`,
         /// `negated atom R`, `aggregate`).
         context: String,
+        /// 1-based source line of the atom containing the variable (the
+        /// rule head's line for constraint/aggregate contexts; 0 when the
+        /// rule was built programmatically).
+        line: usize,
+        /// 1-based source column matching `line` (0 = no source position).
+        column: usize,
+    },
+    /// The program was rejected by the lint gate
+    /// ([`crate::analysis::passes::LintLevel::Deny`]): at least one
+    /// diagnostic fired at engine build time.
+    LintDenied {
+        /// Number of diagnostics that fired.
+        count: usize,
+        /// The first diagnostic, rendered (`warning[GL...]: ...`).
+        first: String,
     },
     /// The program recurses through negation or aggregation, so no
     /// stratification exists.
@@ -133,11 +148,24 @@ impl fmt::Display for EngineError {
                 rule,
                 variable,
                 context,
+                line,
+                column,
             } => {
+                write!(f, "unsafe rule")?;
+                if *line > 0 {
+                    write!(f, " at line {line}, column {column}")?;
+                }
                 write!(
                     f,
-                    "unsafe rule `{rule}`: variable {variable} in {context} \
+                    " `{rule}`: variable {variable} in {context} \
                      is not bound by any positive body literal"
+                )
+            }
+            EngineError::LintDenied { count, first } => {
+                write!(
+                    f,
+                    "program rejected by lint (deny level, {count} finding{}): {first}",
+                    if *count == 1 { "" } else { "s" }
                 )
             }
             EngineError::CyclicNegation { rule, relation } => {
@@ -258,9 +286,29 @@ mod tests {
             rule: "R(x) :- !S(x).".into(),
             variable: "x".into(),
             context: "negated atom S".into(),
+            line: 2,
+            column: 11,
         };
         assert!(unbound.to_string().contains("variable x"));
         assert!(unbound.to_string().contains("negated atom S"));
+        assert!(unbound.to_string().contains("line 2, column 11"));
+        let unbound_programmatic = EngineError::UnboundVariable {
+            rule: "R(x) :- !S(x).".into(),
+            variable: "x".into(),
+            context: "negated atom S".into(),
+            line: 0,
+            column: 0,
+        };
+        assert!(
+            !unbound_programmatic.to_string().contains("line"),
+            "builder-origin rules carry no source span"
+        );
+        let denied = EngineError::LintDenied {
+            count: 2,
+            first: "warning[GL003]: singleton variable z".into(),
+        };
+        assert!(denied.to_string().contains("2 findings"));
+        assert!(denied.to_string().contains("GL003"));
         let cyclic = EngineError::CyclicNegation {
             rule: "R(x) :- S(x), !R(x).".into(),
             relation: "R".into(),

@@ -122,6 +122,52 @@
 //! [`GpulogEngine::from_source`] for constructing with an explicit
 //! [`EngineConfig`].
 //!
+//! ## Linting and optimizing the program before it runs
+//!
+//! Between parsing and planning, every program passes through
+//! [`analysis::passes`]: [`lint_program`] reports span-carrying
+//! diagnostics with stable `GLnnn` codes (unused relations, unreachable
+//! rules, singleton variables, duplicate literals, always-false rules,
+//! cross-rule constant mismatches, subsumed rules), and
+//! [`optimize_program`] applies semantics-preserving rewrites — dead-rule
+//! elimination, constant propagation, duplicate-literal and
+//! subsumed-rule removal — before the planner lowers the program. The
+//! default [`LintLevel::Warn`] collects findings behind
+//! [`GpulogEngine::diagnostics`]; [`EngineConfig::with_lint`] with
+//! [`LintLevel::Deny`] turns any finding into a build error:
+//!
+//! ```
+//! use gpulog::{EngineError, GpulogEngine, LintCode, LintLevel};
+//! use gpulog_device::{Device, profile::DeviceProfile};
+//!
+//! let device = Device::new(DeviceProfile::nvidia_h100());
+//! let src = r"
+//!     .decl Edge(x: number, y: number)
+//!     .input Edge
+//!     .decl Reach(x: number, y: number)
+//!     .output Reach
+//!     Reach(x, y) :- Edge(x, y), Edge(x, stray).
+//!     Reach(x, y) :- Edge(x, z), Reach(z, y).
+//! ";
+//! // Warn (the default): the engine builds, findings are queryable.
+//! let engine = GpulogEngine::builder(&device).program(src).build().unwrap();
+//! assert!(engine.diagnostics().has(LintCode::SingletonVariable));
+//! for finding in engine.diagnostics() {
+//!     println!("{finding}"); // warning[GL003]: ... at line 6, column 1
+//! }
+//! // Deny: the same program refuses to build.
+//! let err = GpulogEngine::builder(&device)
+//!     .program(src)
+//!     .lint(LintLevel::Deny)
+//!     .build()
+//!     .unwrap_err();
+//! assert!(matches!(err, EngineError::LintDenied { count: 1, .. }));
+//! ```
+//!
+//! The same passes drive the `gpulog-lint` command-line tool in the
+//! bench crate, which CI runs over every embedded workspace program with
+//! `--deny-warnings`.
+//!
 //! ## Point queries without the full closure
 //!
 //! When the caller asks one question — "what is reachable from *this*
@@ -279,10 +325,14 @@ pub mod relation;
 pub mod snapshot;
 pub mod stats;
 
+pub use analysis::passes::{
+    lint_program, optimize_program, Diagnostic, DiagnosticLevel, LintCode, LintLevel,
+    OptimizeReport, ProgramDiagnostics,
+};
 pub use analysis::{magic_rewrite, stratify_program, MagicProgram};
 pub use ast::{
     Aggregate, AggregateOp, Atom, CmpOp, Constraint, Literal, Program, ProgramBuilder, Query,
-    RelationDecl, Rule, RuleBuilder, Term,
+    RelationDecl, Rule, RuleBuilder, Span, Term,
 };
 pub use backend::{
     Backend, EvalContext, MultiGpuBackend, PipelineOutcome, PipelinedBackend, SerialBackend,

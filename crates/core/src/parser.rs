@@ -29,7 +29,7 @@
 
 use crate::ast::{
     Aggregate, AggregateOp, Atom, CmpOp, Constraint, Literal, Program, Query, RelationDecl, Rule,
-    Term,
+    Span, Term,
 };
 use crate::error::{EngineError, EngineResult};
 
@@ -338,6 +338,19 @@ impl Parser {
         self.err_at(self.pos, message.into())
     }
 
+    /// Source span of the token at `idx` ([`Span::NONE`] past the end).
+    fn span_at(&self, idx: usize) -> Span {
+        self.tokens
+            .get(idx)
+            .map(|s| Span::new(s.line, s.column))
+            .unwrap_or(Span::NONE)
+    }
+
+    /// Span of the most recently consumed token (a just-parsed name).
+    fn last_span(&self) -> Span {
+        self.span_at(self.pos.saturating_sub(1))
+    }
+
     fn expect(&mut self, expected: &Token, what: &str) -> EngineResult<()> {
         match self.next() {
             Some(t) if &t == expected => Ok(()),
@@ -365,6 +378,9 @@ impl Parser {
     }
 
     fn parse_atom(&mut self, name: String) -> EngineResult<Atom> {
+        // The relation-name token was consumed by the caller just before
+        // this call, so its span is the atom's source position.
+        let span = self.last_span();
         self.expect(&Token::LParen, "'('")?;
         let mut terms = Vec::new();
         if self.peek() != Some(&Token::RParen) {
@@ -379,12 +395,13 @@ impl Parser {
             }
         }
         self.expect(&Token::RParen, "')'")?;
-        Ok(Atom::new(name, terms))
+        Ok(Atom::new(name, terms).with_span(span))
     }
 
     /// Parses a rule head: like an atom, except a term position may hold
     /// an aggregate `count(v)` / `min(v)` / `max(v)` / `sum(v)`.
     fn parse_head(&mut self, name: String) -> EngineResult<(Atom, Option<Aggregate>)> {
+        let span = self.last_span();
         self.expect(&Token::LParen, "'('")?;
         let mut terms = Vec::new();
         let mut aggregate: Option<Aggregate> = None;
@@ -427,7 +444,7 @@ impl Parser {
             }
         }
         self.expect(&Token::RParen, "')'")?;
-        Ok((Atom::new(name, terms), aggregate))
+        Ok((Atom::new(name, terms).with_span(span), aggregate))
     }
 
     fn parse_rule_or_fact(&mut self, head_name: String, program: &mut Program) -> EngineResult<()> {
@@ -440,11 +457,13 @@ impl Parser {
                     return Err(self.error("a ground fact cannot carry an aggregate"));
                 }
                 if head.terms.iter().all(|t| matches!(t, Term::Const(_))) {
+                    let span = head.span;
                     program.rules.push(Rule {
                         head,
                         aggregate: None,
                         body: Vec::new(),
                         constraints: Vec::new(),
+                        span,
                     });
                     Ok(())
                 } else {
@@ -502,11 +521,13 @@ impl Parser {
                         _ => return Err(self.error("expected ',' or '.'")),
                     }
                 }
+                let span = head.span;
                 program.rules.push(Rule {
                     head,
                     aggregate,
                     body,
                     constraints,
+                    span,
                 });
                 Ok(())
             }
@@ -623,6 +644,14 @@ fn mark_relation(
 ) -> EngineResult<()> {
     match program.relations.iter_mut().find(|r| r.name == name) {
         Some(decl) => {
+            // A repeated marking is a typo worth rejecting loudly: the
+            // second `.input R` / `.output R` used to be silently absorbed.
+            if input && decl.is_input {
+                return Err(parser.error(format!("duplicate .input declaration for {name}")));
+            }
+            if output && decl.is_output {
+                return Err(parser.error(format!("duplicate .output declaration for {name}")));
+            }
             decl.is_input |= input;
             decl.is_output |= output;
             Ok(())
@@ -654,6 +683,37 @@ mod tests {
         assert_eq!(p.rules[1].body.len(), 2);
         assert_eq!(p.rules[1].body[1].atom().relation, "Reach");
         assert!(p.rules[1].body.iter().all(Literal::is_positive));
+    }
+
+    #[test]
+    fn rejects_duplicate_io_declarations_with_spans() {
+        let src = "\
+.decl Edge(x: number, y: number)\n\
+.input Edge\n\
+.input Edge\n";
+        match parse_program(src).unwrap_err() {
+            EngineError::Parse { line, message, .. } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("duplicate .input declaration for Edge"));
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        let src = "\
+.decl Edge(x: number, y: number)\n\
+.output Edge\n\
+.output Edge\n";
+        match parse_program(src).unwrap_err() {
+            EngineError::Parse { line, message, .. } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("duplicate .output declaration for Edge"));
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        // Marking one relation as both .input and .output stays legal.
+        let p =
+            parse_program(".decl Edge(x: number, y: number)\n.input Edge\n.output Edge\n").unwrap();
+        let decl = p.relation("Edge").unwrap();
+        assert!(decl.is_input && decl.is_output);
     }
 
     #[test]

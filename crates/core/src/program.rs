@@ -177,6 +177,14 @@ impl Gpulog {
         self.engine.run_query_with(relation, bindings)
     }
 
+    /// Lint findings collected when the program was built (the default
+    /// configuration lints at [`crate::analysis::passes::LintLevel::Warn`],
+    /// so findings never fail construction here — inspect them with this
+    /// accessor).
+    pub fn diagnostics(&self) -> &crate::analysis::passes::ProgramDiagnostics {
+        self.engine.diagnostics()
+    }
+
     /// Access to the underlying engine.
     pub fn engine(&self) -> &GpulogEngine {
         &self.engine

@@ -28,8 +28,8 @@ pub const CSPA_PROGRAM: &str = r"
 
 // Value flow along assignments (reflexive on assignment endpoints).
 ValueFlow(y, x) :- Assign(y, x).
-ValueFlow(x, x) :- Assign(x, y).
-ValueFlow(x, x) :- Assign(y, x).
+ValueFlow(x, x) :- Assign(x, _).
+ValueFlow(x, x) :- Assign(_, x).
 
 // Transitive propagation, through memory aliases and directly.
 ValueFlow(x, y) :- Assign(x, z), MemoryAlias(z, y).
@@ -37,8 +37,8 @@ ValueFlow(x, y) :- ValueFlow(x, z), ValueFlow(z, y).
 
 // Aliasing.
 MemoryAlias(x, w) :- Dereference(y, x), ValueAlias(y, z), Dereference(z, w).
-MemoryAlias(x, x) :- Assign(y, x).
-MemoryAlias(x, x) :- Assign(x, y).
+MemoryAlias(x, x) :- Assign(_, x).
+MemoryAlias(x, x) :- Assign(x, _).
 ValueAlias(x, y) :- ValueFlow(z, x), ValueFlow(z, y).
 ValueAlias(x, y) :- ValueFlow(z, x), MemoryAlias(z, w), ValueFlow(w, y).
 ";

@@ -1,2 +1,17 @@
-//! Placeholder library target for the examples package; all content lives
-//! in the example binaries next to this file (`cargo run --example ...`).
+//! Shared sources for the examples package; the runnable content lives in
+//! the example binaries next to this file (`cargo run --example ...`).
+//!
+//! The programs embedded in the examples are exported here so tooling —
+//! in particular the `gpulog-lint` CLI's `--embedded` sweep — can lint
+//! them without executing the binaries.
+
+/// The Datalog program the `quickstart` example runs: transitive closure
+/// over an `Edge` relation.
+pub const QUICKSTART_PROGRAM: &str = r"
+    .decl Edge(x: number, y: number)
+    .input Edge
+    .decl Reach(x: number, y: number)
+    .output Reach
+    Reach(x, y) :- Edge(x, y).
+    Reach(x, y) :- Edge(x, z), Reach(z, y).
+";

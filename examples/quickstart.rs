@@ -18,16 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    join strategy, load factor, iteration cap, evaluation backend)
     //    as a builder setter. The defaults reproduce the paper's setup.
     let mut engine = GpulogEngine::builder(&device)
-        .program(
-            r"
-            .decl Edge(x: number, y: number)
-            .input Edge
-            .decl Reach(x: number, y: number)
-            .output Reach
-            Reach(x, y) :- Edge(x, y).
-            Reach(x, y) :- Edge(x, z), Reach(z, y).
-        ",
-        )
+        .program(gpulog_examples::QUICKSTART_PROGRAM)
         .max_iterations(100_000)
         .build()?;
 
